@@ -1,0 +1,126 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Each bench prints the paper's measured value next to the simulated one so
+// the shape comparison (who wins, by what factor) is immediate. Absolute
+// agreement is not expected — the substrate is a timing model, not the
+// authors' 1992 testbed — but the relative structure should hold.
+
+#ifndef HIGHLIGHT_BENCH_BENCH_UTIL_H_
+#define HIGHLIGHT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/sim_clock.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hl::bench {
+
+inline void Title(const std::string& text) {
+  std::printf("\n=== %s ===\n", text.c_str());
+}
+
+inline void Note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& row : rows_) {
+        if (c < row.size()) {
+          widths[c] = std::max(widths[c], row[c].size());
+        }
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("  ");
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : "";
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::vector<std::string> dashes;
+    for (size_t w : widths) {
+      dashes.push_back(std::string(w, '-'));
+    }
+    print_row(dashes);
+    for (const auto& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string Seconds(SimTime us) {
+  return Fmt("%.2f s", static_cast<double>(us) / kUsPerSec);
+}
+
+inline std::string KBps(uint64_t bytes, SimTime us) {
+  if (us == 0) {
+    return "inf";
+  }
+  double kbps = (static_cast<double>(bytes) / 1024.0) /
+                (static_cast<double>(us) / kUsPerSec);
+  return Fmt("%.0f KB/s", kbps);
+}
+
+inline double KBpsValue(uint64_t bytes, SimTime us) {
+  return us == 0 ? 0.0
+                 : (static_cast<double>(bytes) / 1024.0) /
+                       (static_cast<double>(us) / kUsPerSec);
+}
+
+// Deterministic payload generator (all benches print their seed).
+inline std::vector<uint8_t> Payload(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+inline void Die(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+inline T DieOr(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace hl::bench
+
+#endif  // HIGHLIGHT_BENCH_BENCH_UTIL_H_

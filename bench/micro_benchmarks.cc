@@ -1,0 +1,179 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the
+// implementation itself: checksums, on-media (de)serialization, partial-
+// segment assembly, buffer-cache operations, bmap resolution, and directory
+// lookups. These measure real CPU cost (not simulated time) and guard
+// against performance regressions in the library.
+
+#include <benchmark/benchmark.h>
+
+#include "blockdev/sim_disk.h"
+#include "lfs/buffer_cache.h"
+#include "lfs/format.h"
+#include "lfs/lfs.h"
+#include "lfs/segment_builder.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+void BM_Crc32_4K(benchmark::State& state) {
+  std::vector<uint8_t> block(4096, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(block));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Crc32_4K);
+
+void BM_Crc32_1M(benchmark::State& state) {
+  std::vector<uint8_t> seg(1 << 20, 0xCD);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32(seg));
+  }
+  state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_Crc32_1M);
+
+void BM_InodeSerialize(benchmark::State& state) {
+  DInode inode;
+  inode.ino = 42;
+  inode.type = FileType::kRegular;
+  inode.size = 123456;
+  std::vector<uint8_t> buf(kInodeSize);
+  for (auto _ : state) {
+    inode.Serialize(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+}
+BENCHMARK(BM_InodeSerialize);
+
+void BM_InodeDeserialize(benchmark::State& state) {
+  DInode inode;
+  inode.ino = 42;
+  std::vector<uint8_t> buf(kInodeSize);
+  inode.Serialize(buf);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DInode::Deserialize(buf));
+  }
+}
+BENCHMARK(BM_InodeDeserialize);
+
+void BM_SummarySerialize(benchmark::State& state) {
+  SegSummary sum;
+  for (int f = 0; f < 16; ++f) {
+    FInfo fi;
+    fi.ino = 100 + f;
+    for (int b = 0; b < 12; ++b) {
+      fi.lbns.push_back(b);
+    }
+    sum.finfos.push_back(std::move(fi));
+  }
+  sum.inode_daddrs = {1, 2, 3};
+  std::vector<uint8_t> block(kBlockSize);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sum.SerializeToBlock(block).ok());
+  }
+}
+BENCHMARK(BM_SummarySerialize);
+
+void BM_SegmentBuilderFullSegment(benchmark::State& state) {
+  std::vector<uint8_t> block(kBlockSize, 0x77);
+  for (auto _ : state) {
+    SegmentBuilder builder(1000, 256, 7, 1, 1);
+    for (uint32_t i = 0; i < 200; ++i) {
+      benchmark::DoNotOptimize(builder.AddBlock(5, 1, i, block));
+    }
+    DInode inode;
+    inode.ino = 5;
+    benchmark::DoNotOptimize(builder.AddInode(inode));
+    benchmark::DoNotOptimize(builder.Finish());
+  }
+  state.SetBytesProcessed(state.iterations() * 200 * kBlockSize);
+}
+BENCHMARK(BM_SegmentBuilderFullSegment);
+
+void BM_BufferCacheHit(benchmark::State& state) {
+  BufferCache cache(1024);
+  std::vector<uint8_t> block(kBlockSize, 1);
+  for (uint32_t i = 0; i < 1024; ++i) {
+    cache.Insert(i, block);
+  }
+  std::vector<uint8_t> out(kBlockSize);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.Lookup(static_cast<uint32_t>(rng.Below(1024)), out));
+  }
+}
+BENCHMARK(BM_BufferCacheHit);
+
+void BM_BufferCacheInsertEvict(benchmark::State& state) {
+  BufferCache cache(256);
+  std::vector<uint8_t> block(kBlockSize, 2);
+  uint32_t next = 0;
+  for (auto _ : state) {
+    cache.Insert(next++, block);
+  }
+}
+BENCHMARK(BM_BufferCacheInsertEvict);
+
+// Fixture-style helpers that stand up a real file system once.
+struct FsFixture {
+  SimClock clock;
+  std::unique_ptr<SimDisk> disk;
+  std::unique_ptr<Lfs> fs;
+  uint32_t big_ino = 0;
+
+  FsFixture() {
+    disk = std::make_unique<SimDisk>("d0", 32 * 1024, Rz57Profile(), &clock);
+    fs = std::move(Lfs::Mkfs(disk.get(), &clock, LfsParams{})).value();
+    big_ino = *fs->Create("/big");
+    std::vector<uint8_t> mb(1 << 20, 0x3C);
+    for (int i = 0; i < 8; ++i) {
+      (void)fs->Write(big_ino, static_cast<uint64_t>(i) << 20, mb);
+    }
+    (void)fs->Sync();
+    for (int i = 0; i < 64; ++i) {
+      (void)fs->Create("/dir-entry-" + std::to_string(i));
+    }
+    (void)fs->Sync();
+  }
+};
+
+void BM_BmapThroughIndirect(benchmark::State& state) {
+  static FsFixture* fixture = new FsFixture();
+  Rng rng(3);
+  std::vector<BlockRef> refs(1);
+  for (auto _ : state) {
+    refs[0] = BlockRef{fixture->big_ino, 0,
+                       static_cast<uint32_t>(rng.Below(2000)), 0};
+    benchmark::DoNotOptimize(fixture->fs->BmapV(refs));
+  }
+}
+BENCHMARK(BM_BmapThroughIndirect);
+
+void BM_PathLookup(benchmark::State& state) {
+  static FsFixture* fixture = new FsFixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture->fs->LookupPath("/dir-entry-63"));
+  }
+}
+BENCHMARK(BM_PathLookup);
+
+void BM_CachedRead64K(benchmark::State& state) {
+  static FsFixture* fixture = new FsFixture();
+  std::vector<uint8_t> out(64 * 1024);
+  uint64_t offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fixture->fs->Read(fixture->big_ino, offset, out));
+    offset = (offset + out.size()) % (8ull << 20);
+  }
+  state.SetBytesProcessed(state.iterations() * out.size());
+}
+BENCHMARK(BM_CachedRead64K);
+
+}  // namespace
+}  // namespace hl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// Scientific-checkpoint scenario (section 5.2): a long-running earth-science
+// simulation dumps its full state to a checkpoint file every epoch. Old
+// checkpoints are read "completely and sequentially" if at all — the exact
+// case where whole-file migration is right. The newest checkpoint stays on
+// disk; older generations migrate. A restart then reads the latest archived
+// generation end-to-end.
+//
+// Run: ./build/examples/checkpoint_workload
+
+#include <cstdio>
+#include <string>
+
+#include "highlight/highlight.h"
+#include "util/rng.h"
+
+using namespace hl;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+std::vector<uint8_t> State(size_t bytes, uint64_t epoch) {
+  Rng rng(0xC4EC ^ epoch);
+  std::vector<uint8_t> v(bytes);
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  HighLightConfig config;
+  config.disks.push_back({Rz58Profile(), 256 * 256});  // 256 MB disk.
+  config.jukeboxes.push_back({Hp6300MoProfile(), false, 0});
+  config.lfs.cache_max_segments = 24;
+  auto hl = Check(HighLightFs::Create(config, &clock), "create");
+  Check(hl->fs().Mkdir("/ckpt").status(), "mkdir");
+
+  const size_t kCheckpointBytes = 8 << 20;  // 8 MB of simulation state.
+  const int kEpochs = 8;
+
+  // The simulation loop: compute an epoch, dump state, migrate older dumps.
+  StpPolicy stp;
+  for (int epoch = 0; epoch < kEpochs; ++epoch) {
+    clock.Advance(2ull * 3600 * kUsPerSec);  // 2 h of "computation".
+    std::string path = "/ckpt/epoch" + std::to_string(epoch) + ".state";
+    uint32_t ino = Check(hl->fs().Create(path), "create checkpoint");
+    SimTime t0 = clock.Now();
+    Check(hl->fs().Write(ino, 0, State(kCheckpointBytes, epoch)), "dump");
+    Check(hl->fs().Sync(), "sync");
+    std::printf("epoch %d: dumped %zu MB in %.1f s\n", epoch,
+                kCheckpointBytes >> 20,
+                static_cast<double>(clock.Now() - t0) / kUsPerSec);
+    // Keep at most two generations on disk: STP naturally ranks the old
+    // cold dumps first; cap migration at everything but ~2 checkpoints.
+    if (epoch >= 2) {
+      MigrationReport r = Check(
+          hl->Migrate(stp, (epoch - 1) * kCheckpointBytes), "migrate");
+      if (r.files_migrated > 0) {
+        std::printf("  migrator archived %u checkpoint(s) (%llu MB)\n",
+                    r.files_migrated,
+                    static_cast<unsigned long long>(r.bytes_migrated >> 20));
+      }
+    }
+  }
+
+  // Crash! The operator restarts from an ARCHIVED generation (epoch 4).
+  Check(hl->DropCleanCacheLines(), "drop cache");
+  std::printf("\nrestarting from archived checkpoint epoch 4...\n");
+  uint32_t ino = Check(hl->fs().LookupPath("/ckpt/epoch4.state"), "lookup");
+  std::vector<uint8_t> restored(kCheckpointBytes);
+  SimTime t0 = clock.Now();
+  size_t n = Check(hl->fs().Read(ino, 0, restored), "restore read");
+  double secs = static_cast<double>(clock.Now() - t0) / kUsPerSec;
+  if (restored != State(kCheckpointBytes, 4)) {
+    std::fprintf(stderr, "restored state corrupt!\n");
+    return 1;
+  }
+  std::printf("restored %zu MB in %.1f s (%.0f KB/s) — %llu segment "
+              "fetches, %llu media swaps\n",
+              n >> 20, secs, static_cast<double>(n) / 1024.0 / secs,
+              static_cast<unsigned long long>(
+                  hl->service().stats().demand_fetches),
+              static_cast<unsigned long long>(
+                  hl->footprint().TotalMediaSwaps()));
+
+  // Roll forward: verify the newest on-disk checkpoint is still fast.
+  uint32_t newest = Check(
+      hl->fs().LookupPath("/ckpt/epoch" + std::to_string(kEpochs - 1) +
+                          ".state"),
+      "lookup newest");
+  t0 = clock.Now();
+  Check(hl->fs().Read(newest, 0, restored).status(), "read newest");
+  std::printf("newest (disk-resident) checkpoint read in %.1f s\n",
+              static_cast<double>(clock.Now() - t0) / kUsPerSec);
+  return 0;
+}

@@ -1,0 +1,206 @@
+// hlsim: a command-line HighLight simulator. Builds a configurable
+// deployment, replays one of the synthetic environment traces against a
+// chosen migration policy, and reports the hierarchy statistics — the
+// "bake-off" harness the Sequoia project planned (paper section 2).
+//
+// Usage:
+//   hlsim [--trace workstation|supercomputing|sequoia]
+//         [--policy stp|age|size|namespace]
+//         [--disk-mb N] [--cache-segments N] [--replacement lru|random|
+//          fifo|least-worthy] [--high-water F] [--low-water F]
+//
+// Example: ./build/examples/hlsim --trace sequoia --policy stp --disk-mb 96
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "highlight/highlight.h"
+#include "workload/replayer.h"
+#include "workload/trace.h"
+
+using namespace hl;
+
+namespace {
+
+struct Args {
+  std::string trace = "workstation";
+  std::string policy = "stp";
+  uint32_t disk_mb = 96;
+  uint32_t cache_segments = 16;
+  std::string replacement = "lru";
+  double high_water = 0.30;
+  double low_water = 0.50;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--trace") {
+      const char* v = next();
+      if (!v) return false;
+      args->trace = v;
+    } else if (flag == "--policy") {
+      const char* v = next();
+      if (!v) return false;
+      args->policy = v;
+    } else if (flag == "--disk-mb") {
+      const char* v = next();
+      if (!v) return false;
+      args->disk_mb = static_cast<uint32_t>(std::atoi(v));
+    } else if (flag == "--cache-segments") {
+      const char* v = next();
+      if (!v) return false;
+      args->cache_segments = static_cast<uint32_t>(std::atoi(v));
+    } else if (flag == "--replacement") {
+      const char* v = next();
+      if (!v) return false;
+      args->replacement = v;
+    } else if (flag == "--high-water") {
+      const char* v = next();
+      if (!v) return false;
+      args->high_water = std::atof(v);
+    } else if (flag == "--low-water") {
+      const char* v = next();
+      if (!v) return false;
+      args->low_water = std::atof(v);
+    } else if (flag == "--help" || flag == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: hlsim [--trace workstation|supercomputing|sequoia]\n"
+      "             [--policy stp|age|size|namespace]\n"
+      "             [--disk-mb N] [--cache-segments N]\n"
+      "             [--replacement lru|random|fifo|least-worthy]\n"
+      "             [--high-water F] [--low-water F]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  // Build the deployment.
+  SimClock clock;
+  HighLightConfig config;
+  config.disks.push_back({Rz57Profile(), args.disk_mb * 256});
+  JukeboxProfile robot = Hp6300MoProfile();
+  robot.num_slots = 8;
+  config.jukeboxes.push_back({robot, false, 0});
+  config.lfs.cache_max_segments = args.cache_segments;
+  if (args.replacement == "random") {
+    config.cache_replacement = CacheReplacement::kRandom;
+  } else if (args.replacement == "fifo") {
+    config.cache_replacement = CacheReplacement::kFifo;
+  } else if (args.replacement == "least-worthy") {
+    config.cache_replacement = CacheReplacement::kLeastWorthyFirstTouch;
+  }
+  auto hl_or = HighLightFs::Create(config, &clock);
+  if (!hl_or.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 hl_or.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<HighLightFs> hl = std::move(*hl_or);
+
+  // Pick the trace and the policy.
+  Trace trace;
+  if (args.trace == "workstation") {
+    WorkstationTraceParams p;
+    p.mean_file_bytes = 768 * 1024;
+    p.projects = 8;
+    p.files_per_project = 16;
+    trace = GenerateWorkstationTrace(p);
+  } else if (args.trace == "supercomputing") {
+    trace = GenerateSupercomputingTrace({});
+  } else if (args.trace == "sequoia") {
+    trace = GenerateSequoiaTrace({});
+  } else {
+    Usage();
+    return 2;
+  }
+  std::unique_ptr<MigrationPolicy> policy;
+  if (args.policy == "stp") {
+    policy = std::make_unique<StpPolicy>();
+  } else if (args.policy == "age") {
+    policy = std::make_unique<AgePolicy>();
+  } else if (args.policy == "size") {
+    policy = std::make_unique<SizePolicy>();
+  } else if (args.policy == "namespace") {
+    policy = std::make_unique<NamespacePolicy>("/");
+  } else {
+    Usage();
+    return 2;
+  }
+
+  std::printf("hlsim: %u MB disk, %u cache segments (%s), trace=%s, "
+              "policy=%s, water marks %.0f%%/%.0f%%\n",
+              args.disk_mb, args.cache_segments, args.replacement.c_str(),
+              trace.name.c_str(), args.policy.c_str(),
+              100 * args.high_water, 100 * args.low_water);
+  std::printf("trace: %zu events, %.1f MB written, %.1f MB read\n",
+              trace.events.size(),
+              static_cast<double>(trace.TotalBytesWritten()) / (1 << 20),
+              static_cast<double>(trace.TotalBytesRead()) / (1 << 20));
+
+  ReplayConfig replay_config;
+  replay_config.high_water_clean_fraction = args.high_water;
+  replay_config.low_water_clean_fraction = args.low_water;
+  TraceReplayer replayer(hl.get(), policy.get(), replay_config);
+  auto stats_or = replayer.Replay(trace);
+  if (!stats_or.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 stats_or.status().ToString().c_str());
+    return 1;
+  }
+  const ReplayStats& stats = *stats_or;
+
+  std::printf("\n--- results ---------------------------------------------\n");
+  std::printf("simulated time        %.1f days\n",
+              static_cast<double>(stats.elapsed) / kUsPerSec / 86400.0);
+  std::printf("reads                 %llu (%.1f MB), writes %llu (%.1f MB)\n",
+              static_cast<unsigned long long>(stats.reads),
+              static_cast<double>(stats.bytes_read) / (1 << 20),
+              static_cast<unsigned long long>(stats.writes),
+              static_cast<double>(stats.bytes_written) / (1 << 20));
+  std::printf("read latency          mean %.1f ms, max %.2f s, %llu reads "
+              "stalled >1s\n",
+              stats.MeanReadLatencyMs(),
+              static_cast<double>(stats.max_read_latency) / kUsPerSec,
+              static_cast<unsigned long long>(stats.slow_reads));
+  std::printf("migration             %llu runs, %.1f MB to tertiary\n",
+              static_cast<unsigned long long>(stats.migration_runs),
+              static_cast<double>(stats.bytes_migrated) / (1 << 20));
+  std::printf("hierarchy             %llu demand fetches, %llu media swaps\n",
+              static_cast<unsigned long long>(stats.demand_fetches),
+              static_cast<unsigned long long>(stats.media_swaps));
+  std::printf("segment cache         %llu hits / %llu misses, %u/%u lines\n",
+              static_cast<unsigned long long>(hl->cache().stats().hits),
+              static_cast<unsigned long long>(hl->cache().stats().misses),
+              hl->cache().Used(), hl->cache().Capacity());
+  std::printf("tertiary              %llu live MB across %u dirty segments\n",
+              static_cast<unsigned long long>(
+                  hl->tseg_table().TotalLiveBytes() >> 20),
+              hl->tseg_table().DirtyTsegCount());
+  std::printf("disk                  %u/%u log segments clean\n",
+              hl->fs().CleanSegmentCount(),
+              hl->fs().NumSegments() -
+                  hl->fs().superblock().cache_max_segments);
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Sequoia scenario: a satellite-image archive (the workload HighLight was
+// built for, section 2).
+//
+// Every simulated day a new directory of AVHRR-style image files arrives.
+// The namespace-locality policy (section 5.3) migrates whole day-directories
+// to the tape robot once they go cold, clustering each day's files in
+// adjacent tertiary segments. A later "global change study" re-reads one
+// archived week; sequential prefetch turns the clustered layout into few
+// media touches.
+//
+// Run: ./build/examples/satellite_archive
+
+#include <cstdio>
+#include <string>
+
+#include "highlight/highlight.h"
+#include "util/rng.h"
+
+using namespace hl;
+
+namespace {
+
+void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Check(Result<T> result, const char* what) {
+  Check(result.status(), what);
+  return std::move(result).value();
+}
+
+std::vector<uint8_t> Image(size_t bytes, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(bytes);
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  SimClock clock;
+  HighLightConfig config;
+  config.disks.push_back({Rz57Profile(), 512 * 256});  // 512 MB disk farm.
+  // A Metrum-style tape robot, scaled down: 8 cartridges.
+  JukeboxProfile robot = MetrumRss600Profile();
+  robot.num_slots = 8;
+  robot.volume_capacity_bytes = 64ull << 20;  // 64 MB per cartridge here.
+  config.jukeboxes.push_back({robot, false, 0});
+  config.lfs.cache_max_segments = 32;
+  auto hl = Check(HighLightFs::Create(config, &clock), "create");
+
+  // --- Ingest: 14 days, 6 images/day, 2 MB each -----------------------------
+  const int kDays = 14;
+  const int kImagesPerDay = 6;
+  const size_t kImageBytes = 2 << 20;
+  for (int day = 0; day < kDays; ++day) {
+    std::string dir = "/1992-07-" + std::to_string(10 + day);
+    Check(hl->fs().Mkdir(dir).status(), "mkdir day");
+    for (int i = 0; i < kImagesPerDay; ++i) {
+      std::string path = dir + "/avhrr-pass" + std::to_string(i) + ".img";
+      uint32_t ino = Check(hl->fs().Create(path), "create image");
+      Check(hl->fs().Write(ino, 0,
+                           Image(kImageBytes, day * 100 + i)),
+            "write image");
+    }
+    Check(hl->fs().Sync(), "sync");
+    clock.Advance(24ull * 3600 * kUsPerSec);  // Next day.
+  }
+  std::printf("ingested %d days x %d images (%.0f MB total)\n", kDays,
+              kImagesPerDay,
+              kDays * kImagesPerDay * static_cast<double>(kImageBytes) /
+                  (1 << 20));
+
+  // --- Nightly migration: day-directories are the namespace units -----------
+  NamespacePolicy by_day("/");
+  MigrationReport report =
+      Check(hl->Migrate(by_day, 100ull << 20), "migrate");
+  std::printf("migrated %u files into %u tertiary segments "
+              "(%llu MB; EOM retargets: %u)\n",
+              report.files_migrated, report.segments_completed,
+              static_cast<unsigned long long>(report.bytes_migrated >> 20),
+              report.eom_retargets);
+  Check(hl->DropCleanCacheLines(), "drop cache");
+
+  // --- Analysis phase: re-read one archived week ------------------------------
+  // Sequential prefetch exploits the per-day clustering on tape.
+  hl->service().SetPrefetchPolicy([&hl](uint32_t tseg) {
+    std::vector<uint32_t> extra;
+    for (uint32_t next = tseg + 1; next <= tseg + 3; ++next) {
+      if (next < hl->tseg_table().size() &&
+          !(hl->tseg_table().Get(next).flags & kSegClean)) {
+        extra.push_back(next);
+      }
+    }
+    return extra;
+  });
+
+  SimTime t0 = clock.Now();
+  uint64_t bytes_read = 0;
+  std::vector<uint8_t> buf(kImageBytes);
+  for (int day = 0; day < 7; ++day) {
+    std::string dir = "/1992-07-" + std::to_string(10 + day);
+    for (int i = 0; i < kImagesPerDay; ++i) {
+      std::string path = dir + "/avhrr-pass" + std::to_string(i) + ".img";
+      uint32_t ino = Check(hl->fs().LookupPath(path), "lookup");
+      size_t n = Check(hl->fs().Read(ino, 0, buf), "read image");
+      if (buf != Image(kImageBytes, day * 100 + i)) {
+        std::fprintf(stderr, "image %s corrupted!\n", path.c_str());
+        return 1;
+      }
+      bytes_read += n;
+    }
+  }
+  double secs = static_cast<double>(clock.Now() - t0) / kUsPerSec;
+  std::printf("analysis read %.0f MB of archived imagery in %.1f s "
+              "(%.0f KB/s)\n",
+              static_cast<double>(bytes_read) / (1 << 20), secs,
+              static_cast<double>(bytes_read) / 1024.0 / secs);
+  std::printf("demand fetches: %llu, prefetches: %llu, media swaps: %llu, "
+              "cache hit rate: %.0f%%\n",
+              static_cast<unsigned long long>(
+                  hl->service().stats().demand_fetches),
+              static_cast<unsigned long long>(hl->service().stats().prefetches),
+              static_cast<unsigned long long>(
+                  hl->footprint().TotalMediaSwaps()),
+              100.0 * static_cast<double>(hl->cache().stats().hits) /
+                  static_cast<double>(hl->cache().stats().hits +
+                                      hl->cache().stats().misses));
+  return 0;
+}

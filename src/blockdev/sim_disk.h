@@ -1,0 +1,92 @@
+// SimDisk: an in-memory disk with an analytic timing model.
+//
+// Data are byte-accurate (a std::vector backing store), while service time is
+// computed from the DiskProfile: per-op overhead + seek (function of arm
+// travel distance) + rotational latency + transfer. The disk serializes its
+// operations through a Resource and optionally shares a bus Resource, which is
+// how the benchmarks reproduce the paper's SCSI-bus and disk-arm contention
+// observations.
+//
+// Asynchronous use: Schedule{Read,Write}At() performs the data movement
+// immediately (the simulation has no real concurrency) but reserves device
+// time starting at a caller-chosen instant and returns the completion time
+// without advancing the shared clock. The I/O server uses this to overlap
+// tertiary writes with migrator activity.
+
+#ifndef HIGHLIGHT_BLOCKDEV_SIM_DISK_H_
+#define HIGHLIGHT_BLOCKDEV_SIM_DISK_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "sim/device_profile.h"
+#include "sim/sim_clock.h"
+#include "util/status.h"
+
+namespace hl {
+
+class SimDisk : public BlockDevice {
+ public:
+  // `bus` may be null (private bus). The clock must outlive the disk.
+  SimDisk(std::string name, uint32_t num_blocks, DiskProfile profile,
+          SimClock* clock, Resource* bus = nullptr);
+
+  uint32_t NumBlocks() const override { return num_blocks_; }
+  const std::string& Name() const override { return name_; }
+
+  Status ReadBlocks(uint32_t block, uint32_t count,
+                    std::span<uint8_t> out) override;
+  Status WriteBlocks(uint32_t block, uint32_t count,
+                     std::span<const uint8_t> data) override;
+
+  // Async variants: data moves now, device time is reserved from
+  // max(earliest, device free) and the completion time is returned. The
+  // caller is responsible for advancing the clock when it decides to wait.
+  Result<SimTime> ScheduleReadAt(SimTime earliest, uint32_t block,
+                                 uint32_t count, std::span<uint8_t> out);
+  Result<SimTime> ScheduleWriteAt(SimTime earliest, uint32_t block,
+                                  uint32_t count,
+                                  std::span<const uint8_t> data);
+
+  // Fault injection for robustness tests: fail the next `n` operations.
+  void FailNextOps(int n) { fail_ops_ = n; }
+
+  // Statistics.
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t seeks() const { return seeks_; }
+  SimTime busy_time() const { return spindle_.busy_total(); }
+  const DiskProfile& profile() const { return profile_; }
+
+ private:
+  Status CheckRange(uint32_t block, uint32_t count) const;
+  // Computes service time for an op at `byte_offset` and updates arm state.
+  SimTime ServiceTime(uint64_t byte_offset, uint64_t bytes, bool is_write);
+
+  std::string name_;
+  uint32_t num_blocks_;
+  DiskProfile profile_;
+  SimClock* clock_;
+  Resource spindle_;
+  Resource* bus_;
+  std::vector<uint8_t> data_;
+  uint64_t arm_byte_pos_ = 0;
+
+  int fail_ops_ = 0;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  uint64_t seeks_ = 0;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_BLOCKDEV_SIM_DISK_H_

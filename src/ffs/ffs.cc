@@ -1,0 +1,487 @@
+#include "ffs/ffs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/serialize.h"
+
+namespace hl {
+
+namespace {
+
+uint32_t GetPtr(const std::vector<uint8_t>& block, uint32_t index) {
+  Reader r(std::span<const uint8_t>(block.data() + index * 4, 4));
+  return r.GetU32();
+}
+
+void SetPtr(std::vector<uint8_t>& block, uint32_t index, uint32_t value) {
+  Writer w(std::span<uint8_t>(block.data() + index * 4, 4));
+  w.PutU32(value);
+}
+
+}  // namespace
+
+Ffs::Ffs(BlockDevice* dev, SimClock* clock, const FfsParams& params)
+    : dev_(dev),
+      clock_(clock),
+      params_(params),
+      buffer_cache_(params.buffer_cache_blocks) {}
+
+Result<std::unique_ptr<Ffs>> Ffs::Mkfs(BlockDevice* dev, SimClock* clock,
+                                       const FfsParams& params) {
+  auto fs = std::unique_ptr<Ffs>(new Ffs(dev, clock, params));
+  fs->num_blocks_ = dev->NumBlocks();
+  // Metadata regions are modeled in core (superblock + bitmap + inode table
+  // would occupy the first blocks; reserve them so data allocation starts
+  // beyond, preserving realistic seek distances).
+  uint32_t bitmap_blocks = (fs->num_blocks_ / 8 + kBlockSize - 1) / kBlockSize;
+  uint32_t inode_blocks =
+      (params.max_inodes + kInodesPerBlock - 1) / kInodesPerBlock;
+  fs->data_start_ = 1 + bitmap_blocks + inode_blocks;
+  if (fs->data_start_ + 64 > fs->num_blocks_) {
+    return InvalidArgument("device too small for FFS layout");
+  }
+  fs->bitmap_.assign(fs->num_blocks_, false);
+  for (uint32_t b = 0; b < fs->data_start_; ++b) {
+    fs->bitmap_[b] = true;
+  }
+  fs->free_blocks_ = fs->num_blocks_ - fs->data_start_;
+  fs->alloc_cursor_ = fs->data_start_;
+  fs->inodes_.assign(params.max_inodes, Inode{});
+
+  // Root directory.
+  fs->inodes_[kRootInode].ino = kRootInode;
+  fs->inodes_[kRootInode].type = FileType::kDirectory;
+  RETURN_IF_ERROR(fs->DirAddEntry(kRootInode, ".", kRootInode));
+  RETURN_IF_ERROR(fs->DirAddEntry(kRootInode, "..", kRootInode));
+  RETURN_IF_ERROR(fs->Sync());
+  return fs;
+}
+
+Result<uint32_t> Ffs::AllocInode(FileType type) {
+  for (uint32_t ino = kFirstFileInode; ino < inodes_.size(); ++ino) {
+    if (inodes_[ino].type == FileType::kFree) {
+      inodes_[ino] = Inode{};
+      inodes_[ino].ino = ino;
+      inodes_[ino].type = type;
+      inodes_[ino].atime = inodes_[ino].mtime = clock_->Now();
+      return ino;
+    }
+  }
+  return NoSpace("out of inodes");
+}
+
+Result<uint32_t> Ffs::AllocBlock(uint32_t near_hint) {
+  if (free_blocks_ == 0) {
+    return NoSpace("disk full");
+  }
+  // Contiguous-first: try the block right after the hint (FFS tries to fill
+  // 16-block runs), then scan from the cursor.
+  if (near_hint != kNoBlock && near_hint + 1 < num_blocks_ &&
+      !bitmap_[near_hint + 1]) {
+    bitmap_[near_hint + 1] = true;
+    --free_blocks_;
+    return near_hint + 1;
+  }
+  for (uint32_t i = 0; i < num_blocks_; ++i) {
+    uint32_t b = alloc_cursor_ + i;
+    if (b >= num_blocks_) {
+      b = data_start_ + (b - num_blocks_);
+    }
+    if (!bitmap_[b]) {
+      bitmap_[b] = true;
+      alloc_cursor_ = b + 1 < num_blocks_ ? b + 1 : data_start_;
+      --free_blocks_;
+      return b;
+    }
+  }
+  return NoSpace("disk full");
+}
+
+void Ffs::FreeBlock(uint32_t daddr) {
+  if (daddr != kNoBlock && daddr < num_blocks_ && bitmap_[daddr]) {
+    bitmap_[daddr] = false;
+    ++free_blocks_;
+  }
+}
+
+Result<std::vector<uint8_t>*> Ffs::IndirectBlock(uint32_t daddr) {
+  auto it = indirect_cache_.find(daddr);
+  if (it != indirect_cache_.end()) {
+    return &it->second;
+  }
+  std::vector<uint8_t> block(kBlockSize);
+  RETURN_IF_ERROR(dev_->ReadBlocks(daddr, 1, block));
+  auto [pos, inserted] = indirect_cache_.emplace(daddr, std::move(block));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<uint32_t> Ffs::Bmap(Inode& inode, uint32_t lbn) {
+  if (lbn < kNumDirect) {
+    return inode.direct[lbn];
+  }
+  if (lbn < kNumDirect + kPtrsPerBlock) {
+    if (inode.indirect == kNoBlock) {
+      return static_cast<uint32_t>(kNoBlock);
+    }
+    ASSIGN_OR_RETURN(std::vector<uint8_t>* ind, IndirectBlock(inode.indirect));
+    return GetPtr(*ind, lbn - kNumDirect);
+  }
+  uint64_t beyond = static_cast<uint64_t>(lbn) - kNumDirect - kPtrsPerBlock;
+  if (beyond >= static_cast<uint64_t>(kPtrsPerBlock) * kPtrsPerBlock) {
+    return Status(ErrorCode::kFileTooLarge, "beyond double indirect");
+  }
+  if (inode.dindirect == kNoBlock) {
+    return static_cast<uint32_t>(kNoBlock);
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t>* root, IndirectBlock(inode.dindirect));
+  uint32_t child = GetPtr(*root, static_cast<uint32_t>(beyond / kPtrsPerBlock));
+  if (child == kNoBlock) {
+    return static_cast<uint32_t>(kNoBlock);
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t>* leaf, IndirectBlock(child));
+  return GetPtr(*leaf, static_cast<uint32_t>(beyond % kPtrsPerBlock));
+}
+
+Result<uint32_t> Ffs::BmapAlloc(Inode& inode, uint32_t lbn) {
+  ASSIGN_OR_RETURN(uint32_t existing, Bmap(inode, lbn));
+  if (existing != kNoBlock) {
+    return existing;
+  }
+  // Allocate near the previous logical block for contiguity.
+  uint32_t hint = kNoBlock;
+  if (lbn > 0) {
+    ASSIGN_OR_RETURN(hint, Bmap(inode, lbn - 1));
+  }
+  ASSIGN_OR_RETURN(uint32_t fresh, AllocBlock(hint));
+
+  if (lbn < kNumDirect) {
+    inode.direct[lbn] = fresh;
+    return fresh;
+  }
+  if (lbn < kNumDirect + kPtrsPerBlock) {
+    if (inode.indirect == kNoBlock) {
+      ASSIGN_OR_RETURN(inode.indirect, AllocBlock(kNoBlock));
+      indirect_cache_[inode.indirect].assign(kBlockSize, 0xFF);
+    }
+    ASSIGN_OR_RETURN(std::vector<uint8_t>* ind, IndirectBlock(inode.indirect));
+    SetPtr(*ind, lbn - kNumDirect, fresh);
+    return fresh;
+  }
+  uint64_t beyond = static_cast<uint64_t>(lbn) - kNumDirect - kPtrsPerBlock;
+  if (inode.dindirect == kNoBlock) {
+    ASSIGN_OR_RETURN(inode.dindirect, AllocBlock(kNoBlock));
+    indirect_cache_[inode.dindirect].assign(kBlockSize, 0xFF);
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t>* root, IndirectBlock(inode.dindirect));
+  uint32_t child_index = static_cast<uint32_t>(beyond / kPtrsPerBlock);
+  uint32_t child = GetPtr(*root, child_index);
+  if (child == kNoBlock) {
+    ASSIGN_OR_RETURN(child, AllocBlock(kNoBlock));
+    indirect_cache_[child].assign(kBlockSize, 0xFF);
+    SetPtr(*root, child_index, child);
+  }
+  ASSIGN_OR_RETURN(std::vector<uint8_t>* leaf, IndirectBlock(child));
+  SetPtr(*leaf, static_cast<uint32_t>(beyond % kPtrsPerBlock), fresh);
+  return fresh;
+}
+
+Status Ffs::FlushPending() {
+  if (pending_start_ == kNoBlock || pending_.empty()) {
+    pending_start_ = kNoBlock;
+    pending_.clear();
+    return OkStatus();
+  }
+  uint32_t count = static_cast<uint32_t>(pending_.size() / kBlockSize);
+  Status s = dev_->WriteBlocks(pending_start_, count, pending_);
+  pending_start_ = kNoBlock;
+  pending_.clear();
+  return s;
+}
+
+Status Ffs::AppendPending(uint32_t daddr, std::span<const uint8_t> block) {
+  uint32_t count = static_cast<uint32_t>(pending_.size() / kBlockSize);
+  bool contiguous =
+      pending_start_ != kNoBlock && daddr == pending_start_ + count;
+  if (!contiguous || count >= params_.cluster_blocks) {
+    RETURN_IF_ERROR(FlushPending());
+  }
+  if (pending_start_ == kNoBlock) {
+    pending_start_ = daddr;
+  }
+  pending_.insert(pending_.end(), block.begin(), block.end());
+  if (pending_.size() / kBlockSize >= params_.cluster_blocks) {
+    RETURN_IF_ERROR(FlushPending());
+  }
+  return OkStatus();
+}
+
+Status Ffs::ReadDataBlock(Inode& inode, uint32_t lbn, std::span<uint8_t> out) {
+  ASSIGN_OR_RETURN(uint32_t daddr, Bmap(inode, lbn));
+  if (daddr == kNoBlock) {
+    std::memset(out.data(), 0, out.size());
+    return OkStatus();
+  }
+  // The write-behind cluster may hold a newer copy.
+  if (pending_start_ != kNoBlock && daddr >= pending_start_ &&
+      daddr < pending_start_ + pending_.size() / kBlockSize) {
+    std::memcpy(out.data(),
+                pending_.data() +
+                    static_cast<size_t>(daddr - pending_start_) * kBlockSize,
+                kBlockSize);
+    return OkStatus();
+  }
+  if (buffer_cache_.Lookup(daddr, out)) {
+    return OkStatus();
+  }
+
+  uint32_t& streak_next = readahead_state_[inode.ino];
+  bool sequential = lbn != 0 && lbn == streak_next;
+  streak_next = lbn + 1;
+
+  uint32_t cluster = 1;
+  if (sequential && params_.cluster_blocks > 1) {
+    while (cluster < params_.cluster_blocks) {
+      Result<uint32_t> next = Bmap(inode, lbn + cluster);
+      if (!next.ok() || *next != daddr + cluster) {
+        break;
+      }
+      ++cluster;
+    }
+  }
+  if (cluster == 1) {
+    RETURN_IF_ERROR(dev_->ReadBlocks(daddr, 1, out));
+    buffer_cache_.Insert(daddr,
+                         std::span<const uint8_t>(out.data(), out.size()));
+    return OkStatus();
+  }
+  std::vector<uint8_t> buf(static_cast<size_t>(cluster) * kBlockSize);
+  RETURN_IF_ERROR(dev_->ReadBlocks(daddr, cluster, buf));
+  for (uint32_t i = 0; i < cluster; ++i) {
+    buffer_cache_.Insert(
+        daddr + i, std::span<const uint8_t>(
+                       buf.data() + static_cast<size_t>(i) * kBlockSize,
+                       kBlockSize));
+  }
+  std::memcpy(out.data(), buf.data(), kBlockSize);
+  return OkStatus();
+}
+
+Status Ffs::WriteDataBlock(Inode& inode, uint32_t lbn, uint32_t in_block,
+                           std::span<const uint8_t> data) {
+  ASSIGN_OR_RETURN(uint32_t daddr, BmapAlloc(inode, lbn));
+  std::vector<uint8_t> block(kBlockSize, 0);
+  if (in_block != 0 || data.size() != kBlockSize) {
+    // Read-modify-write of a partial block.
+    RETURN_IF_ERROR(ReadDataBlock(inode, lbn, block));
+  }
+  std::memcpy(block.data() + in_block, data.data(), data.size());
+  buffer_cache_.Insert(daddr, block);
+  return AppendPending(daddr, block);
+}
+
+Result<size_t> Ffs::Read(uint32_t ino, uint64_t offset,
+                         std::span<uint8_t> out) {
+  if (ino >= inodes_.size() || inodes_[ino].type == FileType::kFree) {
+    return NotFound("no inode " + std::to_string(ino));
+  }
+  Inode& inode = inodes_[ino];
+  if (offset >= inode.size) {
+    return static_cast<size_t>(0);
+  }
+  size_t want =
+      static_cast<size_t>(std::min<uint64_t>(out.size(), inode.size - offset));
+  size_t done = 0;
+  std::vector<uint8_t> block(kBlockSize);
+  while (done < want) {
+    uint64_t pos = offset + done;
+    uint32_t lbn = static_cast<uint32_t>(pos / kBlockSize);
+    uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+    size_t take = std::min<size_t>(kBlockSize - in_block, want - done);
+    RETURN_IF_ERROR(ReadDataBlock(inode, lbn, block));
+    std::memcpy(out.data() + done, block.data() + in_block, take);
+    done += take;
+  }
+  if (inode.type == FileType::kRegular) {
+    inode.atime = clock_->Now();
+  }
+  return done;
+}
+
+Status Ffs::Write(uint32_t ino, uint64_t offset,
+                  std::span<const uint8_t> data) {
+  if (ino >= inodes_.size() || inodes_[ino].type == FileType::kFree) {
+    return NotFound("no inode " + std::to_string(ino));
+  }
+  Inode& inode = inodes_[ino];
+  size_t done = 0;
+  while (done < data.size()) {
+    uint64_t pos = offset + done;
+    uint32_t lbn = static_cast<uint32_t>(pos / kBlockSize);
+    uint32_t in_block = static_cast<uint32_t>(pos % kBlockSize);
+    size_t take = std::min<size_t>(kBlockSize - in_block, data.size() - done);
+    RETURN_IF_ERROR(WriteDataBlock(
+        inode, lbn, in_block,
+        std::span<const uint8_t>(data.data() + done, take)));
+    done += take;
+  }
+  inode.size = std::max<uint64_t>(inode.size, offset + data.size());
+  inode.mtime = clock_->Now();
+  return OkStatus();
+}
+
+Status Ffs::Sync() {
+  RETURN_IF_ERROR(FlushPending());
+  // Metadata write-back: indirect blocks reach the device; bitmap/inode
+  // regions are modeled as a handful of block writes.
+  for (auto& [daddr, block] : indirect_cache_) {
+    RETURN_IF_ERROR(dev_->WriteBlocks(daddr, 1, block));
+  }
+  return dev_->Flush();
+}
+
+Result<StatInfo> Ffs::Stat(uint32_t ino) {
+  if (ino >= inodes_.size() || inodes_[ino].type == FileType::kFree) {
+    return NotFound("no inode " + std::to_string(ino));
+  }
+  const Inode& inode = inodes_[ino];
+  StatInfo st;
+  st.ino = ino;
+  st.type = inode.type;
+  st.size = inode.size;
+  st.atime = inode.atime;
+  st.mtime = inode.mtime;
+  return st;
+}
+
+// --- Directories (fixed-size entries, same format as the LFS) ---------------
+
+Result<uint32_t> Ffs::DirLookup(uint32_t dir_ino, std::string_view name) {
+  Inode& dir = inodes_[dir_ino];
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t off = 0; off < dir.size; off += kBlockSize) {
+    ASSIGN_OR_RETURN(size_t n, Read(dir_ino, off, std::span<uint8_t>(block)));
+    for (size_t e = 0; e + kDirEntrySize <= n; e += kDirEntrySize) {
+      DirEntry entry = DirEntry::Deserialize(
+          std::span<const uint8_t>(block.data() + e, kDirEntrySize));
+      if (entry.ino != kNoInode && entry.name == name) {
+        return entry.ino;
+      }
+    }
+  }
+  return NotFound(std::string(name));
+}
+
+Status Ffs::DirAddEntry(uint32_t dir_ino, std::string_view name,
+                        uint32_t ino) {
+  if (name.empty() || name.size() > kMaxNameLen) {
+    return InvalidArgument("bad name");
+  }
+  Inode& dir = inodes_[dir_ino];
+  DirEntry fresh{ino, std::string(name)};
+  std::vector<uint8_t> bytes(kDirEntrySize, 0);
+  fresh.Serialize(bytes);
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t off = 0; off < dir.size; off += kBlockSize) {
+    ASSIGN_OR_RETURN(size_t n, Read(dir_ino, off, std::span<uint8_t>(block)));
+    for (size_t e = 0; e + kDirEntrySize <= n; e += kDirEntrySize) {
+      DirEntry entry = DirEntry::Deserialize(
+          std::span<const uint8_t>(block.data() + e, kDirEntrySize));
+      if (entry.ino == kNoInode) {
+        return Write(dir_ino, off + e, bytes);
+      }
+    }
+  }
+  return Write(dir_ino, dir.size, bytes);
+}
+
+Status Ffs::DirRemoveEntry(uint32_t dir_ino, std::string_view name) {
+  Inode& dir = inodes_[dir_ino];
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t off = 0; off < dir.size; off += kBlockSize) {
+    ASSIGN_OR_RETURN(size_t n, Read(dir_ino, off, std::span<uint8_t>(block)));
+    for (size_t e = 0; e + kDirEntrySize <= n; e += kDirEntrySize) {
+      DirEntry entry = DirEntry::Deserialize(
+          std::span<const uint8_t>(block.data() + e, kDirEntrySize));
+      if (entry.ino != kNoInode && entry.name == name) {
+        std::vector<uint8_t> zero(kDirEntrySize, 0);
+        return Write(dir_ino, off + e, zero);
+      }
+    }
+  }
+  return NotFound(std::string(name));
+}
+
+Result<uint32_t> Ffs::Create(std::string_view path) {
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return InvalidArgument("empty path");
+  }
+  uint32_t dir = kRootInode;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    ASSIGN_OR_RETURN(dir, DirLookup(dir, parts[i]));
+  }
+  if (DirLookup(dir, parts.back()).ok()) {
+    return Exists(std::string(path));
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode(FileType::kRegular));
+  RETURN_IF_ERROR(DirAddEntry(dir, parts.back(), ino));
+  return ino;
+}
+
+Result<uint32_t> Ffs::Mkdir(std::string_view path) {
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return InvalidArgument("empty path");
+  }
+  uint32_t dir = kRootInode;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    ASSIGN_OR_RETURN(dir, DirLookup(dir, parts[i]));
+  }
+  if (DirLookup(dir, parts.back()).ok()) {
+    return Exists(std::string(path));
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode(FileType::kDirectory));
+  RETURN_IF_ERROR(DirAddEntry(ino, ".", ino));
+  RETURN_IF_ERROR(DirAddEntry(ino, "..", dir));
+  RETURN_IF_ERROR(DirAddEntry(dir, parts.back(), ino));
+  return ino;
+}
+
+Status Ffs::Unlink(std::string_view path) {
+  std::vector<std::string> parts = SplitPath(path);
+  if (parts.empty()) {
+    return InvalidArgument("empty path");
+  }
+  uint32_t dir = kRootInode;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    ASSIGN_OR_RETURN(dir, DirLookup(dir, parts[i]));
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, DirLookup(dir, parts.back()));
+  RETURN_IF_ERROR(DirRemoveEntry(dir, parts.back()));
+  Inode& inode = inodes_[ino];
+  uint32_t nblocks =
+      static_cast<uint32_t>((inode.size + kBlockSize - 1) / kBlockSize);
+  for (uint32_t lbn = 0; lbn < nblocks; ++lbn) {
+    Result<uint32_t> daddr = Bmap(inode, lbn);
+    if (daddr.ok()) {
+      FreeBlock(*daddr);
+    }
+  }
+  FreeBlock(inode.indirect);
+  FreeBlock(inode.dindirect);
+  inode = Inode{};
+  return OkStatus();
+}
+
+Result<uint32_t> Ffs::LookupPath(std::string_view path) {
+  std::vector<std::string> parts = SplitPath(path);
+  uint32_t cur = kRootInode;
+  for (const std::string& p : parts) {
+    ASSIGN_OR_RETURN(cur, DirLookup(cur, p));
+  }
+  return cur;
+}
+
+}  // namespace hl

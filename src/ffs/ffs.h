@@ -1,0 +1,125 @@
+// Ffs: a simplified Berkeley Fast File System used as the evaluation
+// baseline (the paper benchmarks "a version of FFS with read- and
+// write-clustering", section 7).
+//
+// What matters for the comparison is faithfully modeled:
+//  * update-in-place semantics: a logical block keeps its disk address once
+//    allocated, so random overwrites pay a seek per frame;
+//  * contiguous allocation with a 16-block (64 KB) maximum contiguous run,
+//    so sequential I/O proceeds in clustered 64 KB transfers;
+//  * write clustering: adjacent dirty blocks coalesce into one transfer;
+//  * read clustering identical to LFS's (they share that code in 4.4BSD).
+//
+// It is deliberately not crash-recoverable (no fsck): metadata reach the
+// device at Sync(). The benchmarks only require correct steady-state I/O
+// behaviour and timing.
+
+#ifndef HIGHLIGHT_FFS_FFS_H_
+#define HIGHLIGHT_FFS_FFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "lfs/buffer_cache.h"
+#include "lfs/format.h"
+#include "lfs/lfs.h"  // StatInfo, SplitPath.
+#include "sim/sim_clock.h"
+#include "util/status.h"
+
+namespace hl {
+
+struct FfsParams {
+  uint32_t max_inodes = 8192;
+  uint32_t buffer_cache_blocks = 819;  // 3.2 MB, same as the LFS setup.
+  uint32_t cluster_blocks = 16;        // 64 KB contiguous runs.
+};
+
+class Ffs {
+ public:
+  static Result<std::unique_ptr<Ffs>> Mkfs(BlockDevice* dev, SimClock* clock,
+                                           const FfsParams& params);
+
+  Result<uint32_t> Create(std::string_view path);
+  Result<uint32_t> Mkdir(std::string_view path);
+  Status Unlink(std::string_view path);
+  Result<uint32_t> LookupPath(std::string_view path);
+  Result<StatInfo> Stat(uint32_t ino);
+
+  Result<size_t> Read(uint32_t ino, uint64_t offset, std::span<uint8_t> out);
+  Status Write(uint32_t ino, uint64_t offset, std::span<const uint8_t> data);
+
+  // Flushes the write-behind cluster and metadata.
+  Status Sync();
+  void FlushBufferCache() { buffer_cache_.Flush(); }
+
+  uint64_t FreeBlocks() const { return free_blocks_; }
+
+ private:
+  struct Inode {
+    uint32_t ino = kNoInode;
+    FileType type = FileType::kFree;
+    uint64_t size = 0;
+    uint64_t atime = 0;
+    uint64_t mtime = 0;
+    std::array<uint32_t, kNumDirect> direct;
+    uint32_t indirect = kNoBlock;
+    uint32_t dindirect = kNoBlock;
+    Inode() { direct.fill(kNoBlock); }
+  };
+
+  Ffs(BlockDevice* dev, SimClock* clock, const FfsParams& params);
+
+  Result<uint32_t> AllocInode(FileType type);
+  Result<uint32_t> AllocBlock(uint32_t near_hint);
+  void FreeBlock(uint32_t daddr);
+
+  Result<uint32_t> Bmap(Inode& inode, uint32_t lbn);
+  // Allocates (contiguously when possible) if unmapped.
+  Result<uint32_t> BmapAlloc(Inode& inode, uint32_t lbn);
+  Result<std::vector<uint8_t>*> IndirectBlock(uint32_t daddr);
+
+  Status ReadDataBlock(Inode& inode, uint32_t lbn, std::span<uint8_t> out);
+  Status WriteDataBlock(Inode& inode, uint32_t lbn, uint32_t in_block,
+                        std::span<const uint8_t> data);
+
+  // Write-behind cluster.
+  Status FlushPending();
+  Status AppendPending(uint32_t daddr, std::span<const uint8_t> block);
+
+  // Directories.
+  Result<uint32_t> DirLookup(uint32_t dir_ino, std::string_view name);
+  Status DirAddEntry(uint32_t dir_ino, std::string_view name, uint32_t ino);
+  Status DirRemoveEntry(uint32_t dir_ino, std::string_view name);
+
+  BlockDevice* dev_;
+  SimClock* clock_;
+  FfsParams params_;
+  uint32_t data_start_ = 0;  // First allocatable block.
+  uint32_t num_blocks_ = 0;
+  uint64_t free_blocks_ = 0;
+
+  std::vector<bool> bitmap_;
+  std::vector<Inode> inodes_;
+  uint32_t alloc_cursor_ = 0;
+
+  BufferCache buffer_cache_;
+  // In-core indirect blocks (written through on Sync).
+  std::unordered_map<uint32_t, std::vector<uint8_t>> indirect_cache_;
+
+  // Pending write-behind cluster.
+  uint32_t pending_start_ = kNoBlock;
+  std::vector<uint8_t> pending_;
+
+  // Per-file sequential-read streaks (shared clustering heuristic).
+  std::unordered_map<uint32_t, uint32_t> readahead_state_;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_FFS_FFS_H_

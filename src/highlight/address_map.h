@@ -1,0 +1,114 @@
+// AddressMap: HighLight's uniform block address space (paper section 6.3,
+// Figure 4).
+//
+// Disks own the bottom of the 32-bit block address space; tertiary volumes
+// hang from the top, with volume 0's *end* at the largest usable address and
+// each later volume stacked just below its predecessor. Media are still
+// addressed with increasing block numbers within a volume. One segment of
+// address space is lost to the unassigned sentinel (kNoBlock) and the
+// boot-block shift. Addresses between the disk range and the tertiary range
+// form a dead zone; touching it is an error.
+
+#ifndef HIGHLIGHT_HIGHLIGHT_ADDRESS_MAP_H_
+#define HIGHLIGHT_HIGHLIGHT_ADDRESS_MAP_H_
+
+#include <cstdint>
+
+#include "lfs/format.h"
+#include "util/status.h"
+
+namespace hl {
+
+// The first tertiary block address for a given tertiary size: the range ends
+// at kNoBlock - 1.
+inline uint32_t ComputeTertiaryBase(uint32_t tertiary_nsegs,
+                                    uint32_t seg_size_blocks) {
+  return static_cast<uint32_t>(
+      static_cast<uint64_t>(kNoBlock) -
+      static_cast<uint64_t>(tertiary_nsegs) * seg_size_blocks);
+}
+
+class AddressMap {
+ public:
+  AddressMap(uint32_t disk_blocks, uint32_t seg_size_blocks,
+             uint32_t tertiary_nsegs, uint32_t segs_per_volume)
+      : disk_blocks_(disk_blocks),
+        spb_(seg_size_blocks),
+        tertiary_nsegs_(tertiary_nsegs),
+        segs_per_volume_(segs_per_volume),
+        tertiary_base_(ComputeTertiaryBase(tertiary_nsegs, seg_size_blocks)) {}
+
+  uint32_t disk_blocks() const { return disk_blocks_; }
+  // On-line disk growth: the disk range expands into the dead zone.
+  Status GrowDisk(uint32_t new_disk_blocks) {
+    if (new_disk_blocks <= disk_blocks_) {
+      return InvalidArgument("disk did not grow");
+    }
+    if (tertiary_nsegs_ != 0 && new_disk_blocks >= tertiary_base_) {
+      return InvalidArgument("growth would collide with tertiary range");
+    }
+    disk_blocks_ = new_disk_blocks;
+    return OkStatus();
+  }
+  uint32_t tertiary_base() const { return tertiary_base_; }
+  uint32_t tertiary_nsegs() const { return tertiary_nsegs_; }
+  uint32_t segs_per_volume() const { return segs_per_volume_; }
+  uint32_t num_volumes() const {
+    return segs_per_volume_ == 0 ? 0 : tertiary_nsegs_ / segs_per_volume_;
+  }
+
+  enum class Zone { kDisk, kDead, kTertiary };
+  Zone Classify(uint32_t daddr) const {
+    if (daddr < disk_blocks_) {
+      return Zone::kDisk;
+    }
+    if (daddr >= tertiary_base_ && daddr != kNoBlock) {
+      return Zone::kTertiary;
+    }
+    return Zone::kDead;
+  }
+
+  // Tertiary segment index of a tertiary address.
+  uint32_t TsegOf(uint32_t daddr) const {
+    return (daddr - tertiary_base_) / spb_;
+  }
+  uint32_t TsegBase(uint32_t tseg) const {
+    return tertiary_base_ + tseg * spb_;
+  }
+  uint32_t OffsetInTseg(uint32_t daddr) const {
+    return (daddr - tertiary_base_) % spb_;
+  }
+
+  // Volume layout: volume v owns tseg indices
+  // [nsegs - (v+1)*S, nsegs - v*S), so volume 0 sits at the top of the
+  // address space, per Figure 4.
+  uint32_t VolumeOfTseg(uint32_t tseg) const {
+    return (tertiary_nsegs_ - 1 - tseg) / segs_per_volume_;
+  }
+  uint32_t FirstTsegOfVolume(uint32_t volume) const {
+    return tertiary_nsegs_ - (volume + 1) * segs_per_volume_;
+  }
+  // Segment slot within its volume (0-based, in increasing address order).
+  uint32_t SlotInVolume(uint32_t tseg) const {
+    return tseg - FirstTsegOfVolume(VolumeOfTseg(tseg));
+  }
+  // Byte offset of a tertiary segment on its medium.
+  uint64_t ByteOffsetOnVolume(uint32_t tseg) const {
+    return static_cast<uint64_t>(SlotInVolume(tseg)) * spb_ * kBlockSize;
+  }
+
+  uint64_t SegBytes() const {
+    return static_cast<uint64_t>(spb_) * kBlockSize;
+  }
+
+ private:
+  uint32_t disk_blocks_;
+  uint32_t spb_;
+  uint32_t tertiary_nsegs_;
+  uint32_t segs_per_volume_;
+  uint32_t tertiary_base_;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_HIGHLIGHT_ADDRESS_MAP_H_

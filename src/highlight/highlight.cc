@@ -1,0 +1,225 @@
+#include "highlight/highlight.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hl {
+
+Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
+    const HighLightConfig& config, SimClock* clock) {
+  if (config.disks.empty()) {
+    return InvalidArgument("HighLight needs at least one disk");
+  }
+  if (config.jukeboxes.empty()) {
+    return InvalidArgument("HighLight needs at least one tertiary device");
+  }
+  auto hl = std::unique_ptr<HighLightFs>(new HighLightFs());
+  hl->clock_ = clock;
+  if (config.shared_bus) {
+    hl->bus_.emplace("scsi0");
+  }
+  Resource* bus = hl->bus_.has_value() ? &*hl->bus_ : nullptr;
+
+  // Disk farm.
+  std::vector<BlockDevice*> components;
+  for (size_t i = 0; i < config.disks.size(); ++i) {
+    const auto& spec = config.disks[i];
+    hl->disks_.push_back(std::make_unique<SimDisk>(
+        "disk" + std::to_string(i), spec.blocks, spec.profile, clock, bus));
+    components.push_back(hl->disks_.back().get());
+  }
+  hl->concat_ = std::make_unique<ConcatDriver>("diskfarm", components);
+  uint32_t disk_blocks = hl->concat_->NumBlocks();
+
+  // Tertiary farm.
+  std::vector<Jukebox*> jukeboxes;
+  uint32_t seg_bytes = config.lfs.seg_size_blocks * kBlockSize;
+  uint32_t tertiary_nsegs = 0;
+  uint32_t segs_per_volume = 0;
+  uint32_t num_volumes = 0;
+  for (const auto& spec : config.jukeboxes) {
+    hl->jukeboxes_.push_back(std::make_unique<Jukebox>(
+        spec.profile, clock, bus, spec.write_once));
+    jukeboxes.push_back(hl->jukeboxes_.back().get());
+    uint32_t per_volume =
+        spec.segs_per_volume != 0
+            ? spec.segs_per_volume
+            : static_cast<uint32_t>(spec.profile.volume_capacity_bytes /
+                                    seg_bytes);
+    if (segs_per_volume == 0) {
+      segs_per_volume = per_volume;
+    } else if (segs_per_volume != per_volume) {
+      // The uniform (segment number -> volume) arithmetic of section 6.3
+      // assumes a fixed per-volume segment count; configure it explicitly
+      // when mixing devices.
+      return InvalidArgument(
+          "jukeboxes disagree on segs_per_volume; set it explicitly");
+    }
+    num_volumes += spec.profile.num_slots;
+  }
+  tertiary_nsegs = num_volumes * segs_per_volume;
+
+  hl->footprint_ = std::make_unique<Footprint>(jukeboxes);
+  hl->amap_ = std::make_unique<AddressMap>(
+      disk_blocks, config.lfs.seg_size_blocks, tertiary_nsegs,
+      segs_per_volume);
+
+  // Block-map driver and the file system above it.
+  hl->blockmap_ = std::make_unique<BlockMapDriver>(
+      hl->concat_.get(), hl->amap_.get(), kDefaultReservedBlocks,
+      config.lfs.seg_size_blocks);
+
+  LfsParams params = config.lfs;
+  params.disk_blocks_override = disk_blocks;
+  params.tertiary_nsegs = tertiary_nsegs;
+  params.segs_per_volume = segs_per_volume;
+  params.num_volumes = num_volumes;
+  if (params.cache_max_segments == 0) {
+    // Default: a quarter of the disk segments serve as cache lines.
+    uint32_t nsegs =
+        (disk_blocks - kDefaultReservedBlocks) / params.seg_size_blocks;
+    params.cache_max_segments = std::max<uint32_t>(4, nsegs / 4);
+  }
+  ASSIGN_OR_RETURN(hl->fs_,
+                   Lfs::Mkfs(hl->blockmap_.get(), clock, params));
+  hl->cache_replacement_ = config.cache_replacement;
+  hl->migrator_opts_ = config.migrator;
+  hl->io_server_ = std::make_unique<IoServer>(
+      hl->concat_.get(), hl->footprint_.get(), hl->amap_.get(), clock,
+      kDefaultReservedBlocks, params.seg_size_blocks);
+  RETURN_IF_ERROR(hl->WireFsComponents());
+  return hl;
+}
+
+Status HighLightFs::WireFsComponents() {
+  cache_ = std::make_unique<SegmentCache>(fs_.get(), cache_replacement_);
+  RETURN_IF_ERROR(cache_->Init());
+  blockmap_->SetCache(cache_.get());
+
+  tsegs_ = std::make_unique<TsegTable>(fs_.get(), amap_.get());
+  RETURN_IF_ERROR(tsegs_->Load());
+  fs_->SetTertiaryAccounting(
+      [tsegs = tsegs_.get()](uint32_t daddr, int64_t delta) {
+        tsegs->OnAccounting(daddr, delta);
+      });
+
+  io_server_->SetReplicaResolver([tsegs = tsegs_.get()](uint32_t tseg) {
+    return tsegs->ReplicasOf(tseg);
+  });
+
+  service_ = std::make_unique<ServiceProcess>(cache_.get(), io_server_.get(),
+                                              clock_);
+  blockmap_->SetFetchHandler([service = service_.get()](uint32_t tseg) {
+    return service->DemandFetch(tseg);
+  });
+
+  migrator_ = std::make_unique<Migrator>(fs_.get(), blockmap_.get(),
+                                         cache_.get(), io_server_.get(),
+                                         tsegs_.get(), amap_.get(), clock_);
+
+  tertiary_cleaner_ = std::make_unique<TertiaryCleaner>(
+      fs_.get(), blockmap_.get(), migrator_.get(), cache_.get(),
+      service_.get(), tsegs_.get(), amap_.get(), footprint_.get());
+
+  access_tracker_ = std::make_unique<AccessRangeTracker>();
+  fs_->SetReadObserver([tracker = access_tracker_.get(),
+                        clock = clock_](uint32_t ino, uint32_t lbn,
+                                        uint32_t count) {
+    tracker->RecordRead(ino, lbn, count, clock->Now());
+  });
+
+  cleaner_ = std::make_unique<Cleaner>(fs_.get());
+  fs_->SetNoSpaceHandler([cleaner = cleaner_.get()]() {
+    Result<uint32_t> done = cleaner->Clean(8);
+    return done.ok() && *done > 0;
+  });
+  return OkStatus();
+}
+
+Status HighLightFs::AddDisk(const HighLightConfig::DiskSpec& spec) {
+  Resource* bus = bus_.has_value() ? &*bus_ : nullptr;
+  disks_.push_back(std::make_unique<SimDisk>(
+      "disk" + std::to_string(disks_.size()), spec.blocks, spec.profile,
+      clock_, bus));
+  concat_->AddComponent(disks_.back().get());
+  RETURN_IF_ERROR(amap_->GrowDisk(concat_->NumBlocks()));
+  return fs_->ExtendDisk(concat_->NumBlocks());
+}
+
+Status HighLightFs::Remount() {
+  // Tear down everything holding an Lfs pointer, then re-mount from media.
+  migrator_.reset();
+  cleaner_.reset();
+  service_.reset();
+  tsegs_.reset();
+  cache_.reset();
+  blockmap_->SetCache(nullptr);
+  blockmap_->SetFetchHandler(nullptr);
+  fs_.reset();
+  LfsParams params;  // Geometry is re-read from the superblock.
+  ASSIGN_OR_RETURN(fs_, Lfs::Mount(blockmap_.get(), clock_, params));
+  return WireFsComponents();
+}
+
+Result<MigrationReport> HighLightFs::MigratePath(const std::string& path) {
+  std::vector<uint32_t> inos;
+  ASSIGN_OR_RETURN(StatInfo st, fs_->StatPath(path));
+  if (st.type == FileType::kRegular) {
+    inos.push_back(st.ino);
+  } else {
+    ASSIGN_OR_RETURN(std::vector<FileCandidate> files,
+                     WalkTree(*fs_, path, /*include_dirs=*/false));
+    for (const FileCandidate& f : files) {
+      inos.push_back(f.ino);
+    }
+  }
+  return migrator_->MigrateFiles(inos, migrator_opts_);
+}
+
+Result<MigrationReport> HighLightFs::Migrate(MigrationPolicy& policy,
+                                             uint64_t bytes_target) {
+  return migrator_->RunPolicy(policy, migrator_opts_, bytes_target);
+}
+
+Result<MigrationReport> HighLightFs::MigrateColdRanges(SimTime cutoff) {
+  ASSIGN_OR_RETURN(std::vector<FileCandidate> files,
+                   WalkTree(*fs_, "/", /*include_dirs=*/false));
+  MigrationReport total;
+  for (const FileCandidate& f : files) {
+    ASSIGN_OR_RETURN(StatInfo st, fs_->Stat(f.ino));
+    if (st.mtime >= cutoff) {
+      continue;  // Unstable file: let it settle first.
+    }
+    uint32_t file_blocks = static_cast<uint32_t>(
+        (st.size + kBlockSize - 1) / kBlockSize);
+    if (file_blocks == 0) {
+      continue;
+    }
+    std::vector<uint32_t> cold =
+        access_tracker_->ColdBlocks(f.ino, file_blocks, cutoff);
+    if (cold.empty()) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(MigrationReport r,
+                     migrator_->MigrateBlocks(f.ino, cold, migrator_opts_));
+    total.files_migrated += r.files_migrated;
+    total.blocks_migrated += r.blocks_migrated;
+    total.bytes_migrated += r.bytes_migrated;
+    total.blocks_skipped += r.blocks_skipped;
+    total.segments_completed += r.segments_completed;
+  }
+  return total;
+}
+
+Status HighLightFs::DropCleanCacheLines() {
+  for (const SegmentCache::LineInfo& line : cache_->Lines()) {
+    if (!line.staging && !line.dirty) {
+      RETURN_IF_ERROR(cache_->Eject(line.tseg));
+    }
+  }
+  fs_->FlushBufferCache();
+  return OkStatus();
+}
+
+}  // namespace hl

@@ -1,0 +1,147 @@
+// HighLightFs: the assembled system — the public entry point of this library.
+//
+// Owns and wires every component of Figure 5: simulated disks behind the
+// concatenation driver, jukebox(es) behind Footprint, the block-map driver
+// with its segment cache, the LFS above it all, and the user-level trio
+// (cleaner, migrator, service/I/O processes). Applications use the Lfs file
+// API via fs(); hierarchy management happens underneath, exactly as the
+// paper promises ("applications never need know that files are not always
+// resident on secondary storage").
+
+#ifndef HIGHLIGHT_HIGHLIGHT_HIGHLIGHT_H_
+#define HIGHLIGHT_HIGHLIGHT_HIGHLIGHT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "blockdev/concat_driver.h"
+#include "blockdev/sim_disk.h"
+#include "highlight/address_map.h"
+#include "highlight/block_map_driver.h"
+#include "highlight/io_server.h"
+#include "highlight/migration_policy.h"
+#include "highlight/migrator.h"
+#include "highlight/segment_cache.h"
+#include "highlight/service_process.h"
+#include "highlight/tertiary_cleaner.h"
+#include "highlight/tseg_table.h"
+#include "lfs/access_ranges.h"
+#include "lfs/cleaner.h"
+#include "lfs/lfs.h"
+#include "sim/device_profile.h"
+#include "tertiary/footprint.h"
+#include "tertiary/jukebox.h"
+
+namespace hl {
+
+struct HighLightConfig {
+  // Disk farm: one SimDisk per entry, concatenated in order. Cache-eligible
+  // segments occupy the top of the address space, i.e. the LAST disk — put
+  // the staging spindle last for the two-disk experiments.
+  struct DiskSpec {
+    DiskProfile profile;
+    uint32_t blocks = 0;
+  };
+  std::vector<DiskSpec> disks;
+
+  // Tertiary robots, in Footprint volume order.
+  struct JukeboxSpec {
+    JukeboxProfile profile;
+    bool write_once = false;
+    // Segments HighLight may place per volume (0 = fill the volume).
+    uint32_t segs_per_volume = 0;
+  };
+  std::vector<JukeboxSpec> jukeboxes;
+
+  // All devices share one SCSI bus when true (the paper's testbed).
+  bool shared_bus = false;
+
+  LfsParams lfs;
+  CacheReplacement cache_replacement = CacheReplacement::kLru;
+  MigratorOptions migrator;
+};
+
+class HighLightFs {
+ public:
+  // Builds the device stack and formats a fresh file system.
+  static Result<std::unique_ptr<HighLightFs>> Create(
+      const HighLightConfig& config, SimClock* clock);
+
+  // File system access (the application-facing API).
+  Lfs& fs() { return *fs_; }
+  SimClock& clock() { return *clock_; }
+
+  // Component access for policies, benchmarks and tests.
+  Migrator& migrator() { return *migrator_; }
+  Cleaner& cleaner() { return *cleaner_; }
+  TertiaryCleaner& tertiary_cleaner() { return *tertiary_cleaner_; }
+  SegmentCache& cache() { return *cache_; }
+  IoServer& io_server() { return *io_server_; }
+  ServiceProcess& service() { return *service_; }
+  TsegTable& tseg_table() { return *tsegs_; }
+  const AddressMap& address_map() const { return *amap_; }
+  BlockMapDriver& block_map() { return *blockmap_; }
+  Footprint& footprint() { return *footprint_; }
+  SimDisk& disk(size_t i) { return *disks_[i]; }
+  Jukebox& jukebox(size_t i) { return *jukeboxes_[i]; }
+
+  // Convenience: migrate the files under `path` (recursively) wholesale.
+  Result<MigrationReport> MigratePath(const std::string& path);
+  // Convenience: run the configured migrator options with a policy.
+  Result<MigrationReport> Migrate(MigrationPolicy& policy,
+                                  uint64_t bytes_target = 0);
+
+  // Section 5.2 block-range migration driven by the access-range tracker:
+  // for every regular file, block ranges not read since `cutoff` migrate to
+  // tertiary storage while the warm ranges stay on disk. Files modified
+  // since `cutoff` are skipped entirely (unstable).
+  Result<MigrationReport> MigrateColdRanges(SimTime cutoff);
+
+  AccessRangeTracker& access_tracker() { return *access_tracker_; }
+
+  // Ejects every clean cache line (benchmarks use this to force uncached
+  // access to tertiary-resident data).
+  Status DropCleanCacheLines();
+
+  // On-line disk addition (sections 6.4 and 10): appends a new simulated
+  // disk at the top of the disk address space and folds its segments into
+  // the clean pool.
+  Status AddDisk(const HighLightConfig::DiskSpec& spec);
+
+  // Simulates a crash + remount: drops all in-core file system state and
+  // re-mounts from the device images (checkpoint + roll-forward), rebuilding
+  // the cache directory from the ifile's cache tags. Device contents and the
+  // simulation clock persist.
+  Status Remount();
+
+ private:
+  HighLightFs() = default;
+  // Builds the Lfs-dependent components (cache, tseg table, daemons).
+  Status WireFsComponents();
+
+  SimClock* clock_ = nullptr;
+  std::optional<Resource> bus_;
+  std::vector<std::unique_ptr<SimDisk>> disks_;
+  std::unique_ptr<ConcatDriver> concat_;
+  std::vector<std::unique_ptr<Jukebox>> jukeboxes_;
+  std::unique_ptr<Footprint> footprint_;
+  std::unique_ptr<AddressMap> amap_;
+  std::unique_ptr<BlockMapDriver> blockmap_;
+  std::unique_ptr<Lfs> fs_;
+  std::unique_ptr<SegmentCache> cache_;
+  std::unique_ptr<TsegTable> tsegs_;
+  std::unique_ptr<IoServer> io_server_;
+  std::unique_ptr<ServiceProcess> service_;
+  std::unique_ptr<Migrator> migrator_;
+  std::unique_ptr<Cleaner> cleaner_;
+  std::unique_ptr<TertiaryCleaner> tertiary_cleaner_;
+  std::unique_ptr<AccessRangeTracker> access_tracker_;
+  MigratorOptions migrator_opts_;
+  CacheReplacement cache_replacement_ = CacheReplacement::kLru;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_HIGHLIGHT_HIGHLIGHT_H_

@@ -1,0 +1,87 @@
+#include "highlight/io_server.h"
+
+namespace hl {
+
+IoServer::IoServer(BlockDevice* raw_disk, Footprint* footprint,
+                   const AddressMap* amap, SimClock* clock,
+                   uint32_t reserved_blocks, uint32_t seg_size_blocks)
+    : raw_disk_(raw_disk),
+      footprint_(footprint),
+      amap_(amap),
+      clock_(clock),
+      reserved_blocks_(reserved_blocks),
+      seg_size_blocks_(seg_size_blocks) {}
+
+Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
+  const uint64_t seg_bytes = amap_->SegBytes();
+  std::vector<uint8_t> buf(seg_bytes);
+
+  // Pick the "closest" copy: any copy on an already-mounted volume avoids
+  // the media swap; the primary is the fallback.
+  uint32_t source = tseg;
+  if (replica_resolver_) {
+    std::vector<uint32_t> candidates = {tseg};
+    for (uint32_t replica : replica_resolver_(tseg)) {
+      candidates.push_back(replica);
+    }
+    for (uint32_t candidate : candidates) {
+      Result<bool> mounted = footprint_->VolumeMounted(
+          static_cast<int>(amap_->VolumeOfTseg(candidate)));
+      if (mounted.ok() && *mounted) {
+        source = candidate;
+        break;
+      }
+    }
+  }
+  if (source != tseg) {
+    stats_.replica_reads++;
+  }
+  uint32_t volume = amap_->VolumeOfTseg(source);
+  uint64_t offset = amap_->ByteOffsetOnVolume(source);
+
+  SimTime t0 = clock_->Now();
+  RETURN_IF_ERROR(footprint_->Read(volume, offset, buf));
+  phases_.Add("footprint", clock_->Now() - t0);
+
+  // Memory copy out of the transfer buffer, then a raw write to the cache
+  // line (the paper's extra-copies path).
+  SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
+  clock_->Advance(copy);
+  t0 = clock_->Now();
+  RETURN_IF_ERROR(raw_disk_->WriteBlocks(DiskSegFirstBlock(disk_seg),
+                                         seg_size_blocks_, buf));
+  phases_.Add("ioserver", clock_->Now() - t0 + copy);
+
+  stats_.segments_fetched++;
+  stats_.bytes_fetched += seg_bytes;
+  return OkStatus();
+}
+
+Status IoServer::CopyOutSegment(uint32_t tseg, uint32_t disk_seg) {
+  const uint64_t seg_bytes = amap_->SegBytes();
+  std::vector<uint8_t> buf(seg_bytes);
+
+  SimTime t0 = clock_->Now();
+  RETURN_IF_ERROR(raw_disk_->ReadBlocks(DiskSegFirstBlock(disk_seg),
+                                        seg_size_blocks_, buf));
+  SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
+  clock_->Advance(copy);
+  phases_.Add("ioserver", clock_->Now() - t0);
+
+  uint32_t volume = amap_->VolumeOfTseg(tseg);
+  uint64_t offset = amap_->ByteOffsetOnVolume(tseg);
+  t0 = clock_->Now();
+  Status write = footprint_->Write(volume, offset, buf);
+  phases_.Add("footprint", clock_->Now() - t0);
+  if (write.code() == ErrorCode::kEndOfMedium) {
+    stats_.end_of_medium_events++;
+    return write;
+  }
+  RETURN_IF_ERROR(write);
+
+  stats_.segments_copied_out++;
+  stats_.bytes_copied_out += seg_bytes;
+  return OkStatus();
+}
+
+}  // namespace hl

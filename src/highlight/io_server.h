@@ -1,0 +1,90 @@
+// IoServer: the user-level I/O process of sections 6.6-6.7.
+//
+// It is the only component that touches tertiary media, always in whole-
+// segment units, via the Footprint interface. It reads and writes the disk
+// cache through the raw (concatenated) disk device — bypassing the buffer
+// cache, exactly as the paper's I/O server does — which is why demand-fetched
+// blocks are later re-read through the file system (the measured inefficiency
+// in Table 3's uncached column).
+//
+// Time is attributed to the phases Table 4 reports: "footprint" (tertiary
+// transfers including swaps/seeks), "ioserver" (raw disk copies + memory
+// copies), and "queuing" (request handling), via the shared PhaseAccumulator.
+
+#ifndef HIGHLIGHT_HIGHLIGHT_IO_SERVER_H_
+#define HIGHLIGHT_HIGHLIGHT_IO_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "highlight/address_map.h"
+#include "sim/sim_clock.h"
+#include "tertiary/footprint.h"
+#include "util/status.h"
+
+namespace hl {
+
+class IoServer {
+ public:
+  // `raw_disk` is the concatenated disk device; `reserved_blocks` and
+  // `seg_size_blocks` give the disk segment geometry.
+  IoServer(BlockDevice* raw_disk, Footprint* footprint,
+           const AddressMap* amap, SimClock* clock, uint32_t reserved_blocks,
+           uint32_t seg_size_blocks);
+
+  // Demand fetch: copies tertiary segment `tseg` into disk segment
+  // `disk_seg` (tertiary read + raw disk write + a memory copy). When a
+  // replica resolver is installed, the read is served from the "closest"
+  // copy — a replica whose volume is already in a drive beats a primary
+  // that needs a media swap (section 5.4).
+  Status FetchSegment(uint32_t tseg, uint32_t disk_seg);
+
+  // Maps a primary tseg to its replica tsegs (empty = no replicas).
+  using ReplicaResolver = std::function<std::vector<uint32_t>(uint32_t)>;
+  void SetReplicaResolver(ReplicaResolver resolver) {
+    replica_resolver_ = std::move(resolver);
+  }
+
+  // Migration copy-out: reads the staged disk segment and writes it to its
+  // tertiary home. Returns kEndOfMedium if the volume ran out of room (the
+  // caller re-targets the segment at the next volume).
+  Status CopyOutSegment(uint32_t tseg, uint32_t disk_seg);
+
+  PhaseAccumulator& phases() { return phases_; }
+
+  struct Stats {
+    uint64_t segments_fetched = 0;
+    uint64_t segments_copied_out = 0;
+    uint64_t bytes_fetched = 0;
+    uint64_t bytes_copied_out = 0;
+    uint64_t end_of_medium_events = 0;
+    uint64_t replica_reads = 0;     // Fetches served from a replica copy.
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Extra per-byte CPU cost of the user-space staging copies (tertiary <->
+  // memory <-> raw disk). Default models a ~10 MB/s memcpy on the testbed.
+  void set_cpu_copy_us_per_mb(SimTime us) { cpu_copy_us_per_mb_ = us; }
+
+ private:
+  uint32_t DiskSegFirstBlock(uint32_t disk_seg) const {
+    return reserved_blocks_ + disk_seg * seg_size_blocks_;
+  }
+
+  BlockDevice* raw_disk_;
+  Footprint* footprint_;
+  const AddressMap* amap_;
+  SimClock* clock_;
+  uint32_t reserved_blocks_;
+  uint32_t seg_size_blocks_;
+  SimTime cpu_copy_us_per_mb_ = 100'000;  // 0.1 s per MB.
+  ReplicaResolver replica_resolver_;
+  PhaseAccumulator phases_;
+  Stats stats_;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_HIGHLIGHT_IO_SERVER_H_

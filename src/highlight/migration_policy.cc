@@ -1,0 +1,164 @@
+#include "highlight/migration_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace hl {
+
+namespace {
+
+// Stable best-first sort by score.
+void SortByScore(std::vector<FileCandidate>& files) {
+  std::stable_sort(files.begin(), files.end(),
+                   [](const FileCandidate& a, const FileCandidate& b) {
+                     return a.score > b.score;
+                   });
+}
+
+double AgeSeconds(SimTime now, uint64_t atime) {
+  return atime >= now ? 0.0
+                      : static_cast<double>(now - atime) / kUsPerSec;
+}
+
+Status WalkInto(Lfs& fs, const std::string& dir_path, uint32_t dir_ino,
+                bool include_dirs, std::vector<FileCandidate>& out) {
+  ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs.ReadDir(dir_ino));
+  for (const DirEntry& e : entries) {
+    if (e.name == "." || e.name == "..") {
+      continue;
+    }
+    ASSIGN_OR_RETURN(StatInfo st, fs.Stat(e.ino));
+    std::string path = dir_path == "/" ? "/" + e.name : dir_path + "/" + e.name;
+    if (st.type == FileType::kDirectory) {
+      if (include_dirs) {
+        out.push_back(FileCandidate{e.ino, path, st.size, st.atime, 0.0, 0});
+      }
+      RETURN_IF_ERROR(WalkInto(fs, path, e.ino, include_dirs, out));
+    } else if (st.type == FileType::kRegular) {
+      out.push_back(FileCandidate{e.ino, path, st.size, st.atime, 0.0, 0});
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
+Result<std::vector<FileCandidate>> WalkTree(Lfs& fs, const std::string& root,
+                                            bool include_dirs) {
+  ASSIGN_OR_RETURN(uint32_t root_ino, fs.LookupPath(root));
+  std::vector<FileCandidate> out;
+  RETURN_IF_ERROR(WalkInto(fs, root == "" ? "/" : root, root_ino,
+                           include_dirs, out));
+  return out;
+}
+
+Result<std::vector<FileCandidate>> StpPolicy::Rank(Lfs& fs, SimTime now) {
+  ASSIGN_OR_RETURN(std::vector<FileCandidate> files,
+                   WalkTree(fs, "/", /*include_dirs=*/false));
+  for (FileCandidate& f : files) {
+    double age = AgeSeconds(now, f.atime);
+    f.score = std::pow(age, age_exp_) *
+              std::pow(static_cast<double>(f.size), size_exp_);
+  }
+  SortByScore(files);
+  return files;
+}
+
+Result<std::vector<FileCandidate>> AgePolicy::Rank(Lfs& fs, SimTime now) {
+  ASSIGN_OR_RETURN(std::vector<FileCandidate> files,
+                   WalkTree(fs, "/", /*include_dirs=*/false));
+  for (FileCandidate& f : files) {
+    f.score = AgeSeconds(now, f.atime);
+  }
+  SortByScore(files);
+  return files;
+}
+
+Result<std::vector<FileCandidate>> SizePolicy::Rank(Lfs& fs, SimTime now) {
+  ASSIGN_OR_RETURN(std::vector<FileCandidate> files,
+                   WalkTree(fs, "/", /*include_dirs=*/false));
+  for (FileCandidate& f : files) {
+    (void)now;
+    f.score = static_cast<double>(f.size);
+  }
+  SortByScore(files);
+  return files;
+}
+
+Result<std::vector<FileCandidate>> NamespacePolicy::Rank(Lfs& fs,
+                                                         SimTime now) {
+  // Units: each immediate child directory of unit_root_ is a unit; loose
+  // files under the root form their own unit.
+  ASSIGN_OR_RETURN(uint32_t root_ino, fs.LookupPath(unit_root_));
+  ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs.ReadDir(root_ino));
+
+  struct Unit {
+    std::vector<FileCandidate> files;
+    uint64_t total_size = 0;
+    uint64_t min_age_atime = 0;  // Max atime = most recent access in unit.
+  };
+  std::map<uint32_t, Unit> units;
+  uint32_t next_unit = 1;
+
+  for (const DirEntry& e : entries) {
+    if (e.name == "." || e.name == "..") {
+      continue;
+    }
+    ASSIGN_OR_RETURN(StatInfo st, fs.Stat(e.ino));
+    std::string path =
+        unit_root_ == "/" ? "/" + e.name : unit_root_ + "/" + e.name;
+    uint32_t unit_id;
+    Unit* unit;
+    if (st.type == FileType::kDirectory) {
+      unit_id = next_unit++;
+      unit = &units[unit_id];
+      if (include_dirs_) {
+        unit->files.push_back(
+            FileCandidate{e.ino, path, st.size, st.atime, 0.0, unit_id});
+      }
+      std::vector<FileCandidate> sub;
+      ASSIGN_OR_RETURN(sub, WalkTree(fs, path, include_dirs_));
+      for (FileCandidate& f : sub) {
+        f.unit = unit_id;
+        unit->files.push_back(std::move(f));
+      }
+    } else {
+      unit_id = 0;  // Loose files.
+      unit = &units[unit_id];
+      unit->files.push_back(
+          FileCandidate{e.ino, path, st.size, st.atime, 0.0, unit_id});
+    }
+  }
+
+  // Unit score: unitsize-time product; time-since-last-access is the minimum
+  // over the unit's files (= its most recent access).
+  std::vector<std::pair<double, uint32_t>> ranked_units;
+  for (auto& [id, unit] : units) {
+    if (unit.files.empty()) {
+      continue;
+    }
+    unit.total_size = 0;
+    unit.min_age_atime = 0;
+    for (const FileCandidate& f : unit.files) {
+      unit.total_size += f.size;
+      unit.min_age_atime = std::max(unit.min_age_atime, f.atime);
+    }
+    double score = AgeSeconds(now, unit.min_age_atime) *
+                   static_cast<double>(unit.total_size);
+    ranked_units.emplace_back(score, id);
+  }
+  std::stable_sort(ranked_units.begin(), ranked_units.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<FileCandidate> out;
+  for (const auto& [score, id] : ranked_units) {
+    for (FileCandidate& f : units[id].files) {
+      f.score = score;
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+}  // namespace hl

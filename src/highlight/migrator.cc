@@ -1,0 +1,545 @@
+#include "highlight/migrator.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace hl {
+
+Status Migrator::EnsureStagingSegment(const MigratorOptions& opts) {
+  if (cur_tseg_ != kNoSegment) {
+    return OkStatus();
+  }
+  uint32_t tseg =
+      tsegs_->NextFreshTseg(full_volumes_, opts.preferred_volume);
+  if (tseg == kNoSegment) {
+    return Status(ErrorCode::kNoVolume, "tertiary storage exhausted");
+  }
+  ASSIGN_OR_RETURN(uint32_t disk_seg,
+                   cache_->AllocLine(tseg, /*staging=*/true));
+  cur_tseg_ = tseg;
+  cur_offset_ = 0;
+  tsegs_->SetFlags(tseg, kSegDirty, kSegClean);
+  tsegs_->SetWriteTime(tseg, clock_->Now());
+  StagedSegment record;
+  record.tseg = tseg;
+  record.disk_seg = disk_seg;
+  staged_[tseg] = std::move(record);
+  return OkStatus();
+}
+
+Status Migrator::FinishPseg() {
+  if (builder_ == nullptr || builder_->empty()) {
+    builder_.reset();
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(SegmentBuilder::Image image, builder_->Finish());
+  builder_.reset();
+  // The write routes through the block-map driver into the staging cache
+  // line (the addresses are tertiary). Its time lands in the "ioserver"
+  // bucket: Table 4 folds all migration-path disk work into the "I/O server
+  // read" component.
+  SimTime t0 = clock_->Now();
+  Status wrote =
+      dev_->WriteBlocks(image.base_daddr, image.num_blocks, image.bytes);
+  io_->phases().Add("ioserver", clock_->Now() - t0);
+  if (!wrote.ok()) {
+    // The staging write failed after pointers were flipped onto these
+    // addresses. Re-dirty the blocks so the next sync re-homes them on disk
+    // (superseding the dangling tertiary pointers).
+    for (const auto& ba : image.blocks) {
+      std::vector<uint8_t> bytes(
+          image.bytes.begin() +
+              static_cast<size_t>(ba.daddr - image.base_daddr) * kBlockSize,
+          image.bytes.begin() +
+              static_cast<size_t>(ba.daddr - image.base_daddr + 1) *
+                  kBlockSize);
+      Result<DInode> inode = fs_->GetInode(ba.ino);
+      uint32_t version = inode.ok() ? inode->version : 0;
+      (void)fs_->RewriteBlocks(
+          {BlockRef{ba.ino, version, ba.lbn, ba.daddr}}, {std::move(bytes)});
+    }
+    return wrote;
+  }
+  cur_offset_ += image.num_blocks;
+  // Inode placements become definite only now.
+  for (const auto& ia : image.inodes) {
+    RETURN_IF_ERROR(fs_->ApplyInodeMigration(ia.ino, ia.daddr));
+    staged_[cur_tseg_].inode_moves[ia.ino] = ia.daddr;
+  }
+  return OkStatus();
+}
+
+Status Migrator::CompleteSegment(const MigratorOptions& opts) {
+  RETURN_IF_ERROR(FinishPseg());
+  if (cur_tseg_ == kNoSegment) {
+    return OkStatus();
+  }
+  uint32_t tseg = cur_tseg_;
+  cur_tseg_ = kNoSegment;
+  cur_offset_ = 0;
+  lifetime_.segments_completed++;
+  staged_[tseg].replicas = opts.replicas;
+  // The kernel's copy-out request to the service process (Table 4 queuing).
+  SimTime t0 = clock_->Now();
+  clock_->Advance(2000);
+  io_->phases().Add("queuing", clock_->Now() - t0);
+  if (!opts.delayed_copyout) {
+    RETURN_IF_ERROR(CopyOut(tseg));
+  }
+  return OkStatus();
+}
+
+Status Migrator::CopyOut(uint32_t tseg) {
+  while (true) {
+    auto it = staged_.find(tseg);
+    if (it == staged_.end()) {
+      return NotFound("no staged segment " + std::to_string(tseg));
+    }
+    Status s = io_->CopyOutSegment(it->second.tseg, it->second.disk_seg);
+    if (s.ok()) {
+      RETURN_IF_ERROR(cache_->MarkCopiedOut(tseg));
+      WriteReplicas(it->second.tseg, it->second.disk_seg,
+                    it->second.replicas);
+      staged_.erase(tseg);
+      return OkStatus();
+    }
+    if (s.code() != ErrorCode::kEndOfMedium) {
+      return s;
+    }
+    // The volume filled mid-segment (uncertain capacity): mark it full and
+    // re-write the whole segment onto the next volume (paper section 6.3).
+    uint32_t volume = amap_->VolumeOfTseg(tseg);
+    full_volumes_.insert(volume);
+    // Persistently retire the volume's unused segments.
+    uint32_t first = amap_->FirstTsegOfVolume(volume);
+    for (uint32_t i = 0; i < amap_->segs_per_volume(); ++i) {
+      uint32_t t = first + i;
+      if (tsegs_->Get(t).flags & kSegClean) {
+        tsegs_->SetFlags(t, kSegDirty, kSegClean);
+        tsegs_->SetAvailBytes(t, 0);
+      }
+    }
+    lifetime_.eom_retargets++;
+    ASSIGN_OR_RETURN(tseg, RetargetSegment(tseg));
+  }
+}
+
+void Migrator::WriteReplicas(uint32_t primary, uint32_t disk_seg,
+                             int count) {
+  std::set<uint32_t> exclude = full_volumes_;
+  exclude.insert(amap_->VolumeOfTseg(primary));
+  for (int i = 0; i < count; ++i) {
+    uint32_t replica = tsegs_->NextFreshTseg(exclude);
+    if (replica == kNoSegment) {
+      HL_LOG(kWarn, "migrator", "no volume available for a replica copy");
+      return;
+    }
+    Status s = io_->CopyOutSegment(replica, disk_seg);
+    if (!s.ok()) {
+      HL_LOG(kWarn, "migrator", "replica write failed: " + s.ToString());
+      return;  // Best effort: the primary is already safe.
+    }
+    tsegs_->SetReplicaOf(replica, primary);
+    tsegs_->SetWriteTime(replica, clock_->Now());
+    // Spread further replicas across yet more volumes.
+    exclude.insert(amap_->VolumeOfTseg(replica));
+  }
+}
+
+Result<uint32_t> Migrator::RetargetSegment(uint32_t old_tseg) {
+  auto old_it = staged_.find(old_tseg);
+  if (old_it == staged_.end()) {
+    return NotFound("no staged segment " + std::to_string(old_tseg));
+  }
+  uint32_t new_tseg = tsegs_->NextFreshTseg(full_volumes_);
+  if (new_tseg == kNoSegment) {
+    return Status(ErrorCode::kNoVolume,
+                  "no volume available to re-target segment");
+  }
+  int64_t delta = static_cast<int64_t>(amap_->TsegBase(new_tseg)) -
+                  static_cast<int64_t>(amap_->TsegBase(old_tseg));
+  uint32_t spb = fs_->superblock().seg_size_blocks;
+
+  // Read the staged image (still registered under the old tseg), patch every
+  // partial-segment summary's embedded inode-block addresses, and re-write
+  // it under the new tseg.
+  std::vector<uint8_t> image(static_cast<size_t>(spb) * kBlockSize);
+  RETURN_IF_ERROR(dev_->ReadBlocks(amap_->TsegBase(old_tseg), spb, image));
+
+  uint32_t offset = 0;
+  while (offset + 1 <= spb) {
+    std::span<uint8_t> sumblock(
+        image.data() + static_cast<size_t>(offset) * kBlockSize, kBlockSize);
+    Result<SegSummary> sum = SegSummary::DeserializeFromBlock(sumblock);
+    if (!sum.ok()) {
+      break;
+    }
+    uint32_t total = 1 + sum->TotalDataBlocks() +
+                     static_cast<uint32_t>(sum->inode_daddrs.size());
+    if (offset + total > spb) {
+      break;
+    }
+    for (uint32_t& daddr : sum->inode_daddrs) {
+      daddr = static_cast<uint32_t>(daddr + delta);
+    }
+    RETURN_IF_ERROR(sum->SerializeToBlock(sumblock));
+    offset += total;
+  }
+
+  RETURN_IF_ERROR(cache_->Retag(old_tseg, new_tseg));
+  RETURN_IF_ERROR(
+      dev_->WriteBlocks(amap_->TsegBase(new_tseg), spb, image));
+
+  // Rebase the file-system pointers.
+  StagedSegment updated = old_it->second;
+  std::vector<Lfs::MigrationAssignment> rebased;
+  rebased.reserve(updated.moves.size());
+  for (const Lfs::MigrationAssignment& m : updated.moves) {
+    rebased.push_back(Lfs::MigrationAssignment{
+        m.ino, m.lbn, m.new_daddr,
+        static_cast<uint32_t>(m.new_daddr + delta)});
+  }
+  RETURN_IF_ERROR(fs_->ApplyMigration(rebased).status());
+  std::map<uint32_t, uint32_t> new_inode_moves;
+  for (const auto& [ino, daddr] : updated.inode_moves) {
+    uint32_t moved = static_cast<uint32_t>(daddr + delta);
+    RETURN_IF_ERROR(fs_->ApplyInodeMigration(ino, moved));
+    new_inode_moves[ino] = moved;
+  }
+
+  tsegs_->SetFlags(new_tseg, kSegDirty, kSegClean);
+  tsegs_->SetWriteTime(new_tseg, clock_->Now());
+
+  updated.tseg = new_tseg;
+  updated.moves = std::move(rebased);
+  updated.inode_moves = std::move(new_inode_moves);
+  staged_.erase(old_tseg);
+  staged_.emplace(new_tseg, std::move(updated));
+  return new_tseg;
+}
+
+Result<uint32_t> Migrator::StageBlock(uint32_t ino, uint32_t version,
+                                      uint32_t lbn,
+                                      std::span<const uint8_t> bytes,
+                                      const MigratorOptions& opts) {
+  RETURN_IF_ERROR(EnsureStagingSegment(opts));
+  while (true) {
+    if (builder_ == nullptr) {
+      uint32_t spb = fs_->superblock().seg_size_blocks;
+      if (cur_offset_ + 2 > spb) {
+        RETURN_IF_ERROR(CompleteSegment(opts));
+        RETURN_IF_ERROR(EnsureStagingSegment(opts));
+        continue;
+      }
+      builder_ = std::make_unique<SegmentBuilder>(
+          amap_->TsegBase(cur_tseg_) + cur_offset_, spb - cur_offset_,
+          kNoSegment, static_cast<uint32_t>(clock_->Now() / kUsPerSec),
+          staging_serial_++);
+    }
+    if (builder_->CanAddBlock(ino)) {
+      return builder_->AddBlock(ino, version, lbn, bytes);
+    }
+    RETURN_IF_ERROR(FinishPseg());
+  }
+}
+
+Status Migrator::StageInode(uint32_t ino, const MigratorOptions& opts) {
+  RETURN_IF_ERROR(EnsureStagingSegment(opts));
+  while (true) {
+    if (builder_ == nullptr) {
+      uint32_t spb = fs_->superblock().seg_size_blocks;
+      if (cur_offset_ + 2 > spb) {
+        RETURN_IF_ERROR(CompleteSegment(opts));
+        RETURN_IF_ERROR(EnsureStagingSegment(opts));
+        continue;
+      }
+      builder_ = std::make_unique<SegmentBuilder>(
+          amap_->TsegBase(cur_tseg_) + cur_offset_, spb - cur_offset_,
+          kNoSegment, static_cast<uint32_t>(clock_->Now() / kUsPerSec),
+          staging_serial_++);
+    }
+    if (builder_->CanAddInode()) {
+      ASSIGN_OR_RETURN(DInode inode, fs_->GetInode(ino));
+      RETURN_IF_ERROR(builder_->AddInode(inode).status());
+      return OkStatus();
+    }
+    RETURN_IF_ERROR(FinishPseg());
+  }
+}
+
+void Migrator::RecordMove(const Lfs::MigrationAssignment& move) {
+  uint32_t tseg = amap_->TsegOf(move.new_daddr);
+  auto it = staged_.find(tseg);
+  if (it != staged_.end()) {
+    it->second.moves.push_back(move);
+  }
+}
+
+Status Migrator::MigrateOneFile(uint32_t ino, const MigratorOptions& opts,
+                                MigrationReport& report) {
+  if (ino == kIfileInode || ino == kTsegInode || ino == kRootInode) {
+    // Special files always remain on disk (section 6.4); so does the root.
+    return OkStatus();
+  }
+  ASSIGN_OR_RETURN(std::vector<BlockRef> refs, fs_->CollectFileBlocks(ino));
+  // Migrating the inode of a file whose indirect blocks stay on disk would
+  // freeze stale indirect pointers on tertiary media; force metadata along.
+  bool has_meta = std::any_of(refs.begin(), refs.end(), [](const BlockRef& r) {
+    return IsMetaLbn(r.lbn);
+  });
+  MigratorOptions eff = opts;
+  if (opts.migrate_inode && has_meta) {
+    eff.migrate_metadata = true;
+  }
+
+  bool migrated_any = false;
+  for (const BlockRef& ref : refs) {
+    bool is_meta = IsMetaLbn(ref.lbn);
+    if (is_meta && !eff.migrate_metadata) {
+      continue;
+    }
+    if (ref.daddr == kNoBlock) {
+      report.blocks_skipped++;
+      continue;
+    }
+    if (amap_->Classify(ref.daddr) == AddressMap::Zone::kTertiary) {
+      report.blocks_skipped++;  // Already migrated.
+      continue;
+    }
+    // Metadata content is read *after* earlier pointer flips, so the staged
+    // copy carries the tertiary addresses.
+    SimTime t0 = clock_->Now();
+    ASSIGN_OR_RETURN(auto block, fs_->ReadFileBlock(ino, ref.lbn));
+    io_->phases().Add("ioserver", clock_->Now() - t0);
+    ASSIGN_OR_RETURN(uint32_t new_daddr,
+                     StageBlock(ino, ref.version, ref.lbn, block.first, eff));
+    Lfs::MigrationAssignment move{ino, ref.lbn, block.second, new_daddr};
+    ASSIGN_OR_RETURN(size_t applied, fs_->ApplyMigration({move}));
+    if (applied == 1) {
+      RecordMove(move);
+      report.blocks_migrated++;
+      report.bytes_migrated += kBlockSize;
+      migrated_any = true;
+    } else {
+      report.blocks_skipped++;
+    }
+  }
+
+  if (eff.migrate_inode) {
+    // Re-staging an inode that is already tertiary-resident (and whose
+    // blocks did not move this round) would duplicate it for nothing.
+    ASSIGN_OR_RETURN(uint32_t inode_daddr, fs_->InodeDaddr(ino));
+    bool inode_on_disk =
+        amap_->Classify(inode_daddr) == AddressMap::Zone::kDisk;
+    if (migrated_any || inode_on_disk) {
+      RETURN_IF_ERROR(StageInode(ino, eff));
+      migrated_any = true;
+    }
+  }
+  if (migrated_any) {
+    report.files_migrated++;
+  }
+  return OkStatus();
+}
+
+Status Migrator::ReMigrateFileBlocks(uint32_t ino,
+                                     const std::vector<BlockRef>& refs,
+                                     bool restage_inode,
+                                     const MigratorOptions& opts,
+                                     MigrationReport& report) {
+  bool migrated_any = false;
+  for (const BlockRef& ref : refs) {
+    if (ref.daddr == kNoBlock) {
+      report.blocks_skipped++;
+      continue;
+    }
+    // Unlike first migration, tertiary-resident sources are the whole point
+    // here. Reads route through the segment cache (demand-fetching the old
+    // segment if necessary).
+    SimTime t0 = clock_->Now();
+    Result<std::pair<std::vector<uint8_t>, uint32_t>> block =
+        fs_->ReadFileBlock(ino, ref.lbn);
+    io_->phases().Add("ioserver", clock_->Now() - t0);
+    if (!block.ok()) {
+      report.blocks_skipped++;
+      continue;
+    }
+    if (block->second != ref.daddr) {
+      report.blocks_skipped++;  // Superseded since the caller looked.
+      continue;
+    }
+    ASSIGN_OR_RETURN(uint32_t new_daddr,
+                     StageBlock(ino, ref.version, ref.lbn, block->first,
+                                opts));
+    Lfs::MigrationAssignment move{ino, ref.lbn, block->second, new_daddr};
+    ASSIGN_OR_RETURN(size_t applied, fs_->ApplyMigration({move}));
+    if (applied == 1) {
+      RecordMove(move);
+      report.blocks_migrated++;
+      report.bytes_migrated += kBlockSize;
+      migrated_any = true;
+    } else {
+      report.blocks_skipped++;
+    }
+  }
+  if (restage_inode) {
+    RETURN_IF_ERROR(StageInode(ino, opts));
+    migrated_any = true;
+  }
+  if (migrated_any) {
+    report.files_migrated++;
+  }
+  return OkStatus();
+}
+
+Result<MigrationReport> Migrator::MigrateFiles(
+    const std::vector<uint32_t>& inos, const MigratorOptions& opts) {
+  // Migrate only stable, on-disk state: push dirty data out first.
+  RETURN_IF_ERROR(fs_->Sync());
+  MigrationReport report;
+  uint32_t segs_before = lifetime_.segments_completed;
+  uint32_t eom_before = lifetime_.eom_retargets;
+  for (uint32_t ino : inos) {
+    RETURN_IF_ERROR(MigrateOneFile(ino, opts, report));
+  }
+  // Complete the trailing (possibly partial) staging segment.
+  RETURN_IF_ERROR(CompleteSegment(opts));
+  report.segments_completed = lifetime_.segments_completed - segs_before;
+  report.eom_retargets = lifetime_.eom_retargets - eom_before;
+  RETURN_IF_ERROR(tsegs_->Store());
+  RETURN_IF_ERROR(fs_->Sync());
+  lifetime_.files_migrated += report.files_migrated;
+  lifetime_.blocks_migrated += report.blocks_migrated;
+  lifetime_.bytes_migrated += report.bytes_migrated;
+  lifetime_.blocks_skipped += report.blocks_skipped;
+  return report;
+}
+
+Result<MigrationReport> Migrator::MigrateBlocks(
+    uint32_t ino, const std::vector<uint32_t>& lbns,
+    const MigratorOptions& opts) {
+  RETURN_IF_ERROR(fs_->Sync());
+  MigrationReport report;
+  MigratorOptions eff = opts;
+  eff.migrate_inode = false;
+  eff.migrate_metadata = false;
+  ASSIGN_OR_RETURN(DInode inode, fs_->GetInode(ino));
+  for (uint32_t lbn : lbns) {
+    Result<std::pair<std::vector<uint8_t>, uint32_t>> block =
+        fs_->ReadFileBlock(ino, lbn);
+    if (!block.ok()) {
+      report.blocks_skipped++;
+      continue;
+    }
+    if (amap_->Classify(block->second) == AddressMap::Zone::kTertiary) {
+      report.blocks_skipped++;
+      continue;
+    }
+    ASSIGN_OR_RETURN(uint32_t new_daddr,
+                     StageBlock(ino, inode.version, lbn, block->first, eff));
+    Lfs::MigrationAssignment move{ino, lbn, block->second, new_daddr};
+    ASSIGN_OR_RETURN(size_t applied, fs_->ApplyMigration({move}));
+    if (applied == 1) {
+      RecordMove(move);
+      report.blocks_migrated++;
+      report.bytes_migrated += kBlockSize;
+    } else {
+      report.blocks_skipped++;
+    }
+  }
+  if (report.blocks_migrated > 0) {
+    report.files_migrated = 1;
+  }
+  RETURN_IF_ERROR(CompleteSegment(eff));
+  RETURN_IF_ERROR(tsegs_->Store());
+  RETURN_IF_ERROR(fs_->Sync());
+  lifetime_.blocks_migrated += report.blocks_migrated;
+  lifetime_.bytes_migrated += report.bytes_migrated;
+  return report;
+}
+
+Result<MigrationReport> Migrator::ClusterFiles(
+    const std::vector<uint32_t>& inos, const MigratorOptions& opts) {
+  RETURN_IF_ERROR(fs_->Sync());
+  MigrationReport report;
+  uint32_t segs_before = lifetime_.segments_completed;
+  for (uint32_t ino : inos) {
+    if (ino == kIfileInode || ino == kTsegInode || ino == kRootInode) {
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::vector<BlockRef> all, fs_->CollectFileBlocks(ino));
+    std::vector<BlockRef> tertiary_refs;
+    for (const BlockRef& ref : all) {
+      if (ref.daddr != kNoBlock &&
+          amap_->Classify(ref.daddr) == AddressMap::Zone::kTertiary) {
+        tertiary_refs.push_back(ref);
+      }
+    }
+    if (tertiary_refs.empty()) {
+      continue;
+    }
+    Result<uint32_t> inode_daddr = fs_->InodeDaddr(ino);
+    bool restage_inode =
+        inode_daddr.ok() &&
+        amap_->Classify(*inode_daddr) == AddressMap::Zone::kTertiary;
+    RETURN_IF_ERROR(ReMigrateFileBlocks(ino, tertiary_refs, restage_inode,
+                                        opts, report));
+  }
+  RETURN_IF_ERROR(CompleteSegment(opts));
+  report.segments_completed = lifetime_.segments_completed - segs_before;
+  RETURN_IF_ERROR(tsegs_->Store());
+  RETURN_IF_ERROR(fs_->Sync());
+  return report;
+}
+
+Result<MigrationReport> Migrator::RunPolicy(MigrationPolicy& policy,
+                                            const MigratorOptions& opts,
+                                            uint64_t bytes_target) {
+  ASSIGN_OR_RETURN(std::vector<FileCandidate> ranked,
+                   policy.Rank(*fs_, clock_->Now()));
+  std::vector<uint32_t> inos;
+  uint64_t bytes = 0;
+  for (const FileCandidate& f : ranked) {
+    if (bytes_target != 0 && bytes >= bytes_target) {
+      break;
+    }
+    inos.push_back(f.ino);
+    bytes += f.size;
+  }
+  return MigrateFiles(inos, opts);
+}
+
+Status Migrator::FlushStaging() {
+  MigratorOptions immediate;
+  immediate.delayed_copyout = false;
+  RETURN_IF_ERROR(CompleteSegment(immediate));
+  // Copy out every pending segment (delayed-mode backlog).
+  std::vector<uint32_t> pending;
+  for (const auto& [tseg, record] : staged_) {
+    if (!record.copied) {
+      pending.push_back(tseg);
+    }
+  }
+  for (uint32_t tseg : pending) {
+    if (staged_.find(tseg) == staged_.end()) {
+      continue;  // Re-keyed by an earlier retarget.
+    }
+    RETURN_IF_ERROR(CopyOut(tseg));
+  }
+  RETURN_IF_ERROR(tsegs_->Store());
+  return fs_->Checkpoint();
+}
+
+uint32_t Migrator::PendingSegments() const {
+  uint32_t n = 0;
+  for (const auto& [tseg, record] : staged_) {
+    if (!record.copied) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hl

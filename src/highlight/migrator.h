@@ -1,0 +1,174 @@
+// Migrator: HighLight's second cleaner (paper sections 4, 6.2, 6.7).
+//
+// Collects to-be-migrated file blocks into *staging segments* — LFS segments
+// assembled in disk cache lines but addressed with tertiary block numbers —
+// then flips the file-system pointers (lfs_migratev) and hands completed
+// segments to the I/O server for copy-out. Supports:
+//  * whole-file migration, including indirect blocks and the inode itself;
+//  * partial (block-range) migration, where only selected blocks move and
+//    the updated inode stays on disk;
+//  * delayed copy-out (section 5.4 "Writing fresh tertiary segments"):
+//    completed segments pile up and are copied to tertiary in one idle-time
+//    batch, trading reserved disk space for the disk-arm contention the
+//    immediate mode suffers;
+//  * end-of-medium recovery: a segment that does not fit on its volume is
+//    re-targeted at the next volume and all pointers are rebased.
+
+#ifndef HIGHLIGHT_HIGHLIGHT_MIGRATOR_H_
+#define HIGHLIGHT_HIGHLIGHT_MIGRATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "highlight/address_map.h"
+#include "highlight/io_server.h"
+#include "highlight/migration_policy.h"
+#include "highlight/segment_cache.h"
+#include "highlight/tseg_table.h"
+#include "lfs/lfs.h"
+#include "lfs/segment_builder.h"
+
+namespace hl {
+
+struct MigratorOptions {
+  bool migrate_metadata = true;   // Indirect blocks move to tertiary.
+  bool migrate_inode = true;      // Whole-file migration moves the inode too.
+  bool delayed_copyout = false;   // Batch tertiary writes (section 5.4).
+  // Extra copies of each tertiary segment, placed on other volumes, read
+  // back via whichever copy is "closest" (section 5.4 replica variant).
+  // Replicas are best-effort: they consume tertiary space but are not
+  // counted as live data.
+  int replicas = 0;
+  // Directs this migration stream at a particular volume when it has room
+  // (section 6.5: "the migrator may wish to direct several migration
+  // streams to different media"). kNoSegment = default volume order.
+  uint32_t preferred_volume = kNoSegment;
+};
+
+struct MigrationReport {
+  uint32_t files_migrated = 0;
+  uint64_t blocks_migrated = 0;
+  uint64_t bytes_migrated = 0;
+  uint32_t segments_completed = 0;
+  uint32_t eom_retargets = 0;
+  uint32_t blocks_skipped = 0;  // Unstable or already tertiary-resident.
+};
+
+class Migrator {
+ public:
+  Migrator(Lfs* fs, BlockDevice* blockmap_dev, SegmentCache* cache,
+           IoServer* io, TsegTable* tsegs, const AddressMap* amap,
+           SimClock* clock)
+      : fs_(fs),
+        dev_(blockmap_dev),
+        cache_(cache),
+        io_(io),
+        tsegs_(tsegs),
+        amap_(amap),
+        clock_(clock) {}
+
+  // Migrates whole files (inos). Finishes with FlushStaging().
+  Result<MigrationReport> MigrateFiles(const std::vector<uint32_t>& inos,
+                                       const MigratorOptions& opts);
+
+  // Migrates selected data blocks of one file (block-range migration). The
+  // inode and indirect blocks stay on disk.
+  Result<MigrationReport> MigrateBlocks(uint32_t ino,
+                                        const std::vector<uint32_t>& lbns,
+                                        const MigratorOptions& opts);
+
+  // Re-migrates blocks that already live on tertiary storage into fresh
+  // staging segments — the primitive behind the tertiary cleaner and the
+  // section 5.4 rearrangement policies. `refs` must use the ordering
+  // CollectFileBlocks produces (data ascending, then double-indirect
+  // children, root, single indirect); when `restage_inode` is set the inode
+  // follows its blocks.
+  Status ReMigrateFileBlocks(uint32_t ino, const std::vector<BlockRef>& refs,
+                             bool restage_inode, const MigratorOptions& opts,
+                             MigrationReport& report);
+
+  // Section 5.4 "Rearranging tertiary segments": re-clusters the
+  // tertiary-resident blocks of the given files into fresh, adjacent
+  // staging segments, reflecting an observed co-access pattern. The old
+  // copies become dead bytes on their volumes (reclaimable by the tertiary
+  // cleaner); as the paper notes, the policy trades tertiary space for read
+  // locality.
+  Result<MigrationReport> ClusterFiles(const std::vector<uint32_t>& inos,
+                                       const MigratorOptions& opts);
+
+  // Volumes the allocator must skip (e.g. the volume being cleaned).
+  void ExcludeVolume(uint32_t volume) { full_volumes_.insert(volume); }
+  void UnexcludeVolume(uint32_t volume) { full_volumes_.erase(volume); }
+
+  // Ranks files with `policy` and migrates best-first until at least
+  // `bytes_target` bytes have been staged (0 = everything rankable).
+  Result<MigrationReport> RunPolicy(MigrationPolicy& policy,
+                                    const MigratorOptions& opts,
+                                    uint64_t bytes_target);
+
+  // Completes the in-progress staging segment and copies every pending
+  // segment to tertiary media. Persists the tseg table.
+  Status FlushStaging();
+
+  // Pending staged-but-not-copied segments (delayed mode backlog).
+  uint32_t PendingSegments() const;
+
+  const MigrationReport& lifetime_report() const { return lifetime_; }
+
+ private:
+  struct StagedSegment {
+    uint32_t tseg = kNoSegment;
+    uint32_t disk_seg = kNoSegment;
+    std::vector<Lfs::MigrationAssignment> moves;
+    std::map<uint32_t, uint32_t> inode_moves;  // ino -> tertiary daddr.
+    bool copied = false;
+    int replicas = 0;  // Extra copies requested at completion time.
+  };
+  // Best-effort replica writes after a successful primary copy-out.
+  void WriteReplicas(uint32_t primary, uint32_t disk_seg, int count);
+
+  // Staging-segment lifecycle.
+  Status EnsureStagingSegment(const MigratorOptions& opts);
+  Status FinishPseg();
+  Status CompleteSegment(const MigratorOptions& opts);
+  // Copies the staged segment keyed `tseg` to tertiary media, re-targeting
+  // across volumes on end-of-medium; erases its record on success.
+  Status CopyOut(uint32_t tseg);
+  // Moves a staged segment to a fresh tseg on another volume; returns the
+  // new key.
+  Result<uint32_t> RetargetSegment(uint32_t old_tseg);
+
+  // Adds one block to the staging area, returning its tertiary address.
+  Result<uint32_t> StageBlock(uint32_t ino, uint32_t version, uint32_t lbn,
+                              std::span<const uint8_t> bytes,
+                              const MigratorOptions& opts);
+  Status StageInode(uint32_t ino, const MigratorOptions& opts);
+  Status MigrateOneFile(uint32_t ino, const MigratorOptions& opts,
+                        MigrationReport& report);
+  void RecordMove(const Lfs::MigrationAssignment& move);
+
+  Lfs* fs_;
+  BlockDevice* dev_;
+  SegmentCache* cache_;
+  IoServer* io_;
+  TsegTable* tsegs_;
+  const AddressMap* amap_;
+  SimClock* clock_;
+
+  // Current staging state.
+  uint32_t cur_tseg_ = kNoSegment;
+  uint32_t cur_offset_ = 0;  // Blocks used in the staging segment.
+  std::unique_ptr<SegmentBuilder> builder_;
+  uint64_t staging_serial_ = 1;
+
+  std::map<uint32_t, StagedSegment> staged_;  // tseg -> record (until copied).
+  std::set<uint32_t> full_volumes_;
+  MigrationReport lifetime_;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_HIGHLIGHT_MIGRATOR_H_

@@ -1,0 +1,215 @@
+#include "highlight/segment_cache.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hl {
+
+SegmentCache::SegmentCache(Lfs* fs, CacheReplacement policy, uint64_t rng_seed)
+    : fs_(fs), policy_(policy), rng_(rng_seed) {}
+
+Status SegmentCache::Init() {
+  pool_.clear();
+  free_.clear();
+  directory_.clear();
+  for (uint32_t seg = 0; seg < fs_->NumSegments(); ++seg) {
+    const SegUsage& u = fs_->GetSegUsage(seg);
+    if (!(u.flags & kSegCacheEligible) || (u.flags & kSegNoStore)) {
+      continue;
+    }
+    pool_.push_back(seg);
+    if ((u.flags & kSegCached) && u.cache_tseg != kNoSegment) {
+      // Rebuild the directory from the ifile after a mount.
+      LineInfo line;
+      line.tseg = u.cache_tseg;
+      line.disk_seg = seg;
+      line.fetch_time = u.write_time;
+      line.last_access = u.write_time;
+      directory_[u.cache_tseg] = line;
+    } else {
+      free_.push_back(seg);
+    }
+  }
+  if (pool_.empty()) {
+    return InvalidArgument("file system has no cache-eligible segments");
+  }
+  return OkStatus();
+}
+
+uint32_t SegmentCache::Lookup(uint32_t tseg) const {
+  auto it = directory_.find(tseg);
+  return it == directory_.end() ? kNoSegment : it->second.disk_seg;
+}
+
+void SegmentCache::Touch(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  if (it == directory_.end()) {
+    return;
+  }
+  it->second.last_access = fs_->clock()->Now();
+  it->second.touches++;
+}
+
+Result<uint32_t> SegmentCache::PickVictim() {
+  // Candidates: non-pinned (not staging, not dirty) lines.
+  std::vector<const LineInfo*> candidates;
+  for (const auto& [tseg, line] : directory_) {
+    if (!line.staging && !line.dirty) {
+      candidates.push_back(&line);
+    }
+  }
+  if (candidates.empty()) {
+    return Status(ErrorCode::kBusy, "all cache lines are pinned");
+  }
+  const LineInfo* victim = nullptr;
+  switch (policy_) {
+    case CacheReplacement::kLru:
+      victim = *std::min_element(candidates.begin(), candidates.end(),
+                                 [](const LineInfo* a, const LineInfo* b) {
+                                   return a->last_access < b->last_access;
+                                 });
+      break;
+    case CacheReplacement::kFifo:
+      victim = *std::min_element(candidates.begin(), candidates.end(),
+                                 [](const LineInfo* a, const LineInfo* b) {
+                                   return a->fetch_time < b->fetch_time;
+                                 });
+      break;
+    case CacheReplacement::kRandom:
+      victim = candidates[rng_.Below(candidates.size())];
+      break;
+    case CacheReplacement::kLeastWorthyFirstTouch: {
+      // Prefer once-touched newcomers (fetched but never re-referenced);
+      // fall back to LRU among promoted lines.
+      std::vector<const LineInfo*> newcomers;
+      for (const LineInfo* line : candidates) {
+        if (line->touches <= 1) {
+          newcomers.push_back(line);
+        }
+      }
+      const auto lru = [](const LineInfo* a, const LineInfo* b) {
+        return a->last_access < b->last_access;
+      };
+      if (!newcomers.empty()) {
+        victim = *std::min_element(newcomers.begin(), newcomers.end(), lru);
+      } else {
+        victim = *std::min_element(candidates.begin(), candidates.end(), lru);
+      }
+      break;
+    }
+  }
+  return victim->tseg;
+}
+
+Result<uint32_t> SegmentCache::AllocLine(uint32_t tseg, bool staging) {
+  if (directory_.count(tseg) > 0) {
+    return Status(ErrorCode::kExists,
+                  "tseg " + std::to_string(tseg) + " already cached");
+  }
+  uint32_t disk_seg;
+  if (!free_.empty()) {
+    disk_seg = free_.back();
+    free_.pop_back();
+  } else {
+    ASSIGN_OR_RETURN(uint32_t victim_tseg, PickVictim());
+    disk_seg = directory_[victim_tseg].disk_seg;
+    RETURN_IF_ERROR(Eject(victim_tseg));
+    // Eject put the segment back on the free list; claim it.
+    free_.pop_back();
+    stats_.evictions++;
+  }
+  LineInfo line;
+  line.tseg = tseg;
+  line.disk_seg = disk_seg;
+  line.fetch_time = fs_->clock()->Now();
+  line.last_access = line.fetch_time;
+  line.touches = staging ? 1 : 0;
+  line.staging = staging;
+  line.dirty = staging;
+  directory_[tseg] = line;
+  if (staging) {
+    stats_.staged_lines++;
+  }
+  // Mirror into the ifile so a remount can rebuild the directory.
+  RETURN_IF_ERROR(fs_->SetSegFlags(
+      disk_seg, static_cast<uint16_t>(kSegCached | (staging ? kSegStaging : 0)),
+      kSegClean));
+  RETURN_IF_ERROR(fs_->SetSegCacheTag(disk_seg, tseg));
+  return disk_seg;
+}
+
+Status SegmentCache::MarkCopiedOut(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  if (it == directory_.end()) {
+    return NotFound("tseg " + std::to_string(tseg) + " not cached");
+  }
+  it->second.staging = false;
+  it->second.dirty = false;
+  return fs_->SetSegFlags(it->second.disk_seg, 0, kSegStaging);
+}
+
+Status SegmentCache::Retag(uint32_t old_tseg, uint32_t new_tseg) {
+  auto it = directory_.find(old_tseg);
+  if (it == directory_.end()) {
+    return NotFound("tseg " + std::to_string(old_tseg) + " not cached");
+  }
+  LineInfo line = it->second;
+  directory_.erase(it);
+  line.tseg = new_tseg;
+  directory_[new_tseg] = line;
+  return fs_->SetSegCacheTag(line.disk_seg, new_tseg);
+}
+
+Status SegmentCache::Eject(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  if (it == directory_.end()) {
+    return NotFound("tseg " + std::to_string(tseg) + " not cached");
+  }
+  if (it->second.staging || it->second.dirty) {
+    return Status(ErrorCode::kBusy, "line holds the only copy (staging)");
+  }
+  uint32_t disk_seg = it->second.disk_seg;
+  directory_.erase(it);
+  free_.push_back(disk_seg);
+  RETURN_IF_ERROR(
+      fs_->SetSegFlags(disk_seg, kSegClean, kSegCached | kSegStaging));
+  return fs_->SetSegCacheTag(disk_seg, kNoSegment);
+}
+
+Status SegmentCache::Resize(uint32_t new_capacity) {
+  // Grow: claim clean segments from the log pool.
+  while (pool_.size() < new_capacity) {
+    ASSIGN_OR_RETURN(uint32_t seg, fs_->ClaimCacheSegment());
+    pool_.push_back(seg);
+    free_.push_back(seg);
+  }
+  // Shrink: release free lines first, then evict clean lines.
+  while (pool_.size() > new_capacity) {
+    uint32_t seg;
+    if (!free_.empty()) {
+      seg = free_.back();
+      free_.pop_back();
+    } else {
+      ASSIGN_OR_RETURN(uint32_t victim_tseg, PickVictim());
+      seg = directory_[victim_tseg].disk_seg;
+      RETURN_IF_ERROR(Eject(victim_tseg));
+      free_.pop_back();  // Eject freed it; claim it for release.
+      stats_.evictions++;
+    }
+    RETURN_IF_ERROR(fs_->ReleaseCacheSegment(seg));
+    pool_.erase(std::find(pool_.begin(), pool_.end(), seg));
+  }
+  return OkStatus();
+}
+
+std::vector<SegmentCache::LineInfo> SegmentCache::Lines() const {
+  std::vector<LineInfo> out;
+  out.reserve(directory_.size());
+  for (const auto& [tseg, line] : directory_) {
+    out.push_back(line);
+  }
+  return out;
+}
+
+}  // namespace hl

@@ -1,0 +1,107 @@
+// SegmentCache: the disk-resident cache of tertiary segments (paper
+// sections 4, 6.2 and 6.4).
+//
+// Cache lines are whole disk segments drawn from the cache-eligible pool
+// fixed at mkfs time. Lines are read-only copies of tertiary segments —
+// except *staging* lines, where the migrator assembles fresh tertiary
+// segments before the I/O server copies them out. Read-only lines can be
+// discarded at any moment (the tertiary copy is authoritative); staging
+// lines are pinned until copied.
+//
+// Replacement policies: LRU, random, FIFO by fetch time, and the paper's
+// future-work "least-worthy" scheme (a new fetch starts at the eviction end
+// and is promoted into the regular pool on its second touch — the MRU-hybrid
+// of section 10).
+
+#ifndef HIGHLIGHT_HIGHLIGHT_SEGMENT_CACHE_H_
+#define HIGHLIGHT_HIGHLIGHT_SEGMENT_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "lfs/lfs.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace hl {
+
+enum class CacheReplacement {
+  kLru,
+  kRandom,
+  kFifo,
+  kLeastWorthyFirstTouch,  // Section 10's MRU-hybrid.
+};
+
+class SegmentCache {
+ public:
+  // `fs` supplies the segment-usage table (cache tags are mirrored there so
+  // the ifile stays authoritative across mounts).
+  SegmentCache(Lfs* fs, CacheReplacement policy, uint64_t rng_seed = 1);
+
+  // Discovers the cache-eligible disk segments (call once after mkfs/mount;
+  // on mount it also rebuilds the directory from the ifile's cache tags).
+  Status Init();
+
+  // Cache directory lookup: disk segment caching `tseg`, or kNoSegment.
+  uint32_t Lookup(uint32_t tseg) const;
+
+  // Records an access for replacement bookkeeping.
+  void Touch(uint32_t tseg);
+
+  // Allocates a line for `tseg`, evicting if necessary. Fails with kBusy if
+  // every line is pinned. The caller fills the line (fetch or staging).
+  Result<uint32_t> AllocLine(uint32_t tseg, bool staging);
+
+  // Staging lines become ordinary cached lines once copied to tertiary.
+  Status MarkCopiedOut(uint32_t tseg);
+  // Re-keys a staged line after an end-of-medium retarget.
+  Status Retag(uint32_t old_tseg, uint32_t new_tseg);
+
+  // Drops a read-only line (no I/O needed: tertiary copy is authoritative).
+  Status Eject(uint32_t tseg);
+
+  // Dynamic cache sizing (section 10): grows by claiming clean log segments
+  // from the file system, shrinks by releasing free/clean lines back to it.
+  // Shrinking below the pinned-line count fails with kBusy.
+  Status Resize(uint32_t new_capacity);
+
+  struct LineInfo {
+    uint32_t tseg = kNoSegment;
+    uint32_t disk_seg = kNoSegment;
+    uint64_t fetch_time = 0;
+    uint64_t last_access = 0;
+    uint64_t touches = 0;
+    bool staging = false;   // Being assembled by the migrator.
+    bool dirty = false;     // Assembled but not yet on tertiary media.
+  };
+  std::vector<LineInfo> Lines() const;
+  uint32_t Capacity() const { return static_cast<uint32_t>(pool_.size()); }
+  uint32_t Used() const { return static_cast<uint32_t>(directory_.size()); }
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t staged_lines = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  void CountHit() { stats_.hits++; }
+  void CountMiss() { stats_.misses++; }
+
+ private:
+  Result<uint32_t> PickVictim();
+
+  Lfs* fs_;
+  CacheReplacement policy_;
+  Rng rng_;
+  std::vector<uint32_t> pool_;           // Cache-eligible disk segments.
+  std::vector<uint32_t> free_;           // Unused pool segments.
+  std::map<uint32_t, LineInfo> directory_;  // tseg -> line.
+  Stats stats_;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_HIGHLIGHT_SEGMENT_CACHE_H_

@@ -1,0 +1,61 @@
+#include "highlight/service_process.h"
+
+#include "util/logging.h"
+
+namespace hl {
+
+Status ServiceProcess::FetchIntoCache(uint32_t tseg, bool is_prefetch) {
+  if (cache_->Lookup(tseg) != kNoSegment) {
+    return OkStatus();
+  }
+  Result<uint32_t> line = cache_->AllocLine(tseg, /*staging=*/false);
+  if (!line.ok()) {
+    return line.status();
+  }
+  Status fetched = io_->FetchSegment(tseg, *line);
+  if (!fetched.ok()) {
+    // Failed fetch: release the line so the cache stays consistent.
+    (void)cache_->Eject(tseg);
+    return fetched;
+  }
+  if (is_prefetch) {
+    stats_.prefetches++;
+  }
+  return OkStatus();
+}
+
+Status ServiceProcess::DemandFetch(uint32_t tseg) {
+  SimTime t0 = clock_->Now();
+  clock_->Advance(request_overhead_us_);
+  io_->phases().Add("queuing", clock_->Now() - t0);
+
+  if (notifier_ && cache_->Lookup(tseg) == kNoSegment) {
+    SimTime estimate = fetch_time_samples_ == 0
+                           ? 0
+                           : fetch_time_total_ / fetch_time_samples_;
+    notifier_(tseg, estimate);
+  }
+  stats_.demand_fetches++;
+  SimTime fetch_start = clock_->Now();
+  RETURN_IF_ERROR(FetchIntoCache(tseg, /*is_prefetch=*/false));
+  fetch_time_total_ += clock_->Now() - fetch_start;
+  fetch_time_samples_++;
+
+  if (prefetch_) {
+    for (uint32_t extra : prefetch_(tseg)) {
+      if (extra == tseg) {
+        continue;
+      }
+      Status s = FetchIntoCache(extra, /*is_prefetch=*/true);
+      if (!s.ok()) {
+        stats_.failed_prefetches++;
+        HL_LOG(kDebug, "service",
+               "prefetch of tseg " + std::to_string(extra) +
+                   " failed: " + s.ToString());
+      }
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace hl

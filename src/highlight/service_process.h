@@ -1,0 +1,80 @@
+// ServiceProcess: the kernel-request service daemon of section 6.7.
+//
+// The kernel (block-map driver) queues demand-fetch requests here; the
+// service process selects a reusable cache line (ejecting one if needed),
+// directs the I/O server to fetch the tertiary segment, registers the new
+// line in the cache directory, and "restarts" the original I/O. It may also
+// prefetch additional segments based on a pluggable policy (hints from the
+// migrator or observed access patterns, section 5.4).
+
+#ifndef HIGHLIGHT_HIGHLIGHT_SERVICE_PROCESS_H_
+#define HIGHLIGHT_HIGHLIGHT_SERVICE_PROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "highlight/io_server.h"
+#include "highlight/segment_cache.h"
+#include "sim/sim_clock.h"
+#include "util/status.h"
+
+namespace hl {
+
+class ServiceProcess {
+ public:
+  ServiceProcess(SegmentCache* cache, IoServer* io, SimClock* clock)
+      : cache_(cache), io_(io), clock_(clock) {}
+
+  // Handles one demand fetch. Charges the request-queuing overhead, brings
+  // the segment into the cache, and runs the prefetch policy.
+  Status DemandFetch(uint32_t tseg);
+
+  // Explicit ejection request (e.g. the migrator reclaiming cache space).
+  Status Eject(uint32_t tseg) { return cache_->Eject(tseg); }
+
+  // The prefetch policy maps a demand-fetched tseg to additional tsegs to
+  // bring in. Empty by default.
+  using PrefetchPolicy = std::function<std::vector<uint32_t>(uint32_t)>;
+  void SetPrefetchPolicy(PrefetchPolicy policy) {
+    prefetch_ = std::move(policy);
+  }
+
+  // Section 10's user-notification agent: called when a request is about to
+  // block on tertiary storage, with the estimated delay (a rolling average
+  // of past fetches; 0 when no history exists) — the kernel "hold on"
+  // message to the waiting process.
+  using SlowAccessNotifier = std::function<void(uint32_t tseg,
+                                                SimTime estimated_us)>;
+  void SetSlowAccessNotifier(SlowAccessNotifier notifier) {
+    notifier_ = std::move(notifier);
+  }
+
+  struct Stats {
+    uint64_t demand_fetches = 0;
+    uint64_t prefetches = 0;
+    uint64_t failed_prefetches = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Kernel/user crossing + queue handling cost per request (the "queuing"
+  // slice of Table 4).
+  void set_request_overhead_us(SimTime us) { request_overhead_us_ = us; }
+
+ private:
+  Status FetchIntoCache(uint32_t tseg, bool is_prefetch);
+
+  SegmentCache* cache_;
+  IoServer* io_;
+  SimClock* clock_;
+  PrefetchPolicy prefetch_;
+  SlowAccessNotifier notifier_;
+  SimTime request_overhead_us_ = 2000;  // ~2 ms per request round trip.
+  SimTime fetch_time_total_ = 0;   // For the rolling latency estimate.
+  uint64_t fetch_time_samples_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_HIGHLIGHT_SERVICE_PROCESS_H_

@@ -1,0 +1,135 @@
+#include "highlight/tseg_table.h"
+
+#include "util/logging.h"
+
+namespace hl {
+
+Status TsegTable::Load() {
+  uint32_t n = amap_->tertiary_nsegs();
+  entries_.assign(n, SegUsage{});
+  std::vector<uint8_t> raw(static_cast<size_t>(n) * SegUsage::kEncodedSize);
+  ASSIGN_OR_RETURN(size_t got, fs_->Read(kTsegInode, 0, raw));
+  if (got != raw.size()) {
+    return Corruption("tsegfile shorter than tertiary segment count");
+  }
+  for (uint32_t t = 0; t < n; ++t) {
+    entries_[t] = SegUsage::Deserialize(std::span<const uint8_t>(
+        raw.data() + static_cast<size_t>(t) * SegUsage::kEncodedSize,
+        SegUsage::kEncodedSize));
+  }
+  dirty_.clear();
+  return OkStatus();
+}
+
+Status TsegTable::Store() {
+  std::vector<uint8_t> buf(SegUsage::kEncodedSize);
+  for (uint32_t tseg : dirty_) {
+    entries_[tseg].Serialize(buf);
+    RETURN_IF_ERROR(fs_->Write(
+        kTsegInode,
+        static_cast<uint64_t>(tseg) * SegUsage::kEncodedSize, buf));
+  }
+  dirty_.clear();
+  return OkStatus();
+}
+
+void TsegTable::OnAccounting(uint32_t daddr, int64_t delta_bytes) {
+  uint32_t tseg = amap_->TsegOf(daddr);
+  if (tseg >= entries_.size()) {
+    return;
+  }
+  SegUsage& u = entries_[tseg];
+  if (delta_bytes < 0 &&
+      u.live_bytes < static_cast<uint64_t>(-delta_bytes)) {
+    u.live_bytes = 0;
+  } else {
+    u.live_bytes = static_cast<uint32_t>(u.live_bytes + delta_bytes);
+  }
+  dirty_.insert(tseg);
+}
+
+void TsegTable::SetFlags(uint32_t tseg, uint16_t set, uint16_t clear) {
+  entries_[tseg].flags =
+      static_cast<uint16_t>((entries_[tseg].flags & ~clear) | set);
+  dirty_.insert(tseg);
+}
+
+void TsegTable::SetAvailBytes(uint32_t tseg, uint32_t avail) {
+  entries_[tseg].avail_bytes = avail;
+  dirty_.insert(tseg);
+}
+
+void TsegTable::SetWriteTime(uint32_t tseg, uint64_t t) {
+  entries_[tseg].write_time = t;
+  dirty_.insert(tseg);
+}
+
+void TsegTable::SetReplicaOf(uint32_t tseg, uint32_t primary) {
+  SegUsage& u = entries_[tseg];
+  u.flags = static_cast<uint16_t>((u.flags & ~kSegClean) |
+                                  kSegDirty | kSegReplica);
+  u.cache_tseg = primary;
+  dirty_.insert(tseg);
+}
+
+std::vector<uint32_t> TsegTable::ReplicasOf(uint32_t primary) const {
+  std::vector<uint32_t> out;
+  for (uint32_t t = 0; t < entries_.size(); ++t) {
+    if ((entries_[t].flags & kSegReplica) &&
+        entries_[t].cache_tseg == primary) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+uint32_t TsegTable::NextFreshTseg(const std::set<uint32_t>& full_volumes,
+                                  uint32_t preferred_volume) const {
+  auto scan_volume = [&](uint32_t volume) -> uint32_t {
+    if (full_volumes.count(volume) > 0) {
+      return kNoSegment;
+    }
+    uint32_t first = amap_->FirstTsegOfVolume(volume);
+    for (uint32_t s = 0; s < amap_->segs_per_volume(); ++s) {
+      uint32_t tseg = first + s;
+      if (entries_[tseg].flags & kSegClean) {
+        return tseg;
+      }
+    }
+    return kNoSegment;
+  };
+  if (preferred_volume != kNoSegment &&
+      preferred_volume < amap_->num_volumes()) {
+    uint32_t tseg = scan_volume(preferred_volume);
+    if (tseg != kNoSegment) {
+      return tseg;
+    }
+  }
+  for (uint32_t volume = 0; volume < amap_->num_volumes(); ++volume) {
+    uint32_t tseg = scan_volume(volume);
+    if (tseg != kNoSegment) {
+      return tseg;
+    }
+  }
+  return kNoSegment;
+}
+
+uint64_t TsegTable::TotalLiveBytes() const {
+  uint64_t total = 0;
+  for (const SegUsage& u : entries_) {
+    total += u.live_bytes;
+  }
+  return total;
+}
+
+uint32_t TsegTable::DirtyTsegCount() const {
+  uint32_t n = 0;
+  for (const SegUsage& u : entries_) {
+    if (!(u.flags & kSegClean)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace hl

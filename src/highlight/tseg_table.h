@@ -1,0 +1,74 @@
+// TsegTable: the in-core view of the tsegfile, HighLight's companion to the
+// ifile holding one summary entry per *tertiary* segment (paper section 6.4).
+//
+// Entries use the same SegUsage format as the ifile's segment usage table.
+// The table receives live-byte deltas through the Lfs tertiary-accounting
+// hook, tracks which tertiary segments hold data, and persists itself back
+// into the tsegfile (which, like all HighLight special files, always stays
+// on disk).
+
+#ifndef HIGHLIGHT_HIGHLIGHT_TSEG_TABLE_H_
+#define HIGHLIGHT_HIGHLIGHT_TSEG_TABLE_H_
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "highlight/address_map.h"
+#include "lfs/lfs.h"
+#include "util/status.h"
+
+namespace hl {
+
+class TsegTable {
+ public:
+  TsegTable(Lfs* fs, const AddressMap* amap) : fs_(fs), amap_(amap) {}
+
+  // Loads entries from the tsegfile (after mkfs or mount).
+  Status Load();
+  // Writes dirty entries back into the tsegfile.
+  Status Store();
+
+  uint32_t size() const { return static_cast<uint32_t>(entries_.size()); }
+  const SegUsage& Get(uint32_t tseg) const { return entries_[tseg]; }
+
+  // Accounting hook target: `daddr` is a tertiary block address.
+  void OnAccounting(uint32_t daddr, int64_t delta_bytes);
+
+  void SetFlags(uint32_t tseg, uint16_t set, uint16_t clear);
+  void SetAvailBytes(uint32_t tseg, uint32_t avail);
+  void SetWriteTime(uint32_t tseg, uint64_t t);
+
+  // Replica catalog (section 5.4 "closest copy" variant): `tseg` becomes a
+  // replica of `primary`. Stored in the entry's cache_tseg field, so the
+  // catalog survives remounts via the tsegfile.
+  void SetReplicaOf(uint32_t tseg, uint32_t primary);
+  bool IsReplica(uint32_t tseg) const {
+    return (entries_[tseg].flags & kSegReplica) != 0;
+  }
+  // All replicas of a primary segment (linear scan; fetches are rare).
+  std::vector<uint32_t> ReplicasOf(uint32_t primary) const;
+
+  // Allocation cursor for the migrator: the next never-written tertiary
+  // segment, consuming volumes one at a time in volume order (volume 0
+  // first). Skips segments on volumes marked full. kNoSegment when tertiary
+  // space is exhausted. A preferred volume, when given, is tried first —
+  // the mechanism behind directing several migration streams at different
+  // media (section 6.5).
+  uint32_t NextFreshTseg(const std::set<uint32_t>& full_volumes,
+                         uint32_t preferred_volume = kNoSegment) const;
+
+  // Total live bytes across tertiary segments (reporting).
+  uint64_t TotalLiveBytes() const;
+  uint32_t DirtyTsegCount() const;
+
+ private:
+  Lfs* fs_;
+  const AddressMap* amap_;
+  std::vector<SegUsage> entries_;
+  std::set<uint32_t> dirty_;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_HIGHLIGHT_TSEG_TABLE_H_

@@ -1,0 +1,86 @@
+#include "lfs/access_ranges.h"
+
+#include <algorithm>
+
+namespace hl {
+
+void AccessRangeTracker::RecordRead(uint32_t ino, uint32_t lbn,
+                                    uint32_t count, SimTime now) {
+  if (count == 0) {
+    return;
+  }
+  RangeList& ranges = files_[ino];
+  ranges.push_back(AccessRange{lbn, lbn + count, now});
+  std::sort(ranges.begin(), ranges.end(),
+            [](const AccessRange& a, const AccessRange& b) {
+              return a.start_lbn < b.start_lbn;
+            });
+  Coalesce(ranges);
+  EnforceCap(ranges);
+}
+
+void AccessRangeTracker::Coalesce(RangeList& ranges) {
+  RangeList merged;
+  for (const AccessRange& r : ranges) {
+    if (!merged.empty() && r.start_lbn <= merged.back().end_lbn) {
+      // Overlapping or touching: merge, keeping the most recent timestamp
+      // (a re-read of part of a range refreshes the whole record — the
+      // coarse-granularity cost the paper accepts).
+      merged.back().end_lbn = std::max(merged.back().end_lbn, r.end_lbn);
+      merged.back().last_access =
+          std::max(merged.back().last_access, r.last_access);
+    } else {
+      merged.push_back(r);
+    }
+  }
+  ranges = std::move(merged);
+}
+
+void AccessRangeTracker::EnforceCap(RangeList& ranges) {
+  while (ranges.size() > max_records_) {
+    // Merge the pair with the smallest gap: least precision lost.
+    size_t best = 0;
+    uint32_t best_gap = 0xFFFFFFFFu;
+    for (size_t i = 0; i + 1 < ranges.size(); ++i) {
+      uint32_t gap = ranges[i + 1].start_lbn - ranges[i].end_lbn;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    ranges[best].end_lbn = ranges[best + 1].end_lbn;
+    ranges[best].last_access =
+        std::max(ranges[best].last_access, ranges[best + 1].last_access);
+    ranges.erase(ranges.begin() + best + 1);
+  }
+}
+
+std::vector<AccessRange> AccessRangeTracker::Ranges(uint32_t ino) const {
+  auto it = files_.find(ino);
+  return it == files_.end() ? std::vector<AccessRange>{} : it->second;
+}
+
+void AccessRangeTracker::Forget(uint32_t ino) { files_.erase(ino); }
+
+std::vector<uint32_t> AccessRangeTracker::ColdBlocks(uint32_t ino,
+                                                     uint32_t file_blocks,
+                                                     SimTime cutoff) const {
+  std::vector<uint32_t> cold;
+  auto it = files_.find(ino);
+  const RangeList empty;
+  const RangeList& ranges = it == files_.end() ? empty : it->second;
+  size_t r = 0;
+  for (uint32_t lbn = 0; lbn < file_blocks; ++lbn) {
+    while (r < ranges.size() && ranges[r].end_lbn <= lbn) {
+      ++r;
+    }
+    bool warm = r < ranges.size() && ranges[r].start_lbn <= lbn &&
+                ranges[r].last_access >= cutoff;
+    if (!warm) {
+      cold.push_back(lbn);
+    }
+  }
+  return cold;
+}
+
+}  // namespace hl

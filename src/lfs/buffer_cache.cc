@@ -1,0 +1,51 @@
+#include "lfs/buffer_cache.h"
+
+#include <cstring>
+
+namespace hl {
+
+bool BufferCache::Lookup(uint32_t daddr, std::span<uint8_t> out) {
+  auto it = entries_.find(daddr);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  std::memcpy(out.data(), it->second->data.data(),
+              std::min(out.size(), it->second->data.size()));
+  return true;
+}
+
+void BufferCache::Insert(uint32_t daddr, std::span<const uint8_t> block) {
+  auto it = entries_.find(daddr);
+  if (it != entries_.end()) {
+    it->second->data.assign(block.begin(), block.end());
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  while (entries_.size() >= capacity_ && !lru_.empty()) {
+    entries_.erase(lru_.back().daddr);
+    lru_.pop_back();
+  }
+  if (capacity_ == 0) {
+    return;
+  }
+  lru_.push_front(Entry{daddr, {block.begin(), block.end()}});
+  entries_[daddr] = lru_.begin();
+}
+
+void BufferCache::Invalidate(uint32_t daddr) {
+  auto it = entries_.find(daddr);
+  if (it != entries_.end()) {
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+}
+
+void BufferCache::Flush() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace hl

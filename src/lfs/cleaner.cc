@@ -1,0 +1,143 @@
+#include "lfs/cleaner.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace hl {
+
+std::vector<uint32_t> Cleaner::RankSegments() const {
+  struct Candidate {
+    uint32_t seg;
+    double score;
+  };
+  std::vector<Candidate> candidates;
+  uint64_t now = fs_->clock()->Now();
+  uint32_t seg_bytes = fs_->superblock().SegByteSize();
+  for (uint32_t seg = 0; seg < fs_->NumSegments(); ++seg) {
+    const SegUsage& u = fs_->GetSegUsage(seg);
+    if ((u.flags & (kSegClean | kSegActive | kSegCacheEligible |
+                    kSegNoStore)) != 0) {
+      continue;
+    }
+    if (seg == fs_->cur_seg() || seg == fs_->next_seg()) {
+      continue;
+    }
+    double utilization =
+        std::min(1.0, static_cast<double>(u.live_bytes) / seg_bytes);
+    double score;
+    if (policy_ == CleanerPolicy::kGreedy) {
+      score = 1.0 - utilization;
+    } else {
+      double age_sec =
+          static_cast<double>(now - std::min<uint64_t>(u.write_time, now)) /
+          kUsPerSec;
+      score = (1.0 - utilization) * (1.0 + age_sec) / (1.0 + utilization);
+    }
+    candidates.push_back(Candidate{seg, score});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.score > b.score;
+            });
+  std::vector<uint32_t> out;
+  out.reserve(candidates.size());
+  for (const Candidate& c : candidates) {
+    out.push_back(c.seg);
+  }
+  return out;
+}
+
+Status Cleaner::CleanOne(uint32_t seg) {
+  ASSIGN_OR_RETURN(std::vector<ParsedPartial> partials,
+                   fs_->ParseSegment(seg));
+  const Superblock& sb = fs_->superblock();
+
+  std::vector<BlockRef> live_refs;
+  std::vector<std::vector<uint8_t>> live_data;
+
+  for (const ParsedPartial& p : partials) {
+    // Reconstruct the block layout: data blocks follow the summary in FINFO
+    // order, then inode blocks.
+    uint32_t cursor = p.base_daddr + 1;
+    std::vector<uint8_t> block(kBlockSize);
+    for (const FInfo& f : p.summary.finfos) {
+      for (uint32_t lbn : f.lbns) {
+        BlockRef ref{f.ino, f.version, lbn, cursor};
+        stats_.blocks_examined++;
+        if (fs_->IsLive(ref)) {
+          RETURN_IF_ERROR(fs_->device()->ReadBlocks(cursor, 1, block));
+          live_refs.push_back(ref);
+          live_data.emplace_back(block.begin(), block.end());
+          stats_.blocks_live++;
+        }
+        ++cursor;
+      }
+    }
+    // Inode blocks: any inode whose map entry still points here moves.
+    for (uint32_t inode_daddr : p.summary.inode_daddrs) {
+      RETURN_IF_ERROR(fs_->device()->ReadBlocks(inode_daddr, 1, block));
+      for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+        Result<DInode> d = DInode::Deserialize(std::span<const uint8_t>(
+            block.data() + slot * kInodeSize, kInodeSize));
+        if (!d.ok() || d->ino == kNoInode) {
+          continue;
+        }
+        ASSIGN_OR_RETURN(bool moved,
+                         fs_->RelocateInode(d->ino, inode_daddr));
+        if (moved) {
+          stats_.inodes_relocated++;
+        }
+      }
+    }
+  }
+
+  RETURN_IF_ERROR(fs_->RewriteBlocks(live_refs, live_data).status());
+  // Push the relocations into the log, then retire the segment.
+  RETURN_IF_ERROR(fs_->Sync());
+  (void)sb;
+  RETURN_IF_ERROR(fs_->MarkSegmentClean(seg));
+  stats_.segments_cleaned++;
+  return OkStatus();
+}
+
+Result<uint32_t> Cleaner::Clean(uint32_t max_segments) {
+  std::vector<uint32_t> ranked = RankSegments();
+  uint32_t done = 0;
+  for (uint32_t seg : ranked) {
+    if (done >= max_segments) {
+      break;
+    }
+    RETURN_IF_ERROR(CleanOne(seg));
+    ++done;
+  }
+  if (done > 0) {
+    // Make the reclaimed state durable before the segments are reused.
+    RETURN_IF_ERROR(fs_->Checkpoint());
+  }
+  return done;
+}
+
+Result<uint32_t> Cleaner::CleanUntil(uint32_t target_clean) {
+  uint32_t total = 0;
+  uint32_t prev_clean = fs_->CleanSegmentCount();
+  while (fs_->CleanSegmentCount() < target_clean) {
+    ASSIGN_OR_RETURN(uint32_t done, Clean(4));
+    if (done == 0) {
+      break;
+    }
+    total += done;
+    // Guard against livelock on a nearly-full disk: relocating live data
+    // consumes segments as fast as cleaning frees them. If a round made no
+    // forward progress, further rounds will not either.
+    uint32_t now_clean = fs_->CleanSegmentCount();
+    if (now_clean <= prev_clean) {
+      break;
+    }
+    prev_clean = now_clean;
+  }
+  return total;
+}
+
+}  // namespace hl

@@ -1,0 +1,274 @@
+// On-media format for the 4.4BSD-style log-structured file system that
+// HighLight extends.
+//
+// Layout of a file system (block addresses are 32-bit, 4 KB units):
+//
+//   block 0              superblock (static geometry)
+//   block 1, block 2     checkpoint regions A and B (alternating)
+//   blocks 3..15         reserved (boot area; the paper notes the boot-block
+//                        shift is one reason a segment of address space is
+//                        sacrificed)
+//   reserved..           segments: segment s occupies blocks
+//                        [reserved + s*spb, reserved + (s+1)*spb)
+//
+// Each segment holds one or more *partial segments*; a partial segment is an
+// atomic log append headed by a summary block (the paper's Table 1): header,
+// per-file FINFO records describing the data blocks that follow the summary,
+// and the disk addresses of the inode blocks that end the partial segment.
+// HighLight uses a full 4 KB summary block (section 6.3).
+//
+// The ifile (inode 1) is a regular file holding, in order: one cleaner-info
+// block, the segment usage table, and the inode map. HighLight appends the
+// per-segment cache tag and available-bytes fields to the usage entries
+// (section 6.4) and keeps tertiary segment usage in a companion file, the
+// tsegfile (inode 3).
+
+#ifndef HIGHLIGHT_LFS_FORMAT_H_
+#define HIGHLIGHT_LFS_FORMAT_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "util/status.h"
+
+namespace hl {
+
+constexpr uint64_t kLfsMagic = 0x4869676852697465ull;  // "HighRite"
+constexpr uint32_t kLfsVersion = 1;
+
+constexpr uint32_t kSuperblockBlock = 0;
+constexpr uint32_t kCheckpointBlockA = 1;
+constexpr uint32_t kCheckpointBlockB = 2;
+constexpr uint32_t kDefaultReservedBlocks = 16;
+
+constexpr uint32_t kIfileInode = 1;
+constexpr uint32_t kRootInode = 2;
+constexpr uint32_t kTsegInode = 3;   // HighLight only; 0 in plain LFS.
+constexpr uint32_t kFirstFileInode = 4;
+
+constexpr uint32_t kNoInode = 0;
+constexpr uint32_t kNoSegment = 0xFFFFFFFFu;
+
+// --- Inodes -----------------------------------------------------------------
+
+constexpr uint32_t kNumDirect = 12;
+constexpr uint32_t kPtrsPerBlock = kBlockSize / 4;  // 1024.
+constexpr uint32_t kInodeSize = 128;
+constexpr uint32_t kInodesPerBlock = kBlockSize / kInodeSize;  // 32.
+
+// Max logical block number: direct + single indirect + double indirect.
+constexpr uint64_t kMaxFileBlocks =
+    kNumDirect + kPtrsPerBlock +
+    static_cast<uint64_t>(kPtrsPerBlock) * kPtrsPerBlock;
+
+enum class FileType : uint16_t {
+  kFree = 0,
+  kRegular = 1,
+  kDirectory = 2,
+};
+
+struct DInode {
+  uint32_t ino = kNoInode;
+  FileType type = FileType::kFree;
+  uint16_t nlink = 0;
+  uint32_t flags = 0;
+  uint64_t size = 0;
+  uint64_t atime = 0;  // Simulated microseconds.
+  uint64_t mtime = 0;
+  uint64_t ctime = 0;
+  uint32_t version = 0;  // Bumped when the inode number is reused.
+  uint32_t generation = 0;
+  uint32_t blocks = 0;  // Allocated block count (data + indirect).
+  std::array<uint32_t, kNumDirect> direct{};
+  uint32_t indirect = kNoBlock;
+  uint32_t dindirect = kNoBlock;
+
+  DInode() { direct.fill(kNoBlock); }
+
+  void Serialize(std::span<uint8_t> out) const;  // Exactly kInodeSize bytes.
+  static Result<DInode> Deserialize(std::span<const uint8_t> in);
+};
+
+// Logical block names used in FINFO records and bmap. Plain data blocks use
+// their logical block number; metadata blocks use these reserved encodings so
+// the cleaner and migrator can relocate indirect blocks too (a key HighLight
+// capability, section 4).
+constexpr uint32_t kLbnSingleIndirect = 0xFFFFFFFEu;
+constexpr uint32_t kLbnDoubleIndirect = 0xFFFFFFFDu;
+constexpr uint32_t kLbnDindChildBase = 0xFF000000u;  // +i: i-th child of dind.
+constexpr uint32_t kMaxDataLbn = 0xFEFFFFFFu;
+
+inline bool IsMetaLbn(uint32_t lbn) { return lbn > kMaxDataLbn; }
+inline uint32_t DindChildLbn(uint32_t index) { return kLbnDindChildBase + index; }
+
+// --- Partial segment summary (Table 1) --------------------------------------
+
+constexpr uint32_t kSsFlagDirop = 0x1;   // Partial segment contains dir ops.
+constexpr uint32_t kSsFlagCheckpoint = 0x2;
+
+struct FInfo {
+  uint32_t ino = kNoInode;
+  uint32_t version = 0;
+  std::vector<uint32_t> lbns;  // One per data block, in on-media order.
+};
+
+struct SegSummary {
+  uint32_t sumsum = 0;    // CRC of the summary block (with this field zero).
+  uint32_t datasum = 0;   // CRC of the non-summary blocks, in order.
+  uint32_t next = kNoSegment;  // Segment number of the next log segment.
+  uint32_t create = 0;    // Creation timestamp (simulated seconds).
+  uint16_t flags = 0;
+  uint64_t serial = 0;    // Monotone partial-segment serial (roll-forward).
+  std::vector<FInfo> finfos;
+  std::vector<uint32_t> inode_daddrs;  // Disk addresses of the inode blocks.
+
+  uint32_t TotalDataBlocks() const {
+    uint32_t n = 0;
+    for (const FInfo& f : finfos) {
+      n += static_cast<uint32_t>(f.lbns.size());
+    }
+    return n;
+  }
+
+  // Encoded byte size (must fit one summary block).
+  size_t EncodedSize() const;
+
+  // Serializes into exactly one block; computes and embeds sumsum.
+  Status SerializeToBlock(std::span<uint8_t> block) const;
+  // Deserializes and verifies sumsum. kCorruption if the block is not a
+  // valid summary.
+  static Result<SegSummary> DeserializeFromBlock(
+      std::span<const uint8_t> block);
+};
+
+// --- Ifile structures --------------------------------------------------------
+
+// Segment state flags.
+constexpr uint16_t kSegClean = 0x1;
+constexpr uint16_t kSegDirty = 0x2;
+constexpr uint16_t kSegActive = 0x4;
+constexpr uint16_t kSegCached = 0x8;    // HighLight: holds a tertiary segment.
+constexpr uint16_t kSegStaging = 0x10;  // HighLight: staging line being built.
+constexpr uint16_t kSegCacheEligible = 0x20;  // HighLight: may hold cache lines.
+constexpr uint16_t kSegNoStore = 0x40;  // Removed disk: no backing storage.
+// HighLight tertiary-only: this tertiary segment is a replica of another
+// (its cache_tseg field names the primary). Replicas are not counted as
+// live data — the paper's section 5.4 bookkeeping sidestep.
+constexpr uint16_t kSegReplica = 0x80;
+
+struct SegUsage {
+  uint32_t live_bytes = 0;
+  uint16_t flags = kSegClean;
+  uint16_t pad = 0;
+  // HighLight extras (section 6.4):
+  uint32_t avail_bytes = 0;    // Usable bytes (uncertain-capacity media).
+  uint32_t cache_tseg = kNoSegment;  // Tertiary segment cached here, if any.
+  uint64_t write_time = 0;     // Last write (age for cleaning policies).
+
+  static constexpr size_t kEncodedSize = 24;
+  void Serialize(std::span<uint8_t> out) const;
+  static SegUsage Deserialize(std::span<const uint8_t> in);
+};
+
+constexpr uint32_t kSegUsagePerBlock = kBlockSize / SegUsage::kEncodedSize;
+
+struct InodeMapEntry {
+  uint32_t daddr = kNoBlock;   // Disk address of the inode's block.
+  uint32_t version = 0;
+  uint32_t free_link = kNoInode;  // Next free ino when daddr == kNoBlock.
+
+  static constexpr size_t kEncodedSize = 12;
+  void Serialize(std::span<uint8_t> out) const;
+  static InodeMapEntry Deserialize(std::span<const uint8_t> in);
+};
+
+// 341 inode-map entries per block; the paper quotes exactly this figure.
+constexpr uint32_t kInodeMapPerBlock = kBlockSize / InodeMapEntry::kEncodedSize;
+
+struct CleanerInfo {
+  uint32_t clean_segs = 0;
+  uint32_t dirty_segs = 0;
+  uint32_t free_inode_head = kNoInode;
+  uint32_t max_inodes = 0;
+
+  void Serialize(std::span<uint8_t> out) const;  // One block.
+  static CleanerInfo Deserialize(std::span<const uint8_t> in);
+};
+
+// --- Superblock and checkpoints ---------------------------------------------
+
+struct Superblock {
+  uint64_t magic = kLfsMagic;
+  uint32_t version = kLfsVersion;
+  uint32_t block_size = kBlockSize;
+  uint32_t seg_size_blocks = 256;  // 1 MB segments by default.
+  uint32_t reserved_blocks = kDefaultReservedBlocks;
+  uint32_t disk_blocks = 0;   // Total blocks on the (concatenated) disk.
+  uint32_t nsegs = 0;         // Number of disk segments.
+  uint32_t max_inodes = 0;    // Current inode-map capacity.
+  // HighLight fields (zero in plain LFS):
+  uint32_t cache_max_segments = 0;   // Static cache-size limit (section 6.4).
+  uint32_t tertiary_nsegs = 0;
+  uint32_t segs_per_volume = 0;
+  uint32_t num_volumes = 0;
+  uint32_t tertiary_base = 0;        // First tertiary block address.
+  uint32_t tseg_ino = 0;             // tsegfile inode (kTsegInode or 0).
+  uint64_t created = 0;
+
+  void Serialize(std::span<uint8_t> block) const;
+  static Result<Superblock> Deserialize(std::span<const uint8_t> block);
+
+  uint32_t SegFirstBlock(uint32_t seg) const {
+    return reserved_blocks + seg * seg_size_blocks;
+  }
+  uint32_t BlockToSeg(uint32_t daddr) const {
+    return (daddr - reserved_blocks) / seg_size_blocks;
+  }
+  uint32_t SegByteSize() const { return seg_size_blocks * kBlockSize; }
+  bool IsDiskAddr(uint32_t daddr) const { return daddr < disk_blocks; }
+  bool IsTertiaryAddr(uint32_t daddr) const {
+    return tertiary_nsegs != 0 && daddr >= tertiary_base &&
+           daddr < tertiary_base + tertiary_nsegs * seg_size_blocks;
+  }
+  uint32_t TertiarySegOf(uint32_t daddr) const {
+    return (daddr - tertiary_base) / seg_size_blocks;
+  }
+  uint32_t TertiarySegBase(uint32_t tseg) const {
+    return tertiary_base + tseg * seg_size_blocks;
+  }
+};
+
+struct CheckpointRegion {
+  uint64_t serial = 0;        // Higher serial wins at mount.
+  uint32_t ifile_inode_daddr = kNoBlock;
+  uint32_t cur_seg = 0;       // Segment being written at checkpoint time.
+  uint32_t cur_offset = 0;    // Next free block offset within cur_seg.
+  uint32_t next_seg = kNoSegment;  // Pre-picked next segment.
+  uint64_t timestamp = 0;
+  uint64_t pseg_serial = 0;   // Next partial-segment serial.
+
+  void Serialize(std::span<uint8_t> block) const;
+  // Returns kCorruption on a bad CRC (e.g. torn checkpoint write).
+  static Result<CheckpointRegion> Deserialize(std::span<const uint8_t> block);
+};
+
+// --- Directory entries --------------------------------------------------------
+
+constexpr uint32_t kDirEntrySize = 64;
+constexpr uint32_t kMaxNameLen = 58;
+constexpr uint32_t kDirEntriesPerBlock = kBlockSize / kDirEntrySize;
+
+struct DirEntry {
+  uint32_t ino = kNoInode;  // kNoInode marks a free slot.
+  std::string name;
+
+  void Serialize(std::span<uint8_t> out) const;  // kDirEntrySize bytes.
+  static DirEntry Deserialize(std::span<const uint8_t> in);
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_LFS_FORMAT_H_

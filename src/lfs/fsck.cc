@@ -1,0 +1,238 @@
+#include "lfs/fsck.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hl {
+
+namespace {
+
+struct CheckState {
+  Lfs* fs;
+  FsckReport report;
+  std::map<uint32_t, uint32_t> daddr_owner;  // daddr -> ino (dup detection).
+  std::map<uint32_t, uint32_t> link_counts;  // ino -> observed links.
+  std::set<uint32_t> reachable;
+  std::map<uint32_t, uint64_t> seg_live;     // Recomputed live bytes.
+
+  void Error(std::string msg) { report.errors.push_back(std::move(msg)); }
+  void Warn(std::string msg) { report.warnings.push_back(std::move(msg)); }
+};
+
+bool ValidZone(const Superblock& sb, uint32_t daddr) {
+  return sb.IsDiskAddr(daddr) || sb.IsTertiaryAddr(daddr);
+}
+
+void AccountAddress(CheckState& st, uint32_t ino, uint32_t daddr,
+                    uint64_t bytes) {
+  const Superblock& sb = st.fs->superblock();
+  auto [it, inserted] = st.daddr_owner.emplace(daddr, ino);
+  if (!inserted) {
+    st.Error("block " + std::to_string(daddr) + " referenced by both inode " +
+             std::to_string(it->second) + " and inode " + std::to_string(ino));
+  }
+  if (sb.IsDiskAddr(daddr) && daddr >= sb.reserved_blocks) {
+    st.seg_live[sb.BlockToSeg(daddr)] += bytes;
+  }
+}
+
+void CheckFileBlocks(CheckState& st, uint32_t ino) {
+  Result<std::vector<BlockRef>> refs = st.fs->CollectFileBlocks(ino);
+  if (!refs.ok()) {
+    st.Error("inode " + std::to_string(ino) +
+             ": cannot enumerate blocks: " + refs.status().ToString());
+    return;
+  }
+  const Superblock& sb = st.fs->superblock();
+  for (const BlockRef& ref : *refs) {
+    if (ref.daddr == kNoBlock) {
+      continue;  // Dirty-only block (not yet on media) or hole.
+    }
+    if (!ValidZone(sb, ref.daddr)) {
+      st.Error("inode " + std::to_string(ino) + " lbn " +
+               std::to_string(ref.lbn) + " points into the dead zone (" +
+               std::to_string(ref.daddr) + ")");
+      continue;
+    }
+    AccountAddress(st, ino, ref.daddr, kBlockSize);
+    st.report.blocks_checked++;
+  }
+}
+
+void CheckInodeMapEntry(CheckState& st, uint32_t ino) {
+  Result<uint32_t> daddr = st.fs->InodeDaddr(ino);
+  if (!daddr.ok()) {
+    st.Error("inode " + std::to_string(ino) + ": no map entry");
+    return;
+  }
+  const Superblock& sb = st.fs->superblock();
+  if (!ValidZone(sb, *daddr)) {
+    st.Error("inode " + std::to_string(ino) +
+             ": map entry points into the dead zone");
+    return;
+  }
+  // The mapped block must actually contain this inode. Dirty in-core
+  // inodes are exempt (they have not been written back yet); verify via
+  // the device for the rest.
+  std::vector<uint8_t> block(kBlockSize);
+  if (!st.fs->device()->ReadBlocks(*daddr, 1, block).ok()) {
+    st.Error("inode " + std::to_string(ino) + ": mapped block unreadable");
+    return;
+  }
+  Result<DInode> want = st.fs->GetInode(ino);
+  if (!want.ok()) {
+    st.Error("inode " + std::to_string(ino) + ": unreadable");
+    return;
+  }
+  bool found = false;
+  for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+    Result<DInode> d = DInode::Deserialize(std::span<const uint8_t>(
+        block.data() + slot * kInodeSize, kInodeSize));
+    if (d.ok() && d->ino == ino && d->version == want->version) {
+      found = true;
+      break;
+    }
+  }
+  if (!found) {
+    st.Error("inode " + std::to_string(ino) +
+             ": mapped block does not contain it (version " +
+             std::to_string(want->version) + ")");
+  }
+  if (sb.IsDiskAddr(*daddr) && *daddr >= sb.reserved_blocks) {
+    st.seg_live[sb.BlockToSeg(*daddr)] += kInodeSize;
+  }
+}
+
+void WalkDirectory(CheckState& st, uint32_t dir_ino,
+                   const std::string& path) {
+  if (st.reachable.count(dir_ino) > 0 && path != "/") {
+    st.Error("directory cycle or double-link at " + path);
+    return;
+  }
+  st.reachable.insert(dir_ino);
+  st.report.directories_checked++;
+  Result<std::vector<DirEntry>> entries = st.fs->ReadDir(dir_ino);
+  if (!entries.ok()) {
+    st.Error(path + ": unreadable directory");
+    return;
+  }
+  for (const DirEntry& e : *entries) {
+    Result<StatInfo> stat = st.fs->Stat(e.ino);
+    if (!stat.ok()) {
+      st.Error(path + "/" + e.name + ": dangling entry (ino " +
+               std::to_string(e.ino) + ")");
+      continue;
+    }
+    if (e.name == ".") {
+      if (e.ino != dir_ino) {
+        st.Error(path + ": '.' points elsewhere");
+      }
+      continue;
+    }
+    if (e.name == "..") {
+      continue;  // The subdir's ".." is credited below, by the parent.
+    }
+    st.link_counts[e.ino]++;
+    if (stat->type == FileType::kDirectory) {
+      st.link_counts[dir_ino]++;  // The subdir's ".." links back to us.
+      WalkDirectory(st, e.ino,
+                    path == "/" ? "/" + e.name : path + "/" + e.name);
+    } else {
+      // A hard-linked file may be reached through several names; check its
+      // blocks only once.
+      if (st.reachable.insert(e.ino).second) {
+        st.report.files_checked++;
+        CheckFileBlocks(st, e.ino);
+        CheckInodeMapEntry(st, e.ino);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FsckReport CheckFs(Lfs& fs) {
+  CheckState st;
+  st.fs = &fs;
+  const Superblock& sb = fs.superblock();
+
+  // Namespace sweep.
+  WalkDirectory(st, kRootInode, "/");
+  // Directories also own blocks and map entries.
+  for (uint32_t ino : std::set<uint32_t>(st.reachable)) {
+    Result<StatInfo> stat = fs.Stat(ino);
+    if (stat.ok() && stat->type == FileType::kDirectory) {
+      CheckFileBlocks(st, ino);
+      CheckInodeMapEntry(st, ino);
+    }
+  }
+  // Special files: the ifile (and tsegfile) live outside the namespace.
+  CheckFileBlocks(st, kIfileInode);
+  if (sb.tseg_ino != 0) {
+    CheckFileBlocks(st, sb.tseg_ino);
+    CheckInodeMapEntry(st, sb.tseg_ino);
+  }
+
+  // Orphan scan: every allocated inode must be reachable (or special).
+  for (uint32_t ino = kFirstFileInode; ino < sb.max_inodes; ++ino) {
+    if (fs.InodeDaddr(ino).ok() && st.reachable.count(ino) == 0) {
+      st.Error("orphaned inode " + std::to_string(ino));
+    }
+  }
+
+  // Link counts.
+  for (const auto& [ino, observed] : st.link_counts) {
+    Result<StatInfo> stat = fs.Stat(ino);
+    if (!stat.ok()) {
+      continue;
+    }
+    uint16_t expect = stat->nlink;
+    uint16_t have = static_cast<uint16_t>(
+        observed + (stat->type == FileType::kDirectory ? 1 : 0));
+    if (ino == kRootInode) {
+      continue;  // Root self-links; skip the arithmetic.
+    }
+    if (expect != have) {
+      st.Error("inode " + std::to_string(ino) + ": nlink " +
+               std::to_string(expect) + " but " + std::to_string(have) +
+               " observed links");
+    }
+  }
+
+  // Segment-state cross-check: a clean-marked segment must hold no
+  // referenced blocks.
+  for (const auto& [seg, live] : st.seg_live) {
+    const SegUsage& u = fs.GetSegUsage(seg);
+    if ((u.flags & kSegClean) && !(u.flags & kSegCached) && live > 0) {
+      st.Error("segment " + std::to_string(seg) +
+               " is marked clean but holds " + std::to_string(live) +
+               " referenced bytes");
+    }
+    // Advisory: live-byte counter drift.
+    uint64_t recorded = u.live_bytes;
+    uint64_t diff = recorded > live ? recorded - live : live - recorded;
+    if (diff > fs.superblock().SegByteSize() / 4 && !(u.flags & kSegCached)) {
+      st.Warn("segment " + std::to_string(seg) + ": live-byte counter " +
+              std::to_string(recorded) + " vs recomputed " +
+              std::to_string(live));
+    }
+  }
+
+  // HighLight: cached-segment tags must be unique.
+  std::map<uint32_t, uint32_t> tag_owner;
+  for (uint32_t seg = 0; seg < fs.NumSegments(); ++seg) {
+    const SegUsage& u = fs.GetSegUsage(seg);
+    if ((u.flags & kSegCached) && u.cache_tseg != kNoSegment) {
+      auto [it, inserted] = tag_owner.emplace(u.cache_tseg, seg);
+      if (!inserted) {
+        st.Error("tertiary segment " + std::to_string(u.cache_tseg) +
+                 " cached twice (segments " + std::to_string(it->second) +
+                 " and " + std::to_string(seg) + ")");
+      }
+    }
+  }
+  return st.report;
+}
+
+}  // namespace hl

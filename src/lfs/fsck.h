@@ -1,0 +1,48 @@
+// LfsCheck: an fsck-style consistency checker for (HighLight-)LFS images.
+//
+// LFS needs no fsck for crash recovery — checkpoints plus roll-forward do
+// that — but a checker is invaluable against bugs and media corruption, and
+// the paper's reliability discussion (section 8.2) motivates auditing that
+// metadata and data cross-references stay self-consistent. Checks:
+//
+//   inode map     every allocated entry points at a block that actually
+//                 contains that inode at the mapped version;
+//   namespace     the directory tree is connected, entries reference
+//                 allocated inodes, link counts match, no orphans;
+//   block map     every file block address is in a valid zone (disk or
+//                 tertiary) and no address is referenced twice;
+//   segments      any segment holding referenced blocks is marked dirty
+//                 (a clean-marked segment with live data would be fatal:
+//                 the log writer could overwrite it);
+//   cache tags    kSegCached segments carry unique tertiary tags (HighLight).
+//
+// Live-byte counters are advisory (cleaner policy only), so discrepancies
+// there are reported as warnings, not errors.
+
+#ifndef HIGHLIGHT_LFS_FSCK_H_
+#define HIGHLIGHT_LFS_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "lfs/lfs.h"
+
+namespace hl {
+
+struct FsckReport {
+  std::vector<std::string> errors;    // Consistency violations.
+  std::vector<std::string> warnings;  // Advisory-counter drift.
+  uint32_t files_checked = 0;
+  uint32_t directories_checked = 0;
+  uint64_t blocks_checked = 0;
+
+  bool clean() const { return errors.empty(); }
+};
+
+// Runs all checks against a mounted file system. Read-only; uses the same
+// public surface as the cleaner, so it can run while mounted.
+FsckReport CheckFs(Lfs& fs);
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_LFS_FSCK_H_

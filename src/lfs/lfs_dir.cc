@@ -1,0 +1,284 @@
+// Directory and namespace operations. Directories are regular files of
+// fixed-size 64-byte entries; a zero inode number marks a free slot.
+
+#include <algorithm>
+#include <cstring>
+
+#include "lfs/lfs.h"
+
+namespace hl {
+
+namespace {
+
+bool ValidName(std::string_view name) {
+  return !name.empty() && name.size() <= kMaxNameLen &&
+         name.find('/') == std::string_view::npos;
+}
+
+}  // namespace
+
+Result<uint32_t> Lfs::DirLookup(uint32_t dir_ino, std::string_view name) {
+  ASSIGN_OR_RETURN(DInode * dir, GetInodeRef(dir_ino));
+  if (dir->type != FileType::kDirectory) {
+    return Status(ErrorCode::kNotADirectory,
+                  "inode " + std::to_string(dir_ino));
+  }
+  uint64_t size = dir->size;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t off = 0; off < size; off += kBlockSize) {
+    ASSIGN_OR_RETURN(size_t n,
+                     Read(dir_ino, off, std::span<uint8_t>(block)));
+    for (size_t e = 0; e + kDirEntrySize <= n; e += kDirEntrySize) {
+      DirEntry entry = DirEntry::Deserialize(
+          std::span<const uint8_t>(block.data() + e, kDirEntrySize));
+      if (entry.ino != kNoInode && entry.name == name) {
+        return entry.ino;
+      }
+    }
+  }
+  return NotFound(std::string(name));
+}
+
+Status Lfs::DirAddEntry(uint32_t dir_ino, std::string_view name,
+                        uint32_t ino) {
+  if (!ValidName(name)) {
+    return name.size() > kMaxNameLen
+               ? Status(ErrorCode::kNameTooLong, std::string(name))
+               : InvalidArgument("bad name");
+  }
+  ASSIGN_OR_RETURN(DInode * dir, GetInodeRef(dir_ino));
+  if (dir->type != FileType::kDirectory) {
+    return Status(ErrorCode::kNotADirectory,
+                  "inode " + std::to_string(dir_ino));
+  }
+  uint64_t size = dir->size;
+  std::vector<uint8_t> block(kBlockSize);
+  // First fit: reuse a free slot.
+  for (uint64_t off = 0; off < size; off += kBlockSize) {
+    ASSIGN_OR_RETURN(size_t n, Read(dir_ino, off, std::span<uint8_t>(block)));
+    for (size_t e = 0; e + kDirEntrySize <= n; e += kDirEntrySize) {
+      DirEntry entry = DirEntry::Deserialize(
+          std::span<const uint8_t>(block.data() + e, kDirEntrySize));
+      if (entry.ino == kNoInode) {
+        DirEntry fresh{ino, std::string(name)};
+        std::vector<uint8_t> bytes(kDirEntrySize, 0);
+        fresh.Serialize(bytes);
+        return Write(dir_ino, off + e, bytes);
+      }
+    }
+  }
+  // Append at the end.
+  DirEntry fresh{ino, std::string(name)};
+  std::vector<uint8_t> bytes(kDirEntrySize, 0);
+  fresh.Serialize(bytes);
+  return Write(dir_ino, size, bytes);
+}
+
+Status Lfs::DirRemoveEntry(uint32_t dir_ino, std::string_view name) {
+  ASSIGN_OR_RETURN(DInode * dir, GetInodeRef(dir_ino));
+  uint64_t size = dir->size;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t off = 0; off < size; off += kBlockSize) {
+    ASSIGN_OR_RETURN(size_t n, Read(dir_ino, off, std::span<uint8_t>(block)));
+    for (size_t e = 0; e + kDirEntrySize <= n; e += kDirEntrySize) {
+      DirEntry entry = DirEntry::Deserialize(
+          std::span<const uint8_t>(block.data() + e, kDirEntrySize));
+      if (entry.ino != kNoInode && entry.name == name) {
+        std::vector<uint8_t> zero(kDirEntrySize, 0);
+        return Write(dir_ino, off + e, zero);
+      }
+    }
+  }
+  return NotFound(std::string(name));
+}
+
+Result<bool> Lfs::DirIsEmpty(uint32_t dir_ino) {
+  ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDir(dir_ino));
+  for (const DirEntry& e : entries) {
+    if (e.name != "." && e.name != "..") {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<DirEntry>> Lfs::ReadDir(uint32_t dir_ino) {
+  ASSIGN_OR_RETURN(DInode * dir, GetInodeRef(dir_ino));
+  if (dir->type != FileType::kDirectory) {
+    return Status(ErrorCode::kNotADirectory,
+                  "inode " + std::to_string(dir_ino));
+  }
+  std::vector<DirEntry> out;
+  uint64_t size = dir->size;
+  std::vector<uint8_t> block(kBlockSize);
+  for (uint64_t off = 0; off < size; off += kBlockSize) {
+    ASSIGN_OR_RETURN(size_t n, Read(dir_ino, off, std::span<uint8_t>(block)));
+    for (size_t e = 0; e + kDirEntrySize <= n; e += kDirEntrySize) {
+      DirEntry entry = DirEntry::Deserialize(
+          std::span<const uint8_t>(block.data() + e, kDirEntrySize));
+      if (entry.ino != kNoInode) {
+        out.push_back(std::move(entry));
+      }
+    }
+  }
+  return out;
+}
+
+Result<Lfs::ResolvedPath> Lfs::Resolve(std::string_view path) {
+  std::vector<std::string> parts = SplitPath(path);
+  ResolvedPath r;
+  if (parts.empty()) {
+    r.parent = kRootInode;
+    r.leaf = ".";
+    r.ino = kRootInode;
+    return r;
+  }
+  uint32_t cur = kRootInode;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    ASSIGN_OR_RETURN(cur, DirLookup(cur, parts[i]));
+    ASSIGN_OR_RETURN(DInode * inode, GetInodeRef(cur));
+    if (inode->type != FileType::kDirectory) {
+      return Status(ErrorCode::kNotADirectory, parts[i]);
+    }
+  }
+  r.parent = cur;
+  r.leaf = parts.back();
+  Result<uint32_t> leaf = DirLookup(cur, r.leaf);
+  r.ino = leaf.ok() ? *leaf : kNoInode;
+  return r;
+}
+
+Result<uint32_t> Lfs::LookupPath(std::string_view path) {
+  ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  if (r.ino == kNoInode) {
+    return NotFound(std::string(path));
+  }
+  return r.ino;
+}
+
+Result<uint32_t> Lfs::Create(std::string_view path) {
+  ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  if (r.ino != kNoInode) {
+    return Exists(std::string(path));
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode(FileType::kRegular));
+  Status s = DirAddEntry(r.parent, r.leaf, ino);
+  if (!s.ok()) {
+    (void)FreeInode(ino);
+    return s;
+  }
+  return ino;
+}
+
+Result<uint32_t> Lfs::Mkdir(std::string_view path) {
+  ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  if (r.ino != kNoInode) {
+    return Exists(std::string(path));
+  }
+  ASSIGN_OR_RETURN(uint32_t ino, AllocInode(FileType::kDirectory));
+  RETURN_IF_ERROR(DirAddEntry(ino, ".", ino));
+  RETURN_IF_ERROR(DirAddEntry(ino, "..", r.parent));
+  Status s = DirAddEntry(r.parent, r.leaf, ino);
+  if (!s.ok()) {
+    (void)FreeInode(ino);
+    return s;
+  }
+  ASSIGN_OR_RETURN(DInode * parent, GetInodeRef(r.parent));
+  parent->nlink++;
+  MarkInodeDirty(r.parent);
+  return ino;
+}
+
+Status Lfs::Link(std::string_view from, std::string_view to) {
+  ASSIGN_OR_RETURN(uint32_t ino, LookupPath(from));
+  ASSIGN_OR_RETURN(DInode * inode, GetInodeRef(ino));
+  if (inode->type == FileType::kDirectory) {
+    return Status(ErrorCode::kIsADirectory,
+                  "hard links to directories are not allowed");
+  }
+  ASSIGN_OR_RETURN(ResolvedPath dst, Resolve(to));
+  if (dst.ino != kNoInode) {
+    return Exists(std::string(to));
+  }
+  RETURN_IF_ERROR(DirAddEntry(dst.parent, dst.leaf, ino));
+  ASSIGN_OR_RETURN(inode, GetInodeRef(ino));
+  inode->nlink++;
+  inode->ctime = clock_->Now();
+  MarkInodeDirty(ino);
+  return OkStatus();
+}
+
+Status Lfs::Unlink(std::string_view path) {
+  ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  if (r.ino == kNoInode) {
+    return NotFound(std::string(path));
+  }
+  ASSIGN_OR_RETURN(DInode * inode, GetInodeRef(r.ino));
+  if (inode->type == FileType::kDirectory) {
+    return Status(ErrorCode::kIsADirectory, std::string(path));
+  }
+  RETURN_IF_ERROR(DirRemoveEntry(r.parent, r.leaf));
+  inode->nlink--;
+  if (inode->nlink == 0) {
+    return FreeInode(r.ino);
+  }
+  MarkInodeDirty(r.ino);
+  return OkStatus();
+}
+
+Status Lfs::Rmdir(std::string_view path) {
+  ASSIGN_OR_RETURN(ResolvedPath r, Resolve(path));
+  if (r.ino == kNoInode) {
+    return NotFound(std::string(path));
+  }
+  if (r.ino == kRootInode) {
+    return InvalidArgument("cannot remove the root directory");
+  }
+  ASSIGN_OR_RETURN(DInode * inode, GetInodeRef(r.ino));
+  if (inode->type != FileType::kDirectory) {
+    return Status(ErrorCode::kNotADirectory, std::string(path));
+  }
+  ASSIGN_OR_RETURN(bool empty, DirIsEmpty(r.ino));
+  if (!empty) {
+    return Status(ErrorCode::kNotEmpty, std::string(path));
+  }
+  RETURN_IF_ERROR(DirRemoveEntry(r.parent, r.leaf));
+  RETURN_IF_ERROR(FreeInode(r.ino));
+  ASSIGN_OR_RETURN(DInode * parent, GetInodeRef(r.parent));
+  parent->nlink--;
+  MarkInodeDirty(r.parent);
+  return OkStatus();
+}
+
+Status Lfs::Rename(std::string_view from, std::string_view to) {
+  ASSIGN_OR_RETURN(ResolvedPath src, Resolve(from));
+  if (src.ino == kNoInode) {
+    return NotFound(std::string(from));
+  }
+  ASSIGN_OR_RETURN(ResolvedPath dst, Resolve(to));
+  if (dst.ino != kNoInode) {
+    // Replace semantics for regular files only.
+    ASSIGN_OR_RETURN(DInode * target, GetInodeRef(dst.ino));
+    if (target->type == FileType::kDirectory) {
+      return Status(ErrorCode::kIsADirectory, std::string(to));
+    }
+    RETURN_IF_ERROR(Unlink(to));
+  }
+  RETURN_IF_ERROR(DirAddEntry(dst.parent, dst.leaf, src.ino));
+  RETURN_IF_ERROR(DirRemoveEntry(src.parent, src.leaf));
+  ASSIGN_OR_RETURN(DInode * moved, GetInodeRef(src.ino));
+  if (moved->type == FileType::kDirectory && src.parent != dst.parent) {
+    // Fix "..", and the parents' link counts.
+    RETURN_IF_ERROR(DirRemoveEntry(src.ino, ".."));
+    RETURN_IF_ERROR(DirAddEntry(src.ino, "..", dst.parent));
+    ASSIGN_OR_RETURN(DInode * old_parent, GetInodeRef(src.parent));
+    old_parent->nlink--;
+    MarkInodeDirty(src.parent);
+    ASSIGN_OR_RETURN(DInode * new_parent, GetInodeRef(dst.parent));
+    new_parent->nlink++;
+    MarkInodeDirty(dst.parent);
+  }
+  return OkStatus();
+}
+
+}  // namespace hl

@@ -1,0 +1,161 @@
+#include "lfs/segment_builder.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/crc32.h"
+
+namespace hl {
+
+namespace {
+// Header bytes in a serialized summary (must match format.cc).
+constexpr size_t kSummaryHeaderSize = 4 + 4 + 4 + 4 + 2 + 2 + 2 + 2 + 8 + 2;
+}  // namespace
+
+SegmentBuilder::SegmentBuilder(uint32_t base_daddr, uint32_t max_blocks,
+                               uint32_t next_seg, uint32_t create_time,
+                               uint64_t serial, uint16_t flags)
+    : base_daddr_(base_daddr), max_blocks_(max_blocks) {
+  summary_.next = next_seg;
+  summary_.create = create_time;
+  summary_.serial = serial;
+  summary_.flags = flags;
+}
+
+size_t SegmentBuilder::SummaryBytesWith(uint32_t ino) const {
+  size_t bytes = kSummaryHeaderSize;
+  bool found = false;
+  for (const FInfo& f : summary_.finfos) {
+    bytes += 12 + 4 * f.lbns.size();
+    if (f.ino == ino) {
+      found = true;
+    }
+  }
+  bytes += 4;  // The new block's lbn entry.
+  if (!found && ino != kNoInode) {
+    bytes += 12;  // A new FINFO record.
+  }
+  // Worst-case inode block addresses: current inodes plus one more block.
+  bytes += 4 * (NumInodeBlocks() + 1);
+  return bytes;
+}
+
+uint32_t SegmentBuilder::BlocksUsed() const {
+  return 1 + static_cast<uint32_t>(data_.size()) + NumInodeBlocks();
+}
+
+bool SegmentBuilder::CanAddBlock(uint32_t ino) const {
+  if (finished_) {
+    return false;
+  }
+  if (BlocksUsed() + 1 > max_blocks_) {
+    return false;
+  }
+  return SummaryBytesWith(ino) <= kBlockSize;
+}
+
+bool SegmentBuilder::CanAddInode() const {
+  if (finished_) {
+    return false;
+  }
+  // A new inode may need a fresh inode block (and its summary entry).
+  bool needs_new_block = inodes_.size() % kInodesPerBlock == 0;
+  if (needs_new_block && BlocksUsed() + 1 > max_blocks_) {
+    return false;
+  }
+  return SummaryBytesWith(kNoInode) <= kBlockSize;
+}
+
+Result<uint32_t> SegmentBuilder::AddBlock(uint32_t ino, uint32_t version,
+                                          uint32_t lbn,
+                                          std::span<const uint8_t> block) {
+  if (block.size() != kBlockSize) {
+    return InvalidArgument("AddBlock requires a full block");
+  }
+  if (!CanAddBlock(ino)) {
+    return NoSpace("partial segment full");
+  }
+  FInfo* finfo = nullptr;
+  for (FInfo& f : summary_.finfos) {
+    if (f.ino == ino) {
+      finfo = &f;
+      break;
+    }
+  }
+  if (finfo == nullptr) {
+    summary_.finfos.push_back(FInfo{ino, version, {}});
+    finfo = &summary_.finfos.back();
+  }
+  finfo->lbns.push_back(lbn);
+  uint32_t daddr = base_daddr_ + 1 + static_cast<uint32_t>(data_.size());
+  data_.push_back(PendingBlock{ino, lbn, {block.begin(), block.end()}});
+  return daddr;
+}
+
+Result<uint32_t> SegmentBuilder::AddInode(const DInode& inode) {
+  if (!CanAddInode()) {
+    return NoSpace("partial segment full (inodes)");
+  }
+  uint32_t block_index = static_cast<uint32_t>(inodes_.size()) /
+                         kInodesPerBlock;
+  inodes_.push_back(inode);
+  // Inode blocks land after all data blocks. Data count can still grow, so
+  // the actual address is resolved in Finish(); we return a *predicted*
+  // address that is corrected there. Callers use the Image assignments, so
+  // record the block index for now.
+  return base_daddr_ + 1 + static_cast<uint32_t>(data_.size()) + block_index;
+}
+
+Result<SegmentBuilder::Image> SegmentBuilder::Finish() {
+  if (finished_) {
+    return Internal("SegmentBuilder reused after Finish");
+  }
+  finished_ = true;
+  Image image;
+  image.base_daddr = base_daddr_;
+  uint32_t ninode_blocks = NumInodeBlocks();
+  uint32_t total_blocks =
+      1 + static_cast<uint32_t>(data_.size()) + ninode_blocks;
+  assert(total_blocks <= max_blocks_);
+  image.num_blocks = total_blocks;
+  image.bytes.assign(static_cast<size_t>(total_blocks) * kBlockSize, 0);
+
+  // Data blocks.
+  size_t offset = kBlockSize;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    std::memcpy(image.bytes.data() + offset, data_[i].bytes.data(),
+                kBlockSize);
+    image.blocks.push_back(BlockAssignment{
+        data_[i].ino, data_[i].lbn,
+        base_daddr_ + 1 + static_cast<uint32_t>(i)});
+    offset += kBlockSize;
+  }
+
+  // Inode blocks.
+  uint32_t first_inode_block =
+      base_daddr_ + 1 + static_cast<uint32_t>(data_.size());
+  for (size_t i = 0; i < inodes_.size(); ++i) {
+    uint32_t block_index = static_cast<uint32_t>(i) / kInodesPerBlock;
+    uint32_t slot = static_cast<uint32_t>(i) % kInodesPerBlock;
+    uint8_t* block_start =
+        image.bytes.data() +
+        (1 + data_.size() + block_index) * static_cast<size_t>(kBlockSize);
+    inodes_[i].Serialize(
+        std::span<uint8_t>(block_start + slot * kInodeSize, kInodeSize));
+    image.inodes.push_back(
+        InodeAssignment{inodes_[i].ino, first_inode_block + block_index});
+  }
+  for (uint32_t b = 0; b < ninode_blocks; ++b) {
+    summary_.inode_daddrs.push_back(first_inode_block + b);
+  }
+
+  image.summary_bytes = static_cast<uint32_t>(summary_.EncodedSize());
+  // Checksums: datasum over everything after the summary block.
+  summary_.datasum = Crc32(std::span<const uint8_t>(
+      image.bytes.data() + kBlockSize, image.bytes.size() - kBlockSize));
+  RETURN_IF_ERROR(summary_.SerializeToBlock(
+      std::span<uint8_t>(image.bytes.data(), kBlockSize)));
+  return image;
+}
+
+}  // namespace hl

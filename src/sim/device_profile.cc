@@ -1,0 +1,102 @@
+#include "sim/device_profile.h"
+
+namespace hl {
+
+namespace {
+constexpr uint64_t kKB = 1024;
+constexpr uint64_t kMB = 1024 * 1024;
+constexpr uint64_t kGB = 1024 * kMB;
+}  // namespace
+
+DiskProfile Rz57Profile() {
+  DiskProfile p;
+  p.name = "RZ57";
+  p.read_bytes_per_sec = 1417 * kKB;
+  p.write_bytes_per_sec = 993 * kKB;
+  p.track_to_track_us = 2500;       // 2.5 ms track-to-track.
+  p.full_stroke_us = 35000;         // 35 ms full stroke (avg ~14.5 ms).
+  p.rotational_us = 8300;           // 3600 rpm -> 8.3 ms half revolution.
+  p.per_op_overhead_us = 1200;      // SCSI command + controller.
+  p.capacity_bytes = kGB;
+  return p;
+}
+
+DiskProfile Rz58Profile() {
+  DiskProfile p;
+  p.name = "RZ58";
+  p.read_bytes_per_sec = 1491 * kKB;
+  p.write_bytes_per_sec = 1261 * kKB;
+  p.track_to_track_us = 2500;
+  p.full_stroke_us = 32000;         // Slightly faster arm than the RZ57.
+  p.rotational_us = 5600;           // 5400 rpm.
+  p.per_op_overhead_us = 1200;
+  p.capacity_bytes = 1400 * kMB;
+  return p;
+}
+
+DiskProfile Hp7958aProfile() {
+  DiskProfile p;
+  p.name = "HP7958A";
+  // HP-IB bus limits throughput far below SCSI; arm is also slower.
+  p.read_bytes_per_sec = 500 * kKB;
+  p.write_bytes_per_sec = 330 * kKB;
+  p.track_to_track_us = 6000;
+  p.full_stroke_us = 55000;
+  p.rotational_us = 8300;
+  p.per_op_overhead_us = 4000;      // HP-IB command overhead.
+  p.capacity_bytes = 304 * kMB;
+  return p;
+}
+
+JukeboxProfile Hp6300MoProfile() {
+  JukeboxProfile j;
+  j.name = "HP6300-MO";
+  j.drive.name = "MO";
+  j.drive.read_bytes_per_sec = 451 * kKB;
+  j.drive.write_bytes_per_sec = 204 * kKB;
+  j.drive.seek_const_us = 95000;    // ~95 ms average MO seek.
+  j.drive.seek_us_per_mb = 0;       // Random-access medium: distance-free.
+  j.drive.per_op_overhead_us = 2000;
+  j.num_drives = 2;
+  j.num_slots = 32;
+  j.volume_capacity_bytes = 325 * kMB;  // Per side of a 650 MB cartridge.
+  j.media_swap_us = 13'500'000;     // Table 5: 13.5 s.
+  j.swap_hogs_bus = true;           // The paper's non-disconnecting driver.
+  return j;
+}
+
+JukeboxProfile MetrumRss600Profile() {
+  JukeboxProfile j;
+  j.name = "Metrum-RSS600";
+  j.drive.name = "VHS-tape";
+  j.drive.read_bytes_per_sec = 1100 * kKB;
+  j.drive.write_bytes_per_sec = 1100 * kKB;
+  j.drive.seek_const_us = 15'000'000;   // Tape position: ~15 s constant ...
+  j.drive.seek_us_per_mb = 5500;        // ... plus wind time per MB skipped.
+  j.drive.per_op_overhead_us = 10000;
+  j.num_drives = 2;
+  j.num_slots = 600;
+  j.volume_capacity_bytes = 14'500ull * kMB;  // 14.5 GB per cartridge.
+  j.media_swap_us = 60'000'000;         // ~1 min load+thread+position.
+  j.swap_hogs_bus = false;
+  return j;
+}
+
+JukeboxProfile SonyWormProfile() {
+  JukeboxProfile j;
+  j.name = "Sony-WORM";
+  j.drive.name = "WORM";
+  j.drive.read_bytes_per_sec = 600 * kKB;
+  j.drive.write_bytes_per_sec = 300 * kKB;
+  j.drive.seek_const_us = 120000;
+  j.drive.seek_us_per_mb = 0;
+  j.drive.per_op_overhead_us = 2000;
+  j.num_drives = 2;
+  j.num_slots = 100;
+  j.volume_capacity_bytes = 3270 * kMB;
+  j.media_swap_us = 10'000'000;
+  j.swap_hogs_bus = false;
+  return j;
+}
+
+}  // namespace hl

@@ -1,0 +1,138 @@
+#include "tertiary/jukebox.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hl {
+
+Jukebox::Jukebox(JukeboxProfile profile, SimClock* clock, Resource* bus,
+                 bool write_once_media)
+    : profile_(std::move(profile)),
+      clock_(clock),
+      bus_(bus),
+      robot_(profile_.name + ".robot") {
+  slots_.reserve(profile_.num_slots);
+  for (int i = 0; i < profile_.num_slots; ++i) {
+    slots_.push_back(std::make_unique<Volume>(
+        profile_.name + ".vol" + std::to_string(i),
+        profile_.volume_capacity_bytes, write_once_media));
+  }
+  drives_.reserve(profile_.num_drives);
+  for (int i = 0; i < profile_.num_drives; ++i) {
+    drives_.emplace_back(profile_.name + ".drive" + std::to_string(i));
+  }
+  insertions_.assign(slots_.size(), 0);
+}
+
+Result<int> Jukebox::EnsureMounted(int slot, bool for_write, SimTime earliest,
+                                   SimTime* ready_at) {
+  if (slot < 0 || slot >= num_slots()) {
+    return OutOfRange(profile_.name + ": no slot " + std::to_string(slot));
+  }
+  // Already mounted?
+  for (size_t i = 0; i < drives_.size(); ++i) {
+    if (drives_[i].loaded_slot == slot) {
+      *ready_at = earliest;
+      return static_cast<int>(i);
+    }
+  }
+  // Choose a drive: writes go to drive 0 (the dedicated write drive); reads
+  // use the least-recently-used drive other than 0 when possible.
+  int chosen = 0;
+  if (!for_write && drives_.size() > 1) {
+    chosen = 1;
+    for (size_t i = 2; i < drives_.size(); ++i) {
+      if (drives_[i].last_used < drives_[chosen].last_used) {
+        chosen = static_cast<int>(i);
+      }
+    }
+  }
+  Drive& drive = drives_[chosen];
+  // Swap: robot + drive are busy for media_swap_us; a non-disconnecting
+  // driver also holds the SCSI bus hostage for the whole swap.
+  SimTime begin = std::max({earliest, robot_.free_at(), drive.res.free_at()});
+  SimTime end;
+  if (bus_ != nullptr && profile_.swap_hogs_bus) {
+    end = robot_.ScheduleWith(*bus_, begin, profile_.media_swap_us);
+  } else {
+    end = robot_.Schedule(begin, profile_.media_swap_us);
+  }
+  drive.res.Schedule(begin, end - begin);
+  drive.loaded_slot = slot;
+  drive.head_pos = 0;
+  ++media_swaps_;
+  ++insertions_[slot];
+  *ready_at = end;
+  return chosen;
+}
+
+Result<SimTime> Jukebox::Transfer(SimTime earliest, int slot, uint64_t offset,
+                                  size_t bytes, bool is_write) {
+  SimTime ready = earliest;
+  ASSIGN_OR_RETURN(int drive_index,
+                   EnsureMounted(slot, is_write, earliest, &ready));
+  Drive& drive = drives_[drive_index];
+  const TertiaryDriveProfile& d = profile_.drive;
+  SimTime dur = d.per_op_overhead_us;
+  uint64_t dist = offset > drive.head_pos ? offset - drive.head_pos
+                                          : drive.head_pos - offset;
+  dur += d.SeekTime(dist);
+  dur += d.TransferTime(bytes, is_write);
+  drive.head_pos = offset + bytes;
+  SimTime end = bus_ ? drive.res.ScheduleWith(*bus_, ready, dur)
+                     : drive.res.Schedule(ready, dur);
+  drive.last_used = end;
+  return end;
+}
+
+Result<SimTime> Jukebox::ScheduleRead(SimTime earliest, int slot,
+                                      uint64_t offset,
+                                      std::span<uint8_t> out) {
+  if (slot < 0 || slot >= num_slots()) {
+    return OutOfRange(profile_.name + ": no slot " + std::to_string(slot));
+  }
+  if (fail_ops_ > 0) {
+    --fail_ops_;
+    return IoError(profile_.name + ": injected read failure");
+  }
+  RETURN_IF_ERROR(slots_[slot]->Read(offset, out));
+  ASSIGN_OR_RETURN(SimTime end, Transfer(earliest, slot, offset, out.size(),
+                                         /*is_write=*/false));
+  bytes_read_ += out.size();
+  return end;
+}
+
+Result<SimTime> Jukebox::ScheduleWrite(SimTime earliest, int slot,
+                                       uint64_t offset,
+                                       std::span<const uint8_t> data) {
+  if (slot < 0 || slot >= num_slots()) {
+    return OutOfRange(profile_.name + ": no slot " + std::to_string(slot));
+  }
+  if (fail_ops_ > 0) {
+    --fail_ops_;
+    return IoError(profile_.name + ": injected write failure");
+  }
+  // Media errors (end-of-medium, WORM rewrite) surface before any time is
+  // charged: the drive detects them at the start of the write.
+  RETURN_IF_ERROR(slots_[slot]->Write(offset, data));
+  ASSIGN_OR_RETURN(SimTime end, Transfer(earliest, slot, offset, data.size(),
+                                         /*is_write=*/true));
+  bytes_written_ += data.size();
+  return end;
+}
+
+Status Jukebox::Read(int slot, uint64_t offset, std::span<uint8_t> out) {
+  ASSIGN_OR_RETURN(SimTime end, ScheduleRead(clock_->Now(), slot, offset, out));
+  clock_->AdvanceTo(end);
+  return OkStatus();
+}
+
+Status Jukebox::Write(int slot, uint64_t offset,
+                      std::span<const uint8_t> data) {
+  ASSIGN_OR_RETURN(SimTime end,
+                   ScheduleWrite(clock_->Now(), slot, offset, data));
+  clock_->AdvanceTo(end);
+  return OkStatus();
+}
+
+}  // namespace hl

@@ -1,0 +1,109 @@
+// Jukebox: a robotic media changer with N drives and M slots.
+//
+// Reproduces the mechanics the paper depends on:
+//  * media swaps take JukeboxProfile::media_swap_us (13.5 s on the HP 6300,
+//    measured eject -> first sector readable, Table 5);
+//  * the paper's autochanger driver did not disconnect from the SCSI bus, so
+//    a swap can "hog" a shared bus Resource;
+//  * drive allocation follows the benchmark setup: one drive is dedicated to
+//    the currently-written volume, the other(s) serve reads, and the write
+//    drive also serves reads for its own platter (section 7).
+
+#ifndef HIGHLIGHT_TERTIARY_JUKEBOX_H_
+#define HIGHLIGHT_TERTIARY_JUKEBOX_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/device_profile.h"
+#include "sim/sim_clock.h"
+#include "tertiary/volume.h"
+#include "util/status.h"
+
+namespace hl {
+
+class Jukebox {
+ public:
+  // `bus` may be null. The clock must outlive the jukebox.
+  Jukebox(JukeboxProfile profile, SimClock* clock, Resource* bus = nullptr,
+          bool write_once_media = false);
+
+  const JukeboxProfile& profile() const { return profile_; }
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+  int num_drives() const { return static_cast<int>(drives_.size()); }
+  uint64_t volume_capacity() const { return profile_.volume_capacity_bytes; }
+
+  Volume& volume(int slot) { return *slots_[slot]; }
+  const Volume& volume(int slot) const { return *slots_[slot]; }
+
+  // True if the slot's medium is currently loaded in a drive (reads on it
+  // avoid the media-swap latency).
+  bool IsMounted(int slot) const {
+    for (const Drive& d : drives_) {
+      if (d.loaded_slot == slot) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Synchronous transfers: mount (swapping media if needed), seek, transfer;
+  // the clock is advanced to completion.
+  Status Read(int slot, uint64_t offset, std::span<uint8_t> out);
+  Status Write(int slot, uint64_t offset, std::span<const uint8_t> data);
+
+  // Asynchronous variants: reserve drive/robot/bus time beginning no earlier
+  // than `earliest`, move the data now, and return the completion time
+  // without touching the clock.
+  Result<SimTime> ScheduleRead(SimTime earliest, int slot, uint64_t offset,
+                               std::span<uint8_t> out);
+  Result<SimTime> ScheduleWrite(SimTime earliest, int slot, uint64_t offset,
+                                std::span<const uint8_t> data);
+
+  // Statistics.
+  uint64_t media_swaps() const { return media_swaps_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  // Per-volume insertion counts (tape wear, section 6.5 footnote).
+  uint64_t insertions(int slot) const { return insertions_[slot]; }
+
+  // Simulated-failure hook for robustness tests.
+  void FailNextOps(int n) { fail_ops_ = n; }
+
+ private:
+  struct Drive {
+    Resource res;
+    int loaded_slot = -1;
+    uint64_t head_pos = 0;
+    SimTime last_used = 0;
+    explicit Drive(std::string name) : res(std::move(name)) {}
+  };
+
+  // Makes sure `slot` is in a drive; returns the drive index. Reserves the
+  // robot (and bus, if hogging) for the swap starting at `earliest` and
+  // returns via `ready_at` when the drive can start transferring.
+  Result<int> EnsureMounted(int slot, bool for_write, SimTime earliest,
+                            SimTime* ready_at);
+
+  Result<SimTime> Transfer(SimTime earliest, int slot, uint64_t offset,
+                           size_t bytes, bool is_write);
+
+  JukeboxProfile profile_;
+  SimClock* clock_;
+  Resource* bus_;
+  Resource robot_;
+  std::vector<std::unique_ptr<Volume>> slots_;
+  std::vector<Drive> drives_;
+  std::vector<uint64_t> insertions_;
+
+  int fail_ops_ = 0;
+  uint64_t media_swaps_ = 0;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_TERTIARY_JUKEBOX_H_

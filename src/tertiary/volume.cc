@@ -1,0 +1,109 @@
+#include "tertiary/volume.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hl {
+
+Status Volume::Read(uint64_t offset, std::span<uint8_t> out) const {
+  if (offset + out.size() > nominal_capacity_) {
+    return OutOfRange(label_ + ": read past end of medium");
+  }
+  size_t done = 0;
+  while (done < out.size()) {
+    uint64_t pos = offset + done;
+    uint64_t chunk_index = pos / kChunkSize;
+    uint64_t chunk_off = pos % kChunkSize;
+    size_t take = static_cast<size_t>(
+        std::min<uint64_t>(kChunkSize - chunk_off, out.size() - done));
+    auto it = chunks_.find(chunk_index);
+    if (it == chunks_.end()) {
+      std::memset(out.data() + done, 0, take);
+    } else {
+      std::memcpy(out.data() + done, it->second.data() + chunk_off, take);
+    }
+    done += take;
+  }
+  return OkStatus();
+}
+
+Status Volume::Write(uint64_t offset, std::span<const uint8_t> data) {
+  if (marked_full_) {
+    return Status(ErrorCode::kEndOfMedium, label_ + ": volume marked full");
+  }
+  if (offset + data.size() > nominal_capacity_) {
+    return OutOfRange(label_ + ": write past nominal end of medium");
+  }
+  if (offset + data.size() > actual_capacity_) {
+    // Device-level compression fell short; report end-of-medium before
+    // writing anything so the caller can redo the segment on a new volume.
+    return Status(ErrorCode::kEndOfMedium,
+                  label_ + ": end of medium at byte " +
+                      std::to_string(actual_capacity_));
+  }
+  if (write_once_ && RangeWritten(offset, offset + data.size())) {
+    return Status(ErrorCode::kNotSupported,
+                  label_ + ": rewrite of WORM extent");
+  }
+  size_t done = 0;
+  while (done < data.size()) {
+    uint64_t pos = offset + done;
+    uint64_t chunk_index = pos / kChunkSize;
+    uint64_t chunk_off = pos % kChunkSize;
+    size_t take = static_cast<size_t>(
+        std::min<uint64_t>(kChunkSize - chunk_off, data.size() - done));
+    auto [it, inserted] = chunks_.try_emplace(chunk_index);
+    if (inserted) {
+      it->second.assign(kChunkSize, 0);
+    }
+    std::memcpy(it->second.data() + chunk_off, data.data() + done, take);
+    done += take;
+  }
+  bytes_written_ += data.size();
+  high_water_ = std::max(high_water_, offset + data.size());
+  RecordRange(offset, offset + data.size());
+  return OkStatus();
+}
+
+Status Volume::Erase() {
+  if (write_once_) {
+    return Status(ErrorCode::kNotSupported, label_ + ": cannot erase WORM");
+  }
+  chunks_.clear();
+  written_ranges_.clear();
+  marked_full_ = false;
+  high_water_ = 0;
+  return OkStatus();
+}
+
+bool Volume::RangeWritten(uint64_t start, uint64_t end) const {
+  // Any overlap with a recorded range counts as written.
+  auto it = written_ranges_.upper_bound(start);
+  if (it != written_ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > start) {
+      return true;
+    }
+  }
+  return it != written_ranges_.end() && it->first < end;
+}
+
+void Volume::RecordRange(uint64_t start, uint64_t end) {
+  // Merge with adjacent/overlapping ranges to keep the map small.
+  auto it = written_ranges_.upper_bound(start);
+  if (it != written_ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = written_ranges_.erase(prev);
+    }
+  }
+  while (it != written_ranges_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = written_ranges_.erase(it);
+  }
+  written_ranges_[start] = end;
+}
+
+}  // namespace hl

@@ -1,0 +1,30 @@
+// Minimal leveled logging for the user-level daemons (cleaner, migrator,
+// service process). Off by default; benchmarks flip it on with -v.
+
+#ifndef HIGHLIGHT_UTIL_LOGGING_H_
+#define HIGHLIGHT_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <string>
+
+namespace hl {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Global verbosity; messages above this level are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+void LogMessage(LogLevel level, const char* module, const std::string& text);
+
+}  // namespace hl
+
+#define HL_LOG(level, module, text)                                  \
+  do {                                                               \
+    if (static_cast<int>(::hl::LogLevel::level) <=                   \
+        static_cast<int>(::hl::GetLogLevel())) {                     \
+      ::hl::LogMessage(::hl::LogLevel::level, (module), (text));     \
+    }                                                                \
+  } while (0)
+
+#endif  // HIGHLIGHT_UTIL_LOGGING_H_

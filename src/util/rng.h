@@ -1,0 +1,58 @@
+// Deterministic pseudo-random source for workload generators and tests.
+//
+// The paper's random phases use 4.4BSD random() seeded with time+pid; for a
+// reproducible evaluation we use a fixed-seed xoshiro256** generator instead.
+// Every benchmark prints its seed so runs can be replayed exactly.
+
+#ifndef HIGHLIGHT_UTIL_RNG_H_
+#define HIGHLIGHT_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace hl {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound == 0 returns 0.
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_UTIL_RNG_H_

@@ -1,0 +1,157 @@
+// Little-endian wire (dis)assembly helpers for on-media structures.
+//
+// All LFS/HighLight on-media structures are serialized explicitly field by
+// field (never memcpy'd structs) so the media format is independent of host
+// padding and endianness. Writers and readers keep a cursor and are
+// bounds-checked; overrunning a block is a programming error caught by assert
+// in debug builds and reported as corruption by the checked Get* variants.
+
+#ifndef HIGHLIGHT_UTIL_SERIALIZE_H_
+#define HIGHLIGHT_UTIL_SERIALIZE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace hl {
+
+class Writer {
+ public:
+  explicit Writer(std::span<uint8_t> buffer) : buffer_(buffer) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return buffer_.size() - offset_; }
+
+  void PutU8(uint8_t v) { PutBytes(&v, 1); }
+  void PutU16(uint16_t v) {
+    uint8_t b[2] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8)};
+    PutBytes(b, 2);
+  }
+  void PutU32(uint32_t v) {
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) {
+      b[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    PutBytes(b, 4);
+  }
+  void PutU64(uint64_t v) {
+    uint8_t b[8];
+    for (int i = 0; i < 8; ++i) {
+      b[i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+    PutBytes(b, 8);
+  }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutBytes(const void* data, size_t len) {
+    assert(offset_ + len <= buffer_.size());
+    std::memcpy(buffer_.data() + offset_, data, len);
+    offset_ += len;
+  }
+
+  // Fixed-width string field: writes exactly `width` bytes, NUL padded.
+  void PutStringField(std::string_view s, size_t width) {
+    assert(s.size() <= width);
+    PutBytes(s.data(), s.size());
+    Skip(width - s.size());
+  }
+
+  void Skip(size_t len) {
+    assert(offset_ + len <= buffer_.size());
+    std::memset(buffer_.data() + offset_, 0, len);
+    offset_ += len;
+  }
+
+ private:
+  std::span<uint8_t> buffer_;
+  size_t offset_ = 0;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> buffer) : buffer_(buffer) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return buffer_.size() - offset_; }
+  bool Ok() const { return !failed_; }
+
+  uint8_t GetU8() {
+    uint8_t v = 0;
+    GetBytes(&v, 1);
+    return v;
+  }
+  uint16_t GetU16() {
+    uint8_t b[2] = {};
+    GetBytes(b, 2);
+    return static_cast<uint16_t>(b[0] | (b[1] << 8));
+  }
+  uint32_t GetU32() {
+    uint8_t b[4] = {};
+    GetBytes(b, 4);
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | b[i];
+    }
+    return v;
+  }
+  uint64_t GetU64() {
+    uint8_t b[8] = {};
+    GetBytes(b, 8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) {
+      v = (v << 8) | b[i];
+    }
+    return v;
+  }
+  int64_t GetI64() { return static_cast<int64_t>(GetU64()); }
+
+  void GetBytes(void* out, size_t len) {
+    if (failed_ || offset_ + len > buffer_.size()) {
+      failed_ = true;
+      std::memset(out, 0, len);
+      return;
+    }
+    std::memcpy(out, buffer_.data() + offset_, len);
+    offset_ += len;
+  }
+
+  std::string GetStringField(size_t width) {
+    std::string raw(width, '\0');
+    GetBytes(raw.data(), width);
+    size_t end = raw.find('\0');
+    if (end != std::string::npos) {
+      raw.resize(end);
+    }
+    return raw;
+  }
+
+  void Skip(size_t len) {
+    if (failed_ || offset_ + len > buffer_.size()) {
+      failed_ = true;
+      return;
+    }
+    offset_ += len;
+  }
+
+  // Converts a decode overrun into a Status for callers.
+  Status ToStatus(std::string_view what) const {
+    if (failed_) {
+      return Corruption(std::string("short decode of ") + std::string(what));
+    }
+    return OkStatus();
+  }
+
+ private:
+  std::span<const uint8_t> buffer_;
+  size_t offset_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_UTIL_SERIALIZE_H_

@@ -1,0 +1,61 @@
+#include "util/status.h"
+
+namespace hl {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "kOk";
+    case ErrorCode::kNotFound:
+      return "kNotFound";
+    case ErrorCode::kExists:
+      return "kExists";
+    case ErrorCode::kInvalidArgument:
+      return "kInvalidArgument";
+    case ErrorCode::kOutOfRange:
+      return "kOutOfRange";
+    case ErrorCode::kNoSpace:
+      return "kNoSpace";
+    case ErrorCode::kEndOfMedium:
+      return "kEndOfMedium";
+    case ErrorCode::kDeadZone:
+      return "kDeadZone";
+    case ErrorCode::kCorruption:
+      return "kCorruption";
+    case ErrorCode::kNotADirectory:
+      return "kNotADirectory";
+    case ErrorCode::kIsADirectory:
+      return "kIsADirectory";
+    case ErrorCode::kNotEmpty:
+      return "kNotEmpty";
+    case ErrorCode::kBusy:
+      return "kBusy";
+    case ErrorCode::kNotSupported:
+      return "kNotSupported";
+    case ErrorCode::kIoError:
+      return "kIoError";
+    case ErrorCode::kNameTooLong:
+      return "kNameTooLong";
+    case ErrorCode::kFileTooLarge:
+      return "kFileTooLarge";
+    case ErrorCode::kNoVolume:
+      return "kNoVolume";
+    case ErrorCode::kInternal:
+      return "kInternal";
+  }
+  return "kUnknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "kOk";
+  }
+  std::string out(ErrorCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hl

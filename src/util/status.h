@@ -1,0 +1,162 @@
+// Status and Result types used across all HighLight modules.
+//
+// HighLight is a storage system: every fallible operation returns a Status (or
+// a Result<T> when it yields a value) rather than throwing. Error codes mirror
+// the errno values the original 4.4BSD implementation would have surfaced to
+// callers, plus storage-specific conditions (end of medium, unmapped block
+// address) that the paper's mechanisms must handle explicitly.
+
+#ifndef HIGHLIGHT_UTIL_STATUS_H_
+#define HIGHLIGHT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace hl {
+
+enum class ErrorCode : int32_t {
+  kOk = 0,
+  kNotFound,          // ENOENT: file, directory entry, or cache line absent.
+  kExists,            // EEXIST: name already present.
+  kInvalidArgument,   // EINVAL: malformed request.
+  kOutOfRange,        // block/offset outside the device or file.
+  kNoSpace,           // ENOSPC: log full and cleaner cannot help.
+  kEndOfMedium,       // tertiary volume hit end-of-medium mid-segment.
+  kDeadZone,          // address falls between disk and tertiary ranges.
+  kCorruption,        // checksum mismatch or inconsistent metadata.
+  kNotADirectory,     // ENOTDIR.
+  kIsADirectory,      // EISDIR.
+  kNotEmpty,          // ENOTEMPTY: directory removal with entries present.
+  kBusy,              // resource pinned (e.g. active segment, mounted volume).
+  kNotSupported,      // operation valid in principle, not implemented here.
+  kIoError,           // device-level failure (fault injection).
+  kNameTooLong,       // directory entry name exceeds the format limit.
+  kFileTooLarge,      // write would exceed max file size (triple indirect absent).
+  kNoVolume,          // no tertiary volume available for migration.
+  kInternal,          // invariant violation; indicates a bug.
+};
+
+// Human-readable name for an ErrorCode (stable, for logs and test assertions).
+std::string_view ErrorCodeName(ErrorCode code);
+
+// A cheap, copyable success-or-error value. Carries an optional message with
+// context (path, block address, etc.).
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(ErrorCode::kOk) {}
+  explicit Status(ErrorCode code) : code_(code) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "kNotFound: no inode 42" or "kOk".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+
+inline Status NotFound(std::string msg) {
+  return Status(ErrorCode::kNotFound, std::move(msg));
+}
+inline Status Exists(std::string msg) {
+  return Status(ErrorCode::kExists, std::move(msg));
+}
+inline Status InvalidArgument(std::string msg) {
+  return Status(ErrorCode::kInvalidArgument, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(ErrorCode::kOutOfRange, std::move(msg));
+}
+inline Status NoSpace(std::string msg) {
+  return Status(ErrorCode::kNoSpace, std::move(msg));
+}
+inline Status Corruption(std::string msg) {
+  return Status(ErrorCode::kCorruption, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(ErrorCode::kInternal, std::move(msg));
+}
+inline Status IoError(std::string msg) {
+  return Status(ErrorCode::kIoError, std::move(msg));
+}
+
+// Result<T>: either a T or a non-ok Status. Modeled after absl::StatusOr.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit, so `return value;` and `return ErrorStatus;` both
+  // work inside functions returning Result<T>.
+  Result(T value) : storage_(std::move(value)) {}
+  Result(Status status) : storage_(std::move(status)) {
+    assert(!std::get<Status>(storage_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+
+  const Status& status() const {
+    static const Status kOk{};
+    if (ok()) {
+      return kOk;
+    }
+    return std::get<Status>(storage_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(storage_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+// Propagation macros, in the style used throughout Fuchsia/Abseil codebases.
+#define HL_CONCAT_INNER(a, b) a##b
+#define HL_CONCAT(a, b) HL_CONCAT_INNER(a, b)
+
+#define RETURN_IF_ERROR(expr)                  \
+  do {                                         \
+    ::hl::Status hl_status_ = (expr);          \
+    if (!hl_status_.ok()) return hl_status_;   \
+  } while (0)
+
+#define ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  auto HL_CONCAT(hl_result_, __LINE__) = (rexpr);               \
+  if (!HL_CONCAT(hl_result_, __LINE__).ok()) {                  \
+    return HL_CONCAT(hl_result_, __LINE__).status();            \
+  }                                                             \
+  lhs = std::move(HL_CONCAT(hl_result_, __LINE__)).value()
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_UTIL_STATUS_H_

@@ -1,0 +1,119 @@
+#include "workload/replayer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace hl {
+
+Result<uint32_t> TraceReplayer::EnsureFile(const std::string& path) {
+  Result<uint32_t> ino = hl_->fs().LookupPath(path);
+  if (ino.ok()) {
+    return ino;
+  }
+  return hl_->fs().Create(path);
+}
+
+Status TraceReplayer::MaybeMigrate(ReplayStats& stats) {
+  Lfs& fs = hl_->fs();
+  uint32_t total = fs.NumSegments() - fs.superblock().cache_max_segments;
+  double clean_fraction =
+      static_cast<double>(fs.CleanSegmentCount()) / std::max(total, 1u);
+  if (clean_fraction >= config_.high_water_clean_fraction) {
+    return OkStatus();
+  }
+  SimTime now = hl_->clock().Now();
+  if (now - last_migration_ < config_.min_migration_interval &&
+      stats.migration_runs > 0) {
+    return OkStatus();
+  }
+  last_migration_ = now;
+
+  // Migrate until the low-water goal is met (or no candidates remain),
+  // then let the disk cleaner reclaim the vacated segments.
+  uint64_t seg_bytes = fs.superblock().SegByteSize();
+  uint32_t want_clean = static_cast<uint32_t>(
+      config_.low_water_clean_fraction * total);
+  uint32_t deficit_segs = want_clean > fs.CleanSegmentCount()
+                              ? want_clean - fs.CleanSegmentCount()
+                              : 1;
+  uint64_t bytes_target = static_cast<uint64_t>(deficit_segs) * seg_bytes;
+
+  ASSIGN_OR_RETURN(MigrationReport report,
+                   hl_->Migrate(*policy_, bytes_target));
+  stats.migration_runs++;
+  stats.bytes_migrated += report.bytes_migrated;
+  RETURN_IF_ERROR(hl_->cleaner().CleanUntil(want_clean).status());
+  return OkStatus();
+}
+
+Result<ReplayStats> TraceReplayer::Replay(const Trace& trace) {
+  ReplayStats stats;
+  SimClock& clock = hl_->clock();
+  SimTime start = clock.Now();
+  uint64_t fetches_start = hl_->service().stats().demand_fetches;
+  uint64_t swaps_start = hl_->footprint().TotalMediaSwaps();
+
+  std::vector<uint8_t> io_buffer;
+  for (const TraceEvent& event : trace.events) {
+    // Idle time passes between events (ages files for the policies).
+    clock.AdvanceTo(start + event.at);
+    switch (event.op) {
+      case TraceOp::kMkdir: {
+        Result<uint32_t> dir = hl_->fs().Mkdir(event.path);
+        if (!dir.ok() && dir.status().code() != ErrorCode::kExists) {
+          return dir.status();
+        }
+        break;
+      }
+      case TraceOp::kCreate: {
+        RETURN_IF_ERROR(EnsureFile(event.path).status());
+        break;
+      }
+      case TraceOp::kWrite: {
+        ASSIGN_OR_RETURN(uint32_t ino, EnsureFile(event.path));
+        io_buffer.assign(event.size,
+                         static_cast<uint8_t>(event.offset ^ event.size));
+        RETURN_IF_ERROR(hl_->fs().Write(ino, event.offset, io_buffer));
+        stats.writes++;
+        stats.bytes_written += event.size;
+        RETURN_IF_ERROR(MaybeMigrate(stats));
+        break;
+      }
+      case TraceOp::kRead: {
+        Result<uint32_t> ino = hl_->fs().LookupPath(event.path);
+        if (!ino.ok()) {
+          break;  // Deleted by an earlier event; benign in synthetic traces.
+        }
+        io_buffer.resize(event.size);
+        SimTime t0 = clock.Now();
+        RETURN_IF_ERROR(
+            hl_->fs().Read(*ino, event.offset, io_buffer).status());
+        SimTime latency = clock.Now() - t0;
+        stats.reads++;
+        stats.bytes_read += event.size;
+        stats.total_read_latency += latency;
+        stats.max_read_latency = std::max(stats.max_read_latency, latency);
+        if (latency > kUsPerSec) {
+          stats.slow_reads++;
+        }
+        break;
+      }
+      case TraceOp::kDelete: {
+        Status s = hl_->fs().Unlink(event.path);
+        if (!s.ok() && s.code() != ErrorCode::kNotFound) {
+          return s;
+        }
+        break;
+      }
+    }
+  }
+  RETURN_IF_ERROR(hl_->fs().Checkpoint());
+  stats.elapsed = clock.Now() - start;
+  stats.demand_fetches =
+      hl_->service().stats().demand_fetches - fetches_start;
+  stats.media_swaps = hl_->footprint().TotalMediaSwaps() - swaps_start;
+  return stats;
+}
+
+}  // namespace hl

@@ -1,0 +1,69 @@
+// TraceReplayer: drives a HighLightFs with a synthetic trace, running the
+// configured migration policy under a UniTree-style high/low water-mark
+// scheme (section 8.1): when clean disk segments fall below the high-water
+// trigger, the migrator runs until the low-water goal is met. Collects the
+// latency and hierarchy statistics the policy comparison needs.
+
+#ifndef HIGHLIGHT_WORKLOAD_REPLAYER_H_
+#define HIGHLIGHT_WORKLOAD_REPLAYER_H_
+
+#include <memory>
+
+#include "highlight/highlight.h"
+#include "workload/trace.h"
+
+namespace hl {
+
+struct ReplayConfig {
+  // Water marks, as fractions of total log segments that must be clean.
+  double high_water_clean_fraction = 0.30;  // Trigger migration below this.
+  double low_water_clean_fraction = 0.50;   // Migrate until this is met.
+  // Run the policy at most once per simulated interval (the paper's
+  // continuously-running migrator, rate-limited).
+  SimTime min_migration_interval = 3600ull * kUsPerSec;
+};
+
+struct ReplayStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  SimTime total_read_latency = 0;
+  SimTime max_read_latency = 0;
+  uint64_t slow_reads = 0;          // Reads stalled > 1 s (tertiary hits).
+  uint64_t migration_runs = 0;
+  uint64_t bytes_migrated = 0;
+  uint64_t demand_fetches = 0;
+  uint64_t media_swaps = 0;
+  SimTime elapsed = 0;
+
+  double MeanReadLatencyMs() const {
+    return reads == 0 ? 0.0
+                      : static_cast<double>(total_read_latency) / reads /
+                            1000.0;
+  }
+};
+
+class TraceReplayer {
+ public:
+  TraceReplayer(HighLightFs* hl, MigrationPolicy* policy,
+                ReplayConfig config = {})
+      : hl_(hl), policy_(policy), config_(config) {}
+
+  // Replays the whole trace; events are issued at their virtual times
+  // (the clock jumps forward over idle gaps).
+  Result<ReplayStats> Replay(const Trace& trace);
+
+ private:
+  Status MaybeMigrate(ReplayStats& stats);
+  Result<uint32_t> EnsureFile(const std::string& path);
+
+  HighLightFs* hl_;
+  MigrationPolicy* policy_;
+  ReplayConfig config_;
+  SimTime last_migration_ = 0;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_WORKLOAD_REPLAYER_H_

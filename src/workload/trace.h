@@ -1,0 +1,101 @@
+// Synthetic access traces for migration-policy evaluation.
+//
+// The paper leans on trace studies (Smith, Strange, Miller/Katz) but notes
+// that Sequoia's workload — database page access, satellite-image loads,
+// simulation checkpoints — differs from the workstation traces behind the
+// classic STP results (section 8.2). This module provides generators for
+// the three environment archetypes so the policies can be compared on each
+// (bench/policy_trace_bench).
+
+#ifndef HIGHLIGHT_WORKLOAD_TRACE_H_
+#define HIGHLIGHT_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_clock.h"
+
+namespace hl {
+
+enum class TraceOp {
+  kMkdir,
+  kCreate,
+  kWrite,   // Write [offset, offset+size).
+  kRead,    // Read [offset, offset+size).
+  kDelete,
+};
+
+struct TraceEvent {
+  SimTime at = 0;        // Virtual time the event is issued.
+  TraceOp op = TraceOp::kRead;
+  std::string path;
+  uint64_t offset = 0;
+  uint64_t size = 0;
+};
+
+struct Trace {
+  std::string name;
+  std::vector<TraceEvent> events;  // Sorted by `at`.
+  uint64_t TotalBytesWritten() const {
+    uint64_t total = 0;
+    for (const TraceEvent& e : events) {
+      if (e.op == TraceOp::kWrite) {
+        total += e.size;
+      }
+    }
+    return total;
+  }
+  uint64_t TotalBytesRead() const {
+    uint64_t total = 0;
+    for (const TraceEvent& e : events) {
+      if (e.op == TraceOp::kRead) {
+        total += e.size;
+      }
+    }
+    return total;
+  }
+};
+
+// --- Generators -----------------------------------------------------------------
+
+struct WorkstationTraceParams {
+  int days = 10;
+  int projects = 6;           // Directory units (namespace locality).
+  int files_per_project = 20;
+  uint64_t mean_file_bytes = 48 * 1024;
+  double daily_reread_fraction = 0.25;  // Of one "hot" project's files.
+  uint64_t seed = 1;
+};
+// Software-development rhythm (Strange's environment): project trees
+// created over time, the recent project re-read daily, old trees dormant.
+Trace GenerateWorkstationTrace(const WorkstationTraceParams& params);
+
+struct SupercomputingTraceParams {
+  int jobs = 8;
+  uint64_t checkpoint_bytes = 6 << 20;
+  int checkpoints_per_job = 4;
+  double restart_probability = 0.3;  // Whole-file sequential re-read.
+  uint64_t seed = 2;
+};
+// Miller/Katz supercomputing archive profile: large sequential write-once
+// files, occasionally re-read completely.
+Trace GenerateSupercomputingTrace(const SupercomputingTraceParams& params);
+
+struct SequoiaTraceParams {
+  int image_days = 8;
+  int images_per_day = 4;
+  uint64_t image_bytes = 2 << 20;
+  uint64_t db_bytes = 16 << 20;       // One POSTGRES-style relation.
+  int db_queries = 300;               // Random page reads.
+  double db_hot_fraction = 0.15;      // Tail of the relation that is hot.
+  int analysis_days = 3;              // Archived days re-read at the end.
+  uint64_t seed = 3;
+};
+// Sequoia 2000 profile: bulk image ingest + random DB page access +
+// a retrospective analysis pass over archived days.
+Trace GenerateSequoiaTrace(const SequoiaTraceParams& params);
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_WORKLOAD_TRACE_H_

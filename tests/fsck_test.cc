@@ -1,0 +1,181 @@
+// Tests for the fsck-style checker: clean file systems pass; injected
+// corruption is detected.
+
+#include <gtest/gtest.h>
+
+#include "blockdev/sim_disk.h"
+#include "highlight/highlight.h"
+#include "lfs/cleaner.h"
+#include "lfs/fsck.h"
+#include "lfs/lfs.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+class FsckTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<SimDisk>("d0", 16 * 1024, Rz57Profile(),
+                                      &clock_);
+    LfsParams params;
+    params.seg_size_blocks = 64;
+    auto fs = Lfs::Mkfs(disk_.get(), &clock_, params);
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(*fs);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<Lfs> fs_;
+};
+
+TEST_F(FsckTest, FreshFsIsClean) {
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  FsckReport report = CheckFs(*fs_);
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? ""
+                                                        : report.errors[0]);
+}
+
+TEST_F(FsckTest, PopulatedFsIsClean) {
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  for (int i = 0; i < 12; ++i) {
+    Result<uint32_t> ino = fs_->Create("/a/b/f" + std::to_string(i));
+    ASSERT_TRUE(ino.ok());
+    ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(50000 + i * 7000, i)).ok());
+  }
+  ASSERT_TRUE(fs_->Unlink("/a/b/f3").ok());
+  ASSERT_TRUE(fs_->Rename("/a/b/f4", "/a/f4-moved").ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  FsckReport report = CheckFs(*fs_);
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? ""
+                                                        : report.errors[0]);
+  EXPECT_EQ(report.files_checked, 11u);
+  EXPECT_EQ(report.directories_checked, 3u);  // /, /a, /a/b.
+  EXPECT_GT(report.blocks_checked, 100u);
+}
+
+TEST_F(FsckTest, CleanAfterCleanerRuns) {
+  for (int i = 0; i < 8; ++i) {
+    Result<uint32_t> ino = fs_->Create("/f" + std::to_string(i));
+    ASSERT_TRUE(ino.ok());
+    ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(512 * 1024, i)).ok());
+  }
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  for (int i = 0; i < 8; i += 2) {
+    ASSERT_TRUE(fs_->Unlink("/f" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  Cleaner cleaner(fs_.get());
+  ASSERT_TRUE(cleaner.Clean(16).ok());
+  FsckReport report = CheckFs(*fs_);
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? ""
+                                                        : report.errors[0]);
+}
+
+TEST_F(FsckTest, CleanAfterCrashRecovery) {
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  Result<uint32_t> ino = fs_->Create("/after");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(300000, 1)).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  fs_.reset();
+  LfsParams params;
+  params.seg_size_blocks = 64;
+  auto fs = Lfs::Mount(disk_.get(), &clock_, params);
+  ASSERT_TRUE(fs.ok());
+  fs_ = std::move(*fs);
+  FsckReport report = CheckFs(*fs_);
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? ""
+                                                        : report.errors[0]);
+}
+
+TEST_F(FsckTest, DetectsSegmentWronglyMarkedClean) {
+  Result<uint32_t> ino = fs_->Create("/f");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(256 * 1024, 2)).ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  // Find a dirty segment holding file data and force-mark it clean.
+  Result<std::vector<BlockRef>> refs = fs_->CollectFileBlocks(*ino);
+  ASSERT_TRUE(refs.ok());
+  uint32_t seg = fs_->superblock().BlockToSeg((*refs)[0].daddr);
+  ASSERT_TRUE(fs_->SetSegFlags(seg, kSegClean, kSegDirty | kSegActive).ok());
+  FsckReport report = CheckFs(*fs_);
+  ASSERT_FALSE(report.clean());
+  EXPECT_NE(report.errors[0].find("marked clean"), std::string::npos);
+}
+
+TEST_F(FsckTest, DetectsDanglingDirectoryEntry) {
+  Result<uint32_t> ino = fs_->Create("/victim");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  // Corrupt: free the inode behind the directory's back by unlinking via a
+  // second hard reference... simplest: write a bogus entry directly into
+  // the root directory through the public Write API.
+  DirEntry bogus{3333, "ghost"};
+  std::vector<uint8_t> bytes(kDirEntrySize, 0);
+  bogus.Serialize(bytes);
+  Result<StatInfo> root = fs_->Stat(kRootInode);
+  ASSERT_TRUE(root.ok());
+  ASSERT_TRUE(fs_->Write(kRootInode, root->size, bytes).ok());
+  FsckReport report = CheckFs(*fs_);
+  ASSERT_FALSE(report.clean());
+  bool found = false;
+  for (const std::string& e : report.errors) {
+    if (e.find("ghost") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(FsckTest, HardLinkedFilesAreClean) {
+  Result<uint32_t> ino = fs_->Create("/orig");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(100000, 9)).ok());
+  ASSERT_TRUE(fs_->Link("/orig", "/alias").ok());
+  ASSERT_TRUE(fs_->Mkdir("/sub").ok());
+  ASSERT_TRUE(fs_->Link("/orig", "/sub/third-name").ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  FsckReport report = CheckFs(*fs_);
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? ""
+                                                        : report.errors[0]);
+  EXPECT_EQ(report.files_checked, 1u);  // One inode behind three names.
+}
+
+TEST_F(FsckTest, HighLightImageWithMigrationIsClean) {
+  SimClock clock;
+  HighLightConfig config;
+  config.disks.push_back({Rz57Profile(), 8 * 1024});
+  JukeboxProfile j = Hp6300MoProfile();
+  j.num_slots = 4;
+  j.volume_capacity_bytes = 16ull * 64 * kBlockSize;
+  config.jukeboxes.push_back({j, false, 16});
+  config.lfs.seg_size_blocks = 64;
+  config.lfs.cache_max_segments = 8;
+  auto hl = HighLightFs::Create(config, &clock);
+  ASSERT_TRUE(hl.ok());
+  Result<uint32_t> ino = (*hl)->fs().Create("/cold");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE((*hl)->fs().Write(*ino, 0, Pattern(1 << 20, 3)).ok());
+  ASSERT_TRUE((*hl)->MigratePath("/cold").ok());
+  ASSERT_TRUE((*hl)->fs().Checkpoint().ok());
+  FsckReport report = CheckFs((*hl)->fs());
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? ""
+                                                        : report.errors[0]);
+  // Migrated blocks were checked via their tertiary addresses.
+  EXPECT_GT(report.blocks_checked, 256u);
+}
+
+}  // namespace
+}  // namespace hl

@@ -1,0 +1,392 @@
+// End-to-end HighLight tests: migrate files to tertiary storage, demand-fetch
+// them back through the cache, survive end-of-medium, partial-file
+// migration, and remount with tertiary-resident files.
+
+#include <gtest/gtest.h>
+
+#include "highlight/highlight.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+JukeboxProfile SmallJukebox(int slots, uint64_t volume_bytes) {
+  JukeboxProfile j = Hp6300MoProfile();
+  j.num_slots = slots;
+  j.volume_capacity_bytes = volume_bytes;
+  return j;
+}
+
+class HighLightTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(/*delayed=*/false); }
+
+  void Build(bool delayed) {
+    HighLightConfig config;
+    config.disks.push_back({Rz57Profile(), 16 * 1024});  // 64 MB.
+    // 4 volumes x 20 segments of 256 KB = 5 MB per volume.
+    config.jukeboxes.push_back(
+        {SmallJukebox(4, 20ull * 64 * kBlockSize), false, 20});
+    config.lfs.seg_size_blocks = 64;
+    config.lfs.cache_max_segments = 8;
+    config.migrator.delayed_copyout = delayed;
+    auto hl = HighLightFs::Create(config, &clock_);
+    ASSERT_TRUE(hl.ok()) << hl.status().ToString();
+    hl_ = std::move(*hl);
+  }
+
+  // Creates a file with deterministic contents.
+  uint32_t MakeFile(const std::string& path, size_t bytes, uint64_t seed) {
+    Result<uint32_t> ino = hl_->fs().Create(path);
+    EXPECT_TRUE(ino.ok()) << ino.status().ToString();
+    EXPECT_TRUE(hl_->fs().Write(*ino, 0, Pattern(bytes, seed)).ok());
+    return *ino;
+  }
+
+  void ExpectFileContents(const std::string& path, size_t bytes,
+                          uint64_t seed) {
+    Result<uint32_t> ino = hl_->fs().LookupPath(path);
+    ASSERT_TRUE(ino.ok()) << path;
+    std::vector<uint8_t> out(bytes);
+    Result<size_t> n = hl_->fs().Read(*ino, 0, out);
+    ASSERT_TRUE(n.ok()) << n.status().ToString();
+    ASSERT_EQ(*n, bytes);
+    EXPECT_EQ(out, Pattern(bytes, seed)) << path << " contents differ";
+  }
+
+  // True if every data block of the file has a tertiary address.
+  bool FullyMigrated(uint32_t ino) {
+    Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(ino);
+    EXPECT_TRUE(refs.ok());
+    for (const BlockRef& r : *refs) {
+      if (hl_->address_map().Classify(r.daddr) !=
+          AddressMap::Zone::kTertiary) {
+        return false;
+      }
+    }
+    return !refs->empty();
+  }
+
+  SimClock clock_;
+  std::unique_ptr<HighLightFs> hl_;
+};
+
+TEST_F(HighLightTest, WholeFileMigrationRoundTrip) {
+  MakeFile("/cold", 1 << 20, 1);
+  Result<uint32_t> ino = hl_->fs().LookupPath("/cold");
+  ASSERT_TRUE(ino.ok());
+
+  Result<MigrationReport> report = hl_->MigratePath("/cold");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->files_migrated, 1u);
+  EXPECT_GE(report->blocks_migrated, 256u);  // 1 MB of 4 KB blocks.
+  EXPECT_TRUE(FullyMigrated(*ino));
+  // The inode itself migrated: its map address is tertiary.
+  // (Read through the cache still works.)
+  ExpectFileContents("/cold", 1 << 20, 1);
+}
+
+TEST_F(HighLightTest, DemandFetchAfterCacheDrop) {
+  MakeFile("/cold", 1 << 20, 2);
+  ASSERT_TRUE(hl_->MigratePath("/cold").ok());
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  EXPECT_EQ(hl_->cache().Used(), 0u);
+
+  uint64_t fetches_before = hl_->service().stats().demand_fetches;
+  SimTime t0 = clock_.Now();
+  ExpectFileContents("/cold", 1 << 20, 2);
+  EXPECT_GT(hl_->service().stats().demand_fetches, fetches_before);
+  // The first access paid tertiary latency (media swap and/or MO read).
+  EXPECT_GT(clock_.Now() - t0, 1 * kUsPerSec);
+
+  // Second read: served from the cache, quickly.
+  t0 = clock_.Now();
+  ExpectFileContents("/cold", 1 << 20, 2);
+  EXPECT_LT(clock_.Now() - t0, 5 * kUsPerSec);
+}
+
+TEST_F(HighLightTest, ApplicationsNeedNoSpecialActions) {
+  // The paper's core promise: same API before and after migration.
+  uint32_t ino = MakeFile("/transparent", 300 * 1024, 3);
+  ExpectFileContents("/transparent", 300 * 1024, 3);
+  ASSERT_TRUE(hl_->MigratePath("/transparent").ok());
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  ExpectFileContents("/transparent", 300 * 1024, 3);
+  // Writes still work: they land on disk (new version supersedes tertiary).
+  auto patch = Pattern(5000, 4);
+  ASSERT_TRUE(hl_->fs().Write(ino, 100, patch).ok());
+  std::vector<uint8_t> out(5000);
+  ASSERT_TRUE(hl_->fs().Read(ino, 100, out).ok());
+  EXPECT_EQ(out, patch);
+}
+
+TEST_F(HighLightTest, UpdatesToMigratedFilesAppendToDiskLog) {
+  uint32_t ino = MakeFile("/updatable", 256 * 1024, 5);
+  ASSERT_TRUE(hl_->MigratePath("/updatable").ok());
+  ASSERT_TRUE(FullyMigrated(ino));
+
+  // Overwrite one block; it must come back disk-resident.
+  ASSERT_TRUE(hl_->fs().Write(ino, 8192, Pattern(4096, 6)).ok());
+  ASSERT_TRUE(hl_->fs().Sync().ok());
+  Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(ino);
+  ASSERT_TRUE(refs.ok());
+  bool block2_on_disk = false;
+  for (const BlockRef& r : *refs) {
+    if (r.lbn == 2) {
+      block2_on_disk = hl_->address_map().Classify(r.daddr) ==
+                       AddressMap::Zone::kDisk;
+    }
+  }
+  EXPECT_TRUE(block2_on_disk);
+  // And the tseg table lost the superseded block's live bytes.
+  EXPECT_LT(hl_->tseg_table().TotalLiveBytes(), (256u * 1024) + 8192);
+}
+
+TEST_F(HighLightTest, PartialFileBlockRangeMigration) {
+  uint32_t ino = MakeFile("/dbfile", 512 * 1024, 7);
+  // Migrate only the first 64 blocks (the "dormant tuples").
+  std::vector<uint32_t> lbns;
+  for (uint32_t l = 0; l < 64; ++l) {
+    lbns.push_back(l);
+  }
+  MigratorOptions opts;
+  Result<MigrationReport> report =
+      hl_->migrator().MigrateBlocks(ino, lbns, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->blocks_migrated, 64u);
+
+  // The inode stays on disk; the file is split across levels.
+  Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(ino);
+  ASSERT_TRUE(refs.ok());
+  int tertiary = 0, disk = 0;
+  for (const BlockRef& r : *refs) {
+    if (IsMetaLbn(r.lbn)) {
+      continue;
+    }
+    if (hl_->address_map().Classify(r.daddr) == AddressMap::Zone::kTertiary) {
+      ++tertiary;
+    } else {
+      ++disk;
+    }
+  }
+  EXPECT_EQ(tertiary, 64);
+  EXPECT_EQ(disk, 64);
+  ExpectFileContents("/dbfile", 512 * 1024, 7);
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  ExpectFileContents("/dbfile", 512 * 1024, 7);
+}
+
+TEST_F(HighLightTest, DirectoriesAndMetadataCanMigrate) {
+  ASSERT_TRUE(hl_->fs().Mkdir("/archive").ok());
+  MakeFile("/archive/a", 100 * 1024, 8);
+  MakeFile("/archive/b", 100 * 1024, 9);
+  // Migrate the directory file itself along with its children.
+  Result<uint32_t> dir_ino = hl_->fs().LookupPath("/archive");
+  ASSERT_TRUE(dir_ino.ok());
+  Result<uint32_t> a_ino = hl_->fs().LookupPath("/archive/a");
+  Result<uint32_t> b_ino = hl_->fs().LookupPath("/archive/b");
+  ASSERT_TRUE(a_ino.ok());
+  ASSERT_TRUE(b_ino.ok());
+  MigratorOptions opts;
+  Result<MigrationReport> report = hl_->migrator().MigrateFiles(
+      {*a_ino, *b_ino, *dir_ino}, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  // Path lookup now demand-fetches the directory from tertiary storage.
+  ExpectFileContents("/archive/a", 100 * 1024, 8);
+  ExpectFileContents("/archive/b", 100 * 1024, 9);
+}
+
+TEST_F(HighLightTest, EndOfMediumRetargetsToNextVolume) {
+  // Shrink volume 0's real capacity to force end-of-medium mid-stream.
+  Result<Volume*> vol = hl_->footprint().GetVolume(0);
+  ASSERT_TRUE(vol.ok());
+  (*vol)->SetActualCapacity(3 * 64 * kBlockSize);  // Room for 3 segments.
+
+  MakeFile("/big", 2 << 20, 10);  // 2 MB = 8 segments (+ metadata).
+  Result<MigrationReport> report = hl_->MigratePath("/big");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(hl_->migrator().lifetime_report().eom_retargets, 0u);
+
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  ExpectFileContents("/big", 2 << 20, 10);
+}
+
+TEST_F(HighLightTest, DelayedCopyOutBatchesTertiaryWrites) {
+  Build(/*delayed=*/true);
+  MakeFile("/cold1", 512 * 1024, 11);
+  MakeFile("/cold2", 512 * 1024, 12);
+  Result<uint32_t> i1 = hl_->fs().LookupPath("/cold1");
+  Result<uint32_t> i2 = hl_->fs().LookupPath("/cold2");
+  ASSERT_TRUE(i1.ok());
+  ASSERT_TRUE(i2.ok());
+  MigratorOptions opts;
+  opts.delayed_copyout = true;
+  ASSERT_TRUE(hl_->migrator().MigrateFiles({*i1, *i2}, opts).ok());
+  // Segments staged but not yet on media.
+  EXPECT_GT(hl_->migrator().PendingSegments(), 0u);
+  uint64_t copied_before = hl_->io_server().stats().segments_copied_out;
+  EXPECT_EQ(copied_before, 0u);
+
+  // Data remain readable from the staged (pinned) cache lines.
+  ExpectFileContents("/cold1", 512 * 1024, 11);
+
+  // The idle-time flush pushes everything to media.
+  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);
+  EXPECT_GT(hl_->io_server().stats().segments_copied_out, 0u);
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  ExpectFileContents("/cold1", 512 * 1024, 11);
+  ExpectFileContents("/cold2", 512 * 1024, 12);
+}
+
+TEST_F(HighLightTest, MigratedStateSurvivesRemount) {
+  MakeFile("/durable", 1 << 20, 13);
+  ASSERT_TRUE(hl_->MigratePath("/durable").ok());
+  ASSERT_TRUE(hl_->fs().Checkpoint().ok());
+
+  ASSERT_TRUE(hl_->Remount().ok());
+  ExpectFileContents("/durable", 1 << 20, 13);
+
+  // Also after dropping the (rebuilt) cache: demand fetch from media.
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  ExpectFileContents("/durable", 1 << 20, 13);
+}
+
+TEST_F(HighLightTest, StpPolicyMigratesColdLargeFilesFirst) {
+  MakeFile("/hot", 256 * 1024, 14);
+  MakeFile("/cold-big", 512 * 1024, 15);
+  MakeFile("/cold-small", 16 * 1024, 16);
+  // Everything ages 100 s; then /hot is touched.
+  clock_.Advance(100 * kUsPerSec);
+  std::vector<uint8_t> buf(1024);
+  Result<uint32_t> hot = hl_->fs().LookupPath("/hot");
+  ASSERT_TRUE(hot.ok());
+  ASSERT_TRUE(hl_->fs().Read(*hot, 0, buf).ok());
+
+  StpPolicy stp;
+  Result<std::vector<FileCandidate>> ranked =
+      stp.Rank(hl_->fs(), clock_.Now());
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_GE(ranked->size(), 3u);
+  EXPECT_EQ((*ranked)[0].path, "/cold-big");
+  EXPECT_EQ((*ranked)[1].path, "/cold-small");
+  EXPECT_EQ((*ranked)[2].path, "/hot");
+
+  // Migrate ~the best candidate only.
+  Result<MigrationReport> report = hl_->Migrate(stp, 1);
+  ASSERT_TRUE(report.ok());
+  Result<uint32_t> cold = hl_->fs().LookupPath("/cold-big");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(FullyMigrated(*cold));
+  EXPECT_FALSE(FullyMigrated(*hot));
+}
+
+TEST_F(HighLightTest, NamespacePolicyKeepsUnitsAdjacent) {
+  ASSERT_TRUE(hl_->fs().Mkdir("/proj1").ok());
+  ASSERT_TRUE(hl_->fs().Mkdir("/proj2").ok());
+  MakeFile("/proj1/a", 64 * 1024, 17);
+  MakeFile("/proj1/b", 64 * 1024, 18);
+  MakeFile("/proj2/x", 64 * 1024, 19);
+  MakeFile("/proj2/y", 64 * 1024, 20);
+  clock_.Advance(50 * kUsPerSec);
+
+  NamespacePolicy ns;
+  Result<std::vector<FileCandidate>> ranked =
+      ns.Rank(hl_->fs(), clock_.Now());
+  ASSERT_TRUE(ranked.ok());
+  ASSERT_EQ(ranked->size(), 4u);
+  // Unit members are adjacent in the ranking.
+  EXPECT_EQ((*ranked)[0].unit, (*ranked)[1].unit);
+  EXPECT_EQ((*ranked)[2].unit, (*ranked)[3].unit);
+  EXPECT_NE((*ranked)[0].unit, (*ranked)[2].unit);
+}
+
+TEST_F(HighLightTest, PrefetchPullsFollowOnSegments) {
+  // Sequential prefetch policy: on a miss of tseg t, also fetch t+1.
+  hl_->service().SetPrefetchPolicy([this](uint32_t tseg) {
+    std::vector<uint32_t> extra;
+    if (hl_->tseg_table().size() > tseg + 1 &&
+        !(hl_->tseg_table().Get(tseg + 1).flags & kSegClean)) {
+      extra.push_back(tseg + 1);
+    }
+    return extra;
+  });
+  MakeFile("/seq", 1 << 20, 21);  // Spans ~4 tertiary segments.
+  ASSERT_TRUE(hl_->MigratePath("/seq").ok());
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+
+  ExpectFileContents("/seq", 1 << 20, 21);
+  EXPECT_GT(hl_->service().stats().prefetches, 0u);
+  // Prefetching cut the number of demand faults below the segment count.
+  EXPECT_LT(hl_->block_map().stats().demand_faults, 4u);
+}
+
+TEST_F(HighLightTest, MigrationStreamsTargetDifferentVolumes) {
+  // Section 6.5: direct several migration streams at different media. Two
+  // "streams" (calls with different preferred volumes) place their segments
+  // on their own volumes.
+  MakeFile("/stream-a", 512 * 1024, 31);
+  MakeFile("/stream-b", 512 * 1024, 32);
+  Result<uint32_t> a = hl_->fs().LookupPath("/stream-a");
+  Result<uint32_t> b = hl_->fs().LookupPath("/stream-b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  MigratorOptions to_vol1;
+  to_vol1.preferred_volume = 1;
+  MigratorOptions to_vol2;
+  to_vol2.preferred_volume = 2;
+  ASSERT_TRUE(hl_->migrator().MigrateFiles({*a}, to_vol1).ok());
+  ASSERT_TRUE(hl_->migrator().MigrateFiles({*b}, to_vol2).ok());
+
+  auto volumes_of = [&](uint32_t ino) {
+    std::set<uint32_t> volumes;
+    Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(ino);
+    EXPECT_TRUE(refs.ok());
+    for (const BlockRef& r : *refs) {
+      if (hl_->address_map().Classify(r.daddr) ==
+          AddressMap::Zone::kTertiary) {
+        volumes.insert(hl_->address_map().VolumeOfTseg(
+            hl_->address_map().TsegOf(r.daddr)));
+      }
+    }
+    return volumes;
+  };
+  EXPECT_EQ(volumes_of(*a), std::set<uint32_t>{1});
+  EXPECT_EQ(volumes_of(*b), std::set<uint32_t>{2});
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  ExpectFileContents("/stream-a", 512 * 1024, 31);
+  ExpectFileContents("/stream-b", 512 * 1024, 32);
+}
+
+TEST_F(HighLightTest, DeadZoneAccessRejected) {
+  std::vector<uint8_t> buf(kBlockSize);
+  uint32_t dead = hl_->address_map().disk_blocks() + 100;
+  EXPECT_EQ(hl_->block_map().ReadBlocks(dead, 1, buf).code(),
+            ErrorCode::kDeadZone);
+  EXPECT_EQ(hl_->block_map().WriteBlocks(dead, 1, buf).code(),
+            ErrorCode::kDeadZone);
+}
+
+TEST_F(HighLightTest, TsegTableTracksLiveBytes) {
+  MakeFile("/tracked", 512 * 1024, 22);
+  ASSERT_TRUE(hl_->MigratePath("/tracked").ok());
+  uint64_t live = hl_->tseg_table().TotalLiveBytes();
+  EXPECT_GE(live, 512u * 1024);        // Data blocks.
+  EXPECT_LT(live, 700u * 1024);        // Plus bounded metadata.
+  ASSERT_TRUE(hl_->fs().Unlink("/tracked").ok());
+  EXPECT_LT(hl_->tseg_table().TotalLiveBytes(), 4096u);
+}
+
+}  // namespace
+}  // namespace hl

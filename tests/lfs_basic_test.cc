@@ -1,0 +1,275 @@
+// End-to-end tests of the base LFS: namespace operations, file I/O, large
+// files through indirect blocks, truncation, and segment-log behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "blockdev/sim_disk.h"
+#include "lfs/lfs.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+constexpr uint32_t kTestDiskBlocks = 16 * 1024;  // 64 MB.
+
+class LfsBasicTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<SimDisk>("d0", kTestDiskBlocks, Rz57Profile(),
+                                      &clock_);
+    LfsParams params;
+    params.seg_size_blocks = 64;  // 256 KB segments: more log turnover.
+    auto fs = Lfs::Mkfs(disk_.get(), &clock_, params);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(*fs);
+  }
+
+  std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint8_t> v(n);
+    for (auto& b : v) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    return v;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<Lfs> fs_;
+};
+
+TEST_F(LfsBasicTest, RootExistsAfterMkfs) {
+  Result<StatInfo> st = fs_->StatPath("/");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->ino, kRootInode);
+  EXPECT_EQ(st->type, FileType::kDirectory);
+}
+
+TEST_F(LfsBasicTest, CreateWriteReadSmallFile) {
+  Result<uint32_t> ino = fs_->Create("/hello.txt");
+  ASSERT_TRUE(ino.ok()) << ino.status().ToString();
+  std::string text = "hello, tertiary world";
+  ASSERT_TRUE(fs_->Write(*ino, 0,
+                         std::span<const uint8_t>(
+                             reinterpret_cast<const uint8_t*>(text.data()),
+                             text.size()))
+                  .ok());
+  std::vector<uint8_t> out(text.size());
+  Result<size_t> n = fs_->Read(*ino, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, text.size());
+  EXPECT_EQ(std::string(out.begin(), out.end()), text);
+}
+
+TEST_F(LfsBasicTest, CreateDuplicateFails) {
+  ASSERT_TRUE(fs_->Create("/a").ok());
+  EXPECT_EQ(fs_->Create("/a").status().code(), ErrorCode::kExists);
+}
+
+TEST_F(LfsBasicTest, LookupMissingFails) {
+  EXPECT_EQ(fs_->LookupPath("/nope").status().code(), ErrorCode::kNotFound);
+}
+
+TEST_F(LfsBasicTest, NestedDirectories) {
+  ASSERT_TRUE(fs_->Mkdir("/data").ok());
+  ASSERT_TRUE(fs_->Mkdir("/data/satellite").ok());
+  Result<uint32_t> ino = fs_->Create("/data/satellite/img001");
+  ASSERT_TRUE(ino.ok());
+  EXPECT_TRUE(fs_->LookupPath("/data/satellite/img001").ok());
+
+  Result<std::vector<DirEntry>> entries = fs_->ReadDir(
+      *fs_->LookupPath("/data/satellite"));
+  ASSERT_TRUE(entries.ok());
+  // ".", "..", "img001".
+  EXPECT_EQ(entries->size(), 3u);
+}
+
+TEST_F(LfsBasicTest, UnlinkFreesAndForgets) {
+  Result<uint32_t> ino = fs_->Create("/f");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(8192, 1)).ok());
+  ASSERT_TRUE(fs_->Unlink("/f").ok());
+  EXPECT_FALSE(fs_->LookupPath("/f").ok());
+  EXPECT_FALSE(fs_->Stat(*ino).ok());
+  // The inode number is recycled eventually.
+  Result<uint32_t> again = fs_->Create("/g");
+  ASSERT_TRUE(again.ok());
+}
+
+TEST_F(LfsBasicTest, RmdirOnlyWhenEmpty) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  ASSERT_TRUE(fs_->Create("/d/x").ok());
+  EXPECT_EQ(fs_->Rmdir("/d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(fs_->Unlink("/d/x").ok());
+  EXPECT_TRUE(fs_->Rmdir("/d").ok());
+  EXPECT_FALSE(fs_->LookupPath("/d").ok());
+}
+
+TEST_F(LfsBasicTest, UnlinkDirectoryRejected) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  EXPECT_EQ(fs_->Unlink("/d").code(), ErrorCode::kIsADirectory);
+}
+
+TEST_F(LfsBasicTest, RenameMovesFile) {
+  Result<uint32_t> ino = fs_->Create("/old");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Mkdir("/sub").ok());
+  ASSERT_TRUE(fs_->Rename("/old", "/sub/new").ok());
+  EXPECT_FALSE(fs_->LookupPath("/old").ok());
+  Result<uint32_t> moved = fs_->LookupPath("/sub/new");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, *ino);
+}
+
+TEST_F(LfsBasicTest, OverwriteInMiddleOfFile) {
+  Result<uint32_t> ino = fs_->Create("/f");
+  ASSERT_TRUE(ino.ok());
+  auto data = Pattern(64 * 1024, 2);
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok());
+  // Overwrite an unaligned 1000-byte span in the middle.
+  auto patch = Pattern(1000, 3);
+  ASSERT_TRUE(fs_->Write(*ino, 12345, patch).ok());
+  std::memcpy(data.data() + 12345, patch.data(), patch.size());
+
+  std::vector<uint8_t> out(data.size());
+  Result<size_t> n = fs_->Read(*ino, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, data.size());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(LfsBasicTest, ReadPastEofReturnsShort) {
+  Result<uint32_t> ino = fs_->Create("/f");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(100, 4)).ok());
+  std::vector<uint8_t> out(1000);
+  Result<size_t> n = fs_->Read(*ino, 50, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 50u);
+  EXPECT_EQ(*fs_->Read(*ino, 100, out), 0u);
+  EXPECT_EQ(*fs_->Read(*ino, 5000, out), 0u);
+}
+
+TEST_F(LfsBasicTest, SparseFileReadsZeros) {
+  Result<uint32_t> ino = fs_->Create("/sparse");
+  ASSERT_TRUE(ino.ok());
+  auto tail = Pattern(4096, 5);
+  ASSERT_TRUE(fs_->Write(*ino, 1 << 20, tail).ok());  // Hole below 1 MB.
+  std::vector<uint8_t> out(4096, 0xFF);
+  ASSERT_TRUE(fs_->Read(*ino, 4096, out).ok());
+  for (uint8_t b : out) {
+    EXPECT_EQ(b, 0);
+  }
+  ASSERT_TRUE(fs_->Read(*ino, 1 << 20, out).ok());
+  EXPECT_EQ(out, tail);
+}
+
+TEST_F(LfsBasicTest, LargeFileThroughIndirectBlocks) {
+  Result<uint32_t> ino = fs_->Create("/big");
+  ASSERT_TRUE(ino.ok());
+  // 6 MB spans direct + single-indirect + double-indirect ranges.
+  const size_t kSize = 6u << 20;
+  auto data = Pattern(kSize, 6);
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok()) << "write failed";
+  ASSERT_TRUE(fs_->Sync().ok());
+  fs_->FlushBufferCache();
+
+  std::vector<uint8_t> out(kSize);
+  Result<size_t> n = fs_->Read(*ino, 0, out);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(*n, kSize);
+  EXPECT_EQ(out, data);
+
+  Result<StatInfo> st = fs_->Stat(*ino);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st->size, kSize);
+  // Blocks: 1536 data + 1 single indirect + 1 dind root + 1 dind child.
+  EXPECT_GE(st->blocks, 1536u);
+}
+
+TEST_F(LfsBasicTest, TruncateShrinksAndFrees) {
+  Result<uint32_t> ino = fs_->Create("/t");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(1 << 20, 7)).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  uint32_t blocks_before = fs_->Stat(*ino)->blocks;
+  ASSERT_TRUE(fs_->Truncate(*ino, 8192).ok());
+  Result<StatInfo> st = fs_->Stat(*ino);
+  EXPECT_EQ(st->size, 8192u);
+  EXPECT_LT(st->blocks, blocks_before);
+  // Data below the cut survives.
+  std::vector<uint8_t> out(8192);
+  ASSERT_TRUE(fs_->Read(*ino, 0, out).ok());
+  std::vector<uint8_t> expected = Pattern(1 << 20, 7);
+  expected.resize(8192);
+  EXPECT_EQ(out, expected);
+}
+
+TEST_F(LfsBasicTest, TimesMaintained) {
+  Result<uint32_t> ino = fs_->Create("/times");
+  ASSERT_TRUE(ino.ok());
+  uint64_t t0 = fs_->Stat(*ino)->mtime;
+  clock_.Advance(5 * kUsPerSec);
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(10, 8)).ok());
+  EXPECT_GT(fs_->Stat(*ino)->mtime, t0);
+  clock_.Advance(5 * kUsPerSec);
+  std::vector<uint8_t> out(10);
+  ASSERT_TRUE(fs_->Read(*ino, 0, out).ok());
+  EXPECT_GT(fs_->Stat(*ino)->atime, fs_->Stat(*ino)->mtime);
+}
+
+TEST_F(LfsBasicTest, SyncWritesSegmentsAndAdvancesLog) {
+  Result<uint32_t> ino = fs_->Create("/f");
+  ASSERT_TRUE(ino.ok());
+  uint64_t psegs_before = fs_->stats().psegs_written;
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(1 << 20, 9)).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  EXPECT_GT(fs_->stats().psegs_written, psegs_before);
+  EXPECT_EQ(fs_->DirtyBytes(), 0u);
+}
+
+TEST_F(LfsBasicTest, ManySmallFiles) {
+  for (int i = 0; i < 200; ++i) {
+    std::string path = "/file" + std::to_string(i);
+    Result<uint32_t> ino = fs_->Create(path);
+    ASSERT_TRUE(ino.ok()) << path << ": " << ino.status().ToString();
+    ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(1024, 100 + i)).ok());
+  }
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  for (int i = 0; i < 200; i += 17) {
+    std::string path = "/file" + std::to_string(i);
+    Result<uint32_t> ino = fs_->LookupPath(path);
+    ASSERT_TRUE(ino.ok());
+    std::vector<uint8_t> out(1024);
+    ASSERT_TRUE(fs_->Read(*ino, 0, out).ok());
+    EXPECT_EQ(out, Pattern(1024, 100 + i));
+  }
+}
+
+TEST_F(LfsBasicTest, FileTooLargeRejected) {
+  Result<uint32_t> ino = fs_->Create("/huge");
+  ASSERT_TRUE(ino.ok());
+  uint64_t beyond = (kMaxFileBlocks + 1) * kBlockSize;
+  std::vector<uint8_t> byte(1, 0);
+  EXPECT_EQ(fs_->Write(*ino, beyond, byte).code(),
+            ErrorCode::kFileTooLarge);
+}
+
+TEST_F(LfsBasicTest, InodeMapGrowsOnDemand) {
+  LfsParams params;
+  params.seg_size_blocks = 64;
+  params.initial_max_inodes = 8;  // Tiny: forces growth.
+  SimDisk disk2("d2", kTestDiskBlocks, Rz57Profile(), &clock_);
+  auto fs = Lfs::Mkfs(&disk2, &clock_, params);
+  ASSERT_TRUE(fs.ok());
+  for (int i = 0; i < 30; ++i) {
+    Result<uint32_t> ino = (*fs)->Create("/f" + std::to_string(i));
+    ASSERT_TRUE(ino.ok()) << i << ": " << ino.status().ToString();
+  }
+  ASSERT_TRUE((*fs)->Checkpoint().ok());
+}
+
+}  // namespace
+}  // namespace hl

@@ -1,0 +1,172 @@
+// Directory-focused stress tests: large directories spanning many blocks,
+// slot reuse, name limits, deep nesting, and rename semantics.
+
+#include <gtest/gtest.h>
+
+#include "blockdev/sim_disk.h"
+#include "lfs/lfs.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+class LfsDirTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<SimDisk>("d0", 16 * 1024, Rz57Profile(),
+                                      &clock_);
+    LfsParams params;
+    params.seg_size_blocks = 64;
+    auto fs = Lfs::Mkfs(disk_.get(), &clock_, params);
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(*fs);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<Lfs> fs_;
+};
+
+TEST_F(LfsDirTest, LargeDirectorySpansManyBlocks) {
+  ASSERT_TRUE(fs_->Mkdir("/big").ok());
+  // 64 entries per 4 KB block; 500 entries span 8+ blocks.
+  for (int i = 0; i < 500; ++i) {
+    Result<uint32_t> ino = fs_->Create("/big/entry" + std::to_string(i));
+    ASSERT_TRUE(ino.ok()) << i;
+  }
+  Result<std::vector<DirEntry>> entries =
+      fs_->ReadDir(*fs_->LookupPath("/big"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 502u);  // ".", "..", 500 files.
+  // Every entry resolves.
+  for (int i = 0; i < 500; i += 37) {
+    EXPECT_TRUE(fs_->LookupPath("/big/entry" + std::to_string(i)).ok());
+  }
+  Result<StatInfo> st = fs_->StatPath("/big");
+  ASSERT_TRUE(st.ok());
+  // 502 entries x 64 B = 32128 B: the directory spans 8 data blocks.
+  EXPECT_EQ(st->size, 502u * kDirEntrySize);
+  EXPECT_GT(st->size, 7u * kBlockSize);
+}
+
+TEST_F(LfsDirTest, FreedSlotsAreReused) {
+  ASSERT_TRUE(fs_->Mkdir("/d").ok());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(fs_->Create("/d/f" + std::to_string(i)).ok());
+  }
+  uint64_t size_before = fs_->StatPath("/d")->size;
+  // Delete and recreate: the directory must not grow.
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(fs_->Unlink("/d/f" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(fs_->Create("/d/g" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(fs_->StatPath("/d")->size, size_before);
+}
+
+TEST_F(LfsDirTest, NameLengthLimits) {
+  std::string max_name(kMaxNameLen, 'x');
+  EXPECT_TRUE(fs_->Create("/" + max_name).ok());
+  EXPECT_TRUE(fs_->LookupPath("/" + max_name).ok());
+  std::string too_long(kMaxNameLen + 1, 'y');
+  EXPECT_EQ(fs_->Create("/" + too_long).status().code(),
+            ErrorCode::kNameTooLong);
+}
+
+TEST_F(LfsDirTest, DeepNesting) {
+  std::string path;
+  for (int depth = 0; depth < 24; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(fs_->Mkdir(path).ok()) << path;
+  }
+  Result<uint32_t> leaf = fs_->Create(path + "/leaf");
+  ASSERT_TRUE(leaf.ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  EXPECT_TRUE(fs_->LookupPath(path + "/leaf").ok());
+  // Walk back up via "..".
+  Result<std::vector<DirEntry>> entries =
+      fs_->ReadDir(*fs_->LookupPath(path));
+  ASSERT_TRUE(entries.ok());
+  bool has_dotdot = false;
+  for (const DirEntry& e : *entries) {
+    if (e.name == "..") {
+      has_dotdot = true;
+    }
+  }
+  EXPECT_TRUE(has_dotdot);
+}
+
+TEST_F(LfsDirTest, RenameReplacesExistingFile) {
+  Result<uint32_t> a = fs_->Create("/a");
+  Result<uint32_t> b = fs_->Create("/b");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<uint8_t> data(100, 0x11);
+  ASSERT_TRUE(fs_->Write(*a, 0, data).ok());
+  ASSERT_TRUE(fs_->Rename("/a", "/b").ok());
+  EXPECT_FALSE(fs_->LookupPath("/a").ok());
+  Result<uint32_t> now_b = fs_->LookupPath("/b");
+  ASSERT_TRUE(now_b.ok());
+  EXPECT_EQ(*now_b, *a);
+  // The old /b inode was freed.
+  EXPECT_FALSE(fs_->Stat(*b).ok());
+}
+
+TEST_F(LfsDirTest, RenameDirectoryUpdatesDotDot) {
+  ASSERT_TRUE(fs_->Mkdir("/src").ok());
+  ASSERT_TRUE(fs_->Mkdir("/dst").ok());
+  ASSERT_TRUE(fs_->Mkdir("/src/child").ok());
+  ASSERT_TRUE(fs_->Create("/src/child/file").ok());
+  ASSERT_TRUE(fs_->Rename("/src/child", "/dst/child").ok());
+  EXPECT_TRUE(fs_->LookupPath("/dst/child/file").ok());
+  EXPECT_FALSE(fs_->LookupPath("/src/child").ok());
+  // ".." of the moved directory points at the new parent.
+  Result<uint32_t> child = fs_->LookupPath("/dst/child");
+  Result<uint32_t> dst = fs_->LookupPath("/dst");
+  ASSERT_TRUE(child.ok());
+  Result<std::vector<DirEntry>> entries = fs_->ReadDir(*child);
+  ASSERT_TRUE(entries.ok());
+  for (const DirEntry& e : *entries) {
+    if (e.name == "..") {
+      EXPECT_EQ(e.ino, *dst);
+    }
+  }
+  // Parent link counts updated.
+  EXPECT_EQ(fs_->Stat(*dst)->nlink, 3);
+  EXPECT_EQ(fs_->Stat(*fs_->LookupPath("/src"))->nlink, 2);
+}
+
+TEST_F(LfsDirTest, RenameIntoMissingDirectoryFails) {
+  ASSERT_TRUE(fs_->Create("/a").ok());
+  EXPECT_FALSE(fs_->Rename("/a", "/missing/b").ok());
+  EXPECT_TRUE(fs_->LookupPath("/a").ok());  // Source untouched.
+}
+
+TEST_F(LfsDirTest, PathResolutionThroughFileFails) {
+  ASSERT_TRUE(fs_->Create("/plainfile").ok());
+  EXPECT_EQ(fs_->Create("/plainfile/below").status().code(),
+            ErrorCode::kNotADirectory);
+  EXPECT_EQ(fs_->LookupPath("/plainfile/below").status().code(),
+            ErrorCode::kNotADirectory);
+}
+
+TEST_F(LfsDirTest, LargeDirectorySurvivesRemount) {
+  ASSERT_TRUE(fs_->Mkdir("/big").ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(fs_->Create("/big/f" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  fs_.reset();
+  LfsParams params;
+  params.seg_size_blocks = 64;
+  auto fs = Lfs::Mount(disk_.get(), &clock_, params);
+  ASSERT_TRUE(fs.ok());
+  Result<std::vector<DirEntry>> entries =
+      (*fs)->ReadDir(*(*fs)->LookupPath("/big"));
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 202u);
+}
+
+}  // namespace
+}  // namespace hl

@@ -1,0 +1,228 @@
+// Crash-recovery tests: checkpoint + remount, roll-forward past the last
+// checkpoint, torn-log rejection, and corrupted checkpoint regions.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "blockdev/sim_disk.h"
+#include "lfs/lfs.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+constexpr uint32_t kTestDiskBlocks = 16 * 1024;
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+class LfsRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    disk_ = std::make_unique<SimDisk>("d0", kTestDiskBlocks, Rz57Profile(),
+                                      &clock_);
+    params_.seg_size_blocks = 64;
+    auto fs = Lfs::Mkfs(disk_.get(), &clock_, params_);
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(*fs);
+  }
+
+  // "Crash": drop the in-memory file system without checkpointing, then
+  // remount from the device image.
+  void CrashAndRemount() {
+    fs_.reset();
+    auto fs = Lfs::Mount(disk_.get(), &clock_, params_);
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(*fs);
+  }
+
+  SimClock clock_;
+  LfsParams params_;
+  std::unique_ptr<SimDisk> disk_;
+  std::unique_ptr<Lfs> fs_;
+};
+
+TEST_F(LfsRecoveryTest, CleanRemountAfterCheckpoint) {
+  Result<uint32_t> ino = fs_->Create("/persist");
+  ASSERT_TRUE(ino.ok());
+  auto data = Pattern(128 * 1024, 1);
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+
+  CrashAndRemount();
+
+  Result<uint32_t> found = fs_->LookupPath("/persist");
+  ASSERT_TRUE(found.ok());
+  std::vector<uint8_t> out(data.size());
+  Result<size_t> n = fs_->Read(*found, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(LfsRecoveryTest, RollForwardRecoversSyncedData) {
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  // Data written and synced AFTER the checkpoint lives only in the log.
+  Result<uint32_t> ino = fs_->Create("/after-cp");
+  ASSERT_TRUE(ino.ok());
+  auto data = Pattern(200 * 1024, 2);
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok());
+  ASSERT_TRUE(fs_->Sync().ok());  // Sync, NOT checkpoint.
+
+  CrashAndRemount();
+
+  Result<uint32_t> found = fs_->LookupPath("/after-cp");
+  ASSERT_TRUE(found.ok()) << "roll-forward lost the file";
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(fs_->Read(*found, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(LfsRecoveryTest, UnsyncedDataIsLostButFsIsConsistent) {
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  Result<uint32_t> ino = fs_->Create("/volatile");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(4096, 3)).ok());
+  // No sync: the dirty block never reached the device.
+
+  CrashAndRemount();
+
+  EXPECT_FALSE(fs_->LookupPath("/volatile").ok());
+  // The file system still works.
+  Result<uint32_t> fresh = fs_->Create("/fresh");
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fs_->Write(*fresh, 0, Pattern(4096, 4)).ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+}
+
+TEST_F(LfsRecoveryTest, RollForwardAcrossManySegments) {
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  // Write several segments' worth of data post-checkpoint.
+  Result<uint32_t> ino = fs_->Create("/big-after-cp");
+  ASSERT_TRUE(ino.ok());
+  auto data = Pattern(2 << 20, 5);  // 2 MB over 256 KB segments.
+  ASSERT_TRUE(fs_->Write(*ino, 0, data).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+
+  CrashAndRemount();
+
+  Result<uint32_t> found = fs_->LookupPath("/big-after-cp");
+  ASSERT_TRUE(found.ok());
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(fs_->Read(*found, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(LfsRecoveryTest, OverwritesRecoverLatestVersion) {
+  Result<uint32_t> ino = fs_->Create("/versioned");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(64 * 1024, 6)).ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  auto v2 = Pattern(64 * 1024, 7);
+  ASSERT_TRUE(fs_->Write(*ino, 0, v2).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+
+  CrashAndRemount();
+
+  Result<uint32_t> found = fs_->LookupPath("/versioned");
+  ASSERT_TRUE(found.ok());
+  std::vector<uint8_t> out(v2.size());
+  ASSERT_TRUE(fs_->Read(*found, 0, out).ok());
+  EXPECT_EQ(out, v2);
+}
+
+TEST_F(LfsRecoveryTest, TornLogTailIsIgnored) {
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  Result<uint32_t> ino = fs_->Create("/t");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(32 * 1024, 8)).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+  uint32_t seg = fs_->cur_seg();
+  uint32_t off = fs_->cur_offset();
+  fs_.reset();
+
+  // Corrupt the first block after the log tail to look like garbage that a
+  // naive scan might trip over; recovery must stop cleanly.
+  if (off < 63) {
+    std::vector<uint8_t> junk(kBlockSize, 0x5C);
+    Superblock sb;  // Geometry is fixed by the test params.
+    uint32_t base = kDefaultReservedBlocks + seg * 64 + off;
+    ASSERT_TRUE(disk_->WriteBlocks(base, 1, junk).ok());
+  }
+  auto fs = Lfs::Mount(disk_.get(), &clock_, params_);
+  ASSERT_TRUE(fs.ok());
+  fs_ = std::move(*fs);
+  EXPECT_TRUE(fs_->LookupPath("/t").ok());
+}
+
+TEST_F(LfsRecoveryTest, OneCorruptCheckpointRegionIsTolerated) {
+  Result<uint32_t> ino = fs_->Create("/cp-test");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  ASSERT_TRUE(fs_->Checkpoint().ok());  // Both slots now hold checkpoints.
+  fs_.reset();
+
+  std::vector<uint8_t> junk(kBlockSize, 0xEE);
+  ASSERT_TRUE(disk_->WriteBlocks(kCheckpointBlockA, 1, junk).ok());
+
+  auto fs = Lfs::Mount(disk_.get(), &clock_, params_);
+  ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+  EXPECT_TRUE((*fs)->LookupPath("/cp-test").ok());
+}
+
+TEST_F(LfsRecoveryTest, BothCheckpointsCorruptFailsCleanly) {
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  fs_.reset();
+  std::vector<uint8_t> junk(kBlockSize, 0xEE);
+  ASSERT_TRUE(disk_->WriteBlocks(kCheckpointBlockA, 1, junk).ok());
+  ASSERT_TRUE(disk_->WriteBlocks(kCheckpointBlockB, 1, junk).ok());
+  auto fs = Lfs::Mount(disk_.get(), &clock_, params_);
+  EXPECT_FALSE(fs.ok());
+  EXPECT_EQ(fs.status().code(), ErrorCode::kCorruption);
+}
+
+TEST_F(LfsRecoveryTest, DirectoryTreeSurvivesRecovery) {
+  ASSERT_TRUE(fs_->Checkpoint().ok());
+  ASSERT_TRUE(fs_->Mkdir("/a").ok());
+  ASSERT_TRUE(fs_->Mkdir("/a/b").ok());
+  Result<uint32_t> ino = fs_->Create("/a/b/leaf");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(1000, 9)).ok());
+  ASSERT_TRUE(fs_->Sync().ok());
+
+  CrashAndRemount();
+
+  Result<uint32_t> found = fs_->LookupPath("/a/b/leaf");
+  ASSERT_TRUE(found.ok());
+  std::vector<uint8_t> out(1000);
+  ASSERT_TRUE(fs_->Read(*found, 0, out).ok());
+  EXPECT_EQ(out, Pattern(1000, 9));
+}
+
+TEST_F(LfsRecoveryTest, RepeatedCrashesDoNotCompound) {
+  for (int round = 0; round < 5; ++round) {
+    std::string path = "/round" + std::to_string(round);
+    Result<uint32_t> ino = fs_->Create(path);
+    ASSERT_TRUE(ino.ok());
+    ASSERT_TRUE(fs_->Write(*ino, 0, Pattern(16 * 1024, 10 + round)).ok());
+    if (round % 2 == 0) {
+      ASSERT_TRUE(fs_->Checkpoint().ok());
+    } else {
+      ASSERT_TRUE(fs_->Sync().ok());
+    }
+    CrashAndRemount();
+    for (int r = 0; r <= round; ++r) {
+      std::string p = "/round" + std::to_string(r);
+      ASSERT_TRUE(fs_->LookupPath(p).ok()) << p << " lost in round " << round;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hl

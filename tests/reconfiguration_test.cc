@@ -1,0 +1,223 @@
+// Tests for on-line reconfiguration (paper sections 6.4 and 10): adding a
+// disk while mounted, retiring segments for disk removal, dynamic cache
+// resizing, and the slow-access user notifier.
+
+#include <gtest/gtest.h>
+
+#include "blockdev/sim_disk.h"
+#include "highlight/highlight.h"
+#include "lfs/cleaner.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+class ReconfigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HighLightConfig config;
+    config.disks.push_back({Rz57Profile(), 8 * 1024});  // 32 MB.
+    JukeboxProfile j = Hp6300MoProfile();
+    j.num_slots = 4;
+    j.volume_capacity_bytes = 16ull * 64 * kBlockSize;
+    config.jukeboxes.push_back({j, false, 16});
+    config.lfs.seg_size_blocks = 64;
+    config.lfs.cache_max_segments = 8;
+    auto hl = HighLightFs::Create(config, &clock_);
+    ASSERT_TRUE(hl.ok()) << hl.status().ToString();
+    hl_ = std::move(*hl);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<HighLightFs> hl_;
+};
+
+TEST_F(ReconfigTest, AddDiskGrowsCleanPool) {
+  uint32_t nsegs_before = hl_->fs().NumSegments();
+  uint32_t clean_before = hl_->fs().CleanSegmentCount();
+  ASSERT_TRUE(hl_->AddDisk({Rz58Profile(), 4 * 1024}).ok());  // +16 MB.
+  EXPECT_GT(hl_->fs().NumSegments(), nsegs_before);
+  EXPECT_GT(hl_->fs().CleanSegmentCount(), clean_before);
+
+  // New capacity is immediately writable and durable across remount.
+  Result<uint32_t> ino = hl_->fs().Create("/grown");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(4 << 20, 1)).ok());
+  ASSERT_TRUE(hl_->fs().Checkpoint().ok());
+  ASSERT_TRUE(hl_->Remount().ok());
+  std::vector<uint8_t> out(4 << 20);
+  Result<uint32_t> found = hl_->fs().LookupPath("/grown");
+  ASSERT_TRUE(found.ok());
+  ASSERT_TRUE(hl_->fs().Read(*found, 0, out).ok());
+  EXPECT_EQ(out, Pattern(4 << 20, 1));
+}
+
+TEST_F(ReconfigTest, AddDiskFillsIntoNewSegments) {
+  // Fill most of the original disk, add a disk, keep writing.
+  Result<uint32_t> ino = hl_->fs().Create("/filler");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(20 << 20, 2)).ok());
+  ASSERT_TRUE(hl_->fs().Checkpoint().ok());
+  ASSERT_TRUE(hl_->AddDisk({Rz58Profile(), 8 * 1024}).ok());
+  Result<uint32_t> more = hl_->fs().Create("/more");
+  ASSERT_TRUE(more.ok());
+  ASSERT_TRUE(hl_->fs().Write(*more, 0, Pattern(10 << 20, 3)).ok());
+  ASSERT_TRUE(hl_->fs().Checkpoint().ok());
+  std::vector<uint8_t> out(10 << 20);
+  ASSERT_TRUE(hl_->fs().Read(*more, 0, out).ok());
+  EXPECT_EQ(out, Pattern(10 << 20, 3));
+}
+
+TEST_F(ReconfigTest, RetiredSegmentIsNeverAllocated) {
+  Lfs& fs = hl_->fs();
+  // Retire a handful of clean segments, then churn the log well past them.
+  std::vector<uint32_t> retired;
+  for (uint32_t seg = 0; seg < fs.NumSegments() && retired.size() < 4;
+       ++seg) {
+    if (fs.RetireSegment(seg).ok()) {
+      retired.push_back(seg);
+    }
+  }
+  ASSERT_EQ(retired.size(), 4u);
+  Result<uint32_t> ino = fs.Create("/churn");
+  ASSERT_TRUE(ino.ok());
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(fs.Write(*ino, 0, Pattern(4 << 20, 10 + round)).ok());
+    ASSERT_TRUE(fs.Sync().ok());
+  }
+  for (uint32_t seg : retired) {
+    EXPECT_EQ(fs.GetSegUsage(seg).flags, kSegNoStore);
+    EXPECT_EQ(fs.GetSegUsage(seg).live_bytes, 0u);
+  }
+}
+
+TEST_F(ReconfigTest, RetireRejectsDirtyAndActiveSegments) {
+  Lfs& fs = hl_->fs();
+  EXPECT_EQ(fs.RetireSegment(fs.cur_seg()).code(), ErrorCode::kBusy);
+  // Write something so a dirty segment exists.
+  Result<uint32_t> ino = fs.Create("/d");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs.Write(*ino, 0, Pattern(1 << 20, 4)).ok());
+  ASSERT_TRUE(fs.Sync().ok());
+  bool found_dirty = false;
+  for (uint32_t seg = 0; seg < fs.NumSegments(); ++seg) {
+    uint16_t flags = fs.GetSegUsage(seg).flags;
+    if ((flags & kSegDirty) && !(flags & kSegActive)) {
+      EXPECT_EQ(fs.RetireSegment(seg).code(), ErrorCode::kBusy);
+      found_dirty = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found_dirty);
+}
+
+TEST_F(ReconfigTest, DiskRemovalViaCleanThenRetire) {
+  // The removal recipe from section 6.4: clean the departing segments so
+  // their data move elsewhere, then mark them no-store.
+  Lfs& fs = hl_->fs();
+  Result<uint32_t> ino = fs.Create("/move-me");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(fs.Write(*ino, 0, Pattern(2 << 20, 5)).ok());
+  ASSERT_TRUE(fs.Checkpoint().ok());
+
+  // "Remove" segments 0..15: clean them (relocating live data), retire.
+  Cleaner cleaner(&fs);
+  for (uint32_t seg = 0; seg < 16; ++seg) {
+    uint16_t flags = fs.GetSegUsage(seg).flags;
+    if (flags & kSegClean) {
+      (void)fs.RetireSegment(seg);
+      continue;
+    }
+    if (seg == fs.cur_seg() || seg == fs.next_seg() ||
+        (flags & kSegActive)) {
+      continue;  // The log tail cannot be retired while active.
+    }
+    // CleanOne is private; use the public path: clean broadly until this
+    // segment is clean.
+    for (int attempt = 0; attempt < 8 && !(fs.GetSegUsage(seg).flags &
+                                           kSegClean); ++attempt) {
+      ASSERT_TRUE(cleaner.Clean(4).ok());
+    }
+    if (fs.GetSegUsage(seg).flags & kSegClean) {
+      (void)fs.RetireSegment(seg);
+    }
+  }
+  // Data are intact after the evacuation.
+  fs.FlushBufferCache();
+  std::vector<uint8_t> out(2 << 20);
+  ASSERT_TRUE(fs.Read(*ino, 0, out).ok());
+  EXPECT_EQ(out, Pattern(2 << 20, 5));
+}
+
+TEST_F(ReconfigTest, CacheGrowsAndShrinksOnline) {
+  SegmentCache& cache = hl_->cache();
+  uint32_t before = cache.Capacity();
+  ASSERT_TRUE(cache.Resize(before + 4).ok());
+  EXPECT_EQ(cache.Capacity(), before + 4);
+
+  // Fill some lines, then shrink back: clean lines are evicted as needed.
+  Result<uint32_t> ino = hl_->fs().Create("/cold");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(1 << 20, 6)).ok());
+  ASSERT_TRUE(hl_->MigratePath("/cold").ok());
+  ASSERT_TRUE(cache.Resize(2).ok());
+  EXPECT_EQ(cache.Capacity(), 2u);
+  EXPECT_LE(cache.Used(), 2u);
+
+  // Contents still readable (demand fetch through the smaller cache).
+  std::vector<uint8_t> out(1 << 20);
+  ASSERT_TRUE(hl_->fs().Read(*ino, 0, out).ok());
+  EXPECT_EQ(out, Pattern(1 << 20, 6));
+}
+
+TEST_F(ReconfigTest, CacheShrinkBelowPinnedFails) {
+  // Stage segments in delayed mode so lines are pinned, then over-shrink.
+  Result<uint32_t> ino = hl_->fs().Create("/pinned");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(1 << 20, 7)).ok());
+  MigratorOptions delayed;
+  delayed.delayed_copyout = true;
+  ASSERT_TRUE(hl_->migrator().MigrateFiles({*ino}, delayed).ok());
+  uint32_t pinned = hl_->migrator().PendingSegments();
+  ASSERT_GT(pinned, 0u);
+  EXPECT_EQ(hl_->cache().Resize(pinned - 1).code(), ErrorCode::kBusy);
+  // Flush unpins; now the shrink succeeds.
+  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  EXPECT_TRUE(hl_->cache().Resize(1).ok());
+}
+
+TEST_F(ReconfigTest, SlowAccessNotifierFires) {
+  Result<uint32_t> ino = hl_->fs().Create("/slow");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(1 << 20, 8)).ok());
+  ASSERT_TRUE(hl_->MigratePath("/slow").ok());
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+
+  std::vector<std::pair<uint32_t, SimTime>> notifications;
+  hl_->service().SetSlowAccessNotifier(
+      [&](uint32_t tseg, SimTime estimate) {
+        notifications.emplace_back(tseg, estimate);
+      });
+  std::vector<uint8_t> out(1 << 20);
+  ASSERT_TRUE(hl_->fs().Read(*ino, 0, out).ok());
+  ASSERT_FALSE(notifications.empty());
+  // First fetch has no history (estimate 0); later ones estimate from it.
+  EXPECT_EQ(notifications.front().second, 0u);
+  if (notifications.size() > 1) {
+    // Estimate derives from real fetch history: hundreds of milliseconds at
+    // least (MO transfer of a 256 KB segment).
+    EXPECT_GT(notifications.back().second, kUsPerSec / 2);
+  }
+}
+
+}  // namespace
+}  // namespace hl

@@ -1,0 +1,91 @@
+// Tests for the simulation clock, resources, and device profiles.
+
+#include <gtest/gtest.h>
+
+#include "sim/device_profile.h"
+#include "sim/sim_clock.h"
+
+namespace hl {
+namespace {
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.Advance(100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150u);
+}
+
+TEST(SimClockTest, AdvanceToNeverGoesBack) {
+  SimClock clock;
+  clock.AdvanceTo(1000);
+  clock.AdvanceTo(500);
+  EXPECT_EQ(clock.Now(), 1000u);
+}
+
+TEST(ResourceTest, SerializesOperations) {
+  Resource r("disk");
+  // Two ops requested at t=0: the second starts when the first finishes.
+  EXPECT_EQ(r.Schedule(0, 100), 100u);
+  EXPECT_EQ(r.Schedule(0, 50), 150u);
+  // An op requested after the resource is free starts immediately.
+  EXPECT_EQ(r.Schedule(1000, 10), 1010u);
+  EXPECT_EQ(r.busy_total(), 160u);
+}
+
+TEST(ResourceTest, ScheduleWithHoldsBothResources) {
+  Resource robot("robot");
+  Resource bus("bus");
+  bus.Schedule(0, 500);  // Bus busy until 500.
+  // A bus-hogging swap requested at t=0 cannot start before the bus frees.
+  EXPECT_EQ(robot.ScheduleWith(bus, 0, 100), 600u);
+  EXPECT_EQ(bus.free_at(), 600u);
+}
+
+TEST(PhaseAccumulatorTest, PercentagesSumTo100) {
+  PhaseAccumulator acc;
+  acc.Add("footprint", 620);
+  acc.Add("ioserver", 370);
+  acc.Add("queue", 10);
+  EXPECT_EQ(acc.GrandTotal(), 1000u);
+  EXPECT_DOUBLE_EQ(acc.Percent("footprint"), 62.0);
+  EXPECT_DOUBLE_EQ(acc.Percent("queue"), 1.0);
+}
+
+TEST(DiskProfileTest, SeekMonotoneInDistance) {
+  DiskProfile p = Rz57Profile();
+  EXPECT_EQ(p.SeekTime(0), 0u);
+  SimTime near = p.SeekTime(1 << 20);
+  SimTime far = p.SeekTime(500u << 20);
+  EXPECT_GT(near, 0u);
+  EXPECT_GT(far, near);
+  EXPECT_LE(far, p.full_stroke_us);
+}
+
+TEST(DiskProfileTest, TransferMatchesTable5Rates) {
+  DiskProfile p = Rz57Profile();
+  // 1 MB at 1417 KB/s is about 0.72 s.
+  SimTime t = p.TransferTime(1024 * 1024, /*is_write=*/false);
+  EXPECT_NEAR(static_cast<double>(t) / kUsPerSec, 1024.0 / 1417.0, 0.01);
+  // Writes are slower than reads on the RZ57.
+  EXPECT_GT(p.TransferTime(1 << 20, true), p.TransferTime(1 << 20, false));
+}
+
+TEST(DeviceProfileTest, MoMatchesPaperRates) {
+  JukeboxProfile j = Hp6300MoProfile();
+  EXPECT_EQ(j.drive.read_bytes_per_sec, 451u * 1024);
+  EXPECT_EQ(j.drive.write_bytes_per_sec, 204u * 1024);
+  EXPECT_EQ(j.media_swap_us, 13'500'000u);
+  EXPECT_EQ(j.num_drives, 2);
+  EXPECT_EQ(j.num_slots, 32);
+}
+
+TEST(DeviceProfileTest, TapeSeekGrowsWithDistance) {
+  JukeboxProfile j = MetrumRss600Profile();
+  SimTime near = j.drive.SeekTime(1 << 20);
+  SimTime far = j.drive.SeekTime(1000ull << 20);
+  EXPECT_GT(far, near);
+}
+
+}  // namespace
+}  // namespace hl

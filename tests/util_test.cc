@@ -1,0 +1,135 @@
+// Unit tests for the utility layer: Status/Result, CRC32, serialization, RNG.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/crc32.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/status.h"
+
+namespace hl {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "kOk");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("inode 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "kNotFound: inode 42");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "kUnknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NoSpace("log full");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), ErrorCode::kNoSpace);
+}
+
+Result<int> Doubler(Result<int> in) {
+  ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_EQ(Doubler(Internal("boom")).status().code(), ErrorCode::kInternal);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE).
+  const char* s = "123456789";
+  uint32_t crc = Crc32(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(s), 9));
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) {
+  EXPECT_EQ(Crc32(std::span<const uint8_t>()), 0u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::vector<uint8_t> data(4096, 0xAB);
+  uint32_t before = Crc32(data);
+  data[1234] ^= 0x01;
+  EXPECT_NE(before, Crc32(data));
+}
+
+TEST(SerializeTest, RoundTripsScalars) {
+  std::vector<uint8_t> buf(64);
+  Writer w(buf);
+  w.PutU8(0x12);
+  w.PutU16(0x3456);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutStringField("hello", 10);
+
+  Reader r(buf);
+  EXPECT_EQ(r.GetU8(), 0x12);
+  EXPECT_EQ(r.GetU16(), 0x3456);
+  EXPECT_EQ(r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.GetStringField(10), "hello");
+  EXPECT_TRUE(r.Ok());
+}
+
+TEST(SerializeTest, LittleEndianLayout) {
+  std::vector<uint8_t> buf(4);
+  Writer w(buf);
+  w.PutU32(0x01020304);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(SerializeTest, ReaderOverrunFails) {
+  std::vector<uint8_t> buf(2);
+  Reader r(buf);
+  r.GetU32();
+  EXPECT_FALSE(r.Ok());
+  EXPECT_FALSE(r.ToStatus("test").ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+  EXPECT_EQ(rng.Below(0), 0u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace hl

@@ -1,0 +1,143 @@
+// Tests for the trace generators and the trace replayer (high/low-water
+// migration driving).
+
+#include <gtest/gtest.h>
+
+#include "highlight/highlight.h"
+#include "workload/replayer.h"
+#include "workload/trace.h"
+
+namespace hl {
+namespace {
+
+TEST(TraceGeneratorTest, WorkstationTraceIsWellFormed) {
+  WorkstationTraceParams params;
+  params.days = 4;
+  params.projects = 3;
+  params.files_per_project = 5;
+  Trace trace = GenerateWorkstationTrace(params);
+  EXPECT_EQ(trace.name, "workstation");
+  EXPECT_GT(trace.events.size(), 30u);
+  // Sorted by time.
+  for (size_t i = 1; i < trace.events.size(); ++i) {
+    EXPECT_LE(trace.events[i - 1].at, trace.events[i].at);
+  }
+  EXPECT_GT(trace.TotalBytesWritten(), 0u);
+  EXPECT_GT(trace.TotalBytesRead(), 0u);
+}
+
+TEST(TraceGeneratorTest, TracesAreDeterministic) {
+  Trace a = GenerateSupercomputingTrace({});
+  Trace b = GenerateSupercomputingTrace({});
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].path, b.events[i].path);
+    EXPECT_EQ(a.events[i].at, b.events[i].at);
+    EXPECT_EQ(a.events[i].size, b.events[i].size);
+  }
+}
+
+TEST(TraceGeneratorTest, SupercomputingDeletesOldGenerations) {
+  Trace trace = GenerateSupercomputingTrace({});
+  int deletes = 0;
+  for (const TraceEvent& e : trace.events) {
+    if (e.op == TraceOp::kDelete) {
+      ++deletes;
+    }
+  }
+  EXPECT_GT(deletes, 0);
+}
+
+TEST(TraceGeneratorTest, SequoiaMixesImagesAndDb) {
+  Trace trace = GenerateSequoiaTrace({});
+  bool db_read = false;
+  bool image_write = false;
+  for (const TraceEvent& e : trace.events) {
+    if (e.op == TraceOp::kRead && e.path == "/rel.heap") {
+      db_read = true;
+    }
+    if (e.op == TraceOp::kWrite && e.path.find("/img-day") == 0) {
+      image_write = true;
+    }
+  }
+  EXPECT_TRUE(db_read);
+  EXPECT_TRUE(image_write);
+}
+
+class ReplayerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HighLightConfig config;
+    config.disks.push_back({Rz57Profile(), 12 * 1024});  // 48 MB: tight.
+    JukeboxProfile j = Hp6300MoProfile();
+    j.num_slots = 6;
+    config.jukeboxes.push_back({j, false, 0});
+    config.lfs.cache_max_segments = 10;
+    auto hl = HighLightFs::Create(config, &clock_);
+    ASSERT_TRUE(hl.ok());
+    hl_ = std::move(*hl);
+  }
+
+  SimClock clock_;
+  std::unique_ptr<HighLightFs> hl_;
+};
+
+TEST_F(ReplayerTest, ReplaysWorkstationTraceWithMigrationPressure) {
+  WorkstationTraceParams params;
+  params.days = 6;
+  params.projects = 4;
+  params.files_per_project = 12;
+  // ~48 MB total: exceeds the 48 MB disk's ~37 MB log area, so the
+  // water-mark scheme must migrate to keep the system writable.
+  params.mean_file_bytes = 1 << 20;
+  Trace trace = GenerateWorkstationTrace(params);
+
+  StpPolicy stp;
+  TraceReplayer replayer(hl_.get(), &stp);
+  Result<ReplayStats> stats = replayer.Replay(trace);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->writes, 0u);
+  EXPECT_GT(stats->reads, 0u);
+  // The tight disk forced at least one migration run.
+  EXPECT_GT(stats->migration_runs, 0u);
+  EXPECT_GT(stats->bytes_migrated, 0u);
+  // The system stayed within disk bounds: clean segments exist at the end.
+  EXPECT_GT(hl_->fs().CleanSegmentCount(), 0u);
+}
+
+TEST_F(ReplayerTest, LatencyStatsAreConsistent) {
+  WorkstationTraceParams params;
+  params.days = 3;
+  params.projects = 2;
+  params.files_per_project = 6;
+  Trace trace = GenerateWorkstationTrace(params);
+  StpPolicy stp;
+  TraceReplayer replayer(hl_.get(), &stp);
+  Result<ReplayStats> stats = replayer.Replay(trace);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats->max_read_latency, stats->total_read_latency);
+  EXPECT_LE(stats->slow_reads, stats->reads);
+  EXPECT_GE(stats->MeanReadLatencyMs(), 0.0);
+}
+
+TEST_F(ReplayerTest, DeletedFilesDoNotBreakReplay) {
+  Trace trace;
+  trace.name = "delete-heavy";
+  trace.events = {
+      {0, TraceOp::kCreate, "/a", 0, 0},
+      {1, TraceOp::kWrite, "/a", 0, 8192},
+      {2, TraceOp::kDelete, "/a", 0, 0},
+      {3, TraceOp::kRead, "/a", 0, 8192},     // Read after delete: benign.
+      {4, TraceOp::kDelete, "/a", 0, 0},      // Double delete: benign.
+      {5, TraceOp::kMkdir, "/d", 0, 0},
+      {6, TraceOp::kMkdir, "/d", 0, 0},       // Double mkdir: benign.
+  };
+  StpPolicy stp;
+  TraceReplayer replayer(hl_.get(), &stp);
+  Result<ReplayStats> stats = replayer.Replay(trace);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->writes, 1u);
+}
+
+}  // namespace
+}  // namespace hl

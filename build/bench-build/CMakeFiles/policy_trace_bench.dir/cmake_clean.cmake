@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/policy_trace_bench"
+  "../bench/policy_trace_bench.pdb"
+  "CMakeFiles/policy_trace_bench.dir/policy_trace_bench.cc.o"
+  "CMakeFiles/policy_trace_bench.dir/policy_trace_bench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_trace_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for policy_trace_bench.
+# This may be replaced when dependencies are built.

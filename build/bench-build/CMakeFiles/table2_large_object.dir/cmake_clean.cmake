@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_large_object"
+  "../bench/table2_large_object.pdb"
+  "CMakeFiles/table2_large_object.dir/table2_large_object.cc.o"
+  "CMakeFiles/table2_large_object.dir/table2_large_object.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_large_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_access_delays"
+  "../bench/table3_access_delays.pdb"
+  "CMakeFiles/table3_access_delays.dir/table3_access_delays.cc.o"
+  "CMakeFiles/table3_access_delays.dir/table3_access_delays.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_access_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_migration_breakdown"
+  "../bench/table4_migration_breakdown.pdb"
+  "CMakeFiles/table4_migration_breakdown.dir/table4_migration_breakdown.cc.o"
+  "CMakeFiles/table4_migration_breakdown.dir/table4_migration_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_migration_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

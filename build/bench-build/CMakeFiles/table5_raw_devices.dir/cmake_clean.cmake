@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_raw_devices"
+  "../bench/table5_raw_devices.pdb"
+  "CMakeFiles/table5_raw_devices.dir/table5_raw_devices.cc.o"
+  "CMakeFiles/table5_raw_devices.dir/table5_raw_devices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_raw_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

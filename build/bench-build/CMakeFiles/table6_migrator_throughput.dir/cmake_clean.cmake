@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_migrator_throughput"
+  "../bench/table6_migrator_throughput.pdb"
+  "CMakeFiles/table6_migrator_throughput.dir/table6_migrator_throughput.cc.o"
+  "CMakeFiles/table6_migrator_throughput.dir/table6_migrator_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_migrator_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_workload.dir/checkpoint_workload.cpp.o"
+  "CMakeFiles/checkpoint_workload.dir/checkpoint_workload.cpp.o.d"
+  "checkpoint_workload"
+  "checkpoint_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_random_access.dir/db_random_access.cpp.o"
+  "CMakeFiles/db_random_access.dir/db_random_access.cpp.o.d"
+  "db_random_access"
+  "db_random_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_random_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

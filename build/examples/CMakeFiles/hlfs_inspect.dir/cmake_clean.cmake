@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlfs_inspect.dir/hlfs_inspect.cpp.o"
+  "CMakeFiles/hlfs_inspect.dir/hlfs_inspect.cpp.o.d"
+  "hlfs_inspect"
+  "hlfs_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlfs_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

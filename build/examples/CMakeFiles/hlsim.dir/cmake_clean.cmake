@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hlsim.dir/hlsim.cpp.o"
+  "CMakeFiles/hlsim.dir/hlsim.cpp.o.d"
+  "hlsim"
+  "hlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/satellite_archive.dir/satellite_archive.cpp.o"
+  "CMakeFiles/satellite_archive.dir/satellite_archive.cpp.o.d"
+  "satellite_archive"
+  "satellite_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/satellite_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blockdev/concat_driver.cc" "src/blockdev/CMakeFiles/hl_blockdev.dir/concat_driver.cc.o" "gcc" "src/blockdev/CMakeFiles/hl_blockdev.dir/concat_driver.cc.o.d"
+  "/root/repo/src/blockdev/sim_disk.cc" "src/blockdev/CMakeFiles/hl_blockdev.dir/sim_disk.cc.o" "gcc" "src/blockdev/CMakeFiles/hl_blockdev.dir/sim_disk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_blockdev.dir/concat_driver.cc.o"
+  "CMakeFiles/hl_blockdev.dir/concat_driver.cc.o.d"
+  "CMakeFiles/hl_blockdev.dir/sim_disk.cc.o"
+  "CMakeFiles/hl_blockdev.dir/sim_disk.cc.o.d"
+  "libhl_blockdev.a"
+  "libhl_blockdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_blockdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_ffs.dir/ffs.cc.o"
+  "CMakeFiles/hl_ffs.dir/ffs.cc.o.d"
+  "libhl_ffs.a"
+  "libhl_ffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_ffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

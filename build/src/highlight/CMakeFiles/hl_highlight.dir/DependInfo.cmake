@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/highlight/block_map_driver.cc" "src/highlight/CMakeFiles/hl_highlight.dir/block_map_driver.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/block_map_driver.cc.o.d"
+  "/root/repo/src/highlight/highlight.cc" "src/highlight/CMakeFiles/hl_highlight.dir/highlight.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/highlight.cc.o.d"
+  "/root/repo/src/highlight/io_server.cc" "src/highlight/CMakeFiles/hl_highlight.dir/io_server.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/io_server.cc.o.d"
+  "/root/repo/src/highlight/migration_policy.cc" "src/highlight/CMakeFiles/hl_highlight.dir/migration_policy.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/migration_policy.cc.o.d"
+  "/root/repo/src/highlight/migrator.cc" "src/highlight/CMakeFiles/hl_highlight.dir/migrator.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/migrator.cc.o.d"
+  "/root/repo/src/highlight/segment_cache.cc" "src/highlight/CMakeFiles/hl_highlight.dir/segment_cache.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/segment_cache.cc.o.d"
+  "/root/repo/src/highlight/service_process.cc" "src/highlight/CMakeFiles/hl_highlight.dir/service_process.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/service_process.cc.o.d"
+  "/root/repo/src/highlight/tertiary_cleaner.cc" "src/highlight/CMakeFiles/hl_highlight.dir/tertiary_cleaner.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/tertiary_cleaner.cc.o.d"
+  "/root/repo/src/highlight/tseg_table.cc" "src/highlight/CMakeFiles/hl_highlight.dir/tseg_table.cc.o" "gcc" "src/highlight/CMakeFiles/hl_highlight.dir/tseg_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lfs/CMakeFiles/hl_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/tertiary/CMakeFiles/hl_tertiary.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/hl_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_highlight.dir/block_map_driver.cc.o"
+  "CMakeFiles/hl_highlight.dir/block_map_driver.cc.o.d"
+  "CMakeFiles/hl_highlight.dir/highlight.cc.o"
+  "CMakeFiles/hl_highlight.dir/highlight.cc.o.d"
+  "CMakeFiles/hl_highlight.dir/io_server.cc.o"
+  "CMakeFiles/hl_highlight.dir/io_server.cc.o.d"
+  "CMakeFiles/hl_highlight.dir/migration_policy.cc.o"
+  "CMakeFiles/hl_highlight.dir/migration_policy.cc.o.d"
+  "CMakeFiles/hl_highlight.dir/migrator.cc.o"
+  "CMakeFiles/hl_highlight.dir/migrator.cc.o.d"
+  "CMakeFiles/hl_highlight.dir/segment_cache.cc.o"
+  "CMakeFiles/hl_highlight.dir/segment_cache.cc.o.d"
+  "CMakeFiles/hl_highlight.dir/service_process.cc.o"
+  "CMakeFiles/hl_highlight.dir/service_process.cc.o.d"
+  "CMakeFiles/hl_highlight.dir/tertiary_cleaner.cc.o"
+  "CMakeFiles/hl_highlight.dir/tertiary_cleaner.cc.o.d"
+  "CMakeFiles/hl_highlight.dir/tseg_table.cc.o"
+  "CMakeFiles/hl_highlight.dir/tseg_table.cc.o.d"
+  "libhl_highlight.a"
+  "libhl_highlight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_highlight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

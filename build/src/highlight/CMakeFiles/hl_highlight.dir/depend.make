@@ -1,0 +1,2 @@
+# Empty dependencies file for hl_highlight.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lfs/access_ranges.cc" "src/lfs/CMakeFiles/hl_lfs.dir/access_ranges.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/access_ranges.cc.o.d"
+  "/root/repo/src/lfs/buffer_cache.cc" "src/lfs/CMakeFiles/hl_lfs.dir/buffer_cache.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/lfs/cleaner.cc" "src/lfs/CMakeFiles/hl_lfs.dir/cleaner.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/cleaner.cc.o.d"
+  "/root/repo/src/lfs/format.cc" "src/lfs/CMakeFiles/hl_lfs.dir/format.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/format.cc.o.d"
+  "/root/repo/src/lfs/fsck.cc" "src/lfs/CMakeFiles/hl_lfs.dir/fsck.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/fsck.cc.o.d"
+  "/root/repo/src/lfs/lfs.cc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs.cc.o.d"
+  "/root/repo/src/lfs/lfs_cleanerapi.cc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs_cleanerapi.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs_cleanerapi.cc.o.d"
+  "/root/repo/src/lfs/lfs_dir.cc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs_dir.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs_dir.cc.o.d"
+  "/root/repo/src/lfs/lfs_inode.cc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs_inode.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs_inode.cc.o.d"
+  "/root/repo/src/lfs/lfs_io.cc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs_io.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/lfs_io.cc.o.d"
+  "/root/repo/src/lfs/segment_builder.cc" "src/lfs/CMakeFiles/hl_lfs.dir/segment_builder.cc.o" "gcc" "src/lfs/CMakeFiles/hl_lfs.dir/segment_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/hl_blockdev.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

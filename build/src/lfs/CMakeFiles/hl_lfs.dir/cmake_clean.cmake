@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_lfs.dir/access_ranges.cc.o"
+  "CMakeFiles/hl_lfs.dir/access_ranges.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/buffer_cache.cc.o"
+  "CMakeFiles/hl_lfs.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/cleaner.cc.o"
+  "CMakeFiles/hl_lfs.dir/cleaner.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/format.cc.o"
+  "CMakeFiles/hl_lfs.dir/format.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/fsck.cc.o"
+  "CMakeFiles/hl_lfs.dir/fsck.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/lfs.cc.o"
+  "CMakeFiles/hl_lfs.dir/lfs.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/lfs_cleanerapi.cc.o"
+  "CMakeFiles/hl_lfs.dir/lfs_cleanerapi.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/lfs_dir.cc.o"
+  "CMakeFiles/hl_lfs.dir/lfs_dir.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/lfs_inode.cc.o"
+  "CMakeFiles/hl_lfs.dir/lfs_inode.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/lfs_io.cc.o"
+  "CMakeFiles/hl_lfs.dir/lfs_io.cc.o.d"
+  "CMakeFiles/hl_lfs.dir/segment_builder.cc.o"
+  "CMakeFiles/hl_lfs.dir/segment_builder.cc.o.d"
+  "libhl_lfs.a"
+  "libhl_lfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_lfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

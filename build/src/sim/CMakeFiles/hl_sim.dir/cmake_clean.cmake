@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_sim.dir/device_profile.cc.o"
+  "CMakeFiles/hl_sim.dir/device_profile.cc.o.d"
+  "libhl_sim.a"
+  "libhl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

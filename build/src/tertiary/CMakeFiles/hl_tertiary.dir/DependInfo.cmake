@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tertiary/footprint.cc" "src/tertiary/CMakeFiles/hl_tertiary.dir/footprint.cc.o" "gcc" "src/tertiary/CMakeFiles/hl_tertiary.dir/footprint.cc.o.d"
+  "/root/repo/src/tertiary/jukebox.cc" "src/tertiary/CMakeFiles/hl_tertiary.dir/jukebox.cc.o" "gcc" "src/tertiary/CMakeFiles/hl_tertiary.dir/jukebox.cc.o.d"
+  "/root/repo/src/tertiary/volume.cc" "src/tertiary/CMakeFiles/hl_tertiary.dir/volume.cc.o" "gcc" "src/tertiary/CMakeFiles/hl_tertiary.dir/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hl_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hl_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

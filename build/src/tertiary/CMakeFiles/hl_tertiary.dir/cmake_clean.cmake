@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_tertiary.dir/footprint.cc.o"
+  "CMakeFiles/hl_tertiary.dir/footprint.cc.o.d"
+  "CMakeFiles/hl_tertiary.dir/jukebox.cc.o"
+  "CMakeFiles/hl_tertiary.dir/jukebox.cc.o.d"
+  "CMakeFiles/hl_tertiary.dir/volume.cc.o"
+  "CMakeFiles/hl_tertiary.dir/volume.cc.o.d"
+  "libhl_tertiary.a"
+  "libhl_tertiary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_tertiary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_util.dir/crc32.cc.o"
+  "CMakeFiles/hl_util.dir/crc32.cc.o.d"
+  "CMakeFiles/hl_util.dir/logging.cc.o"
+  "CMakeFiles/hl_util.dir/logging.cc.o.d"
+  "CMakeFiles/hl_util.dir/status.cc.o"
+  "CMakeFiles/hl_util.dir/status.cc.o.d"
+  "libhl_util.a"
+  "libhl_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

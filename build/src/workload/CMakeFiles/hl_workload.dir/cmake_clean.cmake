@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hl_workload.dir/replayer.cc.o"
+  "CMakeFiles/hl_workload.dir/replayer.cc.o.d"
+  "CMakeFiles/hl_workload.dir/trace.cc.o"
+  "CMakeFiles/hl_workload.dir/trace.cc.o.d"
+  "libhl_workload.a"
+  "libhl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highlight_integration_test.dir/highlight_integration_test.cc.o"
+  "CMakeFiles/highlight_integration_test.dir/highlight_integration_test.cc.o.d"
+  "highlight_integration_test"
+  "highlight_integration_test.pdb"
+  "highlight_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highlight_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

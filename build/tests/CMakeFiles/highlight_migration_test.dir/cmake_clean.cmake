@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highlight_migration_test.dir/highlight_migration_test.cc.o"
+  "CMakeFiles/highlight_migration_test.dir/highlight_migration_test.cc.o.d"
+  "highlight_migration_test"
+  "highlight_migration_test.pdb"
+  "highlight_migration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highlight_migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

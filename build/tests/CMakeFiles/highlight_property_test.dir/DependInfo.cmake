@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/highlight_property_test.cc" "tests/CMakeFiles/highlight_property_test.dir/highlight_property_test.cc.o" "gcc" "tests/CMakeFiles/highlight_property_test.dir/highlight_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/highlight/CMakeFiles/hl_highlight.dir/DependInfo.cmake"
+  "/root/repo/build/src/lfs/CMakeFiles/hl_lfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/blockdev/CMakeFiles/hl_blockdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/tertiary/CMakeFiles/hl_tertiary.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hl_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

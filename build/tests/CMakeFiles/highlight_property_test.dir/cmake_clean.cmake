@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highlight_property_test.dir/highlight_property_test.cc.o"
+  "CMakeFiles/highlight_property_test.dir/highlight_property_test.cc.o.d"
+  "highlight_property_test"
+  "highlight_property_test.pdb"
+  "highlight_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highlight_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

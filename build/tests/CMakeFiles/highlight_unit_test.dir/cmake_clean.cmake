@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/highlight_unit_test.dir/highlight_unit_test.cc.o"
+  "CMakeFiles/highlight_unit_test.dir/highlight_unit_test.cc.o.d"
+  "highlight_unit_test"
+  "highlight_unit_test.pdb"
+  "highlight_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/highlight_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

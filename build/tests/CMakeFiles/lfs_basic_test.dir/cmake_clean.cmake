@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_basic_test.dir/lfs_basic_test.cc.o"
+  "CMakeFiles/lfs_basic_test.dir/lfs_basic_test.cc.o.d"
+  "lfs_basic_test"
+  "lfs_basic_test.pdb"
+  "lfs_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_checkpoint_test.dir/lfs_checkpoint_test.cc.o"
+  "CMakeFiles/lfs_checkpoint_test.dir/lfs_checkpoint_test.cc.o.d"
+  "lfs_checkpoint_test"
+  "lfs_checkpoint_test.pdb"
+  "lfs_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

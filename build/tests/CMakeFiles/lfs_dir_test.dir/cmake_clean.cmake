@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_dir_test.dir/lfs_dir_test.cc.o"
+  "CMakeFiles/lfs_dir_test.dir/lfs_dir_test.cc.o.d"
+  "lfs_dir_test"
+  "lfs_dir_test.pdb"
+  "lfs_dir_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_dir_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_property_test.dir/lfs_property_test.cc.o"
+  "CMakeFiles/lfs_property_test.dir/lfs_property_test.cc.o.d"
+  "lfs_property_test"
+  "lfs_property_test.pdb"
+  "lfs_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lfs_recovery_test.dir/lfs_recovery_test.cc.o"
+  "CMakeFiles/lfs_recovery_test.dir/lfs_recovery_test.cc.o.d"
+  "lfs_recovery_test"
+  "lfs_recovery_test.pdb"
+  "lfs_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lfs_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

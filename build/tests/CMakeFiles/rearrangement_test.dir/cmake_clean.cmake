@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rearrangement_test.dir/rearrangement_test.cc.o"
+  "CMakeFiles/rearrangement_test.dir/rearrangement_test.cc.o.d"
+  "rearrangement_test"
+  "rearrangement_test.pdb"
+  "rearrangement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rearrangement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reconfiguration_test.dir/reconfiguration_test.cc.o"
+  "CMakeFiles/reconfiguration_test.dir/reconfiguration_test.cc.o.d"
+  "reconfiguration_test"
+  "reconfiguration_test.pdb"
+  "reconfiguration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reconfiguration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tertiary_cleaner_test.dir/tertiary_cleaner_test.cc.o"
+  "CMakeFiles/tertiary_cleaner_test.dir/tertiary_cleaner_test.cc.o.d"
+  "tertiary_cleaner_test"
+  "tertiary_cleaner_test.pdb"
+  "tertiary_cleaner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tertiary_cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/blockdev_test[1]_include.cmake")
+include("/root/repo/build/tests/tertiary_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_format_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_cleaner_test[1]_include.cmake")
+include("/root/repo/build/tests/highlight_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/highlight_migration_test[1]_include.cmake")
+include("/root/repo/build/tests/ffs_test[1]_include.cmake")
+include("/root/repo/build/tests/tertiary_cleaner_test[1]_include.cmake")
+include("/root/repo/build/tests/reconfiguration_test[1]_include.cmake")
+include("/root/repo/build/tests/fsck_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_property_test[1]_include.cmake")
+include("/root/repo/build/tests/highlight_property_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_injection_test[1]_include.cmake")
+include("/root/repo/build/tests/rearrangement_test[1]_include.cmake")
+include("/root/repo/build/tests/replica_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/access_ranges_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_dir_test[1]_include.cmake")
+include("/root/repo/build/tests/highlight_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/lfs_checkpoint_test[1]_include.cmake")

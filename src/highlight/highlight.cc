@@ -85,6 +85,7 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
                    Lfs::Mkfs(hl->blockmap_.get(), clock, params));
   hl->cache_replacement_ = config.cache_replacement;
   hl->migrator_opts_ = config.migrator;
+  hl->sequential_readahead_ = config.sequential_readahead;
   hl->io_server_ = std::make_unique<IoServer>(
       hl->concat_.get(), hl->footprint_.get(), hl->amap_.get(), clock,
       kDefaultReservedBlocks, params.seg_size_blocks);
@@ -110,6 +111,16 @@ Status HighLightFs::WireFsComponents() {
 
   service_ = std::make_unique<ServiceProcess>(cache_.get(), io_server_.get(),
                                               clock_);
+  service_->set_sequential_readahead(sequential_readahead_);
+  // Read-ahead only chases segments that exist, hold data, and are primaries
+  // (replica tsegs are never addressed by file pointers).
+  service_->SetReadaheadFilter([tsegs = tsegs_.get()](uint32_t tseg) {
+    if (tseg >= tsegs->size()) {
+      return false;
+    }
+    const SegUsage& u = tsegs->Get(tseg);
+    return !(u.flags & kSegClean) && !(u.flags & kSegReplica);
+  });
   blockmap_->SetFetchHandler([service = service_.get()](uint32_t tseg) {
     return service->DemandFetch(tseg);
   });
@@ -117,6 +128,9 @@ Status HighLightFs::WireFsComponents() {
   migrator_ = std::make_unique<Migrator>(fs_.get(), blockmap_.get(),
                                          cache_.get(), io_server_.get(),
                                          tsegs_.get(), amap_.get(), clock_);
+  // A remount mid-delayed-copyout leaves staging lines whose segments the
+  // new migrator instance must still copy out.
+  RETURN_IF_ERROR(migrator_->RecoverStaging());
 
   tertiary_cleaner_ = std::make_unique<TertiaryCleaner>(
       fs_.get(), blockmap_.get(), migrator_.get(), cache_.get(),
@@ -218,6 +232,9 @@ Status HighLightFs::DropCleanCacheLines() {
       RETURN_IF_ERROR(cache_->Eject(line.tseg));
     }
   }
+  // Benchmarks use this to force genuinely uncached tertiary access; a
+  // buffered read-ahead image would defeat that.
+  service_->DropPendingPrefetches();
   fs_->FlushBufferCache();
   return OkStatus();
 }

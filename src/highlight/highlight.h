@@ -61,6 +61,9 @@ struct HighLightConfig {
   LfsParams lfs;
   CacheReplacement cache_replacement = CacheReplacement::kLru;
   MigratorOptions migrator;
+  // Sequential-miss read-ahead: a demand fetch of tseg N schedules an
+  // asynchronous prefetch of N+1 through the I/O server pipeline.
+  bool sequential_readahead = false;
 };
 
 class HighLightFs {
@@ -140,6 +143,7 @@ class HighLightFs {
   std::unique_ptr<AccessRangeTracker> access_tracker_;
   MigratorOptions migrator_opts_;
   CacheReplacement cache_replacement_ = CacheReplacement::kLru;
+  bool sequential_readahead_ = false;
 };
 
 }  // namespace hl

@@ -1,5 +1,9 @@
 #include "highlight/io_server.h"
 
+#include <algorithm>
+
+#include "util/logging.h"
+
 namespace hl {
 
 IoServer::IoServer(BlockDevice* raw_disk, Footprint* footprint,
@@ -12,10 +16,7 @@ IoServer::IoServer(BlockDevice* raw_disk, Footprint* footprint,
       reserved_blocks_(reserved_blocks),
       seg_size_blocks_(seg_size_blocks) {}
 
-Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
-  const uint64_t seg_bytes = amap_->SegBytes();
-  std::vector<uint8_t> buf(seg_bytes);
-
+uint32_t IoServer::PickSource(uint32_t tseg) {
   // Pick the "closest" copy: any copy on an already-mounted volume avoids
   // the media swap; the primary is the fallback.
   uint32_t source = tseg;
@@ -36,6 +37,14 @@ Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
   if (source != tseg) {
     stats_.replica_reads++;
   }
+  return source;
+}
+
+Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
+  const uint64_t seg_bytes = amap_->SegBytes();
+  std::vector<uint8_t> buf(seg_bytes);
+
+  uint32_t source = PickSource(tseg);
   uint32_t volume = amap_->VolumeOfTseg(source);
   uint64_t offset = amap_->ByteOffsetOnVolume(source);
 
@@ -81,6 +90,191 @@ Status IoServer::CopyOutSegment(uint32_t tseg, uint32_t disk_seg) {
 
   stats_.segments_copied_out++;
   stats_.bytes_copied_out += seg_bytes;
+  return OkStatus();
+}
+
+Status IoServer::EnqueueCopyOut(uint32_t tseg, uint32_t disk_seg,
+                                Completion done) {
+  return Enqueue(PendingOp{OpKind::kCopyOut, tseg, disk_seg, std::move(done)});
+}
+
+Status IoServer::EnqueueReplicaWrite(uint32_t tseg, uint32_t disk_seg,
+                                     Completion done) {
+  return Enqueue(
+      PendingOp{OpKind::kReplicaWrite, tseg, disk_seg, std::move(done)});
+}
+
+Status IoServer::Enqueue(PendingOp op) {
+  queue_.push_back(std::move(op));
+  stats_.ops_enqueued++;
+  stats_.max_depth_seen = std::max(stats_.max_depth_seen, queue_.size());
+  return TryIssue();
+}
+
+void IoServer::ReapOutstanding() {
+  while (!outstanding_.empty() && *outstanding_.begin() <= clock_->Now()) {
+    outstanding_.erase(outstanding_.begin());
+  }
+}
+
+bool IoServer::WindowHasRoom() {
+  ReapOutstanding();
+  return outstanding_.size() < max_queue_depth_;
+}
+
+Status IoServer::TryIssue() {
+  // Hand ops to the devices while they have room; leftover ops stay queued
+  // (that is the write-behind). Beyond the bound, the caller genuinely
+  // stalls: advance the clock to the oldest outstanding completion and
+  // retry — this is the migrator waiting for the tertiary device.
+  while (!queue_.empty() && WindowHasRoom()) {
+    RETURN_IF_ERROR(IssueNext());
+  }
+  while (queue_.size() > max_queue_depth_) {
+    if (outstanding_.empty()) {
+      RETURN_IF_ERROR(IssueNext());
+      continue;
+    }
+    stats_.backpressure_stalls++;
+    clock_->AdvanceTo(*outstanding_.begin());
+    while (!queue_.empty() && WindowHasRoom()) {
+      RETURN_IF_ERROR(IssueNext());
+    }
+  }
+  return OkStatus();
+}
+
+Status IoServer::IssueNext() {
+  if (queue_.empty()) {
+    return OkStatus();
+  }
+  // Per-volume ordering: an op whose target volume is already in a drive
+  // beats older ops that would force a media swap.
+  size_t pick = 0;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    Result<bool> mounted = footprint_->VolumeMounted(
+        static_cast<int>(amap_->VolumeOfTseg(queue_[i].tseg)));
+    if (mounted.ok() && *mounted) {
+      pick = i;
+      break;
+    }
+  }
+  if (pick != 0) {
+    stats_.volume_batch_picks++;
+  }
+  PendingOp op = std::move(queue_[pick]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
+  return IssueOne(op);
+}
+
+Status IoServer::Deliver(PendingOp& op, const Status& s) {
+  if (op.done) {
+    Completion done = std::move(op.done);
+    done(s);
+    return OkStatus();  // The callback owns the error now.
+  }
+  return s;
+}
+
+Status IoServer::IssueOne(PendingOp& op) {
+  stats_.ops_issued++;
+  const uint64_t seg_bytes = amap_->SegBytes();
+  std::vector<uint8_t> buf(seg_bytes);
+
+  // The staging-line read and memory copy still run synchronously — they
+  // contend for the disk arm (the reason delayed copy-out exists at all).
+  SimTime t0 = clock_->Now();
+  Status read = raw_disk_->ReadBlocks(DiskSegFirstBlock(op.disk_seg),
+                                      seg_size_blocks_, buf);
+  if (!read.ok()) {
+    return Deliver(op, read);
+  }
+  SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
+  clock_->Advance(copy);
+  phases_.Add("ioserver", clock_->Now() - t0);
+
+  // The tertiary write is scheduled, not waited for: data moves to the
+  // medium now, device time completes at *end. End-of-medium (and any other
+  // write error) therefore surfaces here, at completion-callback time.
+  uint32_t volume = amap_->VolumeOfTseg(op.tseg);
+  uint64_t offset = amap_->ByteOffsetOnVolume(op.tseg);
+  t0 = clock_->Now();
+  Result<SimTime> end = footprint_->ScheduleWrite(
+      clock_->Now(), static_cast<int>(volume), offset, buf);
+  if (!end.ok()) {
+    if (end.status().code() == ErrorCode::kEndOfMedium) {
+      stats_.end_of_medium_events++;
+    }
+    return Deliver(op, end.status());
+  }
+  phases_.Add("footprint", *end - t0);
+  outstanding_.insert(*end);
+  pipeline_busy_until_ = std::max(pipeline_busy_until_, *end);
+  stats_.segments_copied_out++;
+  stats_.bytes_copied_out += seg_bytes;
+  return Deliver(op, OkStatus());
+}
+
+Status IoServer::Drain() {
+  stats_.drains++;
+  Status first = OkStatus();
+  while (!queue_.empty()) {
+    Status s = IssueNext();  // Callbacks may enqueue more; loop re-checks.
+    if (first.ok() && !s.ok()) {
+      first = s;
+    }
+  }
+  RETURN_IF_ERROR(first);
+  if (pipeline_busy_until_ > clock_->Now()) {
+    clock_->AdvanceTo(pipeline_busy_until_);
+  }
+  ReapOutstanding();
+  return OkStatus();
+}
+
+size_t IoServer::Outstanding() const {
+  size_t n = 0;
+  for (SimTime t : outstanding_) {
+    if (t > clock_->Now()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Status IoServer::SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
+                                  PrefetchDone done) {
+  uint32_t source = PickSource(tseg);
+  uint32_t volume = amap_->VolumeOfTseg(source);
+  uint64_t offset = amap_->ByteOffsetOnVolume(source);
+  SimTime t0 = clock_->Now();
+  Result<SimTime> end = footprint_->ScheduleRead(
+      clock_->Now(), static_cast<int>(volume), offset, buf);
+  if (!end.ok()) {
+    if (done) {
+      done(end.status(), 0);
+    }
+    return end.status();
+  }
+  phases_.Add("footprint", *end - t0);
+  stats_.prefetches_scheduled++;
+  if (done) {
+    done(OkStatus(), *end);
+  }
+  return OkStatus();
+}
+
+Status IoServer::InstallSegment(uint32_t disk_seg,
+                                std::span<const uint8_t> bytes) {
+  const uint64_t seg_bytes = amap_->SegBytes();
+  SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
+  clock_->Advance(copy);
+  SimTime t0 = clock_->Now();
+  RETURN_IF_ERROR(raw_disk_->WriteBlocks(DiskSegFirstBlock(disk_seg),
+                                         seg_size_blocks_, bytes));
+  phases_.Add("ioserver", clock_->Now() - t0 + copy);
+  stats_.segments_fetched++;
+  stats_.bytes_fetched += seg_bytes;
   return OkStatus();
 }
 

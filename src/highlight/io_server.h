@@ -7,6 +7,18 @@
 // blocks are later re-read through the file system (the measured inefficiency
 // in Table 3's uncached column).
 //
+// Besides the synchronous FetchSegment/CopyOutSegment paths, the server runs
+// the *write-behind pipeline* the paper gets from being a separate process
+// (sections 4, 6.5): copy-outs, replica writes and prefetches are queued and
+// drained through Footprint::ScheduleWrite/ScheduleRead, so tertiary
+// transfers overlap with migrator staging instead of stalling it. The queue
+// is bounded: once `max_queue_depth` operations are outstanding on the
+// devices, further issues stall the caller until the oldest completes
+// (backpressure). Queued operations are issued with per-volume ordering — an
+// op whose target volume is already mounted beats older ops that need a
+// media swap — and Drain() is the completion barrier FlushStaging and
+// checkpoints use.
+//
 // Time is attributed to the phases Table 4 reports: "footprint" (tertiary
 // transfers including swaps/seeks), "ioserver" (raw disk copies + memory
 // copies), and "queuing" (request handling), via the shared PhaseAccumulator.
@@ -15,7 +27,9 @@
 #define HIGHLIGHT_HIGHLIGHT_IO_SERVER_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <set>
 #include <vector>
 
 #include "blockdev/block_device.h"
@@ -52,7 +66,52 @@ class IoServer {
   // caller re-targets the segment at the next volume).
   Status CopyOutSegment(uint32_t tseg, uint32_t disk_seg);
 
+  // --- Write-behind pipeline -----------------------------------------------
+
+  // Completion callback for queued operations. Runs when the operation is
+  // handed to the device (data movement happens then; device time completes
+  // asynchronously). End-of-medium and I/O errors are delivered here, so a
+  // failure that the synchronous path reported at CopyOutSegment time now
+  // surfaces at completion time. Callbacks may enqueue further operations
+  // (retargets, replica chains).
+  using Completion = std::function<void(Status)>;
+
+  // Queues a copy-out (or a best-effort replica write) of the staged line
+  // `disk_seg` to tertiary segment `tseg`. Applies backpressure: when more
+  // than max_queue_depth ops are pending or outstanding, the call stalls
+  // (advancing the clock) until the device retires enough work.
+  Status EnqueueCopyOut(uint32_t tseg, uint32_t disk_seg, Completion done);
+  Status EnqueueReplicaWrite(uint32_t tseg, uint32_t disk_seg,
+                             Completion done);
+
+  // Read-ahead: issues an asynchronous tertiary read of `tseg` into `buf`
+  // (which must outlive the call; data moves now, device time completes at
+  // the returned instant). `done(status, ready_at)` runs within this call.
+  // Prefetches are issued immediately — reads are latency-sensitive — and do
+  // not count against the write queue depth.
+  using PrefetchDone = std::function<void(Status, SimTime ready_at)>;
+  Status SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
+                          PrefetchDone done);
+
+  // Copies a previously prefetched segment image into cache line `disk_seg`
+  // (memory copy + raw disk write), charging the usual I/O-server costs.
+  Status InstallSegment(uint32_t disk_seg, std::span<const uint8_t> bytes);
+
+  // Completion barrier: issues every queued operation (running completion
+  // callbacks, which may enqueue more) and advances the clock past the last
+  // outstanding device completion. FlushStaging/checkpoint call this before
+  // declaring staged data durable on tertiary media.
+  Status Drain();
+
+  // Pending (not yet issued) operations.
+  size_t QueueDepth() const { return queue_.size(); }
+  // Issued operations whose device time has not yet completed.
+  size_t Outstanding() const;
+  void set_max_queue_depth(size_t depth) { max_queue_depth_ = depth; }
+  SimTime pipeline_busy_until() const { return pipeline_busy_until_; }
+
   PhaseAccumulator& phases() { return phases_; }
+  uint64_t SegBytes() const { return amap_->SegBytes(); }
 
   struct Stats {
     uint64_t segments_fetched = 0;
@@ -61,6 +120,14 @@ class IoServer {
     uint64_t bytes_copied_out = 0;
     uint64_t end_of_medium_events = 0;
     uint64_t replica_reads = 0;     // Fetches served from a replica copy.
+    // Pipeline counters.
+    uint64_t ops_enqueued = 0;
+    uint64_t ops_issued = 0;
+    uint64_t backpressure_stalls = 0;
+    uint64_t volume_batch_picks = 0;  // Ops issued early to ride a mounted volume.
+    uint64_t prefetches_scheduled = 0;
+    uint64_t drains = 0;
+    size_t max_depth_seen = 0;        // High-water mark of the pending queue.
   };
   const Stats& stats() const { return stats_; }
 
@@ -69,9 +136,34 @@ class IoServer {
   void set_cpu_copy_us_per_mb(SimTime us) { cpu_copy_us_per_mb_ = us; }
 
  private:
+  enum class OpKind { kCopyOut, kReplicaWrite };
+
+  struct PendingOp {
+    OpKind kind;
+    uint32_t tseg;
+    uint32_t disk_seg;
+    Completion done;
+  };
+
   uint32_t DiskSegFirstBlock(uint32_t disk_seg) const {
     return reserved_blocks_ + disk_seg * seg_size_blocks_;
   }
+  // Picks the closest copy of `tseg` (mounted replica beats unmounted
+  // primary) and bumps the replica-read counter when a replica wins.
+  uint32_t PickSource(uint32_t tseg);
+  Status Enqueue(PendingOp op);
+  // Issues queued ops while the device window has room.
+  Status TryIssue();
+  // Pops the best next op (volume batching) and hands it to the device.
+  Status IssueNext();
+  Status IssueOne(PendingOp& op);
+  // Routes `s` to the op's completion callback if it has one, else returns
+  // it to the issuing caller.
+  Status Deliver(PendingOp& op, const Status& s);
+  // Drops completion times that have passed; stalls (advancing the clock)
+  // until the outstanding window has room for one more op.
+  void ReapOutstanding();
+  bool WindowHasRoom();
 
   BlockDevice* raw_disk_;
   Footprint* footprint_;
@@ -83,6 +175,11 @@ class IoServer {
   ReplicaResolver replica_resolver_;
   PhaseAccumulator phases_;
   Stats stats_;
+
+  std::deque<PendingOp> queue_;            // Enqueued, not yet issued.
+  std::multiset<SimTime> outstanding_;     // Completion times of issued ops.
+  size_t max_queue_depth_ = 8;
+  SimTime pipeline_busy_until_ = 0;
 };
 
 }  // namespace hl

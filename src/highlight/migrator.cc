@@ -86,7 +86,11 @@ Status Migrator::CompleteSegment(const MigratorOptions& opts) {
   clock_->Advance(2000);
   io_->phases().Add("queuing", clock_->Now() - t0);
   if (!opts.delayed_copyout) {
-    RETURN_IF_ERROR(CopyOut(tseg));
+    if (opts.write_behind) {
+      RETURN_IF_ERROR(EnqueueCopyOut(tseg));
+    } else {
+      RETURN_IF_ERROR(CopyOut(tseg));
+    }
   }
   return OkStatus();
 }
@@ -112,17 +116,140 @@ Status Migrator::CopyOut(uint32_t tseg) {
     // re-write the whole segment onto the next volume (paper section 6.3).
     uint32_t volume = amap_->VolumeOfTseg(tseg);
     full_volumes_.insert(volume);
-    // Persistently retire the volume's unused segments.
-    uint32_t first = amap_->FirstTsegOfVolume(volume);
-    for (uint32_t i = 0; i < amap_->segs_per_volume(); ++i) {
-      uint32_t t = first + i;
-      if (tsegs_->Get(t).flags & kSegClean) {
-        tsegs_->SetFlags(t, kSegDirty, kSegClean);
-        tsegs_->SetAvailBytes(t, 0);
-      }
-    }
+    RetireVolume(volume);
     lifetime_.eom_retargets++;
     ASSIGN_OR_RETURN(tseg, RetargetSegment(tseg));
+  }
+}
+
+void Migrator::RetireVolume(uint32_t volume) {
+  // Persistently retire the volume's unused segments.
+  uint32_t first = amap_->FirstTsegOfVolume(volume);
+  for (uint32_t i = 0; i < amap_->segs_per_volume(); ++i) {
+    uint32_t t = first + i;
+    if (tsegs_->Get(t).flags & kSegClean) {
+      tsegs_->SetFlags(t, kSegDirty, kSegClean);
+      tsegs_->SetAvailBytes(t, 0);
+    }
+  }
+}
+
+Status Migrator::FinishCopiedSegment(uint32_t tseg) {
+  RETURN_IF_ERROR(cache_->MarkCopiedOut(tseg));
+  staged_.erase(tseg);
+  return OkStatus();
+}
+
+Status Migrator::EnqueueCopyOut(uint32_t tseg) {
+  auto it = staged_.find(tseg);
+  if (it == staged_.end()) {
+    return NotFound("no staged segment " + std::to_string(tseg));
+  }
+  if (it->second.enqueued) {
+    return OkStatus();
+  }
+  it->second.enqueued = true;
+  return io_->EnqueueCopyOut(
+      tseg, it->second.disk_seg,
+      [this, tseg](const Status& s) { OnCopyOutDone(tseg, s); });
+}
+
+void Migrator::OnCopyOutDone(uint32_t tseg, const Status& s) {
+  auto it = staged_.find(tseg);
+  if (it == staged_.end()) {
+    return;
+  }
+  if (s.ok()) {
+    if (it->second.replicas > 0) {
+      // The line must stay pinned until the replica writes have read it.
+      auto exclude = std::make_shared<std::set<uint32_t>>(full_volumes_);
+      exclude->insert(amap_->VolumeOfTseg(tseg));
+      EnqueueReplicaChain(tseg, it->second.disk_seg, it->second.replicas,
+                          it->second.replicas + 8, exclude);
+      return;
+    }
+    Status done = FinishCopiedSegment(tseg);
+    if (!done.ok() && pipeline_error_.ok()) {
+      pipeline_error_ = done;
+    }
+    return;
+  }
+  if (s.code() == ErrorCode::kEndOfMedium) {
+    // Failure surfaced at completion time: same recovery as the synchronous
+    // path, then the re-keyed segment goes back on the queue.
+    uint32_t volume = amap_->VolumeOfTseg(tseg);
+    full_volumes_.insert(volume);
+    RetireVolume(volume);
+    lifetime_.eom_retargets++;
+    Result<uint32_t> renamed = RetargetSegment(tseg);
+    if (!renamed.ok()) {
+      if (pipeline_error_.ok()) {
+        pipeline_error_ = renamed.status();
+      }
+      it = staged_.find(tseg);
+      if (it != staged_.end()) {
+        it->second.enqueued = false;
+      }
+      return;
+    }
+    staged_[*renamed].enqueued = false;
+    Status requeued = EnqueueCopyOut(*renamed);
+    if (!requeued.ok() && pipeline_error_.ok()) {
+      pipeline_error_ = requeued;
+    }
+    return;
+  }
+  // Transient I/O error: keep the record staged (the line stays the only
+  // copy); FlushStaging re-queues it and reports the error.
+  it->second.enqueued = false;
+  if (pipeline_error_.ok()) {
+    pipeline_error_ = s;
+  }
+}
+
+void Migrator::EnqueueReplicaChain(uint32_t primary, uint32_t disk_seg,
+                                   int remaining, int attempts_left,
+                                   std::shared_ptr<std::set<uint32_t>> exclude) {
+  if (remaining <= 0 || attempts_left <= 0) {
+    Status done = FinishCopiedSegment(primary);
+    if (!done.ok() && pipeline_error_.ok()) {
+      pipeline_error_ = done;
+    }
+    return;
+  }
+  uint32_t replica = tsegs_->NextFreshTseg(*exclude);
+  if (replica == kNoSegment) {
+    HL_LOG(kWarn, "migrator", "no volume available for a replica copy");
+    EnqueueReplicaChain(primary, disk_seg, 0, 0, std::move(exclude));
+    return;
+  }
+  Status enq = io_->EnqueueReplicaWrite(
+      replica, disk_seg,
+      [this, primary, disk_seg, replica, remaining, attempts_left,
+       exclude](const Status& s) {
+        if (s.ok()) {
+          tsegs_->SetReplicaOf(replica, primary);
+          tsegs_->SetWriteTime(replica, clock_->Now());
+          exclude->insert(amap_->VolumeOfTseg(replica));
+          EnqueueReplicaChain(primary, disk_seg, remaining - 1,
+                              attempts_left - 1, exclude);
+          return;
+        }
+        // Best effort, but not first-failure-fatal: exclude the volume and
+        // retry the remaining count elsewhere.
+        uint32_t volume = amap_->VolumeOfTseg(replica);
+        if (s.code() == ErrorCode::kEndOfMedium) {
+          full_volumes_.insert(volume);
+          RetireVolume(volume);
+        }
+        HL_LOG(kWarn, "migrator",
+               "replica write failed, trying another volume: " + s.ToString());
+        exclude->insert(volume);
+        EnqueueReplicaChain(primary, disk_seg, remaining, attempts_left - 1,
+                            exclude);
+      });
+  if (!enq.ok() && pipeline_error_.ok()) {
+    pipeline_error_ = enq;
   }
 }
 
@@ -130,7 +257,10 @@ void Migrator::WriteReplicas(uint32_t primary, uint32_t disk_seg,
                              int count) {
   std::set<uint32_t> exclude = full_volumes_;
   exclude.insert(amap_->VolumeOfTseg(primary));
-  for (int i = 0; i < count; ++i) {
+  // Best effort, but a failed volume must not cost the remaining copies:
+  // exclude it and retry elsewhere, within a bounded attempt budget.
+  int attempts_left = count + 8;
+  for (int placed = 0; placed < count && attempts_left > 0; --attempts_left) {
     uint32_t replica = tsegs_->NextFreshTseg(exclude);
     if (replica == kNoSegment) {
       HL_LOG(kWarn, "migrator", "no volume available for a replica copy");
@@ -138,13 +268,22 @@ void Migrator::WriteReplicas(uint32_t primary, uint32_t disk_seg,
     }
     Status s = io_->CopyOutSegment(replica, disk_seg);
     if (!s.ok()) {
-      HL_LOG(kWarn, "migrator", "replica write failed: " + s.ToString());
-      return;  // Best effort: the primary is already safe.
+      uint32_t volume = amap_->VolumeOfTseg(replica);
+      if (s.code() == ErrorCode::kEndOfMedium) {
+        // Record EOM like the primary path does.
+        full_volumes_.insert(volume);
+        RetireVolume(volume);
+      }
+      HL_LOG(kWarn, "migrator",
+             "replica write failed, trying another volume: " + s.ToString());
+      exclude.insert(volume);
+      continue;
     }
     tsegs_->SetReplicaOf(replica, primary);
     tsegs_->SetWriteTime(replica, clock_->Now());
     // Spread further replicas across yet more volumes.
     exclude.insert(amap_->VolumeOfTseg(replica));
+    ++placed;
   }
 }
 
@@ -512,13 +651,15 @@ Result<MigrationReport> Migrator::RunPolicy(MigrationPolicy& policy,
 }
 
 Status Migrator::FlushStaging() {
-  MigratorOptions immediate;
-  immediate.delayed_copyout = false;
-  RETURN_IF_ERROR(CompleteSegment(immediate));
-  // Copy out every pending segment (delayed-mode backlog).
+  MigratorOptions tail;
+  tail.delayed_copyout = true;  // Copy-out happens via the pipeline below.
+  RETURN_IF_ERROR(CompleteSegment(tail));
+  // Queue every pending segment, then drain the pipeline. Completion
+  // callbacks may re-key segments (end-of-medium retargets) or append
+  // replica writes; Drain() runs them all to quiescence.
   std::vector<uint32_t> pending;
   for (const auto& [tseg, record] : staged_) {
-    if (!record.copied) {
+    if (!record.enqueued) {
       pending.push_back(tseg);
     }
   }
@@ -526,20 +667,78 @@ Status Migrator::FlushStaging() {
     if (staged_.find(tseg) == staged_.end()) {
       continue;  // Re-keyed by an earlier retarget.
     }
-    RETURN_IF_ERROR(CopyOut(tseg));
+    RETURN_IF_ERROR(EnqueueCopyOut(tseg));
+  }
+  RETURN_IF_ERROR(io_->Drain());
+  if (!pipeline_error_.ok()) {
+    Status deferred = pipeline_error_;
+    pipeline_error_ = OkStatus();
+    return deferred;
+  }
+  if (!staged_.empty()) {
+    return Status(ErrorCode::kIoError,
+                  "staged segments remain after a pipeline drain");
   }
   RETURN_IF_ERROR(tsegs_->Store());
   return fs_->Checkpoint();
 }
 
 uint32_t Migrator::PendingSegments() const {
-  uint32_t n = 0;
-  for (const auto& [tseg, record] : staged_) {
-    if (!record.copied) {
-      ++n;
+  // Every record in the ledger is staged-but-not-copied: CopyOut /
+  // FinishCopiedSegment erase records the moment the copy lands.
+  return static_cast<uint32_t>(staged_.size());
+}
+
+Status Migrator::RecoverStaging() {
+  uint32_t spb = fs_->superblock().seg_size_blocks;
+  for (const SegmentCache::LineInfo& line : cache_->Lines()) {
+    if (!line.staging || staged_.count(line.tseg) > 0) {
+      continue;
     }
+    // A remount interrupted a delayed copy-out: this line holds the only
+    // copy of its tertiary segment. Rebuild the pointer-move ledger from
+    // the staged image itself (the tertiary cleaner's parsing technique) so
+    // an end-of-medium retarget can still rebase every pointer.
+    StagedSegment record;
+    record.tseg = line.tseg;
+    record.disk_seg = line.disk_seg;
+    std::vector<uint8_t> image(static_cast<size_t>(spb) * kBlockSize);
+    RETURN_IF_ERROR(
+        dev_->ReadBlocks(amap_->TsegBase(line.tseg), spb, image));
+    for (const ParsedPartial& p :
+         ParsePartialsFromImage(image, amap_->TsegBase(line.tseg), spb)) {
+      uint32_t cursor = p.base_daddr + 1;
+      for (const FInfo& f : p.summary.finfos) {
+        for (uint32_t lbn : f.lbns) {
+          record.moves.push_back(
+              Lfs::MigrationAssignment{f.ino, lbn, cursor, cursor});
+          ++cursor;
+        }
+      }
+      for (uint32_t inode_daddr : p.summary.inode_daddrs) {
+        const uint8_t* blk =
+            image.data() +
+            static_cast<size_t>(inode_daddr - amap_->TsegBase(line.tseg)) *
+                kBlockSize;
+        for (uint32_t slot = 0; slot < kInodesPerBlock; ++slot) {
+          Result<DInode> d = DInode::Deserialize(std::span<const uint8_t>(
+              blk + slot * kInodeSize, kInodeSize));
+          if (!d.ok() || d->ino == kNoInode) {
+            continue;
+          }
+          Result<uint32_t> cur = fs_->InodeDaddr(d->ino);
+          if (cur.ok() && *cur == inode_daddr) {
+            record.inode_moves[d->ino] = inode_daddr;
+          }
+        }
+      }
+    }
+    HL_LOG(kInfo, "migrator",
+           "recovered staging segment " + std::to_string(line.tseg) +
+               " in cache line " + std::to_string(line.disk_seg));
+    staged_[line.tseg] = std::move(record);
   }
-  return n;
+  return OkStatus();
 }
 
 }  // namespace hl

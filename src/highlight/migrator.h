@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "highlight/address_map.h"
@@ -37,6 +38,11 @@ struct MigratorOptions {
   bool migrate_metadata = true;   // Indirect blocks move to tertiary.
   bool migrate_inode = true;      // Whole-file migration moves the inode too.
   bool delayed_copyout = false;   // Batch tertiary writes (section 5.4).
+  // Queue completed segments on the I/O server's write-behind pipeline
+  // instead of blocking on each tertiary write (sections 4, 6.5). Copy-out
+  // errors then surface at completion time: transient failures are held
+  // until FlushStaging(), which drains the pipeline and reports them.
+  bool write_behind = false;
   // Extra copies of each tertiary segment, placed on other volumes, read
   // back via whichever copy is "closest" (section 5.4 replica variant).
   // Replicas are best-effort: they consume tertiary space but are not
@@ -109,9 +115,22 @@ class Migrator {
                                     const MigratorOptions& opts,
                                     uint64_t bytes_target);
 
-  // Completes the in-progress staging segment and copies every pending
-  // segment to tertiary media. Persists the tseg table.
+  // Completes the in-progress staging segment, feeds every pending segment
+  // to the I/O server pipeline, and drains it (the durability barrier).
+  // Persists the tseg table and checkpoints. Errors a write-behind callback
+  // deferred earlier are reported here.
   Status FlushStaging();
+
+  // Queues one staged segment for copy-out on the write-behind pipeline
+  // (no-op if it is already queued). Completion callbacks do the
+  // MarkCopiedOut/replica/retarget bookkeeping.
+  Status EnqueueCopyOut(uint32_t tseg);
+
+  // Rebuilds the staged-segment ledger from staging cache lines after a
+  // remount mid-delayed-copyout: parses each staged image (the tertiary
+  // cleaner's technique) so a later FlushStaging — including an
+  // end-of-medium retarget — can finish the interrupted migration.
+  Status RecoverStaging();
 
   // Pending staged-but-not-copied segments (delayed mode backlog).
   uint32_t PendingSegments() const;
@@ -124,11 +143,26 @@ class Migrator {
     uint32_t disk_seg = kNoSegment;
     std::vector<Lfs::MigrationAssignment> moves;
     std::map<uint32_t, uint32_t> inode_moves;  // ino -> tertiary daddr.
-    bool copied = false;
+    bool enqueued = false;  // Sitting on the write-behind pipeline.
     int replicas = 0;  // Extra copies requested at completion time.
   };
-  // Best-effort replica writes after a successful primary copy-out.
+  // Best-effort replica writes after a successful primary copy-out. A
+  // failed write excludes that volume and retries the remaining count
+  // elsewhere (bounded attempts); end-of-medium retires the volume like the
+  // primary path does.
   void WriteReplicas(uint32_t primary, uint32_t disk_seg, int count);
+  // Write-behind counterpart: a serial chain of queued replica writes; the
+  // primary's cache line stays pinned (the replica reads it) until the
+  // chain terminates and FinishCopiedSegment runs.
+  void EnqueueReplicaChain(uint32_t primary, uint32_t disk_seg, int remaining,
+                           int attempts_left,
+                           std::shared_ptr<std::set<uint32_t>> exclude);
+  // Completion callback for a queued primary copy-out.
+  void OnCopyOutDone(uint32_t tseg, const Status& s);
+  // Unpins the cache line and retires the staged record.
+  Status FinishCopiedSegment(uint32_t tseg);
+  // Persistently retires a full volume's unused segments.
+  void RetireVolume(uint32_t volume);
 
   // Staging-segment lifecycle.
   Status EnsureStagingSegment(const MigratorOptions& opts);
@@ -167,6 +201,9 @@ class Migrator {
   std::map<uint32_t, StagedSegment> staged_;  // tseg -> record (until copied).
   std::set<uint32_t> full_volumes_;
   MigrationReport lifetime_;
+  // First error a pipeline completion callback could not return to its
+  // caller; FlushStaging reports (and clears) it.
+  Status pipeline_error_ = OkStatus();
 };
 
 }  // namespace hl

@@ -26,6 +26,10 @@ Status SegmentCache::Init() {
       line.disk_seg = seg;
       line.fetch_time = u.write_time;
       line.last_access = u.write_time;
+      // A staging line interrupted mid-copy-out still holds the ONLY copy
+      // of its segment: restore the pin or eviction would lose the data.
+      line.staging = (u.flags & kSegStaging) != 0;
+      line.dirty = line.staging;
       directory_[u.cache_tseg] = line;
     } else {
       free_.push_back(seg);

@@ -8,6 +8,28 @@ Status ServiceProcess::FetchIntoCache(uint32_t tseg, bool is_prefetch) {
   if (cache_->Lookup(tseg) != kNoSegment) {
     return OkStatus();
   }
+  auto pending = pending_prefetch_.find(tseg);
+  if (pending != pending_prefetch_.end()) {
+    // The sequential miss the read-ahead predicted: wait out the remainder
+    // of the in-flight tertiary read, then install the buffered image.
+    PendingPrefetch hit = std::move(pending->second);
+    pending_prefetch_.erase(pending);
+    if (hit.ready_at > clock_->Now()) {
+      clock_->AdvanceTo(hit.ready_at);
+    }
+    ASSIGN_OR_RETURN(uint32_t slot,
+                     cache_->AllocLine(tseg, /*staging=*/false));
+    Status installed = io_->InstallSegment(slot, *hit.image);
+    if (!installed.ok()) {
+      (void)cache_->Eject(tseg);
+      return installed;
+    }
+    stats_.readaheads_consumed++;
+    if (is_prefetch) {
+      stats_.prefetches++;
+    }
+    return OkStatus();
+  }
   Result<uint32_t> line = cache_->AllocLine(tseg, /*staging=*/false);
   if (!line.ok()) {
     return line.status();
@@ -55,7 +77,35 @@ Status ServiceProcess::DemandFetch(uint32_t tseg) {
       }
     }
   }
+  MaybeReadahead(tseg);
   return OkStatus();
+}
+
+void ServiceProcess::MaybeReadahead(uint32_t tseg) {
+  if (!readahead_ || !readahead_filter_) {
+    return;
+  }
+  uint32_t next = tseg + 1;
+  if (!readahead_filter_(next) || cache_->Lookup(next) != kNoSegment ||
+      pending_prefetch_.count(next) > 0) {
+    return;
+  }
+  auto image = std::make_shared<std::vector<uint8_t>>(io_->SegBytes());
+  Status s = io_->SchedulePrefetch(
+      next, std::span<uint8_t>(image->data(), image->size()),
+      [this, next, image](const Status& st, SimTime ready_at) {
+        if (st.ok()) {
+          pending_prefetch_[next] = PendingPrefetch{image, ready_at};
+        }
+      });
+  if (!s.ok()) {
+    stats_.failed_prefetches++;
+    HL_LOG(kDebug, "service",
+           "read-ahead of tseg " + std::to_string(next) +
+               " failed: " + s.ToString());
+    return;
+  }
+  stats_.readaheads_issued++;
 }
 
 }  // namespace hl

@@ -12,6 +12,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "highlight/io_server.h"
@@ -50,10 +52,29 @@ class ServiceProcess {
     notifier_ = std::move(notifier);
   }
 
+  // Sequential-miss read-ahead: after a demand fetch of tseg N, schedule an
+  // asynchronous tertiary read of N+1 through the I/O server. The image is
+  // buffered until the predicted miss arrives; that miss then waits only
+  // for the remainder of the already-in-flight read and installs the
+  // segment into a cache line — no full tertiary stall.
+  void set_sequential_readahead(bool on) { readahead_ = on; }
+  // Gate deciding whether a tseg is worth prefetching (in range, written,
+  // not a replica). Read-ahead is inert until a filter is installed.
+  using ReadaheadFilter = std::function<bool(uint32_t)>;
+  void SetReadaheadFilter(ReadaheadFilter filter) {
+    readahead_filter_ = std::move(filter);
+  }
+  // Invalidates buffered prefetch images (volume erase / cache drops make
+  // them stale).
+  void DropPendingPrefetches() { pending_prefetch_.clear(); }
+  size_t PendingPrefetches() const { return pending_prefetch_.size(); }
+
   struct Stats {
     uint64_t demand_fetches = 0;
     uint64_t prefetches = 0;
     uint64_t failed_prefetches = 0;
+    uint64_t readaheads_issued = 0;
+    uint64_t readaheads_consumed = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -63,12 +84,21 @@ class ServiceProcess {
 
  private:
   Status FetchIntoCache(uint32_t tseg, bool is_prefetch);
+  void MaybeReadahead(uint32_t tseg);
+
+  struct PendingPrefetch {
+    std::shared_ptr<std::vector<uint8_t>> image;
+    SimTime ready_at = 0;
+  };
 
   SegmentCache* cache_;
   IoServer* io_;
   SimClock* clock_;
   PrefetchPolicy prefetch_;
   SlowAccessNotifier notifier_;
+  bool readahead_ = false;
+  ReadaheadFilter readahead_filter_;
+  std::map<uint32_t, PendingPrefetch> pending_prefetch_;
   SimTime request_overhead_us_ = 2000;  // ~2 ms per request round trip.
   SimTime fetch_time_total_ = 0;   // For the rolling latency estimate.
   uint64_t fetch_time_samples_ = 0;

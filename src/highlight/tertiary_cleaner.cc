@@ -149,6 +149,8 @@ Result<uint64_t> TertiaryCleaner::CleanVolume(uint32_t volume) {
     }
   }
   RETURN_IF_ERROR(footprint_->EraseVolume(static_cast<int>(volume)));
+  // Buffered read-ahead images may alias the erased medium: drop them.
+  service_->DropPendingPrefetches();
   migrator_->UnexcludeVolume(volume);
   RETURN_IF_ERROR(tsegs_->Store());
   RETURN_IF_ERROR(fs_->Checkpoint());

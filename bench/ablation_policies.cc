@@ -146,7 +146,7 @@ void ReplacementAblation() {
       uint64_t off = seg * (1 << 20) + trace.Below(200) * 4096;
       DieOr(hl->fs().Read(ino, off, buf), "read");
     }
-    const SegmentCache::Stats& st = hl->cache().stats();
+    const SegmentCache::Stats st = hl->cache().Snapshot();
     double hit_rate =
         static_cast<double>(st.hits) /
         static_cast<double>(st.hits + st.misses ? st.hits + st.misses : 1);

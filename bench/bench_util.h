@@ -10,9 +10,11 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/sim_clock.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -103,6 +105,74 @@ inline std::vector<uint8_t> Payload(size_t n, uint64_t seed) {
   }
   return v;
 }
+
+// Machine-readable companion to the printed tables: each bench writes
+// BENCH_<name>.json holding its headline values (throughput, elapsed times)
+// plus one full MetricsRegistry snapshot per configuration it ran. The
+// derived gauges in the snapshot (cache.hit_permille, disk.*.busy_permille,
+// footprint.media_swaps, ...) are what EXPERIMENTS.md graphs from.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+  void Value(const std::string& key, double v) {
+    values_.emplace_back(key, Fmt("%.3f", v));
+  }
+  void Value(const std::string& key, uint64_t v) {
+    values_.emplace_back(key, std::to_string(v));
+  }
+  void Value(const std::string& key, const std::string& s) {
+    values_.emplace_back(key, Quoted(s));
+  }
+
+  // Embeds a registry snapshot under metrics.<label>.
+  void Snapshot(const std::string& label, const MetricsSnapshot& snap) {
+    snapshots_.emplace_back(label, snap.ToJson(4));
+  }
+
+  // Writes BENCH_<name>.json in the current directory.
+  void Write() const {
+    std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": %s,\n  \"values\": {",
+                 Quoted(name_).c_str());
+    for (size_t i = 0; i < values_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
+                   Quoted(values_[i].first).c_str(),
+                   values_[i].second.c_str());
+    }
+    std::fprintf(f, "\n  },\n  \"metrics\": {");
+    for (size_t i = 0; i < snapshots_.size(); ++i) {
+      // Indent the embedded snapshot body to nest under its label.
+      std::string body = snapshots_[i].second;
+      std::string indented;
+      for (char c : body) {
+        indented.push_back(c);
+        if (c == '\n') {
+          indented.append("    ");
+        }
+      }
+      std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
+                   Quoted(snapshots_[i].first).c_str(), indented.c_str());
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::printf("  wrote %s\n", path.c_str());
+  }
+
+ private:
+  static std::string Quoted(const std::string& s) {
+    return "\"" + JsonEscape(s) + "\"";
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::pair<std::string, std::string>> snapshots_;
+};
 
 inline void Die(const Status& status, const char* what) {
   if (!status.ok()) {

@@ -197,7 +197,8 @@ std::vector<PhaseResult> RunBaseLfs() {
 }
 
 std::vector<PhaseResult> RunHighLight(bool migrate_to_cache,
-                                      const char* label) {
+                                      const char* label,
+                                      bench::JsonReport& report) {
   SimClock clock;
   HighLightConfig config;
   config.disks.push_back({Rz57Profile(), kDiskBlocks});
@@ -222,7 +223,17 @@ std::vector<PhaseResult> RunHighLight(bool migrate_to_cache,
   };
   ops.flush_cache = [&] { hl->fs().FlushBufferCache(); };
   ops.sync = [&] { return hl->fs().Sync(); };
-  return RunPhases(ops, clock);
+  auto results = RunPhases(ops, clock);
+  report.Snapshot(label, hl->Metrics());
+  return results;
+}
+
+void ReportPhases(bench::JsonReport& report, const std::string& prefix,
+                  const std::vector<PhaseResult>& results) {
+  for (const PhaseResult& r : results) {
+    report.Value(prefix + "." + r.name + " KB/s",
+                 bench::KBpsValue(r.bytes, r.elapsed));
+  }
 }
 
 }  // namespace
@@ -233,17 +244,23 @@ int main() {
   std::printf("Table 2: large-object performance (Stonebraker-Olson), "
               "seed=0x%llX\n",
               static_cast<unsigned long long>(kSeed));
+  bench::JsonReport report("table2_large_object");
   auto ffs = RunFfs();
   PrintConfig("FFS (read/write clustering)", ffs);
+  ReportPhases(report, "ffs", ffs);
   auto lfs = RunBaseLfs();
   PrintConfig("Base 4.4BSD LFS", lfs);
-  auto on_disk = RunHighLight(false, "on-disk");
+  ReportPhases(report, "lfs", lfs);
+  auto on_disk = RunHighLight(false, "on-disk", report);
   PrintConfig("HighLight, files on disk (not migrated)", on_disk);
+  ReportPhases(report, "highlight_on_disk", on_disk);
   // Paper values for the HighLight columns differ slightly from base LFS;
   // shown in EXPERIMENTS.md. The key claim: on-disk and in-cache HighLight
   // track base LFS closely.
-  auto in_cache = RunHighLight(true, "in-cache");
+  auto in_cache = RunHighLight(true, "in-cache", report);
   PrintConfig("HighLight, migrated files resident in segment cache",
               in_cache);
+  ReportPhases(report, "highlight_in_cache", in_cache);
+  report.Write();
   return 0;
 }

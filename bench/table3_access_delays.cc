@@ -83,7 +83,8 @@ Delay MeasureFfs(size_t bytes) {
   });
 }
 
-Delay MeasureHighLight(size_t bytes, bool drop_cache) {
+Delay MeasureHighLight(size_t bytes, bool drop_cache,
+                       bench::JsonReport& report, const std::string& label) {
   SimClock clock;
   HighLightConfig config;
   config.disks.push_back({Rz57Profile(), kDiskBlocks});
@@ -111,9 +112,11 @@ Delay MeasureHighLight(size_t bytes, bool drop_cache) {
   } else {
     hl->fs().FlushBufferCache();  // Cold buffer cache, warm segment cache.
   }
-  return TimedRead(clock, bytes, [&](uint64_t off, std::span<uint8_t> out) {
+  Delay d = TimedRead(clock, bytes, [&](uint64_t off, std::span<uint8_t> out) {
     DieOr(hl->fs().Read(ino, off, out), "read");
   });
+  report.Snapshot(label, hl->Metrics());
+  return d;
 }
 
 }  // namespace
@@ -125,12 +128,26 @@ int main() {
   bench::Note("first byte includes metadata fetches; uncached = demand "
               "fetch from the MO jukebox, volume already in the drive");
 
+  bench::JsonReport report("table3_access_delays");
   bench::Table table({"File", "Config", "paper first", "sim first",
                       "paper total", "sim total"});
   for (const SizeCase& c : kCases) {
     Delay ffs = MeasureFfs(c.bytes);
-    Delay cached = MeasureHighLight(c.bytes, /*drop_cache=*/false);
-    Delay uncached = MeasureHighLight(c.bytes, /*drop_cache=*/true);
+    Delay cached = MeasureHighLight(c.bytes, /*drop_cache=*/false, report,
+                                    std::string("cached_") + c.name);
+    Delay uncached = MeasureHighLight(c.bytes, /*drop_cache=*/true, report,
+                                      std::string("uncached_") + c.name);
+    auto secs = [](SimTime us) {
+      return static_cast<double>(us) / kUsPerSec;
+    };
+    report.Value(std::string(c.name) + ".ffs_total_s", secs(ffs.total));
+    report.Value(std::string(c.name) + ".cached_first_s",
+                 secs(cached.first_byte));
+    report.Value(std::string(c.name) + ".cached_total_s", secs(cached.total));
+    report.Value(std::string(c.name) + ".uncached_first_s",
+                 secs(uncached.first_byte));
+    report.Value(std::string(c.name) + ".uncached_total_s",
+                 secs(uncached.total));
     table.AddRow({c.name, "FFS", c.paper_ffs_first,
                   bench::Seconds(ffs.first_byte), c.paper_ffs_total,
                   bench::Seconds(ffs.total)});
@@ -142,5 +159,6 @@ int main() {
                   bench::Seconds(uncached.total)});
   }
   table.Print();
+  report.Write();
   return 0;
 }

@@ -64,5 +64,16 @@ int main() {
               " overall migration throughput (cf. Table 6 overall)");
   bench::Note(bench::Fmt("segments completed: %.0f",
                          static_cast<double>(report.segments_completed)));
+
+  bench::JsonReport json("table4_migration_breakdown");
+  json.Value("footprint_percent", phases.Percent("footprint"));
+  json.Value("ioserver_percent", phases.Percent("ioserver"));
+  json.Value("queuing_percent", phases.Percent("queuing"));
+  json.Value("elapsed_s", static_cast<double>(elapsed) / kUsPerSec);
+  json.Value("migration_kbps",
+             bench::KBpsValue(report.bytes_migrated, elapsed));
+  json.Value("segments_completed", uint64_t{report.segments_completed});
+  json.Snapshot("migration", hl->Metrics());
+  json.Write();
   return 0;
 }

@@ -16,9 +16,11 @@ using bench::DieOr;
 using bench::Die;
 
 // Sequential 1 MB transfers, as the paper's dd-style measurement.
-double RawDiskRate(const DiskProfile& profile, bool is_write) {
+double RawDiskRate(const DiskProfile& profile, bool is_write,
+                   MetricsRegistry* registry) {
   SimClock clock;
-  SimDisk disk("raw", 64 * 1024, profile, &clock);  // 256 MB.
+  SimDisk disk(profile.name, 64 * 1024, profile, &clock);  // 256 MB.
+  disk.AttachMetrics(registry);
   const uint32_t kMb = 256;  // Blocks per MB.
   std::vector<uint8_t> buf(1 << 20, 0xAB);
   SimTime t0 = clock.Now();
@@ -34,9 +36,10 @@ double RawDiskRate(const DiskProfile& profile, bool is_write) {
   return bench::KBpsValue(total, clock.Now() - t0);
 }
 
-double RawMoRate(bool is_write) {
+double RawMoRate(bool is_write, MetricsRegistry* registry) {
   SimClock clock;
   Jukebox jukebox(Hp6300MoProfile(), &clock);
+  jukebox.AttachMetrics(registry, Tracer());
   std::vector<uint8_t> buf(1 << 20, 0xCD);
   // Prime the drive so the swap is not measured (the paper measured steady
   // transfers).
@@ -77,6 +80,8 @@ int main() {
   bench::Note("sequential 1 MB transfers; media change = eject -> first "
               "sector readable");
 
+  MetricsRegistry registry;
+  bench::JsonReport report("table5_raw_devices");
   bench::Table table({"I/O type", "paper", "simulated"});
   struct DiskRow {
     const char* name;
@@ -95,23 +100,30 @@ int main() {
   for (const DiskRow& row : rows) {
     double rate;
     if (row.profile.name.empty()) {
-      rate = RawMoRate(row.is_write);
+      rate = RawMoRate(row.is_write, &registry);
     } else {
-      rate = RawDiskRate(row.profile, row.is_write);
+      rate = RawDiskRate(row.profile, row.is_write, &registry);
     }
     table.AddRow({row.name, row.paper, bench::Fmt("%.0f KB/s", rate)});
+    report.Value(std::string(row.name) + " KB/s", rate);
   }
+  double volume_change_s = VolumeChangeSeconds();
   table.AddRow({"Volume change", "13.5 s",
-                bench::Fmt("%.1f s", VolumeChangeSeconds())});
+                bench::Fmt("%.1f s", volume_change_s)});
   table.Print();
+  report.Value("volume_change_s", volume_change_s);
 
   bench::Note("(HP7958A staging disk used in Table 6 — not in the paper's "
               "Table 5)");
   bench::Table extra({"I/O type", "simulated"});
   extra.AddRow({"Raw HP7958A read",
-                bench::Fmt("%.0f KB/s", RawDiskRate(Hp7958aProfile(), false))});
+                bench::Fmt("%.0f KB/s",
+                           RawDiskRate(Hp7958aProfile(), false, &registry))});
   extra.AddRow({"Raw HP7958A write",
-                bench::Fmt("%.0f KB/s", RawDiskRate(Hp7958aProfile(), true))});
+                bench::Fmt("%.0f KB/s",
+                           RawDiskRate(Hp7958aProfile(), true, &registry))});
   extra.Print();
+  report.Snapshot("devices", registry.Snapshot());
+  report.Write();
   return 0;
 }

@@ -63,7 +63,8 @@ uint32_t FillFile(HighLightFs& hl, const char* path) {
   return ino;
 }
 
-ConfigResult RunConfig(const std::optional<DiskProfile>& staging) {
+ConfigResult RunConfig(const std::optional<DiskProfile>& staging,
+                       bench::JsonReport& report, const std::string& label) {
   ConfigResult result;
 
   // Contention phase: immediate copy-out interleaves the migrator's disk
@@ -73,9 +74,10 @@ ConfigResult RunConfig(const std::optional<DiskProfile>& staging) {
     auto hl = Build(clock, staging);
     FillFile(*hl, "/bigobject");
     SimTime t0 = clock.Now();
-    MigrationReport report = DieOr(hl->MigratePath("/bigobject"), "migrate");
+    MigrationReport mr = DieOr(hl->MigratePath("/bigobject"), "migrate");
     result.contention_kbps =
-        bench::KBpsValue(report.bytes_migrated, clock.Now() - t0);
+        bench::KBpsValue(mr.bytes_migrated, clock.Now() - t0);
+    report.Snapshot(label + "_contention", hl->Metrics());
   }
 
   // No-contention phase: stage everything first (delayed copy-out), then
@@ -88,16 +90,17 @@ ConfigResult RunConfig(const std::optional<DiskProfile>& staging) {
     MigratorOptions delayed;
     delayed.delayed_copyout = true;
     SimTime t0 = clock.Now();
-    MigrationReport report =
+    MigrationReport mr =
         DieOr(hl->migrator().MigrateFiles({ino}, delayed), "stage");
     stage_elapsed = clock.Now() - t0;
     SimTime t1 = clock.Now();
     Die(hl->migrator().FlushStaging(), "drain");
     SimTime drain = clock.Now() - t1;
     result.no_contention_kbps =
-        bench::KBpsValue(report.bytes_migrated, drain);
+        bench::KBpsValue(mr.bytes_migrated, drain);
     result.overall_kbps =
-        bench::KBpsValue(report.bytes_migrated, stage_elapsed + drain);
+        bench::KBpsValue(mr.bytes_migrated, stage_elapsed + drain);
+    report.Snapshot(label + "_no_contention", hl->Metrics());
   }
   return result;
 }
@@ -115,7 +118,7 @@ struct ModeResult {
   bool fsck_clean = false;
 };
 
-ModeResult RunMode(bool write_behind) {
+ModeResult RunMode(bool write_behind, bench::JsonReport& report) {
   ModeResult result;
   SimClock clock;
   HighLightConfig config;
@@ -128,14 +131,16 @@ ModeResult RunMode(bool write_behind) {
   uint32_t ino = FillFile(*hl, "/bigobject");
   (void)ino;
   SimTime t0 = clock.Now();
-  MigrationReport report = DieOr(hl->MigratePath("/bigobject"), "migrate");
+  MigrationReport mr = DieOr(hl->MigratePath("/bigobject"), "migrate");
   Die(hl->migrator().FlushStaging(), "flush");
   SimTime elapsed = clock.Now() - t0;
-  result.kbps = bench::KBpsValue(report.bytes_migrated, elapsed);
+  result.kbps = bench::KBpsValue(mr.bytes_migrated, elapsed);
   result.elapsed_s = static_cast<double>(elapsed) / 1e6;
   result.media_swaps = hl->footprint().TotalMediaSwaps();
   result.backpressure_stalls = hl->io_server().stats().backpressure_stalls;
   result.fsck_clean = CheckFs(hl->fs()).clean();
+  report.Snapshot(write_behind ? "write_behind" : "synchronous",
+                  hl->Metrics());
   return result;
 }
 
@@ -161,9 +166,15 @@ int main() {
       {"RZ57+HP7958A", Hp7958aProfile(), "46.8", "145", "99"},
   };
 
+  bench::JsonReport report("table6_migrator_throughput");
   bench::Table table({"Staging disks", "phase", "paper KB/s", "sim KB/s"});
   for (const Row& row : rows) {
-    ConfigResult r = RunConfig(row.staging);
+    ConfigResult r = RunConfig(row.staging, report, row.name);
+    report.Value(std::string(row.name) + ".contention_kbps",
+                 r.contention_kbps);
+    report.Value(std::string(row.name) + ".no_contention_kbps",
+                 r.no_contention_kbps);
+    report.Value(std::string(row.name) + ".overall_kbps", r.overall_kbps);
     table.AddRow({row.name, "arm contention", row.paper_contention,
                   bench::Fmt("%.0f", r.contention_kbps)});
     table.AddRow({row.name, "no contention", row.paper_no_contention,
@@ -179,7 +190,10 @@ int main() {
               "them with FlushStaging()");
   bench::Table wb({"mode", "sim KB/s", "elapsed", "swaps", "stalls", "fsck"});
   for (bool mode : {false, true}) {
-    ModeResult r = RunMode(mode);
+    ModeResult r = RunMode(mode, report);
+    report.Value(std::string(mode ? "write_behind" : "synchronous") +
+                     "_kbps",
+                 r.kbps);
     wb.AddRow({mode ? "write-behind" : "synchronous",
                bench::Fmt("%.0f", r.kbps), bench::Fmt("%.1f s", r.elapsed_s),
                std::to_string(r.media_swaps),
@@ -187,5 +201,6 @@ int main() {
                r.fsck_clean ? "clean" : "DIRTY"});
   }
   wb.Print();
+  report.Write();
   return 0;
 }

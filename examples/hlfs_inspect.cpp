@@ -8,8 +8,11 @@
 // the cache directory, and an fsck report.
 //
 // Run: ./build/examples/hlfs_inspect
+//   --metrics   append the unified metrics registry as JSON
+//   --trace     append the structured event trace as JSON
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "highlight/highlight.h"
@@ -56,7 +59,20 @@ std::string FlagNames(uint16_t flags) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool dump_metrics = false;
+  bool dump_trace = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      dump_trace = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics] [--trace]\n", argv[0]);
+      return 2;
+    }
+  }
+
   SimClock clock;
   HighLightConfig config;
   config.disks.push_back({Rz57Profile(), 8 * 1024});  // 32 MB.
@@ -184,8 +200,8 @@ int main() {
   }
   std::printf("  (%u/%u lines in use; %llu hits, %llu misses)\n",
               hl->cache().Used(), hl->cache().Capacity(),
-              static_cast<unsigned long long>(hl->cache().stats().hits),
-              static_cast<unsigned long long>(hl->cache().stats().misses));
+              static_cast<unsigned long long>(hl->cache().Snapshot().hits),
+              static_cast<unsigned long long>(hl->cache().Snapshot().misses));
 
   std::printf("\n=== fsck ===\n");
   FsckReport report = CheckFs(fs);
@@ -199,5 +215,12 @@ int main() {
     std::printf("  warn:  %s\n", w.c_str());
   }
   std::printf("  verdict: %s\n", report.clean() ? "CLEAN" : "CORRUPT");
+
+  if (dump_metrics) {
+    std::printf("\n=== metrics ===\n%s\n", hl->Metrics().ToJson().c_str());
+  }
+  if (dump_trace) {
+    std::printf("\n=== trace ===\n%s\n", hl->trace().ToJson().c_str());
+  }
   return report.clean() ? 0 : 1;
 }

@@ -191,8 +191,8 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.demand_fetches),
               static_cast<unsigned long long>(stats.media_swaps));
   std::printf("segment cache         %llu hits / %llu misses, %u/%u lines\n",
-              static_cast<unsigned long long>(hl->cache().stats().hits),
-              static_cast<unsigned long long>(hl->cache().stats().misses),
+              static_cast<unsigned long long>(hl->cache().Snapshot().hits),
+              static_cast<unsigned long long>(hl->cache().Snapshot().misses),
               hl->cache().Used(), hl->cache().Capacity());
   std::printf("tertiary              %llu live MB across %u dirty segments\n",
               static_cast<unsigned long long>(

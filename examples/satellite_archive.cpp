@@ -130,8 +130,8 @@ int main() {
               static_cast<unsigned long long>(hl->service().stats().prefetches),
               static_cast<unsigned long long>(
                   hl->footprint().TotalMediaSwaps()),
-              100.0 * static_cast<double>(hl->cache().stats().hits) /
-                  static_cast<double>(hl->cache().stats().hits +
-                                      hl->cache().stats().misses));
+              100.0 * static_cast<double>(hl->cache().Snapshot().hits) /
+                  static_cast<double>(hl->cache().Snapshot().hits +
+                                      hl->cache().Snapshot().misses));
   return 0;
 }

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build the default and asan presets, run the test
+# suite under both. Usage: scripts/check.sh [--fast]  (--fast skips asan).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) fast=1 ;;
+    *) echo "usage: $0 [--fast]" >&2; exit 2 ;;
+  esac
+done
+
+jobs=$(nproc 2>/dev/null || echo 4)
+
+run() {
+  local preset=$1
+  echo "==> configure ($preset)"
+  cmake --preset "$preset" >/dev/null
+  echo "==> build ($preset)"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> test ($preset)"
+  ctest --preset "$preset" -j "$jobs"
+}
+
+run default
+if [[ $fast -eq 0 ]]; then
+  run asan
+fi
+echo "All checks passed."

@@ -18,6 +18,18 @@ SimDisk::SimDisk(std::string name, uint32_t num_blocks, DiskProfile profile,
   profile_.capacity_bytes = data_.size();
 }
 
+void SimDisk::AttachMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    return;
+  }
+  const std::string prefix = "disk." + name_ + ".";
+  reads_.BindTo(*registry, prefix + "reads");
+  writes_.BindTo(*registry, prefix + "writes");
+  bytes_read_.BindTo(*registry, prefix + "bytes_read");
+  bytes_written_.BindTo(*registry, prefix + "bytes_written");
+  seeks_.BindTo(*registry, prefix + "seeks");
+}
+
 Status SimDisk::CheckRange(uint32_t block, uint32_t count) const {
   if (count == 0) {
     return InvalidArgument("zero-length I/O on " + name_);

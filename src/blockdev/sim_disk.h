@@ -26,6 +26,7 @@
 #include "blockdev/block_device.h"
 #include "sim/device_profile.h"
 #include "sim/sim_clock.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace hl {
@@ -56,6 +57,10 @@ class SimDisk : public BlockDevice {
   // Fault injection for robustness tests: fail the next `n` operations.
   void FailNextOps(int n) { fail_ops_ = n; }
 
+  // Re-homes the per-op counters into `registry` under "disk.<name>.*"
+  // (counts accumulated while detached carry over).
+  void AttachMetrics(MetricsRegistry* registry);
+
   // Statistics.
   uint64_t reads() const { return reads_; }
   uint64_t writes() const { return writes_; }
@@ -80,11 +85,11 @@ class SimDisk : public BlockDevice {
   uint64_t arm_byte_pos_ = 0;
 
   int fail_ops_ = 0;
-  uint64_t reads_ = 0;
-  uint64_t writes_ = 0;
-  uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
-  uint64_t seeks_ = 0;
+  Counter reads_;
+  Counter writes_;
+  Counter bytes_read_;
+  Counter bytes_written_;
+  Counter seeks_;
 };
 
 }  // namespace hl

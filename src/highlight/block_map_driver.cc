@@ -10,15 +10,18 @@ Result<uint32_t> BlockMapDriver::ResolveTertiary(uint32_t daddr,
     return Internal("block-map driver has no segment cache attached");
   }
   uint32_t tseg = amap_->TsegOf(daddr);
-  uint32_t line = cache_->Lookup(tseg);
+  // Writes target staging lines the migrator allocated; they are not demand
+  // accesses, so keep them out of the hit/miss accounting.
+  uint32_t line = for_write ? cache_->Lookup(tseg)
+                            : cache_->LookupForAccess(tseg);
   if (line == kNoSegment) {
     if (for_write) {
       return InvalidArgument(
           "write to uncached tertiary address " + std::to_string(daddr) +
           " (only staging lines are writable)");
     }
-    cache_->CountMiss();
     stats_.demand_faults++;
+    tracer_.Record(TraceEvent::kDemandFault, tseg, daddr);
     if (!fetch_handler_) {
       return Internal("no demand-fetch handler installed");
     }
@@ -28,12 +31,22 @@ Result<uint32_t> BlockMapDriver::ResolveTertiary(uint32_t daddr,
       return Internal("demand fetch did not register tseg " +
                       std::to_string(tseg));
     }
-  } else {
-    cache_->CountHit();
   }
   cache_->Touch(tseg);
   return reserved_blocks_ + line * seg_size_blocks_ +
          amap_->OffsetInTseg(daddr);
+}
+
+void BlockMapDriver::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  stats_.disk_reads.BindTo(*registry, "blockmap.disk_reads");
+  stats_.tertiary_reads.BindTo(*registry, "blockmap.tertiary_reads");
+  stats_.demand_faults.BindTo(*registry, "blockmap.demand_faults");
+  stats_.staging_writes.BindTo(*registry, "blockmap.staging_writes");
+  stats_.dead_zone_accesses.BindTo(*registry, "blockmap.dead_zone_accesses");
 }
 
 Status BlockMapDriver::ReadBlocks(uint32_t block, uint32_t count,

@@ -16,7 +16,9 @@
 #include "blockdev/block_device.h"
 #include "highlight/address_map.h"
 #include "highlight/segment_cache.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -46,13 +48,17 @@ class BlockMapDriver : public BlockDevice {
   Status Flush() override { return disk_->Flush(); }
 
   struct Stats {
-    uint64_t disk_reads = 0;
-    uint64_t tertiary_reads = 0;     // Reads of tertiary addresses.
-    uint64_t demand_faults = 0;      // Reads that triggered a fetch.
-    uint64_t staging_writes = 0;     // Writes into staging lines.
-    uint64_t dead_zone_accesses = 0;
+    Counter disk_reads;
+    Counter tertiary_reads;     // Reads of tertiary addresses.
+    Counter demand_faults;      // Reads that triggered a fetch.
+    Counter staging_writes;     // Writes into staging lines.
+    Counter dead_zone_accesses;
   };
   const Stats& stats() const { return stats_; }
+
+  // Re-homes counters into `registry` under "blockmap.*" and emits
+  // demand_fault trace events through `tracer`.
+  void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
  private:
   // Resolves a tertiary address to the disk address of its cached copy,
@@ -67,6 +73,7 @@ class BlockMapDriver : public BlockDevice {
   std::function<Status(uint32_t)> fetch_handler_;
   std::string name_ = "highlight-blockmap";
   Stats stats_;
+  Tracer tracer_;
 };
 
 }  // namespace hl

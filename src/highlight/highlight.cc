@@ -16,6 +16,7 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
   }
   auto hl = std::unique_ptr<HighLightFs>(new HighLightFs());
   hl->clock_ = clock;
+  hl->trace_ = std::make_unique<TraceRing>(clock);
   if (config.shared_bus) {
     hl->bus_.emplace("scsi0");
   }
@@ -27,6 +28,7 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
     const auto& spec = config.disks[i];
     hl->disks_.push_back(std::make_unique<SimDisk>(
         "disk" + std::to_string(i), spec.blocks, spec.profile, clock, bus));
+    hl->disks_.back()->AttachMetrics(&hl->metrics_);
     components.push_back(hl->disks_.back().get());
   }
   hl->concat_ = std::make_unique<ConcatDriver>("diskfarm", components);
@@ -41,6 +43,8 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
   for (const auto& spec : config.jukeboxes) {
     hl->jukeboxes_.push_back(std::make_unique<Jukebox>(
         spec.profile, clock, bus, spec.write_once));
+    hl->jukeboxes_.back()->AttachMetrics(&hl->metrics_,
+                                         Tracer(hl->trace_.get()));
     jukeboxes.push_back(hl->jukeboxes_.back().get());
     uint32_t per_volume =
         spec.segs_per_volume != 0
@@ -89,14 +93,18 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
   hl->io_server_ = std::make_unique<IoServer>(
       hl->concat_.get(), hl->footprint_.get(), hl->amap_.get(), clock,
       kDefaultReservedBlocks, params.seg_size_blocks);
+  hl->io_server_->AttachMetrics(&hl->metrics_, Tracer(hl->trace_.get()));
   RETURN_IF_ERROR(hl->WireFsComponents());
   return hl;
 }
 
 Status HighLightFs::WireFsComponents() {
+  const Tracer tracer(trace_.get());
   cache_ = std::make_unique<SegmentCache>(fs_.get(), cache_replacement_);
   RETURN_IF_ERROR(cache_->Init());
+  cache_->AttachMetrics(&metrics_, tracer);
   blockmap_->SetCache(cache_.get());
+  blockmap_->AttachMetrics(&metrics_, tracer);
 
   tsegs_ = std::make_unique<TsegTable>(fs_.get(), amap_.get());
   RETURN_IF_ERROR(tsegs_->Load());
@@ -111,6 +119,7 @@ Status HighLightFs::WireFsComponents() {
 
   service_ = std::make_unique<ServiceProcess>(cache_.get(), io_server_.get(),
                                               clock_);
+  service_->AttachMetrics(&metrics_, tracer);
   service_->set_sequential_readahead(sequential_readahead_);
   // Read-ahead only chases segments that exist, hold data, and are primaries
   // (replica tsegs are never addressed by file pointers).
@@ -128,6 +137,7 @@ Status HighLightFs::WireFsComponents() {
   migrator_ = std::make_unique<Migrator>(fs_.get(), blockmap_.get(),
                                          cache_.get(), io_server_.get(),
                                          tsegs_.get(), amap_.get(), clock_);
+  migrator_->AttachMetrics(&metrics_, tracer);
   // A remount mid-delayed-copyout leaves staging lines whose segments the
   // new migrator instance must still copy out.
   RETURN_IF_ERROR(migrator_->RecoverStaging());
@@ -135,6 +145,7 @@ Status HighLightFs::WireFsComponents() {
   tertiary_cleaner_ = std::make_unique<TertiaryCleaner>(
       fs_.get(), blockmap_.get(), migrator_.get(), cache_.get(),
       service_.get(), tsegs_.get(), amap_.get(), footprint_.get());
+  tertiary_cleaner_->AttachMetrics(&metrics_, tracer);
 
   access_tracker_ = std::make_unique<AccessRangeTracker>();
   fs_->SetReadObserver([tracker = access_tracker_.get(),
@@ -144,6 +155,7 @@ Status HighLightFs::WireFsComponents() {
   });
 
   cleaner_ = std::make_unique<Cleaner>(fs_.get());
+  cleaner_->AttachMetrics(&metrics_, tracer);
   fs_->SetNoSpaceHandler([cleaner = cleaner_.get()]() {
     Result<uint32_t> done = cleaner->Clean(8);
     return done.ok() && *done > 0;
@@ -156,6 +168,7 @@ Status HighLightFs::AddDisk(const HighLightConfig::DiskSpec& spec) {
   disks_.push_back(std::make_unique<SimDisk>(
       "disk" + std::to_string(disks_.size()), spec.blocks, spec.profile,
       clock_, bus));
+  disks_.back()->AttachMetrics(&metrics_);
   concat_->AddComponent(disks_.back().get());
   RETURN_IF_ERROR(amap_->GrowDisk(concat_->NumBlocks()));
   return fs_->ExtendDisk(concat_->NumBlocks());
@@ -173,32 +186,74 @@ Status HighLightFs::Remount() {
   fs_.reset();
   LfsParams params;  // Geometry is re-read from the superblock.
   ASSIGN_OR_RETURN(fs_, Lfs::Mount(blockmap_.get(), clock_, params));
+  trace_->Record(TraceEvent::kRemount, 0, 0);
   return WireFsComponents();
 }
 
-Result<MigrationReport> HighLightFs::MigratePath(const std::string& path) {
+Result<MigrationReport> HighLightFs::Migrate(const MigrationRequest& request) {
+  if (request.policy != nullptr && request.cold_cutoff.has_value()) {
+    return InvalidArgument(
+        "MigrationRequest: policy and cold_cutoff are mutually exclusive");
+  }
+  const MigratorOptions opts =
+      request.options.has_value() ? *request.options : migrator_opts_;
+
+  if (request.cold_cutoff.has_value()) {
+    return MigrateColdRangesUnder(request.path, *request.cold_cutoff, opts);
+  }
+
+  if (request.policy != nullptr) {
+    if (request.path == "/" || request.path.empty()) {
+      return migrator_->RunPolicy(*request.policy, opts, request.bytes_target);
+    }
+    // Path-scoped policy run: rank globally, keep candidates under the
+    // subtree, and apply the byte budget to the survivors.
+    ASSIGN_OR_RETURN(std::vector<FileCandidate> ranked,
+                     request.policy->Rank(*fs_, clock_->Now()));
+    const std::string prefix =
+        request.path.back() == '/' ? request.path : request.path + "/";
+    std::vector<uint32_t> inos;
+    uint64_t bytes = 0;
+    for (const FileCandidate& f : ranked) {
+      if (f.path != request.path && f.path.rfind(prefix, 0) != 0) {
+        continue;
+      }
+      if (request.bytes_target != 0 && bytes >= request.bytes_target) {
+        break;
+      }
+      inos.push_back(f.ino);
+      bytes += f.size;
+    }
+    return migrator_->MigrateFiles(inos, opts);
+  }
+
+  // Wholesale subtree (or single-file) migration.
   std::vector<uint32_t> inos;
-  ASSIGN_OR_RETURN(StatInfo st, fs_->StatPath(path));
+  ASSIGN_OR_RETURN(StatInfo st, fs_->StatPath(request.path));
   if (st.type == FileType::kRegular) {
     inos.push_back(st.ino);
   } else {
     ASSIGN_OR_RETURN(std::vector<FileCandidate> files,
-                     WalkTree(*fs_, path, /*include_dirs=*/false));
+                     WalkTree(*fs_, request.path, /*include_dirs=*/false));
     for (const FileCandidate& f : files) {
       inos.push_back(f.ino);
     }
   }
-  return migrator_->MigrateFiles(inos, migrator_opts_);
+  return migrator_->MigrateFiles(inos, opts);
 }
 
-Result<MigrationReport> HighLightFs::Migrate(MigrationPolicy& policy,
-                                             uint64_t bytes_target) {
-  return migrator_->RunPolicy(policy, migrator_opts_, bytes_target);
-}
-
-Result<MigrationReport> HighLightFs::MigrateColdRanges(SimTime cutoff) {
-  ASSIGN_OR_RETURN(std::vector<FileCandidate> files,
-                   WalkTree(*fs_, "/", /*include_dirs=*/false));
+Result<MigrationReport> HighLightFs::MigrateColdRangesUnder(
+    const std::string& root, SimTime cutoff, const MigratorOptions& opts) {
+  ASSIGN_OR_RETURN(StatInfo root_st, fs_->StatPath(root));
+  std::vector<FileCandidate> files;
+  if (root_st.type == FileType::kRegular) {
+    FileCandidate self;
+    self.ino = root_st.ino;
+    self.path = root;
+    files.push_back(self);
+  } else {
+    ASSIGN_OR_RETURN(files, WalkTree(*fs_, root, /*include_dirs=*/false));
+  }
   MigrationReport total;
   for (const FileCandidate& f : files) {
     ASSIGN_OR_RETURN(StatInfo st, fs_->Stat(f.ino));
@@ -216,7 +271,7 @@ Result<MigrationReport> HighLightFs::MigrateColdRanges(SimTime cutoff) {
       continue;
     }
     ASSIGN_OR_RETURN(MigrationReport r,
-                     migrator_->MigrateBlocks(f.ino, cold, migrator_opts_));
+                     migrator_->MigrateBlocks(f.ino, cold, opts));
     total.files_migrated += r.files_migrated;
     total.blocks_migrated += r.blocks_migrated;
     total.bytes_migrated += r.bytes_migrated;
@@ -224,6 +279,98 @@ Result<MigrationReport> HighLightFs::MigrateColdRanges(SimTime cutoff) {
     total.segments_completed += r.segments_completed;
   }
   return total;
+}
+
+Result<MigrationReport> HighLightFs::MigratePath(const std::string& path) {
+  MigrationRequest request;
+  request.path = path;
+  return Migrate(request);
+}
+
+Result<MigrationReport> HighLightFs::Migrate(MigrationPolicy& policy,
+                                             uint64_t bytes_target) {
+  MigrationRequest request;
+  request.policy = &policy;
+  request.bytes_target = bytes_target;
+  return Migrate(request);
+}
+
+Result<MigrationReport> HighLightFs::MigrateColdRanges(SimTime cutoff) {
+  MigrationRequest request;
+  request.cold_cutoff = cutoff;
+  return Migrate(request);
+}
+
+void HighLightFs::RefreshDerivedGauges() {
+  const SimTime elapsed = clock_->Now();
+  const auto permille = [](uint64_t part, uint64_t whole) -> int64_t {
+    return whole == 0 ? 0 : static_cast<int64_t>(part * 1000 / whole);
+  };
+
+  for (const auto& disk : disks_) {
+    const std::string prefix = "disk." + disk->Name() + ".";
+    metrics_.gauge(prefix + "busy_us")
+        .Set(static_cast<int64_t>(disk->busy_time()));
+    metrics_.gauge(prefix + "busy_permille")
+        .Set(permille(disk->busy_time(), elapsed));
+  }
+  for (const auto& jb : jukeboxes_) {
+    const std::string prefix = "jukebox." + jb->profile().name + ".";
+    metrics_.gauge(prefix + "busy_us")
+        .Set(static_cast<int64_t>(jb->busy_time()));
+    metrics_.gauge(prefix + "busy_permille")
+        .Set(permille(jb->busy_time(), elapsed));
+  }
+  metrics_.gauge("footprint.media_swaps")
+      .Set(static_cast<int64_t>(footprint_->TotalMediaSwaps()));
+
+  const SegmentCache::Stats cs = cache_->Snapshot();
+  metrics_.gauge("cache.hit_permille")
+      .Set(permille(cs.hits, cs.hits + cs.misses));
+  metrics_.gauge("cache.used_lines").Set(cache_->Used());
+  metrics_.gauge("cache.capacity_lines").Set(cache_->Capacity());
+
+  // Prefetch accuracy: speculative fetches (policy prefetches + sequential
+  // read-aheads) that served a later demand access, over all issued.
+  const ServiceProcess::Stats& ss = service_->stats();
+  const uint64_t speculative = cs.prefetches_installed + ss.readaheads_issued;
+  const uint64_t useful = cs.prefetches_used + ss.readaheads_consumed;
+  metrics_.gauge("prefetch.accuracy_permille")
+      .Set(permille(useful, speculative));
+
+  const Lfs::Stats& ls = fs_->stats();
+  metrics_.gauge("lfs.psegs_written").Set(static_cast<int64_t>(ls.psegs_written));
+  metrics_.gauge("lfs.blocks_written")
+      .Set(static_cast<int64_t>(ls.blocks_written));
+  metrics_.gauge("lfs.inode_blocks_written")
+      .Set(static_cast<int64_t>(ls.inode_blocks_written));
+  metrics_.gauge("lfs.summary_blocks_written")
+      .Set(static_cast<int64_t>(ls.summary_blocks_written));
+  metrics_.gauge("lfs.reads_clustered")
+      .Set(static_cast<int64_t>(ls.reads_clustered));
+  metrics_.gauge("lfs.segments_consumed")
+      .Set(static_cast<int64_t>(ls.segments_consumed));
+  metrics_.gauge("lfs.clean_segments").Set(fs_->CleanSegmentCount());
+  metrics_.gauge("lfs.dirty_bytes").Set(static_cast<int64_t>(fs_->DirtyBytes()));
+
+  const MigrationReport& mr = migrator_->lifetime_report();
+  metrics_.gauge("migrator.files_migrated").Set(mr.files_migrated);
+  metrics_.gauge("migrator.blocks_migrated")
+      .Set(static_cast<int64_t>(mr.blocks_migrated));
+  metrics_.gauge("migrator.bytes_migrated")
+      .Set(static_cast<int64_t>(mr.bytes_migrated));
+  metrics_.gauge("migrator.segments_completed").Set(mr.segments_completed);
+  metrics_.gauge("migrator.eom_retargets").Set(mr.eom_retargets);
+  metrics_.gauge("migrator.blocks_skipped").Set(mr.blocks_skipped);
+
+  for (const auto& [phase, total] : io_server_->phases().totals()) {
+    metrics_.gauge("phase." + phase + "_us").Set(static_cast<int64_t>(total));
+  }
+}
+
+MetricsSnapshot HighLightFs::Metrics() {
+  RefreshDerivedGauges();
+  return metrics_.Snapshot();
 }
 
 Status HighLightFs::DropCleanCacheLines() {

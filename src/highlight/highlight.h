@@ -33,6 +33,8 @@
 #include "sim/device_profile.h"
 #include "tertiary/footprint.h"
 #include "tertiary/jukebox.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -66,6 +68,26 @@ struct HighLightConfig {
   bool sequential_readahead = false;
 };
 
+// The unified migration request: one entry point covering whole-subtree
+// migration, policy-driven migration with a byte budget, and block-range
+// (cold-range) migration. The older MigratePath / Migrate(policy) /
+// MigrateColdRanges helpers are thin wrappers over it.
+struct MigrationRequest {
+  // Subtree (or single file) the migration considers.
+  std::string path = "/";
+  // Ranking policy: candidates under `path` migrate best-first until at
+  // least `bytes_target` bytes are staged (0 = everything rankable).
+  // Null = wholesale migration of the subtree.
+  MigrationPolicy* policy = nullptr;
+  uint64_t bytes_target = 0;
+  // Block-range mode (section 5.2): migrate only the block ranges not read
+  // since this cutoff; files modified since then are skipped as unstable.
+  // Mutually exclusive with `policy`.
+  std::optional<SimTime> cold_cutoff;
+  // Per-request migrator options (default: the config's options).
+  std::optional<MigratorOptions> options;
+};
+
 class HighLightFs {
  public:
   // Builds the device stack and formats a fresh file system.
@@ -90,16 +112,14 @@ class HighLightFs {
   SimDisk& disk(size_t i) { return *disks_[i]; }
   Jukebox& jukebox(size_t i) { return *jukeboxes_[i]; }
 
-  // Convenience: migrate the files under `path` (recursively) wholesale.
+  // The migration entry point: dispatches on the request's mode (wholesale
+  // subtree, policy-ranked with byte budget, or cold block ranges).
+  Result<MigrationReport> Migrate(const MigrationRequest& request);
+
+  // Deprecated convenience wrappers over Migrate(MigrationRequest).
   Result<MigrationReport> MigratePath(const std::string& path);
-  // Convenience: run the configured migrator options with a policy.
   Result<MigrationReport> Migrate(MigrationPolicy& policy,
                                   uint64_t bytes_target = 0);
-
-  // Section 5.2 block-range migration driven by the access-range tracker:
-  // for every regular file, block ranges not read since `cutoff` migrate to
-  // tertiary storage while the warm ranges stay on disk. Files modified
-  // since `cutoff` are skipped entirely (unstable).
   Result<MigrationReport> MigrateColdRanges(SimTime cutoff);
 
   AccessRangeTracker& access_tracker() { return *access_tracker_; }
@@ -116,13 +136,29 @@ class HighLightFs {
   // Simulates a crash + remount: drops all in-core file system state and
   // re-mounts from the device images (checkpoint + roll-forward), rebuilding
   // the cache directory from the ifile's cache tags. Device contents and the
-  // simulation clock persist.
+  // simulation clock persist. Registry counters survive (slots are keyed by
+  // name, so rebuilt components re-bind to the same slots).
   Status Remount();
+
+  // The unified observability surface. All component counters live in one
+  // registry; the trace ring records structured events stamped with SimClock
+  // time. Metrics() refreshes the derived gauges (per-device busy time,
+  // cache hit rate, prefetch accuracy, LFS/migrator lifetime totals) and
+  // returns a consistent snapshot.
+  MetricsRegistry& metrics() { return metrics_; }
+  TraceRing& trace() { return *trace_; }
+  MetricsSnapshot Metrics();
 
  private:
   HighLightFs() = default;
   // Builds the Lfs-dependent components (cache, tseg table, daemons).
   Status WireFsComponents();
+  // Refreshes the snapshot-time derived gauges ahead of Metrics().
+  void RefreshDerivedGauges();
+  // Cold-range migration limited to the subtree at `root`.
+  Result<MigrationReport> MigrateColdRangesUnder(const std::string& root,
+                                                 SimTime cutoff,
+                                                 const MigratorOptions& opts);
 
   SimClock* clock_ = nullptr;
   std::optional<Resource> bus_;
@@ -144,6 +180,8 @@ class HighLightFs {
   MigratorOptions migrator_opts_;
   CacheReplacement cache_replacement_ = CacheReplacement::kLru;
   bool sequential_readahead_ = false;
+  MetricsRegistry metrics_;
+  std::unique_ptr<TraceRing> trace_;
 };
 
 }  // namespace hl

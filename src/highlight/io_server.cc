@@ -16,6 +16,29 @@ IoServer::IoServer(BlockDevice* raw_disk, Footprint* footprint,
       reserved_blocks_(reserved_blocks),
       seg_size_blocks_(seg_size_blocks) {}
 
+void IoServer::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  stats_.segments_fetched.BindTo(*registry, "io.segments_fetched");
+  stats_.segments_copied_out.BindTo(*registry, "io.segments_copied_out");
+  stats_.bytes_fetched.BindTo(*registry, "io.bytes_fetched");
+  stats_.bytes_copied_out.BindTo(*registry, "io.bytes_copied_out");
+  stats_.end_of_medium_events.BindTo(*registry, "io.end_of_medium_events");
+  stats_.replica_reads.BindTo(*registry, "io.replica_reads");
+  stats_.ops_enqueued.BindTo(*registry, "io.ops_enqueued");
+  stats_.ops_issued.BindTo(*registry, "io.ops_issued");
+  stats_.backpressure_stalls.BindTo(*registry, "io.backpressure_stalls");
+  stats_.volume_batch_picks.BindTo(*registry, "io.volume_batch_picks");
+  stats_.prefetches_scheduled.BindTo(*registry, "io.prefetches_scheduled");
+  stats_.drains.BindTo(*registry, "io.drains");
+  stats_.queue_stall_us.BindTo(*registry, "io.queue_stall_us");
+  stats_.queue_depth.BindTo(*registry, "io.queue_depth");
+  fetch_latency_us_.BindTo(*registry, "io.fetch_latency_us");
+  copyout_latency_us_.BindTo(*registry, "io.copyout_latency_us");
+}
+
 uint32_t IoServer::PickSource(uint32_t tseg) {
   // Pick the "closest" copy: any copy on an already-mounted volume avoids
   // the media swap; the primary is the fallback.
@@ -44,6 +67,7 @@ Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
   const uint64_t seg_bytes = amap_->SegBytes();
   std::vector<uint8_t> buf(seg_bytes);
 
+  const SimTime fetch_start = clock_->Now();
   uint32_t source = PickSource(tseg);
   uint32_t volume = amap_->VolumeOfTseg(source);
   uint64_t offset = amap_->ByteOffsetOnVolume(source);
@@ -63,6 +87,8 @@ Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
 
   stats_.segments_fetched++;
   stats_.bytes_fetched += seg_bytes;
+  fetch_latency_us_.Observe(clock_->Now() - fetch_start);
+  tracer_.Record(TraceEvent::kSegFetch, tseg, disk_seg);
   return OkStatus();
 }
 
@@ -84,12 +110,14 @@ Status IoServer::CopyOutSegment(uint32_t tseg, uint32_t disk_seg) {
   phases_.Add("footprint", clock_->Now() - t0);
   if (write.code() == ErrorCode::kEndOfMedium) {
     stats_.end_of_medium_events++;
+    tracer_.Record(TraceEvent::kEndOfMedium, tseg, volume);
     return write;
   }
   RETURN_IF_ERROR(write);
 
   stats_.segments_copied_out++;
   stats_.bytes_copied_out += seg_bytes;
+  tracer_.Record(TraceEvent::kCopyOut, tseg, disk_seg);
   return OkStatus();
 }
 
@@ -107,7 +135,7 @@ Status IoServer::EnqueueReplicaWrite(uint32_t tseg, uint32_t disk_seg,
 Status IoServer::Enqueue(PendingOp op) {
   queue_.push_back(std::move(op));
   stats_.ops_enqueued++;
-  stats_.max_depth_seen = std::max(stats_.max_depth_seen, queue_.size());
+  stats_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
   return TryIssue();
 }
 
@@ -136,7 +164,12 @@ Status IoServer::TryIssue() {
       continue;
     }
     stats_.backpressure_stalls++;
-    clock_->AdvanceTo(*outstanding_.begin());
+    const SimTime oldest = *outstanding_.begin();
+    const SimTime stall =
+        oldest > clock_->Now() ? oldest - clock_->Now() : 0;
+    stats_.queue_stall_us += stall;
+    tracer_.Record(TraceEvent::kQueueStall, queue_.size(), stall);
+    clock_->AdvanceTo(oldest);
     while (!queue_.empty() && WindowHasRoom()) {
       RETURN_IF_ERROR(IssueNext());
     }
@@ -164,6 +197,7 @@ Status IoServer::IssueNext() {
   }
   PendingOp op = std::move(queue_[pick]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
+  stats_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
   return IssueOne(op);
 }
 
@@ -183,6 +217,7 @@ Status IoServer::IssueOne(PendingOp& op) {
 
   // The staging-line read and memory copy still run synchronously — they
   // contend for the disk arm (the reason delayed copy-out exists at all).
+  const SimTime issue_start = clock_->Now();
   SimTime t0 = clock_->Now();
   Status read = raw_disk_->ReadBlocks(DiskSegFirstBlock(op.disk_seg),
                                       seg_size_blocks_, buf);
@@ -204,6 +239,7 @@ Status IoServer::IssueOne(PendingOp& op) {
   if (!end.ok()) {
     if (end.status().code() == ErrorCode::kEndOfMedium) {
       stats_.end_of_medium_events++;
+      tracer_.Record(TraceEvent::kEndOfMedium, op.tseg, volume);
     }
     return Deliver(op, end.status());
   }
@@ -212,6 +248,10 @@ Status IoServer::IssueOne(PendingOp& op) {
   pipeline_busy_until_ = std::max(pipeline_busy_until_, *end);
   stats_.segments_copied_out++;
   stats_.bytes_copied_out += seg_bytes;
+  copyout_latency_us_.Observe(*end - issue_start);
+  tracer_.Record(op.kind == OpKind::kReplicaWrite ? TraceEvent::kReplicaWrite
+                                                  : TraceEvent::kCopyOut,
+                 op.tseg, op.disk_seg);
   return Deliver(op, OkStatus());
 }
 
@@ -258,6 +298,7 @@ Status IoServer::SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
   }
   phases_.Add("footprint", *end - t0);
   stats_.prefetches_scheduled++;
+  tracer_.Record(TraceEvent::kPrefetch, tseg, *end - t0);
   if (done) {
     done(OkStatus(), *end);
   }

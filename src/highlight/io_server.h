@@ -36,7 +36,9 @@
 #include "highlight/address_map.h"
 #include "sim/sim_clock.h"
 #include "tertiary/footprint.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -114,22 +116,28 @@ class IoServer {
   uint64_t SegBytes() const { return amap_->SegBytes(); }
 
   struct Stats {
-    uint64_t segments_fetched = 0;
-    uint64_t segments_copied_out = 0;
-    uint64_t bytes_fetched = 0;
-    uint64_t bytes_copied_out = 0;
-    uint64_t end_of_medium_events = 0;
-    uint64_t replica_reads = 0;     // Fetches served from a replica copy.
+    Counter segments_fetched;
+    Counter segments_copied_out;
+    Counter bytes_fetched;
+    Counter bytes_copied_out;
+    Counter end_of_medium_events;
+    Counter replica_reads;     // Fetches served from a replica copy.
     // Pipeline counters.
-    uint64_t ops_enqueued = 0;
-    uint64_t ops_issued = 0;
-    uint64_t backpressure_stalls = 0;
-    uint64_t volume_batch_picks = 0;  // Ops issued early to ride a mounted volume.
-    uint64_t prefetches_scheduled = 0;
-    uint64_t drains = 0;
-    size_t max_depth_seen = 0;        // High-water mark of the pending queue.
+    Counter ops_enqueued;
+    Counter ops_issued;
+    Counter backpressure_stalls;
+    Counter volume_batch_picks;  // Ops issued early to ride a mounted volume.
+    Counter prefetches_scheduled;
+    Counter drains;
+    Counter queue_stall_us;      // Simulated time spent stalled on backpressure.
+    Gauge queue_depth;           // Pending queue occupancy; max() = high-water.
   };
   const Stats& stats() const { return stats_; }
+
+  // Re-homes counters into `registry` under "io.*", binds the fetch/copy-out
+  // latency histograms, and emits seg_fetch / copyout / replica_write /
+  // queue_stall / end_of_medium trace events through `tracer`.
+  void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
   // Extra per-byte CPU cost of the user-space staging copies (tertiary <->
   // memory <-> raw disk). Default models a ~10 MB/s memcpy on the testbed.
@@ -175,6 +183,9 @@ class IoServer {
   ReplicaResolver replica_resolver_;
   PhaseAccumulator phases_;
   Stats stats_;
+  Histogram fetch_latency_us_;    // Demand-fetch wall time.
+  Histogram copyout_latency_us_;  // Issue-to-device-completion per copy-out.
+  Tracer tracer_;
 
   std::deque<PendingOp> queue_;            // Enqueued, not yet issued.
   std::multiset<SimTime> outstanding_;     // Completion times of issued ops.

@@ -7,6 +7,15 @@
 
 namespace hl {
 
+void Migrator::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  retargets_.BindTo(*registry, "migrator.retargets");
+  volumes_retired_.BindTo(*registry, "migrator.volumes_retired");
+}
+
 Status Migrator::EnsureStagingSegment(const MigratorOptions& opts) {
   if (cur_tseg_ != kNoSegment) {
     return OkStatus();
@@ -123,6 +132,7 @@ Status Migrator::CopyOut(uint32_t tseg) {
 }
 
 void Migrator::RetireVolume(uint32_t volume) {
+  ++volumes_retired_;
   // Persistently retire the volume's unused segments.
   uint32_t first = amap_->FirstTsegOfVolume(volume);
   for (uint32_t i = 0; i < amap_->segs_per_volume(); ++i) {
@@ -356,6 +366,8 @@ Result<uint32_t> Migrator::RetargetSegment(uint32_t old_tseg) {
   updated.inode_moves = std::move(new_inode_moves);
   staged_.erase(old_tseg);
   staged_.emplace(new_tseg, std::move(updated));
+  ++retargets_;
+  tracer_.Record(TraceEvent::kRetarget, old_tseg, new_tseg);
   return new_tseg;
 }
 
@@ -422,6 +434,7 @@ Status Migrator::MigrateOneFile(uint32_t ino, const MigratorOptions& opts,
     // Special files always remain on disk (section 6.4); so does the root.
     return OkStatus();
   }
+  const uint64_t blocks_before = report.blocks_migrated;
   ASSIGN_OR_RETURN(std::vector<BlockRef> refs, fs_->CollectFileBlocks(ino));
   // Migrating the inode of a file whose indirect blocks stay on disk would
   // freeze stale indirect pointers on tertiary media; force metadata along.
@@ -479,6 +492,8 @@ Status Migrator::MigrateOneFile(uint32_t ino, const MigratorOptions& opts,
   }
   if (migrated_any) {
     report.files_migrated++;
+    tracer_.Record(TraceEvent::kMigrateFile, ino,
+                   report.blocks_migrated - blocks_before);
   }
   return OkStatus();
 }

@@ -31,6 +31,8 @@
 #include "highlight/tseg_table.h"
 #include "lfs/lfs.h"
 #include "lfs/segment_builder.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -137,6 +139,10 @@ class Migrator {
 
   const MigrationReport& lifetime_report() const { return lifetime_; }
 
+  // Re-homes counters into `registry` under "migrator.*" and emits
+  // migrate_file / retarget trace events through `tracer`.
+  void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
+
  private:
   struct StagedSegment {
     uint32_t tseg = kNoSegment;
@@ -201,6 +207,9 @@ class Migrator {
   std::map<uint32_t, StagedSegment> staged_;  // tseg -> record (until copied).
   std::set<uint32_t> full_volumes_;
   MigrationReport lifetime_;
+  Counter retargets_;
+  Counter volumes_retired_;
+  Tracer tracer_;
   // First error a pipeline completion callback could not return to its
   // caller; FlushStaging reports (and clears) it.
   Status pipeline_error_ = OkStatus();

@@ -46,6 +46,20 @@ uint32_t SegmentCache::Lookup(uint32_t tseg) const {
   return it == directory_.end() ? kNoSegment : it->second.disk_seg;
 }
 
+uint32_t SegmentCache::LookupForAccess(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  if (it == directory_.end()) {
+    ++misses_;
+    return kNoSegment;
+  }
+  ++hits_;
+  if (it->second.prefetched) {
+    it->second.prefetched = false;
+    ++prefetches_used_;
+  }
+  return it->second.disk_seg;
+}
+
 void SegmentCache::Touch(uint32_t tseg) {
   auto it = directory_.find(tseg);
   if (it == directory_.end()) {
@@ -53,6 +67,12 @@ void SegmentCache::Touch(uint32_t tseg) {
   }
   it->second.last_access = fs_->clock()->Now();
   it->second.touches++;
+}
+
+void SegmentCache::RetirePrefetchedOnDrop(const LineInfo& line) {
+  if (line.prefetched) {
+    ++prefetches_wasted_;
+  }
 }
 
 Result<uint32_t> SegmentCache::PickVictim() {
@@ -106,7 +126,8 @@ Result<uint32_t> SegmentCache::PickVictim() {
   return victim->tseg;
 }
 
-Result<uint32_t> SegmentCache::AllocLine(uint32_t tseg, bool staging) {
+Result<uint32_t> SegmentCache::AllocLine(uint32_t tseg, bool staging,
+                                         bool prefetched) {
   if (directory_.count(tseg) > 0) {
     return Status(ErrorCode::kExists,
                   "tseg " + std::to_string(tseg) + " already cached");
@@ -121,7 +142,7 @@ Result<uint32_t> SegmentCache::AllocLine(uint32_t tseg, bool staging) {
     RETURN_IF_ERROR(Eject(victim_tseg));
     // Eject put the segment back on the free list; claim it.
     free_.pop_back();
-    stats_.evictions++;
+    ++evictions_;
   }
   LineInfo line;
   line.tseg = tseg;
@@ -131,9 +152,14 @@ Result<uint32_t> SegmentCache::AllocLine(uint32_t tseg, bool staging) {
   line.touches = staging ? 1 : 0;
   line.staging = staging;
   line.dirty = staging;
+  line.prefetched = prefetched && !staging;
   directory_[tseg] = line;
   if (staging) {
-    stats_.staged_lines++;
+    ++staged_lines_;
+    tracer_.Record(TraceEvent::kCacheStage, tseg, disk_seg);
+  }
+  if (line.prefetched) {
+    ++prefetches_installed_;
   }
   // Mirror into the ifile so a remount can rebuild the directory.
   RETURN_IF_ERROR(fs_->SetSegFlags(
@@ -174,6 +200,8 @@ Status SegmentCache::Eject(uint32_t tseg) {
     return Status(ErrorCode::kBusy, "line holds the only copy (staging)");
   }
   uint32_t disk_seg = it->second.disk_seg;
+  RetirePrefetchedOnDrop(it->second);
+  tracer_.Record(TraceEvent::kCacheEvict, tseg, disk_seg);
   directory_.erase(it);
   free_.push_back(disk_seg);
   RETURN_IF_ERROR(
@@ -199,12 +227,38 @@ Status SegmentCache::Resize(uint32_t new_capacity) {
       seg = directory_[victim_tseg].disk_seg;
       RETURN_IF_ERROR(Eject(victim_tseg));
       free_.pop_back();  // Eject freed it; claim it for release.
-      stats_.evictions++;
+      ++evictions_;
     }
     RETURN_IF_ERROR(fs_->ReleaseCacheSegment(seg));
     pool_.erase(std::find(pool_.begin(), pool_.end(), seg));
   }
   return OkStatus();
+}
+
+SegmentCache::Stats SegmentCache::Snapshot() const {
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.staged_lines = staged_lines_;
+  s.prefetches_installed = prefetches_installed_;
+  s.prefetches_used = prefetches_used_;
+  s.prefetches_wasted = prefetches_wasted_;
+  return s;
+}
+
+void SegmentCache::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  hits_.BindTo(*registry, "cache.hits");
+  misses_.BindTo(*registry, "cache.misses");
+  evictions_.BindTo(*registry, "cache.evictions");
+  staged_lines_.BindTo(*registry, "cache.staged_lines");
+  prefetches_installed_.BindTo(*registry, "cache.prefetches_installed");
+  prefetches_used_.BindTo(*registry, "cache.prefetches_used");
+  prefetches_wasted_.BindTo(*registry, "cache.prefetches_wasted");
 }
 
 std::vector<SegmentCache::LineInfo> SegmentCache::Lines() const {

@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "lfs/lfs.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -45,14 +47,23 @@ class SegmentCache {
   Status Init();
 
   // Cache directory lookup: disk segment caching `tseg`, or kNoSegment.
+  // Pure query — no statistics are touched.
   uint32_t Lookup(uint32_t tseg) const;
+
+  // Lookup on the demand path: same result as Lookup() but counts a hit or
+  // a miss, and retires the prefetched flag on first use (prefetch-accuracy
+  // accounting).
+  uint32_t LookupForAccess(uint32_t tseg);
 
   // Records an access for replacement bookkeeping.
   void Touch(uint32_t tseg);
 
   // Allocates a line for `tseg`, evicting if necessary. Fails with kBusy if
   // every line is pinned. The caller fills the line (fetch or staging).
-  Result<uint32_t> AllocLine(uint32_t tseg, bool staging);
+  // `prefetched` marks speculative fetches: a prefetched line ejected before
+  // its first demand access counts as a wasted prefetch.
+  Result<uint32_t> AllocLine(uint32_t tseg, bool staging,
+                             bool prefetched = false);
 
   // Staging lines become ordinary cached lines once copied to tertiary.
   Status MarkCopiedOut(uint32_t tseg);
@@ -73,25 +84,36 @@ class SegmentCache {
     uint64_t fetch_time = 0;
     uint64_t last_access = 0;
     uint64_t touches = 0;
-    bool staging = false;   // Being assembled by the migrator.
-    bool dirty = false;     // Assembled but not yet on tertiary media.
+    bool staging = false;     // Being assembled by the migrator.
+    bool dirty = false;       // Assembled but not yet on tertiary media.
+    bool prefetched = false;  // Speculatively fetched, not yet demand-used.
   };
   std::vector<LineInfo> Lines() const;
   uint32_t Capacity() const { return static_cast<uint32_t>(pool_.size()); }
   uint32_t Used() const { return static_cast<uint32_t>(directory_.size()); }
 
+  // Read-only view of the counters. The cache owns all mutation: callers
+  // signal accesses through LookupForAccess()/Touch(), never by bumping
+  // counters directly.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t staged_lines = 0;
+    uint64_t prefetches_installed = 0;
+    uint64_t prefetches_used = 0;
+    uint64_t prefetches_wasted = 0;
   };
-  const Stats& stats() const { return stats_; }
-  void CountHit() { stats_.hits++; }
-  void CountMiss() { stats_.misses++; }
+  Stats Snapshot() const;
+
+  // Re-homes counters into `registry` under "cache.*" and emits cache_evict /
+  // cache_stage trace events through `tracer`.
+  void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
  private:
   Result<uint32_t> PickVictim();
+  // Eject bookkeeping shared by Eject() and the eviction paths.
+  void RetirePrefetchedOnDrop(const LineInfo& line);
 
   Lfs* fs_;
   CacheReplacement policy_;
@@ -99,7 +121,15 @@ class SegmentCache {
   std::vector<uint32_t> pool_;           // Cache-eligible disk segments.
   std::vector<uint32_t> free_;           // Unused pool segments.
   std::map<uint32_t, LineInfo> directory_;  // tseg -> line.
-  Stats stats_;
+
+  Counter hits_;
+  Counter misses_;
+  Counter evictions_;
+  Counter staged_lines_;
+  Counter prefetches_installed_;
+  Counter prefetches_used_;
+  Counter prefetches_wasted_;
+  Tracer tracer_;
 };
 
 }  // namespace hl

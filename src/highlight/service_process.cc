@@ -4,6 +4,20 @@
 
 namespace hl {
 
+void ServiceProcess::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  stats_.demand_fetches.BindTo(*registry, "service.demand_fetches");
+  stats_.prefetches.BindTo(*registry, "service.prefetches");
+  stats_.failed_prefetches.BindTo(*registry, "service.failed_prefetches");
+  stats_.readaheads_issued.BindTo(*registry, "service.readaheads_issued");
+  stats_.readaheads_consumed.BindTo(*registry, "service.readaheads_consumed");
+  stats_.readaheads_wasted.BindTo(*registry, "service.readaheads_wasted");
+  demand_latency_us_.BindTo(*registry, "service.demand_latency_us");
+}
+
 Status ServiceProcess::FetchIntoCache(uint32_t tseg, bool is_prefetch) {
   if (cache_->Lookup(tseg) != kNoSegment) {
     return OkStatus();
@@ -30,7 +44,8 @@ Status ServiceProcess::FetchIntoCache(uint32_t tseg, bool is_prefetch) {
     }
     return OkStatus();
   }
-  Result<uint32_t> line = cache_->AllocLine(tseg, /*staging=*/false);
+  Result<uint32_t> line =
+      cache_->AllocLine(tseg, /*staging=*/false, /*prefetched=*/is_prefetch);
   if (!line.ok()) {
     return line.status();
   }
@@ -62,6 +77,7 @@ Status ServiceProcess::DemandFetch(uint32_t tseg) {
   RETURN_IF_ERROR(FetchIntoCache(tseg, /*is_prefetch=*/false));
   fetch_time_total_ += clock_->Now() - fetch_start;
   fetch_time_samples_++;
+  demand_latency_us_.Observe(clock_->Now() - fetch_start);
 
   if (prefetch_) {
     for (uint32_t extra : prefetch_(tseg)) {
@@ -106,6 +122,7 @@ void ServiceProcess::MaybeReadahead(uint32_t tseg) {
     return;
   }
   stats_.readaheads_issued++;
+  tracer_.Record(TraceEvent::kReadahead, next, tseg);
 }
 
 }  // namespace hl

@@ -19,7 +19,9 @@
 #include "highlight/io_server.h"
 #include "highlight/segment_cache.h"
 #include "sim/sim_clock.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -65,18 +67,27 @@ class ServiceProcess {
     readahead_filter_ = std::move(filter);
   }
   // Invalidates buffered prefetch images (volume erase / cache drops make
-  // them stale).
-  void DropPendingPrefetches() { pending_prefetch_.clear(); }
+  // them stale). Dropped images were fetched but never served a miss, so
+  // they count as wasted read-aheads.
+  void DropPendingPrefetches() {
+    stats_.readaheads_wasted += pending_prefetch_.size();
+    pending_prefetch_.clear();
+  }
   size_t PendingPrefetches() const { return pending_prefetch_.size(); }
 
   struct Stats {
-    uint64_t demand_fetches = 0;
-    uint64_t prefetches = 0;
-    uint64_t failed_prefetches = 0;
-    uint64_t readaheads_issued = 0;
-    uint64_t readaheads_consumed = 0;
+    Counter demand_fetches;
+    Counter prefetches;
+    Counter failed_prefetches;
+    Counter readaheads_issued;
+    Counter readaheads_consumed;
+    Counter readaheads_wasted;  // Buffered images invalidated before use.
   };
   const Stats& stats() const { return stats_; }
+
+  // Re-homes counters into `registry` under "service.*", binds the demand
+  // latency histogram, and emits readahead trace events through `tracer`.
+  void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
   // Kernel/user crossing + queue handling cost per request (the "queuing"
   // slice of Table 4).
@@ -103,6 +114,8 @@ class ServiceProcess {
   SimTime fetch_time_total_ = 0;   // For the rolling latency estimate.
   uint64_t fetch_time_samples_ = 0;
   Stats stats_;
+  Histogram demand_latency_us_;  // End-to-end demand-fetch wall time.
+  Tracer tracer_;
 };
 
 }  // namespace hl

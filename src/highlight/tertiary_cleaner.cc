@@ -6,6 +6,17 @@
 
 namespace hl {
 
+void TertiaryCleaner::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  stats_.volumes_cleaned.BindTo(*registry, "tcleaner.volumes_cleaned");
+  stats_.blocks_moved.BindTo(*registry, "tcleaner.blocks_moved");
+  stats_.inodes_moved.BindTo(*registry, "tcleaner.inodes_moved");
+  stats_.segments_reclaimed.BindTo(*registry, "tcleaner.segments_reclaimed");
+}
+
 double TertiaryCleaner::VolumeLiveFraction(uint32_t volume) const {
   uint64_t live = 0;
   uint64_t written = 0;
@@ -157,6 +168,7 @@ Result<uint64_t> TertiaryCleaner::CleanVolume(uint32_t volume) {
 
   stats_.volumes_cleaned++;
   stats_.blocks_moved += moved;
+  tracer_.Record(TraceEvent::kCleanVolume, volume, moved);
   HL_LOG(kInfo, "tcleaner",
          "cleaned volume " + std::to_string(volume) + ": moved " +
              std::to_string(moved) + " live blocks, reclaimed " +

@@ -24,6 +24,8 @@
 #include "highlight/tseg_table.h"
 #include "lfs/lfs.h"
 #include "tertiary/footprint.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -53,12 +55,16 @@ class TertiaryCleaner {
   Result<uint64_t> CleanWorstVolume(double max_live_fraction = 0.5);
 
   struct Stats {
-    uint64_t volumes_cleaned = 0;
-    uint64_t blocks_moved = 0;
-    uint64_t inodes_moved = 0;
-    uint64_t segments_reclaimed = 0;
+    Counter volumes_cleaned;
+    Counter blocks_moved;
+    Counter inodes_moved;
+    Counter segments_reclaimed;
   };
   const Stats& stats() const { return stats_; }
+
+  // Re-homes counters into `registry` under "tcleaner.*" and emits
+  // clean_volume trace events through `tracer`.
+  void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
  private:
   // Live fraction of a volume: live bytes / written capacity.
@@ -73,6 +79,7 @@ class TertiaryCleaner {
   const AddressMap* amap_;
   Footprint* footprint_;
   Stats stats_;
+  Tracer tracer_;
 };
 
 }  // namespace hl

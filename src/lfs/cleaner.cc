@@ -7,6 +7,17 @@
 
 namespace hl {
 
+void Cleaner::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  stats_.segments_cleaned.BindTo(*registry, "cleaner.segments_cleaned");
+  stats_.blocks_examined.BindTo(*registry, "cleaner.blocks_examined");
+  stats_.blocks_live.BindTo(*registry, "cleaner.blocks_live");
+  stats_.inodes_relocated.BindTo(*registry, "cleaner.inodes_relocated");
+}
+
 std::vector<uint32_t> Cleaner::RankSegments() const {
   struct Candidate {
     uint32_t seg;
@@ -99,6 +110,7 @@ Status Cleaner::CleanOne(uint32_t seg) {
   (void)sb;
   RETURN_IF_ERROR(fs_->MarkSegmentClean(seg));
   stats_.segments_cleaned++;
+  tracer_.Record(TraceEvent::kCleanPass, seg, stats_.blocks_live);
   return OkStatus();
 }
 

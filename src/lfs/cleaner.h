@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "lfs/lfs.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -36,12 +38,16 @@ class Cleaner {
   Result<uint32_t> CleanUntil(uint32_t target_clean);
 
   struct Stats {
-    uint64_t segments_cleaned = 0;
-    uint64_t blocks_examined = 0;
-    uint64_t blocks_live = 0;
-    uint64_t inodes_relocated = 0;
+    Counter segments_cleaned;
+    Counter blocks_examined;
+    Counter blocks_live;
+    Counter inodes_relocated;
   };
   const Stats& stats() const { return stats_; }
+
+  // Re-homes counters into `registry` under "cleaner.*" and emits clean_pass
+  // trace events through `tracer`.
+  void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
  private:
   // Candidate segments ordered best-first under the active policy.
@@ -51,6 +57,7 @@ class Cleaner {
   Lfs* fs_;
   CleanerPolicy policy_;
   Stats stats_;
+  Tracer tracer_;
 };
 
 }  // namespace hl

@@ -24,6 +24,17 @@ Jukebox::Jukebox(JukeboxProfile profile, SimClock* clock, Resource* bus,
   insertions_.assign(slots_.size(), 0);
 }
 
+void Jukebox::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    return;
+  }
+  const std::string prefix = "jukebox." + profile_.name + ".";
+  media_swaps_.BindTo(*registry, prefix + "media_swaps");
+  bytes_read_.BindTo(*registry, prefix + "bytes_read");
+  bytes_written_.BindTo(*registry, prefix + "bytes_written");
+}
+
 Result<int> Jukebox::EnsureMounted(int slot, bool for_write, SimTime earliest,
                                    SimTime* ready_at) {
   if (slot < 0 || slot >= num_slots()) {
@@ -61,6 +72,8 @@ Result<int> Jukebox::EnsureMounted(int slot, bool for_write, SimTime earliest,
   drive.loaded_slot = slot;
   drive.head_pos = 0;
   ++media_swaps_;
+  tracer_.Record(TraceEvent::kVolumeSwitch, static_cast<uint64_t>(slot),
+                 static_cast<uint64_t>(chosen));
   ++insertions_[slot];
   *ready_at = end;
   return chosen;

@@ -20,7 +20,9 @@
 #include "sim/device_profile.h"
 #include "sim/sim_clock.h"
 #include "tertiary/volume.h"
+#include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -69,6 +71,19 @@ class Jukebox {
   // Per-volume insertion counts (tape wear, section 6.5 footnote).
   uint64_t insertions(int slot) const { return insertions_[slot]; }
 
+  // Re-homes counters into `registry` under "jukebox.<name>.*" and emits
+  // volume_switch trace events through `tracer`.
+  void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
+
+  // Robot + drive busy time (for utilization snapshots).
+  SimTime busy_time() const {
+    SimTime t = robot_.busy_total();
+    for (const Drive& d : drives_) {
+      t += d.res.busy_total();
+    }
+    return t;
+  }
+
   // Simulated-failure hook for robustness tests.
   void FailNextOps(int n) { fail_ops_ = n; }
 
@@ -99,9 +114,10 @@ class Jukebox {
   std::vector<uint64_t> insertions_;
 
   int fail_ops_ = 0;
-  uint64_t media_swaps_ = 0;
-  uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
+  Counter media_swaps_;
+  Counter bytes_read_;
+  Counter bytes_written_;
+  Tracer tracer_;
 };
 
 }  // namespace hl

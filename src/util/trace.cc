@@ -1,0 +1,103 @@
+#include "util/trace.h"
+
+namespace hl {
+
+const char* TraceEventName(TraceEvent event) {
+  switch (event) {
+    case TraceEvent::kSegFetch:
+      return "seg_fetch";
+    case TraceEvent::kVolumeSwitch:
+      return "volume_switch";
+    case TraceEvent::kCopyOut:
+      return "copyout";
+    case TraceEvent::kReplicaWrite:
+      return "replica_write";
+    case TraceEvent::kCleanPass:
+      return "clean_pass";
+    case TraceEvent::kCleanVolume:
+      return "clean_volume";
+    case TraceEvent::kCacheEvict:
+      return "cache_evict";
+    case TraceEvent::kCacheStage:
+      return "cache_stage";
+    case TraceEvent::kDemandFault:
+      return "demand_fault";
+    case TraceEvent::kPrefetch:
+      return "prefetch";
+    case TraceEvent::kReadahead:
+      return "readahead";
+    case TraceEvent::kQueueStall:
+      return "queue_stall";
+    case TraceEvent::kEndOfMedium:
+      return "end_of_medium";
+    case TraceEvent::kRetarget:
+      return "retarget";
+    case TraceEvent::kMigrateFile:
+      return "migrate_file";
+    case TraceEvent::kRemount:
+      return "remount";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(SimClock* clock, size_t capacity) : clock_(clock) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+void TraceRing::Record(TraceEvent event, uint64_t a, uint64_t b) {
+  TraceRecord& slot = ring_[next_];
+  slot.time = clock_ != nullptr ? clock_->Now() : 0;
+  slot.event = event;
+  slot.a = a;
+  slot.b = b;
+  next_ = (next_ + 1) % ring_.size();
+  ++total_;
+}
+
+std::vector<TraceRecord> TraceRing::Recent(size_t n) const {
+  size_t have = size();
+  size_t take = std::min(n, have);
+  std::vector<TraceRecord> out;
+  out.reserve(take);
+  // next_ is one past the newest record; walk back `take` slots.
+  size_t start = (next_ + ring_.size() - take) % ring_.size();
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+uint64_t TraceRing::CountOf(TraceEvent event) const {
+  uint64_t n = 0;
+  size_t have = size();
+  size_t start = (next_ + ring_.size() - have) % ring_.size();
+  for (size_t i = 0; i < have; ++i) {
+    if (ring_[(start + i) % ring_.size()].event == event) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void TraceRing::Clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceRing::ToJson(size_t max_records) const {
+  std::vector<TraceRecord> records = Recent(max_records);
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const TraceRecord& r = records[i];
+    out += "\n  {\"t_us\": " + std::to_string(r.time) + ", \"event\": \"" +
+           TraceEventName(r.event) + "\", \"a\": " + std::to_string(r.a) +
+           ", \"b\": " + std::to_string(r.b) + "}";
+    if (i + 1 < records.size()) {
+      out += ",";
+    }
+  }
+  out += "\n]";
+  return out;
+}
+
+}  // namespace hl

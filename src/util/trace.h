@@ -1,0 +1,97 @@
+// Structured event trace of the storage hierarchy.
+//
+// A fixed-capacity ring of (sim-time, event, args) records, stamped with
+// SimClock time at record time. Components hold a Tracer handle — a nullable
+// pointer wrapper, so standalone components (unit tests) trace into the
+// void at zero cost — and emit events like seg_fetch, volume_switch,
+// copyout and cache_evict as they happen. The ring overwrites the oldest
+// records; Recent() returns the surviving window oldest-first, which is the
+// "what just happened" view hlfs_inspect --trace dumps.
+
+#ifndef HIGHLIGHT_UTIL_TRACE_H_
+#define HIGHLIGHT_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/sim_clock.h"
+
+namespace hl {
+
+enum class TraceEvent : uint8_t {
+  kSegFetch,        // a=tseg, b=disk_seg: tertiary segment into a cache line.
+  kVolumeSwitch,    // a=slot, b=drive: jukebox media swap.
+  kCopyOut,         // a=tseg, b=disk_seg: staged segment to tertiary media.
+  kReplicaWrite,    // a=replica tseg, b=disk_seg.
+  kCleanPass,       // a=segment cleaned, b=live blocks so far (disk cleaner).
+  kCleanVolume,     // a=volume, b=live blocks moved (tertiary cleaner).
+  kCacheEvict,      // a=tseg, b=disk_seg: line dropped from the cache.
+  kCacheStage,      // a=tseg, b=disk_seg: staging line pinned.
+  kDemandFault,     // a=tseg: read of an uncached tertiary address.
+  kPrefetch,        // a=tseg: policy-driven prefetch into the cache.
+  kReadahead,       // a=tseg: sequential read-ahead scheduled.
+  kQueueStall,      // a=queue depth: write-behind backpressure stall.
+  kEndOfMedium,     // a=tseg, b=volume: volume filled mid-segment.
+  kRetarget,        // a=old tseg, b=new tseg: end-of-medium recovery.
+  kMigrateFile,     // a=ino, b=blocks migrated.
+  kRemount,         // crash + remount of the file system.
+};
+
+// Stable lower_snake_case name ("seg_fetch", "volume_switch", ...).
+const char* TraceEventName(TraceEvent event);
+
+struct TraceRecord {
+  SimTime time = 0;
+  TraceEvent event = TraceEvent::kSegFetch;
+  uint64_t a = 0;
+  uint64_t b = 0;
+};
+
+class TraceRing {
+ public:
+  explicit TraceRing(SimClock* clock, size_t capacity = 4096);
+
+  void Record(TraceEvent event, uint64_t a = 0, uint64_t b = 0);
+
+  // The most recent `n` surviving records (capacity-bounded), oldest first.
+  std::vector<TraceRecord> Recent(size_t n) const;
+
+  size_t capacity() const { return ring_.size(); }
+  size_t size() const { return std::min(total_, ring_.size()); }
+  // Total events ever recorded, including those the ring has overwritten.
+  uint64_t total_recorded() const { return total_; }
+  uint64_t CountOf(TraceEvent event) const;
+
+  void Clear();
+
+  // [{"t_us": ..., "event": "seg_fetch", "a": ..., "b": ...}, ...].
+  std::string ToJson(size_t max_records = 256) const;
+
+ private:
+  SimClock* clock_;
+  std::vector<TraceRecord> ring_;
+  size_t next_ = 0;     // Ring slot the next record lands in.
+  uint64_t total_ = 0;  // Lifetime record count.
+};
+
+// Nullable handle components record through; default-constructed = no-op.
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceRing* ring) : ring_(ring) {}
+
+  void Record(TraceEvent event, uint64_t a = 0, uint64_t b = 0) const {
+    if (ring_ != nullptr) {
+      ring_->Record(event, a, b);
+    }
+  }
+  bool enabled() const { return ring_ != nullptr; }
+
+ private:
+  TraceRing* ring_ = nullptr;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_UTIL_TRACE_H_

@@ -55,7 +55,7 @@ Result<ReplayStats> TraceReplayer::Replay(const Trace& trace) {
   uint64_t swaps_start = hl_->footprint().TotalMediaSwaps();
 
   std::vector<uint8_t> io_buffer;
-  for (const TraceEvent& event : trace.events) {
+  for (const WorkloadEvent& event : trace.events) {
     // Idle time passes between events (ages files for the policies).
     clock.AdvanceTo(start + event.at);
     switch (event.op) {

@@ -12,7 +12,7 @@ constexpr SimTime kHour = 3600ull * kUsPerSec;
 
 void SortByTime(Trace& trace) {
   std::stable_sort(trace.events.begin(), trace.events.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
+                   [](const WorkloadEvent& a, const WorkloadEvent& b) {
                      return a.at < b.at;
                    });
 }
@@ -28,14 +28,14 @@ Trace GenerateWorkstationTrace(const WorkstationTraceParams& params) {
     SimTime born = static_cast<SimTime>(p) * params.days * kDay /
                    (2 * std::max(params.projects, 1));
     std::string dir = "/proj" + std::to_string(p);
-    trace.events.push_back(TraceEvent{born, TraceOp::kMkdir, dir, 0, 0});
+    trace.events.push_back(WorkloadEvent{born, TraceOp::kMkdir, dir, 0, 0});
     for (int f = 0; f < params.files_per_project; ++f) {
       std::string path = dir + "/src" + std::to_string(f) + ".c";
       uint64_t bytes =
           params.mean_file_bytes / 2 + rng.Below(params.mean_file_bytes);
       SimTime at = born + f * 30 * kUsPerSec;
-      trace.events.push_back(TraceEvent{at, TraceOp::kCreate, path, 0, 0});
-      trace.events.push_back(TraceEvent{at + kUsPerSec, TraceOp::kWrite,
+      trace.events.push_back(WorkloadEvent{at, TraceOp::kCreate, path, 0, 0});
+      trace.events.push_back(WorkloadEvent{at + kUsPerSec, TraceOp::kWrite,
                                         path, 0, bytes});
     }
   }
@@ -52,11 +52,11 @@ Trace GenerateWorkstationTrace(const WorkstationTraceParams& params) {
     for (int i = 0; i < rereads; ++i) {
       int f = static_cast<int>(rng.Below(params.files_per_project));
       std::string path = dir + "/src" + std::to_string(f) + ".c";
-      trace.events.push_back(TraceEvent{morning + i * 10 * kUsPerSec,
+      trace.events.push_back(WorkloadEvent{morning + i * 10 * kUsPerSec,
                                         TraceOp::kRead, path, 0,
                                         params.mean_file_bytes / 2});
       if (rng.Chance(0.4)) {
-        trace.events.push_back(TraceEvent{morning + i * 10 * kUsPerSec +
+        trace.events.push_back(WorkloadEvent{morning + i * 10 * kUsPerSec +
                                               kUsPerSec,
                                           TraceOp::kWrite, path, 0,
                                           params.mean_file_bytes / 4});
@@ -71,25 +71,25 @@ Trace GenerateSupercomputingTrace(const SupercomputingTraceParams& params) {
   Trace trace;
   trace.name = "supercomputing";
   Rng rng(params.seed);
-  trace.events.push_back(TraceEvent{0, TraceOp::kMkdir, "/jobs", 0, 0});
+  trace.events.push_back(WorkloadEvent{0, TraceOp::kMkdir, "/jobs", 0, 0});
 
   for (int job = 0; job < params.jobs; ++job) {
     SimTime start = job * 6 * kHour;
     std::string dir = "/jobs/job" + std::to_string(job);
-    trace.events.push_back(TraceEvent{start, TraceOp::kMkdir, dir, 0, 0});
+    trace.events.push_back(WorkloadEvent{start, TraceOp::kMkdir, dir, 0, 0});
     for (int cp = 0; cp < params.checkpoints_per_job; ++cp) {
       std::string path = dir + "/ckpt" + std::to_string(cp);
       SimTime at = start + (cp + 1) * kHour;
-      trace.events.push_back(TraceEvent{at, TraceOp::kCreate, path, 0, 0});
+      trace.events.push_back(WorkloadEvent{at, TraceOp::kCreate, path, 0, 0});
       // Checkpoints are dumped sequentially in 1 MB chunks.
       for (uint64_t off = 0; off < params.checkpoint_bytes; off += 1 << 20) {
-        trace.events.push_back(TraceEvent{
+        trace.events.push_back(WorkloadEvent{
             at + off / 1024, TraceOp::kWrite, path, off,
             std::min<uint64_t>(1 << 20, params.checkpoint_bytes - off)});
       }
       // Old generations are deleted to bound space.
       if (cp >= 2) {
-        trace.events.push_back(TraceEvent{
+        trace.events.push_back(WorkloadEvent{
             at + kHour / 2, TraceOp::kDelete,
             dir + "/ckpt" + std::to_string(cp - 2), 0, 0});
       }
@@ -100,7 +100,7 @@ Trace GenerateSupercomputingTrace(const SupercomputingTraceParams& params) {
       std::string path = dir + "/ckpt" +
                          std::to_string(params.checkpoints_per_job - 1);
       SimTime at = start + (params.checkpoints_per_job + 4) * kHour;
-      trace.events.push_back(TraceEvent{at, TraceOp::kRead, path, 0,
+      trace.events.push_back(WorkloadEvent{at, TraceOp::kRead, path, 0,
                                         params.checkpoint_bytes});
     }
   }
@@ -115,24 +115,24 @@ Trace GenerateSequoiaTrace(const SequoiaTraceParams& params) {
 
   // The relation exists from the start; pages are appended day by day.
   trace.events.push_back(
-      TraceEvent{0, TraceOp::kCreate, "/rel.heap", 0, 0});
+      WorkloadEvent{0, TraceOp::kCreate, "/rel.heap", 0, 0});
   uint64_t db_written = 0;
 
   for (int day = 0; day < params.image_days; ++day) {
     SimTime base = day * kDay;
     std::string dir = "/img-day" + std::to_string(day);
-    trace.events.push_back(TraceEvent{base, TraceOp::kMkdir, dir, 0, 0});
+    trace.events.push_back(WorkloadEvent{base, TraceOp::kMkdir, dir, 0, 0});
     for (int i = 0; i < params.images_per_day; ++i) {
       std::string path = dir + "/pass" + std::to_string(i);
       trace.events.push_back(
-          TraceEvent{base + i * kHour, TraceOp::kCreate, path, 0, 0});
-      trace.events.push_back(TraceEvent{base + i * kHour + kUsPerSec,
+          WorkloadEvent{base + i * kHour, TraceOp::kCreate, path, 0, 0});
+      trace.events.push_back(WorkloadEvent{base + i * kHour + kUsPerSec,
                                         TraceOp::kWrite, path, 0,
                                         params.image_bytes});
     }
     // The DB grows (no-overwrite appends) and serves queries all day.
     uint64_t daily_growth = params.db_bytes / params.image_days;
-    trace.events.push_back(TraceEvent{base + 12 * kHour, TraceOp::kWrite,
+    trace.events.push_back(WorkloadEvent{base + 12 * kHour, TraceOp::kWrite,
                                       "/rel.heap", db_written,
                                       daily_growth});
     db_written += daily_growth;
@@ -148,7 +148,7 @@ Trace GenerateSequoiaTrace(const SequoiaTraceParams& params) {
       } else {
         page = rng.Below(total_pages);
       }
-      trace.events.push_back(TraceEvent{base + 13 * kHour + q * kUsPerSec,
+      trace.events.push_back(WorkloadEvent{base + 13 * kHour + q * kUsPerSec,
                                         TraceOp::kRead, "/rel.heap",
                                         page * 4096, 4096});
     }
@@ -160,7 +160,7 @@ Trace GenerateSequoiaTrace(const SequoiaTraceParams& params) {
   for (int day = 0; day < params.analysis_days; ++day) {
     std::string dir = "/img-day" + std::to_string(day);
     for (int i = 0; i < params.images_per_day; ++i) {
-      trace.events.push_back(TraceEvent{
+      trace.events.push_back(WorkloadEvent{
           analysis + (day * params.images_per_day + i) * kHour / 4,
           TraceOp::kRead, dir + "/pass" + std::to_string(i), 0,
           params.image_bytes});

@@ -26,7 +26,7 @@ enum class TraceOp {
   kDelete,
 };
 
-struct TraceEvent {
+struct WorkloadEvent {
   SimTime at = 0;        // Virtual time the event is issued.
   TraceOp op = TraceOp::kRead;
   std::string path;
@@ -36,10 +36,10 @@ struct TraceEvent {
 
 struct Trace {
   std::string name;
-  std::vector<TraceEvent> events;  // Sorted by `at`.
+  std::vector<WorkloadEvent> events;  // Sorted by `at`.
   uint64_t TotalBytesWritten() const {
     uint64_t total = 0;
-    for (const TraceEvent& e : events) {
+    for (const WorkloadEvent& e : events) {
       if (e.op == TraceOp::kWrite) {
         total += e.size;
       }
@@ -48,7 +48,7 @@ struct Trace {
   }
   uint64_t TotalBytesRead() const {
     uint64_t total = 0;
-    for (const TraceEvent& e : events) {
+    for (const WorkloadEvent& e : events) {
       if (e.op == TraceOp::kRead) {
         total += e.size;
       }

@@ -388,5 +388,53 @@ TEST_F(HighLightTest, TsegTableTracksLiveBytes) {
   EXPECT_LT(hl_->tseg_table().TotalLiveBytes(), 4096u);
 }
 
+// The unified request API: one Migrate() dispatching on the request's mode.
+TEST_F(HighLightTest, MigrationRequestPolicyRestrictedToSubtree) {
+  ASSERT_TRUE(hl_->fs().Mkdir("/proj").ok());
+  MakeFile("/proj/inside", 256 * 1024, 30);
+  MakeFile("/outside", 256 * 1024, 31);
+  clock_.Advance(100 * kUsPerSec);
+
+  StpPolicy stp;
+  MigrationRequest request;
+  request.path = "/proj";
+  request.policy = &stp;
+  Result<MigrationReport> report = hl_->Migrate(request);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->files_migrated, 1u);
+
+  Result<uint32_t> inside = hl_->fs().LookupPath("/proj/inside");
+  Result<uint32_t> outside = hl_->fs().LookupPath("/outside");
+  ASSERT_TRUE(inside.ok());
+  ASSERT_TRUE(outside.ok());
+  EXPECT_TRUE(FullyMigrated(*inside));
+  EXPECT_FALSE(FullyMigrated(*outside))
+      << "policy migration must honor the request's path filter";
+  ExpectFileContents("/proj/inside", 256 * 1024, 30);
+}
+
+TEST_F(HighLightTest, MigrationRequestRejectsPolicyPlusColdCutoff) {
+  StpPolicy stp;
+  MigrationRequest request;
+  request.policy = &stp;
+  request.cold_cutoff = clock_.Now();
+  Result<MigrationReport> report = hl_->Migrate(request);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(HighLightTest, MigrationRequestWrappersAgree) {
+  MakeFile("/w", 256 * 1024, 32);
+  // The deprecated wrapper and the request form produce the same effect.
+  MigrationRequest request;
+  request.path = "/w";
+  Result<MigrationReport> report = hl_->Migrate(request);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->files_migrated, 1u);
+  Result<uint32_t> ino = hl_->fs().LookupPath("/w");
+  ASSERT_TRUE(ino.ok());
+  EXPECT_TRUE(FullyMigrated(*ino));
+}
+
 }  // namespace
 }  // namespace hl

@@ -125,7 +125,7 @@ TEST_F(CacheFixture, LruEvictionPicksColdestLine) {
   ASSERT_TRUE(cache.AllocLine(99, false).ok());
   EXPECT_EQ(cache.Lookup(1), kNoSegment) << "LRU line should be evicted";
   EXPECT_NE(cache.Lookup(0), kNoSegment);
-  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.Snapshot().evictions, 1u);
 }
 
 TEST_F(CacheFixture, StagingLinesArePinned) {

@@ -40,7 +40,7 @@ TEST(TraceGeneratorTest, TracesAreDeterministic) {
 TEST(TraceGeneratorTest, SupercomputingDeletesOldGenerations) {
   Trace trace = GenerateSupercomputingTrace({});
   int deletes = 0;
-  for (const TraceEvent& e : trace.events) {
+  for (const WorkloadEvent& e : trace.events) {
     if (e.op == TraceOp::kDelete) {
       ++deletes;
     }
@@ -52,7 +52,7 @@ TEST(TraceGeneratorTest, SequoiaMixesImagesAndDb) {
   Trace trace = GenerateSequoiaTrace({});
   bool db_read = false;
   bool image_write = false;
-  for (const TraceEvent& e : trace.events) {
+  for (const WorkloadEvent& e : trace.events) {
     if (e.op == TraceOp::kRead && e.path == "/rel.heap") {
       db_read = true;
     }

@@ -150,11 +150,20 @@ TEST_F(WriteBehindTest, BackpressureBoundsTheQueue) {
   EXPECT_GT(s.backpressure_stalls, 0u)
       << "a deep migration must hit the queue bound";
   // Enqueue admits one op past the bound before stalling the caller.
-  EXPECT_LE(s.max_depth_seen, 3u);
+  EXPECT_LE(s.queue_depth.max(), 3);
   EXPECT_LE(hl_->io_server().QueueDepth(), 2u);
+  // The registry sees the same pipeline activity: a stalled enqueue accrues
+  // wait time, and completed copy-outs count against the io.* slots.
+  MetricsSnapshot snap = hl_->Metrics();
+  EXPECT_GT(snap.Value("io.queue_stall_us"), 0u)
+      << "backpressure stalls must accrue queue-stall time";
+  EXPECT_GT(snap.Value("io.ops_enqueued"), 0u);
+  EXPECT_GT(hl_->trace().CountOf(TraceEvent::kQueueStall), 0u);
 
   // The barrier empties the pipeline and unpins every staged line.
   ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  EXPECT_GT(hl_->Metrics().Value("io.segments_copied_out"), 0u)
+      << "drained copy-outs must move the registry counter";
   EXPECT_EQ(hl_->io_server().QueueDepth(), 0u);
   EXPECT_EQ(hl_->io_server().Outstanding(), 0u);
   EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);

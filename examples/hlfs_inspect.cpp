@@ -10,6 +10,9 @@
 // Run: ./build/examples/hlfs_inspect
 //   --metrics   append the unified metrics registry as JSON
 //   --trace     append the structured event trace as JSON
+//   --health    exercise the fault path (injected transients, a media
+//               scribble, a scrub pass) and dump device/volume health,
+//               fault-channel state, and the retry/scrub counters
 
 #include <cstdio>
 #include <cstring>
@@ -62,13 +65,17 @@ std::string FlagNames(uint16_t flags) {
 int main(int argc, char** argv) {
   bool dump_metrics = false;
   bool dump_trace = false;
+  bool dump_health = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       dump_trace = true;
+    } else if (std::strcmp(argv[i], "--health") == 0) {
+      dump_health = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--metrics] [--trace]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--metrics] [--trace] [--health]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -106,6 +113,39 @@ int main(int argc, char** argv) {
   Check(hl->fs().Write(f5, 0, std::vector<uint8_t>(8192, 0x42)), "write");
   Check(hl->fs().Sync(), "sync");
   Check(hl->Remount(), "remount (simulated crash)");
+
+  if (dump_health) {
+    // Exercise the fault-tolerant path so the health dump has content:
+    // transient drive faults (retried through), then a media scribble on a
+    // replicated segment — the scrub pass detects it, repairs it from the
+    // replica, and rebuilds the post-remount CRC catalog along the way.
+    hl->jukebox(0).FailNextOps(2);
+    uint32_t f0 = Check(hl->fs().LookupPath("/proj/file0"), "lookup");
+    std::vector<uint8_t> buf(4096);
+    Check(hl->fs().Read(f0, 0, buf).status(), "faulted read");
+
+    uint32_t f2 = Check(hl->fs().LookupPath("/proj/file2"), "lookup");
+    MigratorOptions opts;
+    opts.replicas = 1;
+    Check(hl->migrator().MigrateFiles({f2}, opts).status(), "migrate");
+    uint32_t bad_tseg = kNoSegment;
+    for (uint32_t t = 0; t < hl->tseg_table().size(); ++t) {
+      const SegUsage& u = hl->tseg_table().Get(t);
+      if ((u.flags & kSegReplica)) {
+        bad_tseg = u.cache_tseg;  // A replicated primary: repairable.
+        break;
+      }
+    }
+    if (bad_tseg != kNoSegment) {
+      uint32_t vol = hl->address_map().VolumeOfTseg(bad_tseg);
+      Volume* medium = Check(hl->footprint().GetVolume(vol), "volume");
+      std::vector<uint8_t> junk(kBlockSize, 0xA5);
+      Check(medium->Write(hl->address_map().ByteOffsetOnVolume(bad_tseg),
+                          junk),
+            "scribble");
+    }
+    Check(hl->scrubber().ScrubAll().status(), "scrub");
+  }
 
   Lfs& fs = hl->fs();
   const Superblock& sb = fs.superblock();
@@ -215,6 +255,49 @@ int main(int argc, char** argv) {
     std::printf("  warn:  %s\n", w.c_str());
   }
   std::printf("  verdict: %s\n", report.clean() ? "CLEAN" : "CORRUPT");
+
+  if (dump_health) {
+    std::printf("\n=== device & volume health ===\n");
+    std::printf("  %-28s %-12s %8s %8s %6s %6s\n", "entity", "state",
+                "fails", "oks", "streak", "heal");
+    for (const auto& [name, entry] : hl->health().Entries()) {
+      std::printf("  %-28s %-12s %8llu %8llu %6d %6d\n", name.c_str(),
+                  HealthStateName(entry.state),
+                  static_cast<unsigned long long>(entry.failures_total),
+                  static_cast<unsigned long long>(entry.successes_total),
+                  entry.consecutive_failures, entry.consecutive_successes);
+    }
+    if (hl->health().Entries().empty()) {
+      std::printf("  (no failures recorded; every entity healthy)\n");
+    }
+    std::printf("  quarantined volumes: %zu\n",
+                hl->health().QuarantinedVolumes().size());
+
+    std::printf("\n=== fault channels ===\n");
+    for (const std::string& name : hl->faults().ChannelNames()) {
+      const FaultChannel* c = hl->faults().Find(name);
+      std::printf("  %-28s %s latent-extents=%zu\n", name.c_str(),
+                  c->dead() ? "DEAD " : "alive", c->LatentErrorCount());
+    }
+
+    std::printf("\n=== retry / scrub counters ===\n");
+    MetricsSnapshot snap = hl->Metrics();
+    for (const char* name :
+         {"fault.transients", "fault.load_timeouts", "fault.media_errors",
+          "fault.corruptions", "io.retries", "io.retry_backoff_us",
+          "io.failovers", "io.crc_mismatches", "io.crc_verified",
+          "health.failures_recorded", "health.suspect_transitions",
+          "health.quarantines", "scrub.segments_scrubbed",
+          "scrub.corruptions_detected", "scrub.repairs",
+          "scrub.unrecoverable_losses", "scrub.crcs_restamped"}) {
+      if (snap.Has(name)) {
+        std::printf("  %-28s %llu\n", name,
+                    static_cast<unsigned long long>(snap.Value(name)));
+      }
+    }
+    std::printf("  lost segments: %zu\n",
+                hl->scrubber().LostSegments().size());
+  }
 
   if (dump_metrics) {
     std::printf("\n=== metrics ===\n%s\n", hl->Metrics().ToJson().c_str());

@@ -27,5 +27,9 @@ run() {
 run default
 if [[ $fast -eq 0 ]]; then
   run asan
+  # The fault surface (injection, retry, scrub, quarantine) gets an extra
+  # dedicated pass under the sanitizers: memory bugs love error paths.
+  echo "==> fault-label tests (asan)"
+  ctest --preset asan -L fault -j "$jobs"
 fi
 echo "All checks passed."

@@ -18,6 +18,12 @@ SimDisk::SimDisk(std::string name, uint32_t num_blocks, DiskProfile profile,
   profile_.capacity_bytes = data_.size();
 }
 
+void SimDisk::AttachFaults(FaultInjector* injector) {
+  if (injector != nullptr) {
+    faults_ = injector->Channel("disk." + name_);
+  }
+}
+
 void SimDisk::AttachMetrics(MetricsRegistry* registry) {
   if (registry == nullptr) {
     return;
@@ -65,12 +71,26 @@ Result<SimTime> SimDisk::ScheduleReadAt(SimTime earliest, uint32_t block,
   if (out.size() != static_cast<size_t>(count) * kBlockSize) {
     return InvalidArgument(name_ + ": read buffer size mismatch");
   }
+  uint64_t offset = static_cast<uint64_t>(block) * kBlockSize;
+  FaultOutcome fault = FaultOutcome::kNone;
   if (fail_ops_ > 0) {
     --fail_ops_;
-    return IoError(name_ + ": injected read failure");
+    fault = FaultOutcome::kTransient;
+  } else if (faults_ != nullptr) {
+    fault = faults_->Decide(FaultOp::kRead, offset, out.size());
   }
-  uint64_t offset = static_cast<uint64_t>(block) * kBlockSize;
+  if (fault != FaultOutcome::kNone) {
+    // A failed read still costs the seek and the rotation.
+    SimTime dur = ServiceTime(offset, out.size(), /*is_write=*/false);
+    (void)(bus_ ? spindle_.ScheduleWith(*bus_, earliest, dur)
+                : spindle_.Schedule(earliest, dur));
+    return IoError(name_ + ": injected read failure (" +
+                   FaultOutcomeName(fault) + ")");
+  }
   std::memcpy(out.data(), data_.data() + offset, out.size());
+  if (faults_ != nullptr) {
+    faults_->MaybeCorruptRead(out, offset);
+  }
   SimTime dur = ServiceTime(offset, out.size(), /*is_write=*/false);
   SimTime end = bus_ ? spindle_.ScheduleWith(*bus_, earliest, dur)
                      : spindle_.Schedule(earliest, dur);
@@ -86,12 +106,26 @@ Result<SimTime> SimDisk::ScheduleWriteAt(SimTime earliest, uint32_t block,
   if (data.size() != static_cast<size_t>(count) * kBlockSize) {
     return InvalidArgument(name_ + ": write buffer size mismatch");
   }
+  uint64_t offset = static_cast<uint64_t>(block) * kBlockSize;
+  FaultOutcome fault = FaultOutcome::kNone;
   if (fail_ops_ > 0) {
     --fail_ops_;
-    return IoError(name_ + ": injected write failure");
+    fault = FaultOutcome::kTransient;
+  } else if (faults_ != nullptr) {
+    fault = faults_->Decide(FaultOp::kWrite, offset, data.size());
   }
-  uint64_t offset = static_cast<uint64_t>(block) * kBlockSize;
+  if (fault != FaultOutcome::kNone) {
+    // A failed write still costs the seek and the rotation; no data lands.
+    SimTime dur = ServiceTime(offset, data.size(), /*is_write=*/true);
+    (void)(bus_ ? spindle_.ScheduleWith(*bus_, earliest, dur)
+                : spindle_.Schedule(earliest, dur));
+    return IoError(name_ + ": injected write failure (" +
+                   FaultOutcomeName(fault) + ")");
+  }
   std::memcpy(data_.data() + offset, data.data(), data.size());
+  if (faults_ != nullptr) {
+    faults_->NoteWrite(offset, data.size());
+  }
   SimTime dur = ServiceTime(offset, data.size(), /*is_write=*/true);
   SimTime end = bus_ ? spindle_.ScheduleWith(*bus_, earliest, dur)
                      : spindle_.Schedule(earliest, dur);

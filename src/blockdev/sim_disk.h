@@ -26,6 +26,7 @@
 #include "blockdev/block_device.h"
 #include "sim/device_profile.h"
 #include "sim/sim_clock.h"
+#include "util/fault_injector.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
@@ -55,7 +56,20 @@ class SimDisk : public BlockDevice {
                                   std::span<const uint8_t> data);
 
   // Fault injection for robustness tests: fail the next `n` operations.
-  void FailNextOps(int n) { fail_ops_ = n; }
+  // A thin shim over the fault channel when one is attached.
+  void FailNextOps(int n) {
+    if (faults_ != nullptr) {
+      faults_->FailNextOps(n);
+    } else {
+      fail_ops_ = n;
+    }
+  }
+
+  // Routes this disk's operations through "disk.<name>" in `injector`.
+  // Injected failures still charge full service time: the arm sought and
+  // the platters turned before the error surfaced.
+  void AttachFaults(FaultInjector* injector);
+  FaultChannel* fault_channel() const { return faults_; }
 
   // Re-homes the per-op counters into `registry` under "disk.<name>.*"
   // (counts accumulated while detached carry over).
@@ -85,6 +99,7 @@ class SimDisk : public BlockDevice {
   uint64_t arm_byte_pos_ = 0;
 
   int fail_ops_ = 0;
+  FaultChannel* faults_ = nullptr;
   Counter reads_;
   Counter writes_;
   Counter bytes_read_;

@@ -17,6 +17,11 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
   auto hl = std::unique_ptr<HighLightFs>(new HighLightFs());
   hl->clock_ = clock;
   hl->trace_ = std::make_unique<TraceRing>(clock);
+  hl->faults_ = std::make_unique<FaultInjector>(clock, config.fault_seed);
+  hl->faults_->AttachMetrics(&hl->metrics_, Tracer(hl->trace_.get()));
+  hl->health_ = std::make_unique<HealthRegistry>(config.health);
+  hl->health_->AttachMetrics(&hl->metrics_, Tracer(hl->trace_.get()));
+  hl->retry_policy_ = config.retry;
   if (config.shared_bus) {
     hl->bus_.emplace("scsi0");
   }
@@ -29,6 +34,7 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
     hl->disks_.push_back(std::make_unique<SimDisk>(
         "disk" + std::to_string(i), spec.blocks, spec.profile, clock, bus));
     hl->disks_.back()->AttachMetrics(&hl->metrics_);
+    hl->disks_.back()->AttachFaults(hl->faults_.get());
     components.push_back(hl->disks_.back().get());
   }
   hl->concat_ = std::make_unique<ConcatDriver>("diskfarm", components);
@@ -45,6 +51,7 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
         spec.profile, clock, bus, spec.write_once));
     hl->jukeboxes_.back()->AttachMetrics(&hl->metrics_,
                                          Tracer(hl->trace_.get()));
+    hl->jukeboxes_.back()->AttachFaults(hl->faults_.get());
     jukeboxes.push_back(hl->jukeboxes_.back().get());
     uint32_t per_volume =
         spec.segs_per_volume != 0
@@ -94,6 +101,8 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
       hl->concat_.get(), hl->footprint_.get(), hl->amap_.get(), clock,
       kDefaultReservedBlocks, params.seg_size_blocks);
   hl->io_server_->AttachMetrics(&hl->metrics_, Tracer(hl->trace_.get()));
+  hl->io_server_->set_retry_policy(hl->retry_policy_);
+  hl->io_server_->SetHealth(hl->health_.get());
   RETURN_IF_ERROR(hl->WireFsComponents());
   return hl;
 }
@@ -116,6 +125,15 @@ Status HighLightFs::WireFsComponents() {
   io_server_->SetReplicaResolver([tsegs = tsegs_.get()](uint32_t tseg) {
     return tsegs->ReplicasOf(tseg);
   });
+  // The CRC catalog lives in the (rebuilt-on-remount) tseg table; the I/O
+  // server stamps entries on copy-out and verifies them on every fetch.
+  io_server_->SetCrcHooks(
+      [tsegs = tsegs_.get()](uint32_t tseg, uint32_t* crc) {
+        return tsegs->CrcOf(tseg, crc);
+      },
+      [tsegs = tsegs_.get()](uint32_t tseg, uint32_t crc) {
+        tsegs->SetCrc(tseg, crc);
+      });
 
   service_ = std::make_unique<ServiceProcess>(cache_.get(), io_server_.get(),
                                               clock_);
@@ -138,6 +156,7 @@ Status HighLightFs::WireFsComponents() {
                                          cache_.get(), io_server_.get(),
                                          tsegs_.get(), amap_.get(), clock_);
   migrator_->AttachMetrics(&metrics_, tracer);
+  migrator_->SetHealth(health_.get());
   // A remount mid-delayed-copyout leaves staging lines whose segments the
   // new migrator instance must still copy out.
   RETURN_IF_ERROR(migrator_->RecoverStaging());
@@ -146,6 +165,12 @@ Status HighLightFs::WireFsComponents() {
       fs_.get(), blockmap_.get(), migrator_.get(), cache_.get(),
       service_.get(), tsegs_.get(), amap_.get(), footprint_.get());
   tertiary_cleaner_->AttachMetrics(&metrics_, tracer);
+
+  scrubber_ = std::make_unique<Scrubber>(footprint_.get(), tsegs_.get(),
+                                         amap_.get(), clock_);
+  scrubber_->SetHealth(health_.get());
+  scrubber_->set_retry_policy(retry_policy_);
+  scrubber_->AttachMetrics(&metrics_, tracer);
 
   access_tracker_ = std::make_unique<AccessRangeTracker>();
   fs_->SetReadObserver([tracker = access_tracker_.get(),
@@ -169,6 +194,7 @@ Status HighLightFs::AddDisk(const HighLightConfig::DiskSpec& spec) {
       "disk" + std::to_string(disks_.size()), spec.blocks, spec.profile,
       clock_, bus));
   disks_.back()->AttachMetrics(&metrics_);
+  disks_.back()->AttachFaults(faults_.get());
   concat_->AddComponent(disks_.back().get());
   RETURN_IF_ERROR(amap_->GrowDisk(concat_->NumBlocks()));
   return fs_->ExtendDisk(concat_->NumBlocks());
@@ -176,6 +202,7 @@ Status HighLightFs::AddDisk(const HighLightConfig::DiskSpec& spec) {
 
 Status HighLightFs::Remount() {
   // Tear down everything holding an Lfs pointer, then re-mount from media.
+  scrubber_.reset();  // Holds the tseg table (and its CRC catalog).
   migrator_.reset();
   cleaner_.reset();
   service_.reset();
@@ -362,6 +389,15 @@ void HighLightFs::RefreshDerivedGauges() {
   metrics_.gauge("migrator.segments_completed").Set(mr.segments_completed);
   metrics_.gauge("migrator.eom_retargets").Set(mr.eom_retargets);
   metrics_.gauge("migrator.blocks_skipped").Set(mr.blocks_skipped);
+
+  metrics_.gauge("health.quarantined_volumes")
+      .Set(static_cast<int64_t>(health_->QuarantinedVolumes().size()));
+  metrics_.gauge("health.suspect_entities")
+      .Set(static_cast<int64_t>(health_->CountInState(HealthState::kSuspect)));
+  metrics_.gauge("scrub.lost_segments")
+      .Set(static_cast<int64_t>(scrubber_->LostSegments().size()));
+  metrics_.gauge("tertiary.crcs_tracked")
+      .Set(static_cast<int64_t>(tsegs_->CrcCount()));
 
   for (const auto& [phase, total] : io_server_->phases().totals()) {
     metrics_.gauge("phase." + phase + "_us").Set(static_cast<int64_t>(total));

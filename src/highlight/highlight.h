@@ -23,6 +23,7 @@
 #include "highlight/io_server.h"
 #include "highlight/migration_policy.h"
 #include "highlight/migrator.h"
+#include "highlight/scrubber.h"
 #include "highlight/segment_cache.h"
 #include "highlight/service_process.h"
 #include "highlight/tertiary_cleaner.h"
@@ -33,6 +34,8 @@
 #include "sim/device_profile.h"
 #include "tertiary/footprint.h"
 #include "tertiary/jukebox.h"
+#include "util/fault_injector.h"
+#include "util/health.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -66,6 +69,15 @@ struct HighLightConfig {
   // Sequential-miss read-ahead: a demand fetch of tseg N schedules an
   // asynchronous prefetch of N+1 through the I/O server pipeline.
   bool sequential_readahead = false;
+
+  // Seed for the fault injector's per-channel RNG streams. With all fault
+  // profiles at zero (the default) no randomness is ever consumed, so
+  // fault-free runs are bit-identical regardless of the seed.
+  uint64_t fault_seed = 0xFA17'C0DEull;
+  // Bounded-retry/backoff policy applied to tertiary reads and writes.
+  RetryPolicy retry;
+  // Failure thresholds for the healthy -> suspect -> quarantined machine.
+  HealthPolicy health;
 };
 
 // The unified migration request: one entry point covering whole-subtree
@@ -102,6 +114,9 @@ class HighLightFs {
   Migrator& migrator() { return *migrator_; }
   Cleaner& cleaner() { return *cleaner_; }
   TertiaryCleaner& tertiary_cleaner() { return *tertiary_cleaner_; }
+  Scrubber& scrubber() { return *scrubber_; }
+  FaultInjector& faults() { return *faults_; }
+  HealthRegistry& health() { return *health_; }
   SegmentCache& cache() { return *cache_; }
   IoServer& io_server() { return *io_server_; }
   ServiceProcess& service() { return *service_; }
@@ -176,7 +191,13 @@ class HighLightFs {
   std::unique_ptr<Migrator> migrator_;
   std::unique_ptr<Cleaner> cleaner_;
   std::unique_ptr<TertiaryCleaner> tertiary_cleaner_;
+  std::unique_ptr<Scrubber> scrubber_;
   std::unique_ptr<AccessRangeTracker> access_tracker_;
+  // Fault/health state persists across Remount (the devices — and their
+  // injected faults — survive a crash; only the in-core FS state resets).
+  std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<HealthRegistry> health_;
+  RetryPolicy retry_policy_;
   MigratorOptions migrator_opts_;
   CacheReplacement cache_replacement_ = CacheReplacement::kLru;
   bool sequential_readahead_ = false;

@@ -2,9 +2,20 @@
 
 #include <algorithm>
 
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace hl {
+namespace {
+
+// Failures worth retrying: device/media errors and corrupted reads. End of
+// medium, WORM refusals etc. are deterministic — retrying cannot help.
+bool Retryable(const Status& s) {
+  return s.code() == ErrorCode::kIoError ||
+         s.code() == ErrorCode::kCorruption;
+}
+
+}  // namespace
 
 IoServer::IoServer(BlockDevice* raw_disk, Footprint* footprint,
                    const AddressMap* amap, SimClock* clock,
@@ -27,6 +38,11 @@ void IoServer::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   stats_.bytes_copied_out.BindTo(*registry, "io.bytes_copied_out");
   stats_.end_of_medium_events.BindTo(*registry, "io.end_of_medium_events");
   stats_.replica_reads.BindTo(*registry, "io.replica_reads");
+  stats_.retries.BindTo(*registry, "io.retries");
+  stats_.retry_backoff_us.BindTo(*registry, "io.retry_backoff_us");
+  stats_.failovers.BindTo(*registry, "io.failovers");
+  stats_.crc_mismatches.BindTo(*registry, "io.crc_mismatches");
+  stats_.crc_verified.BindTo(*registry, "io.crc_verified");
   stats_.ops_enqueued.BindTo(*registry, "io.ops_enqueued");
   stats_.ops_issued.BindTo(*registry, "io.ops_issued");
   stats_.backpressure_stalls.BindTo(*registry, "io.backpressure_stalls");
@@ -39,28 +55,95 @@ void IoServer::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   copyout_latency_us_.BindTo(*registry, "io.copyout_latency_us");
 }
 
-uint32_t IoServer::PickSource(uint32_t tseg) {
-  // Pick the "closest" copy: any copy on an already-mounted volume avoids
-  // the media swap; the primary is the fallback.
-  uint32_t source = tseg;
+std::vector<uint32_t> IoServer::SourceCandidates(uint32_t tseg) {
+  std::vector<uint32_t> candidates = {tseg};
   if (replica_resolver_) {
-    std::vector<uint32_t> candidates = {tseg};
     for (uint32_t replica : replica_resolver_(tseg)) {
       candidates.push_back(replica);
     }
-    for (uint32_t candidate : candidates) {
-      Result<bool> mounted = footprint_->VolumeMounted(
-          static_cast<int>(amap_->VolumeOfTseg(candidate)));
-      if (mounted.ok() && *mounted) {
-        source = candidate;
-        break;
-      }
-    }
   }
+  // "Closest" copy first: a copy on an already-mounted volume avoids the
+  // media swap; quarantined volumes sink to the end but stay in the list —
+  // when every healthy copy fails they are still the last line of defense.
+  auto rank = [&](uint32_t candidate) {
+    const uint32_t volume = amap_->VolumeOfTseg(candidate);
+    Result<bool> mounted =
+        footprint_->VolumeMounted(static_cast<int>(volume));
+    int r = (mounted.ok() && *mounted) ? 0 : 1;
+    if (health_ != nullptr &&
+        health_->VolumeState(volume) == HealthState::kQuarantined) {
+      r += 2;
+    }
+    return r;
+  };
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](uint32_t a, uint32_t b) { return rank(a) < rank(b); });
+  return candidates;
+}
+
+uint32_t IoServer::PickSource(uint32_t tseg) {
+  uint32_t source = SourceCandidates(tseg).front();
   if (source != tseg) {
     stats_.replica_reads++;
   }
   return source;
+}
+
+Status IoServer::RetrySync(uint32_t tseg, uint32_t volume,
+                           const std::function<Status()>& attempt) {
+  Status s = OkStatus();
+  for (int try_no = 1; try_no <= retry_.max_attempts; ++try_no) {
+    if (try_no > 1) {
+      const SimTime backoff = retry_.BackoffFor(try_no - 1);
+      stats_.retries++;
+      stats_.retry_backoff_us += backoff;
+      tracer_.Record(TraceEvent::kRetry, tseg,
+                     static_cast<uint64_t>(try_no - 1));
+      clock_->Advance(backoff);
+    }
+    s = attempt();
+    if (health_ != nullptr) {
+      if (s.ok()) {
+        health_->RecordVolumeSuccess(volume);
+      } else if (Retryable(s)) {
+        health_->RecordVolumeFailure(volume);
+      }
+    }
+    if (s.ok() || !Retryable(s)) {
+      return s;
+    }
+  }
+  return s;
+}
+
+Status IoServer::VerifyCrc(uint32_t source, std::span<const uint8_t> buf,
+                           uint32_t volume) {
+  uint32_t expect = 0;
+  if (!crc_lookup_ || !crc_lookup_(source, &expect)) {
+    return OkStatus();
+  }
+  if (Crc32(buf) == expect) {
+    stats_.crc_verified++;
+    return OkStatus();
+  }
+  stats_.crc_mismatches++;
+  tracer_.Record(TraceEvent::kCrcMismatch, source, volume);
+  return Corruption("tseg " + std::to_string(source) +
+                    ": CRC mismatch on fetched image");
+}
+
+Status IoServer::ReadTertiaryCopy(uint32_t source, std::span<uint8_t> buf) {
+  const uint32_t volume = amap_->VolumeOfTseg(source);
+  const uint64_t offset = amap_->ByteOffsetOnVolume(source);
+  return RetrySync(source, volume, [&]() {
+    SimTime t0 = clock_->Now();
+    Status s = footprint_->Read(static_cast<int>(volume), offset, buf);
+    phases_.Add("footprint", clock_->Now() - t0);
+    if (s.ok()) {
+      s = VerifyCrc(source, buf, volume);
+    }
+    return s;
+  });
 }
 
 Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
@@ -68,19 +151,35 @@ Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
   std::vector<uint8_t> buf(seg_bytes);
 
   const SimTime fetch_start = clock_->Now();
-  uint32_t source = PickSource(tseg);
-  uint32_t volume = amap_->VolumeOfTseg(source);
-  uint64_t offset = amap_->ByteOffsetOnVolume(source);
-
-  SimTime t0 = clock_->Now();
-  RETURN_IF_ERROR(footprint_->Read(volume, offset, buf));
-  phases_.Add("footprint", clock_->Now() - t0);
+  std::vector<uint32_t> candidates = SourceCandidates(tseg);
+  uint32_t served_from = tseg;
+  Status last =
+      IoError("tseg " + std::to_string(tseg) + ": no tertiary copy");
+  bool got = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i > 0) {
+      stats_.failovers++;
+      tracer_.Record(TraceEvent::kFailover, tseg, candidates[i]);
+    }
+    last = ReadTertiaryCopy(candidates[i], buf);
+    if (last.ok()) {
+      served_from = candidates[i];
+      got = true;
+      break;
+    }
+  }
+  if (!got) {
+    return last;
+  }
+  if (served_from != tseg) {
+    stats_.replica_reads++;
+  }
 
   // Memory copy out of the transfer buffer, then a raw write to the cache
   // line (the paper's extra-copies path).
   SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
   clock_->Advance(copy);
-  t0 = clock_->Now();
+  SimTime t0 = clock_->Now();
   RETURN_IF_ERROR(raw_disk_->WriteBlocks(DiskSegFirstBlock(disk_seg),
                                          seg_size_blocks_, buf));
   phases_.Add("ioserver", clock_->Now() - t0 + copy);
@@ -105,15 +204,21 @@ Status IoServer::CopyOutSegment(uint32_t tseg, uint32_t disk_seg) {
 
   uint32_t volume = amap_->VolumeOfTseg(tseg);
   uint64_t offset = amap_->ByteOffsetOnVolume(tseg);
-  t0 = clock_->Now();
-  Status write = footprint_->Write(volume, offset, buf);
-  phases_.Add("footprint", clock_->Now() - t0);
+  Status write = RetrySync(tseg, volume, [&]() {
+    SimTime w0 = clock_->Now();
+    Status s = footprint_->Write(volume, offset, buf);
+    phases_.Add("footprint", clock_->Now() - w0);
+    return s;
+  });
   if (write.code() == ErrorCode::kEndOfMedium) {
     stats_.end_of_medium_events++;
     tracer_.Record(TraceEvent::kEndOfMedium, tseg, volume);
     return write;
   }
   RETURN_IF_ERROR(write);
+  if (crc_store_) {
+    crc_store_(tseg, Crc32(buf));
+  }
 
   stats_.segments_copied_out++;
   stats_.bytes_copied_out += seg_bytes;
@@ -234,14 +339,40 @@ Status IoServer::IssueOne(PendingOp& op) {
   uint32_t volume = amap_->VolumeOfTseg(op.tseg);
   uint64_t offset = amap_->ByteOffsetOnVolume(op.tseg);
   t0 = clock_->Now();
+  SimTime earliest = clock_->Now();
   Result<SimTime> end = footprint_->ScheduleWrite(
-      clock_->Now(), static_cast<int>(volume), offset, buf);
+      earliest, static_cast<int>(volume), offset, buf);
+  // Pipeline retries delay the reissued op's start instead of stalling the
+  // caller: the device sits out the backoff, the migrator keeps staging.
+  for (int try_no = 1;
+       !end.ok() && Retryable(end.status()) && try_no < retry_.max_attempts;
+       ++try_no) {
+    if (health_ != nullptr) {
+      health_->RecordVolumeFailure(volume);
+    }
+    const SimTime backoff = retry_.BackoffFor(try_no);
+    stats_.retries++;
+    stats_.retry_backoff_us += backoff;
+    tracer_.Record(TraceEvent::kRetry, op.tseg,
+                   static_cast<uint64_t>(try_no));
+    earliest += backoff;
+    end = footprint_->ScheduleWrite(earliest, static_cast<int>(volume),
+                                    offset, buf);
+  }
   if (!end.ok()) {
     if (end.status().code() == ErrorCode::kEndOfMedium) {
       stats_.end_of_medium_events++;
       tracer_.Record(TraceEvent::kEndOfMedium, op.tseg, volume);
+    } else if (health_ != nullptr && Retryable(end.status())) {
+      health_->RecordVolumeFailure(volume);
     }
     return Deliver(op, end.status());
+  }
+  if (health_ != nullptr) {
+    health_->RecordVolumeSuccess(volume);
+  }
+  if (crc_store_) {
+    crc_store_(op.tseg, Crc32(buf));
   }
   phases_.Add("footprint", *end - t0);
   outstanding_.insert(*end);
@@ -295,6 +426,19 @@ Status IoServer::SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
       done(end.status(), 0);
     }
     return end.status();
+  }
+  // The data moved synchronously even though device time completes later,
+  // so the image can be verified now; a corrupted prefetch is dropped here
+  // rather than poisoning a cache line at install time.
+  Status crc = VerifyCrc(source, buf, volume);
+  if (!crc.ok()) {
+    if (health_ != nullptr) {
+      health_->RecordVolumeFailure(volume);
+    }
+    if (done) {
+      done(crc, 0);
+    }
+    return crc;
   }
   phases_.Add("footprint", *end - t0);
   stats_.prefetches_scheduled++;

@@ -36,6 +36,8 @@
 #include "highlight/address_map.h"
 #include "sim/sim_clock.h"
 #include "tertiary/footprint.h"
+#include "util/fault_injector.h"
+#include "util/health.h"
 #include "util/metrics.h"
 #include "util/status.h"
 #include "util/trace.h"
@@ -61,6 +63,28 @@ class IoServer {
   using ReplicaResolver = std::function<std::vector<uint32_t>(uint32_t)>;
   void SetReplicaResolver(ReplicaResolver resolver) {
     replica_resolver_ = std::move(resolver);
+  }
+
+  // Bounded retry with exponential backoff (in sim time) applied to every
+  // tertiary transfer: synchronous paths charge the backoff to the clock,
+  // the write-behind pipeline folds it into the reissued op's start time.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  // Health registry fed with per-volume outcomes; quarantined volumes are
+  // ordered last among fetch source candidates (still tried as a last
+  // resort — refusing the only surviving copy would lose data).
+  void SetHealth(HealthRegistry* health) { health_ = health; }
+
+  // CRC catalog hooks. The catalog lives with the file system (TsegTable)
+  // while the server survives remounts, so access is indirect: `store` runs
+  // after every successful copy-out, `lookup` before installing any fetched
+  // image (returning false = no CRC recorded, fetch is unverified).
+  using CrcLookup = std::function<bool(uint32_t tseg, uint32_t* crc)>;
+  using CrcStore = std::function<void(uint32_t tseg, uint32_t crc)>;
+  void SetCrcHooks(CrcLookup lookup, CrcStore store) {
+    crc_lookup_ = std::move(lookup);
+    crc_store_ = std::move(store);
   }
 
   // Migration copy-out: reads the staged disk segment and writes it to its
@@ -122,6 +146,12 @@ class IoServer {
     Counter bytes_copied_out;
     Counter end_of_medium_events;
     Counter replica_reads;     // Fetches served from a replica copy.
+    // Fault-tolerance counters.
+    Counter retries;           // Tertiary transfers retried after a failure.
+    Counter retry_backoff_us;  // Total sim time spent backing off.
+    Counter failovers;         // Fetch moved on to the next source candidate.
+    Counter crc_mismatches;    // Fetched images rejected by CRC verification.
+    Counter crc_verified;      // Fetched images that passed verification.
     // Pipeline counters.
     Counter ops_enqueued;
     Counter ops_issued;
@@ -156,9 +186,23 @@ class IoServer {
   uint32_t DiskSegFirstBlock(uint32_t disk_seg) const {
     return reserved_blocks_ + disk_seg * seg_size_blocks_;
   }
+  // Every copy of `tseg` (primary + replicas) ordered closest-first:
+  // mounted non-quarantined, unmounted non-quarantined, quarantined.
+  std::vector<uint32_t> SourceCandidates(uint32_t tseg);
   // Picks the closest copy of `tseg` (mounted replica beats unmounted
   // primary) and bumps the replica-read counter when a replica wins.
   uint32_t PickSource(uint32_t tseg);
+  // One source's read with retry/backoff, health recording and CRC
+  // verification of the fetched image.
+  Status ReadTertiaryCopy(uint32_t source, std::span<uint8_t> buf);
+  // Runs `attempt` (a sync op advancing the clock itself) up to
+  // retry_.max_attempts times, charging backoff to the clock between tries
+  // and recording per-volume outcomes.
+  Status RetrySync(uint32_t tseg, uint32_t volume,
+                   const std::function<Status()>& attempt);
+  // Checks `buf` against the recorded CRC of `source` (ok when none known).
+  Status VerifyCrc(uint32_t source, std::span<const uint8_t> buf,
+                   uint32_t volume);
   Status Enqueue(PendingOp op);
   // Issues queued ops while the device window has room.
   Status TryIssue();
@@ -181,6 +225,10 @@ class IoServer {
   uint32_t seg_size_blocks_;
   SimTime cpu_copy_us_per_mb_ = 100'000;  // 0.1 s per MB.
   ReplicaResolver replica_resolver_;
+  RetryPolicy retry_;
+  HealthRegistry* health_ = nullptr;
+  CrcLookup crc_lookup_;
+  CrcStore crc_store_;
   PhaseAccumulator phases_;
   Stats stats_;
   Histogram fetch_latency_us_;    // Demand-fetch wall time.

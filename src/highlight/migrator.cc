@@ -16,12 +16,21 @@ void Migrator::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   volumes_retired_.BindTo(*registry, "migrator.volumes_retired");
 }
 
+std::set<uint32_t> Migrator::ExcludedVolumes() const {
+  std::set<uint32_t> excluded = full_volumes_;
+  if (health_ != nullptr) {
+    const std::set<uint32_t>& quarantined = health_->QuarantinedVolumes();
+    excluded.insert(quarantined.begin(), quarantined.end());
+  }
+  return excluded;
+}
+
 Status Migrator::EnsureStagingSegment(const MigratorOptions& opts) {
   if (cur_tseg_ != kNoSegment) {
     return OkStatus();
   }
   uint32_t tseg =
-      tsegs_->NextFreshTseg(full_volumes_, opts.preferred_volume);
+      tsegs_->NextFreshTseg(ExcludedVolumes(), opts.preferred_volume);
   if (tseg == kNoSegment) {
     return Status(ErrorCode::kNoVolume, "tertiary storage exhausted");
   }
@@ -172,7 +181,7 @@ void Migrator::OnCopyOutDone(uint32_t tseg, const Status& s) {
   if (s.ok()) {
     if (it->second.replicas > 0) {
       // The line must stay pinned until the replica writes have read it.
-      auto exclude = std::make_shared<std::set<uint32_t>>(full_volumes_);
+      auto exclude = std::make_shared<std::set<uint32_t>>(ExcludedVolumes());
       exclude->insert(amap_->VolumeOfTseg(tseg));
       EnqueueReplicaChain(tseg, it->second.disk_seg, it->second.replicas,
                           it->second.replicas + 8, exclude);
@@ -265,7 +274,7 @@ void Migrator::EnqueueReplicaChain(uint32_t primary, uint32_t disk_seg,
 
 void Migrator::WriteReplicas(uint32_t primary, uint32_t disk_seg,
                              int count) {
-  std::set<uint32_t> exclude = full_volumes_;
+  std::set<uint32_t> exclude = ExcludedVolumes();
   exclude.insert(amap_->VolumeOfTseg(primary));
   // Best effort, but a failed volume must not cost the remaining copies:
   // exclude it and retry elsewhere, within a bounded attempt budget.
@@ -302,7 +311,7 @@ Result<uint32_t> Migrator::RetargetSegment(uint32_t old_tseg) {
   if (old_it == staged_.end()) {
     return NotFound("no staged segment " + std::to_string(old_tseg));
   }
-  uint32_t new_tseg = tsegs_->NextFreshTseg(full_volumes_);
+  uint32_t new_tseg = tsegs_->NextFreshTseg(ExcludedVolumes());
   if (new_tseg == kNoSegment) {
     return Status(ErrorCode::kNoVolume,
                   "no volume available to re-target segment");

@@ -31,6 +31,7 @@
 #include "highlight/tseg_table.h"
 #include "lfs/lfs.h"
 #include "lfs/segment_builder.h"
+#include "util/health.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -110,6 +111,10 @@ class Migrator {
   // Volumes the allocator must skip (e.g. the volume being cleaned).
   void ExcludeVolume(uint32_t volume) { full_volumes_.insert(volume); }
   void UnexcludeVolume(uint32_t volume) { full_volumes_.erase(volume); }
+
+  // When set, quarantined volumes join the exclusion set for every target
+  // selection (fresh staging segments, retargets, replica placement).
+  void SetHealth(const HealthRegistry* health) { health_ = health; }
 
   // Ranks files with `policy` and migrates best-first until at least
   // `bytes_target` bytes have been staged (0 = everything rankable).
@@ -204,8 +209,13 @@ class Migrator {
   std::unique_ptr<SegmentBuilder> builder_;
   uint64_t staging_serial_ = 1;
 
+  // Full volumes plus (when health is wired) quarantined ones — the set
+  // every target selection skips.
+  std::set<uint32_t> ExcludedVolumes() const;
+
   std::map<uint32_t, StagedSegment> staged_;  // tseg -> record (until copied).
   std::set<uint32_t> full_volumes_;
+  const HealthRegistry* health_ = nullptr;
   MigrationReport lifetime_;
   Counter retargets_;
   Counter volumes_retired_;

@@ -31,11 +31,17 @@ Status ServiceProcess::FetchIntoCache(uint32_t tseg, bool is_prefetch) {
     if (hit.ready_at > clock_->Now()) {
       clock_->AdvanceTo(hit.ready_at);
     }
-    ASSIGN_OR_RETURN(uint32_t slot,
-                     cache_->AllocLine(tseg, /*staging=*/false));
-    Status installed = io_->InstallSegment(slot, *hit.image);
+    Result<uint32_t> slot = cache_->AllocLine(tseg, /*staging=*/false);
+    if (!slot.ok()) {
+      // The buffered image dies with the pending entry already erased:
+      // the read-ahead transfer was for nothing.
+      stats_.readaheads_wasted++;
+      return slot.status();
+    }
+    Status installed = io_->InstallSegment(*slot, *hit.image);
     if (!installed.ok()) {
       (void)cache_->Eject(tseg);
+      stats_.readaheads_wasted++;
       return installed;
     }
     stats_.readaheads_consumed++;

@@ -146,6 +146,7 @@ Result<uint64_t> TertiaryCleaner::CleanVolume(uint32_t volume) {
     tsegs_->SetAvailBytes(tseg,
                           static_cast<uint32_t>(amap_->SegBytes()));
     tsegs_->SetWriteTime(tseg, 0);
+    tsegs_->ClearCrc(tseg);
     stats_.segments_reclaimed++;
   }
   // Replicas elsewhere whose primaries lived on this volume are now
@@ -157,6 +158,7 @@ Result<uint64_t> TertiaryCleaner::CleanVolume(uint32_t volume) {
             dirty_tsegs.end()) {
       tsegs_->SetFlags(t, kSegClean, kSegDirty | kSegReplica);
       tsegs_->SetAvailBytes(t, static_cast<uint32_t>(amap_->SegBytes()));
+      tsegs_->ClearCrc(t);
     }
   }
   RETURN_IF_ERROR(footprint_->EraseVolume(static_cast<int>(volume)));

@@ -11,6 +11,7 @@
 #define HIGHLIGHT_HIGHLIGHT_TSEG_TABLE_H_
 
 #include <cstdint>
+#include <map>
 #include <set>
 #include <vector>
 
@@ -62,11 +63,28 @@ class TsegTable {
   uint64_t TotalLiveBytes() const;
   uint32_t DirtyTsegCount() const;
 
+  // In-core CRC32 catalog, stamped at copy-out and checked on every fetch.
+  // Deliberately NOT persisted: the tsegfile's on-media format is frozen, so
+  // after a remount the catalog starts empty and the scrubber re-stamps
+  // entries from the media's own summary checksums.
+  void SetCrc(uint32_t tseg, uint32_t crc) { crcs_[tseg] = crc; }
+  void ClearCrc(uint32_t tseg) { crcs_.erase(tseg); }
+  bool CrcOf(uint32_t tseg, uint32_t* crc) const {
+    auto it = crcs_.find(tseg);
+    if (it == crcs_.end()) {
+      return false;
+    }
+    *crc = it->second;
+    return true;
+  }
+  size_t CrcCount() const { return crcs_.size(); }
+
  private:
   Lfs* fs_;
   const AddressMap* amap_;
   std::vector<SegUsage> entries_;
   std::set<uint32_t> dirty_;
+  std::map<uint32_t, uint32_t> crcs_;  // tseg -> whole-segment CRC32.
 };
 
 }  // namespace hl

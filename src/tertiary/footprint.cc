@@ -70,6 +70,12 @@ Result<bool> Footprint::VolumeFull(int volume) const {
   return m.jukebox->volume(m.slot).marked_full();
 }
 
+Status Footprint::RepairWrite(int volume, uint64_t offset,
+                              std::span<const uint8_t> data) {
+  ASSIGN_OR_RETURN(Mapping m, Map(volume));
+  return m.jukebox->Rewrite(m.slot, offset, data);
+}
+
 Status Footprint::EraseVolume(int volume) {
   ASSIGN_OR_RETURN(Mapping m, Map(volume));
   return m.jukebox->volume(m.slot).Erase();

@@ -50,6 +50,11 @@ class Footprint {
   Status MarkVolumeFull(int volume);
   Result<bool> VolumeFull(int volume) const;
 
+  // Scrubber support: overwrite an already-written extent in place, even on
+  // a volume marked full (the data is already there; only WORM media refuse).
+  Status RepairWrite(int volume, uint64_t offset,
+                     std::span<const uint8_t> data);
+
   // Tertiary-cleaner support: wipe a (non-WORM) volume for reuse.
   Status EraseVolume(int volume);
 

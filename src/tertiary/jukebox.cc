@@ -24,6 +24,16 @@ Jukebox::Jukebox(JukeboxProfile profile, SimClock* clock, Resource* bus,
   insertions_.assign(slots_.size(), 0);
 }
 
+void Jukebox::AttachFaults(FaultInjector* injector) {
+  if (injector == nullptr) {
+    return;
+  }
+  faults_ = injector->Channel("jukebox." + profile_.name);
+  for (auto& slot : slots_) {
+    slot->AttachFaults(injector->Channel("volume." + slot->label()));
+  }
+}
+
 void Jukebox::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   tracer_ = tracer;
   if (registry == nullptr) {
@@ -47,17 +57,7 @@ Result<int> Jukebox::EnsureMounted(int slot, bool for_write, SimTime earliest,
       return static_cast<int>(i);
     }
   }
-  // Choose a drive: writes go to drive 0 (the dedicated write drive); reads
-  // use the least-recently-used drive other than 0 when possible.
-  int chosen = 0;
-  if (!for_write && drives_.size() > 1) {
-    chosen = 1;
-    for (size_t i = 2; i < drives_.size(); ++i) {
-      if (drives_[i].last_used < drives_[chosen].last_used) {
-        chosen = static_cast<int>(i);
-      }
-    }
-  }
+  int chosen = ChooseDrive(for_write);
   Drive& drive = drives_[chosen];
   // Swap: robot + drive are busy for media_swap_us; a non-disconnecting
   // driver also holds the SCSI bus hostage for the whole swap.
@@ -77,6 +77,40 @@ Result<int> Jukebox::EnsureMounted(int slot, bool for_write, SimTime earliest,
   ++insertions_[slot];
   *ready_at = end;
   return chosen;
+}
+
+int Jukebox::ChooseDrive(bool for_write) const {
+  // Writes go to drive 0 (the dedicated write drive); reads use the
+  // least-recently-used drive other than 0 when possible.
+  int chosen = 0;
+  if (!for_write && drives_.size() > 1) {
+    chosen = 1;
+    for (size_t i = 2; i < drives_.size(); ++i) {
+      if (drives_[i].last_used < drives_[chosen].last_used) {
+        chosen = static_cast<int>(i);
+      }
+    }
+  }
+  return chosen;
+}
+
+Status Jukebox::ChargeFailedLoad(int slot, bool for_write, SimTime earliest) {
+  // The robot goes through the whole load motion before timing out, so the
+  // swap latency (and the bus hold) is paid; the medium never seats, and
+  // whatever the drive held before is back in its slot.
+  Drive& drive = drives_[ChooseDrive(for_write)];
+  SimTime begin = std::max({earliest, robot_.free_at(), drive.res.free_at()});
+  SimTime end;
+  if (bus_ != nullptr && profile_.swap_hogs_bus) {
+    end = robot_.ScheduleWith(*bus_, begin, profile_.media_swap_us);
+  } else {
+    end = robot_.Schedule(begin, profile_.media_swap_us);
+  }
+  drive.res.Schedule(begin, end - begin);
+  drive.loaded_slot = -1;
+  drive.head_pos = 0;
+  return IoError(profile_.name + ": robot load timeout for slot " +
+                 std::to_string(slot));
 }
 
 Result<SimTime> Jukebox::Transfer(SimTime earliest, int slot, uint64_t offset,
@@ -104,11 +138,36 @@ Result<SimTime> Jukebox::ScheduleRead(SimTime earliest, int slot,
   if (slot < 0 || slot >= num_slots()) {
     return OutOfRange(profile_.name + ": no slot " + std::to_string(slot));
   }
+  if (faults_ != nullptr && !IsMounted(slot) &&
+      faults_->Decide(FaultOp::kLoad, static_cast<uint64_t>(slot), 1) ==
+          FaultOutcome::kLoadTimeout) {
+    return ChargeFailedLoad(slot, /*for_write=*/false, earliest);
+  }
+  FaultOutcome fault = FaultOutcome::kNone;
   if (fail_ops_ > 0) {
     --fail_ops_;
-    return IoError(profile_.name + ": injected read failure");
+    fault = FaultOutcome::kTransient;
+  } else if (faults_ != nullptr) {
+    fault = faults_->Decide(FaultOp::kRead, offset, out.size());
   }
-  RETURN_IF_ERROR(slots_[slot]->Read(offset, out));
+  if (fault != FaultOutcome::kNone) {
+    // The drive mounts, seeks and transfers before the failure surfaces.
+    RETURN_IF_ERROR(
+        Transfer(earliest, slot, offset, out.size(), /*is_write=*/false)
+            .status());
+    return IoError(profile_.name + ": injected read failure (" +
+                   FaultOutcomeName(fault) + ")");
+  }
+  Status media = slots_[slot]->Read(offset, out);
+  if (!media.ok()) {
+    if (media.code() == ErrorCode::kIoError) {
+      // A latent sector error is discovered only after the full transfer.
+      RETURN_IF_ERROR(
+          Transfer(earliest, slot, offset, out.size(), /*is_write=*/false)
+              .status());
+    }
+    return media;
+  }
   ASSIGN_OR_RETURN(SimTime end, Transfer(earliest, slot, offset, out.size(),
                                          /*is_write=*/false));
   bytes_read_ += out.size();
@@ -121,13 +180,38 @@ Result<SimTime> Jukebox::ScheduleWrite(SimTime earliest, int slot,
   if (slot < 0 || slot >= num_slots()) {
     return OutOfRange(profile_.name + ": no slot " + std::to_string(slot));
   }
+  if (faults_ != nullptr && !IsMounted(slot) &&
+      faults_->Decide(FaultOp::kLoad, static_cast<uint64_t>(slot), 1) ==
+          FaultOutcome::kLoadTimeout) {
+    return ChargeFailedLoad(slot, /*for_write=*/true, earliest);
+  }
+  FaultOutcome fault = FaultOutcome::kNone;
   if (fail_ops_ > 0) {
     --fail_ops_;
-    return IoError(profile_.name + ": injected write failure");
+    fault = FaultOutcome::kTransient;
+  } else if (faults_ != nullptr) {
+    fault = faults_->Decide(FaultOp::kWrite, offset, data.size());
   }
-  // Media errors (end-of-medium, WORM rewrite) surface before any time is
-  // charged: the drive detects them at the start of the write.
-  RETURN_IF_ERROR(slots_[slot]->Write(offset, data));
+  if (fault != FaultOutcome::kNone) {
+    // The drive mounts, seeks and transfers before the failure surfaces.
+    RETURN_IF_ERROR(
+        Transfer(earliest, slot, offset, data.size(), /*is_write=*/true)
+            .status());
+    return IoError(profile_.name + ": injected write failure (" +
+                   FaultOutcomeName(fault) + ")");
+  }
+  // Genuine media conditions (end-of-medium, WORM rewrite) surface before
+  // any time is charged: the drive detects them at the start of the write.
+  // Injected media faults (kIoError) cost the full transfer below.
+  Status media = slots_[slot]->Write(offset, data);
+  if (!media.ok()) {
+    if (media.code() == ErrorCode::kIoError) {
+      RETURN_IF_ERROR(
+          Transfer(earliest, slot, offset, data.size(), /*is_write=*/true)
+              .status());
+    }
+    return media;
+  }
   ASSIGN_OR_RETURN(SimTime end, Transfer(earliest, slot, offset, data.size(),
                                          /*is_write=*/true));
   bytes_written_ += data.size();
@@ -145,6 +229,28 @@ Status Jukebox::Write(int slot, uint64_t offset,
   ASSIGN_OR_RETURN(SimTime end,
                    ScheduleWrite(clock_->Now(), slot, offset, data));
   clock_->AdvanceTo(end);
+  return OkStatus();
+}
+
+Status Jukebox::Rewrite(int slot, uint64_t offset,
+                        std::span<const uint8_t> data) {
+  if (slot < 0 || slot >= num_slots()) {
+    return OutOfRange(profile_.name + ": no slot " + std::to_string(slot));
+  }
+  Status media = slots_[slot]->Rewrite(offset, data);
+  if (!media.ok()) {
+    if (media.code() == ErrorCode::kIoError) {
+      ASSIGN_OR_RETURN(SimTime failed_end,
+                       Transfer(clock_->Now(), slot, offset, data.size(),
+                                /*is_write=*/true));
+      clock_->AdvanceTo(failed_end);
+    }
+    return media;
+  }
+  ASSIGN_OR_RETURN(SimTime end, Transfer(clock_->Now(), slot, offset,
+                                         data.size(), /*is_write=*/true));
+  clock_->AdvanceTo(end);
+  bytes_written_ += data.size();
   return OkStatus();
 }
 

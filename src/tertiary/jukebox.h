@@ -20,6 +20,7 @@
 #include "sim/device_profile.h"
 #include "sim/sim_clock.h"
 #include "tertiary/volume.h"
+#include "util/fault_injector.h"
 #include "util/metrics.h"
 #include "util/status.h"
 #include "util/trace.h"
@@ -56,6 +57,11 @@ class Jukebox {
   Status Read(int slot, uint64_t offset, std::span<uint8_t> out);
   Status Write(int slot, uint64_t offset, std::span<const uint8_t> data);
 
+  // Scrubber repair: overwrite an already-written extent in place (bypasses
+  // the volume's full mark; WORM media refuse). Charges a normal write
+  // transfer and advances the clock.
+  Status Rewrite(int slot, uint64_t offset, std::span<const uint8_t> data);
+
   // Asynchronous variants: reserve drive/robot/bus time beginning no earlier
   // than `earliest`, move the data now, and return the completion time
   // without touching the clock.
@@ -84,8 +90,22 @@ class Jukebox {
     return t;
   }
 
-  // Simulated-failure hook for robustness tests.
-  void FailNextOps(int n) { fail_ops_ = n; }
+  // Simulated-failure hook for robustness tests. A thin shim over the
+  // drive-level fault channel when one is attached.
+  void FailNextOps(int n) {
+    if (faults_ != nullptr) {
+      faults_->FailNextOps(n);
+    } else {
+      fail_ops_ = n;
+    }
+  }
+
+  // Routes drive transfers through "jukebox.<name>" and each volume's media
+  // through "volume.<label>" in `injector`. Injected drive faults and latent
+  // media errors charge full mount/seek/transfer time; robot-load timeouts
+  // charge the swap latency without seating the medium.
+  void AttachFaults(FaultInjector* injector);
+  FaultChannel* fault_channel() const { return faults_; }
 
  private:
   struct Drive {
@@ -105,6 +125,12 @@ class Jukebox {
   Result<SimTime> Transfer(SimTime earliest, int slot, uint64_t offset,
                            size_t bytes, bool is_write);
 
+  // The drive a swap for `slot` would target (write drive vs. LRU reader).
+  int ChooseDrive(bool for_write) const;
+  // Charges a full (failed) swap: robot, drive and bus time pass, but the
+  // medium never seats. Returns the load-timeout error.
+  Status ChargeFailedLoad(int slot, bool for_write, SimTime earliest);
+
   JukeboxProfile profile_;
   SimClock* clock_;
   Resource* bus_;
@@ -114,6 +140,7 @@ class Jukebox {
   std::vector<uint64_t> insertions_;
 
   int fail_ops_ = 0;
+  FaultChannel* faults_ = nullptr;
   Counter media_swaps_;
   Counter bytes_read_;
   Counter bytes_written_;

@@ -5,10 +5,29 @@
 
 namespace hl {
 
+Status Volume::CheckInjectedFault(FaultOp op, uint64_t offset,
+                                  uint64_t len) const {
+  if (faults_ == nullptr) {
+    return OkStatus();
+  }
+  switch (faults_->Decide(op, offset, len)) {
+    case FaultOutcome::kNone:
+      return OkStatus();
+    case FaultOutcome::kMediaError:
+      return IoError(label_ + ": latent sector error at byte " +
+                     std::to_string(offset));
+    default:
+      return IoError(label_ + ": injected media " +
+                     std::string(op == FaultOp::kRead ? "read" : "write") +
+                     " failure");
+  }
+}
+
 Status Volume::Read(uint64_t offset, std::span<uint8_t> out) const {
   if (offset + out.size() > nominal_capacity_) {
     return OutOfRange(label_ + ": read past end of medium");
   }
+  RETURN_IF_ERROR(CheckInjectedFault(FaultOp::kRead, offset, out.size()));
   size_t done = 0;
   while (done < out.size()) {
     uint64_t pos = offset + done;
@@ -24,7 +43,27 @@ Status Volume::Read(uint64_t offset, std::span<uint8_t> out) const {
     }
     done += take;
   }
+  if (faults_ != nullptr) {
+    faults_->MaybeCorruptRead(out, offset);
+  }
   return OkStatus();
+}
+
+void Volume::CopyIn(uint64_t offset, std::span<const uint8_t> data) {
+  size_t done = 0;
+  while (done < data.size()) {
+    uint64_t pos = offset + done;
+    uint64_t chunk_index = pos / kChunkSize;
+    uint64_t chunk_off = pos % kChunkSize;
+    size_t take = static_cast<size_t>(
+        std::min<uint64_t>(kChunkSize - chunk_off, data.size() - done));
+    auto [it, inserted] = chunks_.try_emplace(chunk_index);
+    if (inserted) {
+      it->second.assign(kChunkSize, 0);
+    }
+    std::memcpy(it->second.data() + chunk_off, data.data() + done, take);
+    done += take;
+  }
 }
 
 Status Volume::Write(uint64_t offset, std::span<const uint8_t> data) {
@@ -45,23 +84,31 @@ Status Volume::Write(uint64_t offset, std::span<const uint8_t> data) {
     return Status(ErrorCode::kNotSupported,
                   label_ + ": rewrite of WORM extent");
   }
-  size_t done = 0;
-  while (done < data.size()) {
-    uint64_t pos = offset + done;
-    uint64_t chunk_index = pos / kChunkSize;
-    uint64_t chunk_off = pos % kChunkSize;
-    size_t take = static_cast<size_t>(
-        std::min<uint64_t>(kChunkSize - chunk_off, data.size() - done));
-    auto [it, inserted] = chunks_.try_emplace(chunk_index);
-    if (inserted) {
-      it->second.assign(kChunkSize, 0);
-    }
-    std::memcpy(it->second.data() + chunk_off, data.data() + done, take);
-    done += take;
-  }
+  RETURN_IF_ERROR(CheckInjectedFault(FaultOp::kWrite, offset, data.size()));
+  CopyIn(offset, data);
   bytes_written_ += data.size();
   high_water_ = std::max(high_water_, offset + data.size());
   RecordRange(offset, offset + data.size());
+  if (faults_ != nullptr) {
+    faults_->NoteWrite(offset, data.size());
+  }
+  return OkStatus();
+}
+
+Status Volume::Rewrite(uint64_t offset, std::span<const uint8_t> data) {
+  if (write_once_) {
+    return Status(ErrorCode::kNotSupported,
+                  label_ + ": rewrite of WORM extent");
+  }
+  if (offset + data.size() > high_water_) {
+    return OutOfRange(label_ + ": rewrite past high-water mark");
+  }
+  RETURN_IF_ERROR(CheckInjectedFault(FaultOp::kWrite, offset, data.size()));
+  CopyIn(offset, data);
+  bytes_written_ += data.size();
+  if (faults_ != nullptr) {
+    faults_->NoteWrite(offset, data.size());
+  }
   return OkStatus();
 }
 

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "util/fault_injector.h"
 #include "util/status.h"
 
 namespace hl {
@@ -52,10 +53,22 @@ class Volume {
   // and HighLight re-writes the whole segment on the next volume).
   Status Write(uint64_t offset, std::span<const uint8_t> data);
 
+  // In-place repair of an already-written extent (scrubber support).
+  // Bypasses the full mark — the medium already holds data here — but WORM
+  // media still refuse, and the extent must lie below the high-water mark.
+  Status Rewrite(uint64_t offset, std::span<const uint8_t> data);
+
   // Erase all contents (tertiary-cleaner support; invalid on WORM media).
   Status Erase();
 
+  // Media-level fault injection (latent sector errors, bit rot). The
+  // channel outlives the volume's contents across erase cycles.
+  void AttachFaults(FaultChannel* channel) { faults_ = channel; }
+  FaultChannel* fault_channel() const { return faults_; }
+
  private:
+  Status CheckInjectedFault(FaultOp op, uint64_t offset, uint64_t len) const;
+  void CopyIn(uint64_t offset, std::span<const uint8_t> data);
   static constexpr uint64_t kChunkSize = 64 * 1024;
 
   std::string label_;
@@ -65,6 +78,7 @@ class Volume {
   bool marked_full_ = false;
   uint64_t bytes_written_ = 0;
   uint64_t high_water_ = 0;
+  FaultChannel* faults_ = nullptr;
   std::map<uint64_t, std::vector<uint8_t>> chunks_;
   // For WORM enforcement: written byte ranges, merged. Key = start, val = end.
   std::map<uint64_t, uint64_t> written_ranges_;

@@ -36,6 +36,20 @@ const char* TraceEventName(TraceEvent event) {
       return "migrate_file";
     case TraceEvent::kRemount:
       return "remount";
+    case TraceEvent::kFaultInjected:
+      return "fault_injected";
+    case TraceEvent::kRetry:
+      return "retry";
+    case TraceEvent::kFailover:
+      return "failover";
+    case TraceEvent::kCrcMismatch:
+      return "crc_mismatch";
+    case TraceEvent::kHealthChange:
+      return "health_change";
+    case TraceEvent::kScrubRepair:
+      return "scrub_repair";
+    case TraceEvent::kScrubLoss:
+      return "scrub_loss";
   }
   return "unknown";
 }

@@ -36,6 +36,13 @@ enum class TraceEvent : uint8_t {
   kRetarget,        // a=old tseg, b=new tseg: end-of-medium recovery.
   kMigrateFile,     // a=ino, b=blocks migrated.
   kRemount,         // crash + remount of the file system.
+  kFaultInjected,   // a=fault channel id, b=FaultOutcome.
+  kRetry,           // a=tseg, b=retry number (1-based).
+  kFailover,        // a=tseg, b=next source tseg tried.
+  kCrcMismatch,     // a=tseg, b=volume: checksum verification failed.
+  kHealthChange,    // a=volume (~0 for non-volume entities), b=HealthState.
+  kScrubRepair,     // a=repaired tseg, b=source tseg used.
+  kScrubLoss,       // a=tseg, b=volume: no intact copy found.
 };
 
 // Stable lower_snake_case name ("seg_fetch", "volume_switch", ...).

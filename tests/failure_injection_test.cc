@@ -48,12 +48,15 @@ TEST_F(FailureInjectionTest, JukeboxFailureDuringDemandFetchSurfaces) {
   ASSERT_TRUE(hl_->MigratePath("/f").ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
-  // The robot drops the ball once: the read fails cleanly...
-  hl_->jukebox(0).FailNextOps(1);
+  // The drive keeps failing past the retry budget (3 attempts): the read
+  // fails cleanly...
+  hl_->jukebox(0).FailNextOps(3);
   std::vector<uint8_t> out(data.size());
   Result<size_t> n = hl_->fs().Read(*ino, 0, out);
   ASSERT_FALSE(n.ok());
   EXPECT_EQ(n.status().code(), ErrorCode::kIoError);
+  // ... after charging backed-off retries ...
+  EXPECT_GE(hl_->io_server().stats().retries, 2u);
   // ... without registering a bogus cache line ...
   EXPECT_EQ(hl_->cache().Used(), 0u);
   // ... and the retry succeeds.
@@ -62,14 +65,39 @@ TEST_F(FailureInjectionTest, JukeboxFailureDuringDemandFetchSurfaces) {
   EXPECT_EQ(out, data);
 }
 
+TEST_F(FailureInjectionTest, TransientJukeboxFaultIsRetriedThrough) {
+  Result<uint32_t> ino = hl_->fs().Create("/f");
+  ASSERT_TRUE(ino.ok());
+  auto data = Pattern(256 * 1024, 11);
+  ASSERT_TRUE(hl_->fs().Write(*ino, 0, data).ok());
+  ASSERT_TRUE(hl_->MigratePath("/f").ok());
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+
+  // Two transient faults stay inside the 3-attempt budget: the application
+  // never sees them, but the backoff costs simulated time.
+  hl_->jukebox(0).FailNextOps(2);
+  const SimTime before = clock_.Now();
+  const uint64_t retries_before = hl_->io_server().stats().retries;
+  std::vector<uint8_t> out(data.size());
+  Result<size_t> n = hl_->fs().Read(*ino, 0, out);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(hl_->io_server().stats().retries, retries_before + 2);
+  const RetryPolicy policy;  // Defaults match the config's defaults.
+  EXPECT_GE(clock_.Now() - before, policy.BackoffFor(1) + policy.BackoffFor(2));
+}
+
 TEST_F(FailureInjectionTest, JukeboxFailureDuringCopyOutSurfaces) {
   Result<uint32_t> ino = hl_->fs().Create("/f");
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(128 * 1024, 2)).ok());
-  hl_->jukebox(0).FailNextOps(1);
+  // Outlast the retry budget so the failure surfaces to the caller.
+  hl_->jukebox(0).FailNextOps(3);
   Result<MigrationReport> r = hl_->MigratePath("/f");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), ErrorCode::kIoError);
+  // The staged segment stays on the pending ledger until copy-out lands.
+  EXPECT_GT(hl_->migrator().PendingSegments(), 0u);
 
   // The staged segment still holds the only... no: pointers were flipped at
   // staging time and the cache line is pinned dirty, so data remain
@@ -79,8 +107,10 @@ TEST_F(FailureInjectionTest, JukeboxFailureDuringCopyOutSurfaces) {
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(out, Pattern(128 * 1024, 2));
 
-  // Draining later (fault cleared) completes the migration.
+  // Draining later (fault cleared) completes the migration and releases
+  // the staging pin.
   ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ASSERT_TRUE(hl_->fs().Read(*ino, 0, out).ok());
   EXPECT_EQ(out, Pattern(128 * 1024, 2));
@@ -104,8 +134,8 @@ TEST_F(FailureInjectionTest, DiskFailureDuringSyncSurfaces) {
 }
 
 TEST_F(FailureInjectionTest, MediaCorruptionDetectedByChecksum) {
-  // Scribble over a migrated segment ON THE MEDIUM; the parse-side
-  // checksums catch it (the paper's ss_sumsum/ss_datasum at work).
+  // Scribble over a migrated segment ON THE MEDIUM; the whole-segment CRC
+  // stamped at copy-out refuses to install the corrupted image.
   Result<uint32_t> ino = hl_->fs().Create("/f");
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(256 * 1024, 4)).ok());
@@ -118,22 +148,85 @@ TEST_F(FailureInjectionTest, MediaCorruptionDetectedByChecksum) {
   std::vector<uint8_t> junk(kBlockSize, 0x5C);
   ASSERT_TRUE((*vol)->Write(0, junk).ok());
 
-  // Data reads still work (block pointers, not summaries, drive reads)...
+  // The demand fetch detects the corruption instead of serving bad bytes
+  // (there is no replica to fail over to here, so the error surfaces).
   std::vector<uint8_t> out(256 * 1024);
   Result<size_t> n = hl_->fs().Read(*ino, 0, out);
-  ASSERT_TRUE(n.ok());
-  // ...but a segment-level parse of the fetched image reports no valid
-  // partial segments (the cleaner would treat it as empty, not as data).
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), ErrorCode::kCorruption);
+  EXPECT_GT(hl_->io_server().stats().crc_mismatches, 0u);
+  EXPECT_EQ(hl_->cache().Used(), 0u);
+
+  // The media-side summary checksums agree: a raw segment-level parse of
+  // the on-medium image reports no valid partial segments (the cleaner
+  // would treat it as empty, not as data).
   uint32_t first_tseg = hl_->address_map().FirstTsegOfVolume(0);
   uint32_t spb = hl_->fs().superblock().seg_size_blocks;
   std::vector<uint8_t> image(static_cast<size_t>(spb) * kBlockSize);
-  ASSERT_TRUE(hl_->block_map()
-                  .ReadBlocks(hl_->address_map().TsegBase(first_tseg), spb,
-                              image)
-                  .ok());
+  ASSERT_TRUE((*vol)->Read(0, image).ok());
   EXPECT_TRUE(ParsePartialsFromImage(
                   image, hl_->address_map().TsegBase(first_tseg), spb)
                   .empty());
+}
+
+TEST_F(FailureInjectionTest, FailedDemandFetchLeavesNoReadaheadResidue) {
+  // Rebuild with sequential read-ahead on: a failed demand fetch must not
+  // leave pending read-aheads or stale cache lines behind (and a dropped
+  // read-ahead image must be counted as wasted).
+  HighLightConfig config;
+  config.disks.push_back({Rz57Profile(), 8 * 1024});
+  JukeboxProfile j = Hp6300MoProfile();
+  j.num_slots = 4;
+  j.volume_capacity_bytes = 16ull * 64 * kBlockSize;
+  config.jukeboxes.push_back({j, false, 16});
+  config.lfs.seg_size_blocks = 64;
+  config.lfs.cache_max_segments = 8;
+  config.sequential_readahead = true;
+  SimClock clock;
+  auto made = HighLightFs::Create(config, &clock);
+  ASSERT_TRUE(made.ok());
+  std::unique_ptr<HighLightFs> hl = std::move(*made);
+
+  Result<uint32_t> ino = hl->fs().Create("/f");
+  ASSERT_TRUE(ino.ok());
+  auto data = Pattern(512 * 1024, 6);  // Two 256 KB segments.
+  ASSERT_TRUE(hl->fs().Write(*ino, 0, data).ok());
+  ASSERT_TRUE(hl->MigratePath("/f").ok());
+  ASSERT_TRUE(hl->DropCleanCacheLines().ok());
+
+  // Exhaust the retry budget: the demand fetch of the first segment fails
+  // before any read-ahead is ever issued. (128 KB stays inside one
+  // segment's data blocks.)
+  hl->jukebox(0).FailNextOps(3);
+  std::vector<uint8_t> out(128 * 1024);
+  Result<size_t> n = hl->fs().Read(*ino, 0, out);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(hl->service().PendingPrefetches(), 0u);
+  EXPECT_EQ(hl->service().stats().readaheads_issued, 0u);
+  EXPECT_EQ(hl->cache().Used(), 0u);
+
+  // Fault cleared: the fetch succeeds and chases the next segment ahead.
+  ASSERT_TRUE(hl->fs().Read(*ino, 0, out).ok());
+  EXPECT_EQ(std::vector<uint8_t>(data.begin(), data.begin() + out.size()),
+            out);
+  EXPECT_EQ(hl->service().stats().readaheads_issued, 1u);
+  EXPECT_EQ(hl->service().PendingPrefetches(), 1u);
+
+  // A sequential miss into the second segment consumes the buffered image
+  // (and chases the third segment in turn).
+  ASSERT_TRUE(hl->fs().Read(*ino, 300 * 1024, out).ok());
+  EXPECT_EQ(std::vector<uint8_t>(data.begin() + 300 * 1024,
+                                 data.begin() + 300 * 1024 + out.size()),
+            out);
+  EXPECT_EQ(hl->service().stats().readaheads_consumed, 1u);
+  EXPECT_EQ(hl->service().stats().readaheads_wasted, 0u);
+
+  // Dropping the cache discards the chased image and counts it as wasted —
+  // no pending entry survives to alias a future fetch.
+  const uint64_t pending = hl->service().PendingPrefetches();
+  ASSERT_TRUE(hl->DropCleanCacheLines().ok());
+  EXPECT_EQ(hl->service().PendingPrefetches(), 0u);
+  EXPECT_EQ(hl->service().stats().readaheads_wasted, pending);
 }
 
 TEST_F(FailureInjectionTest, RepeatedFaultsDoNotWedgeTheSystem) {

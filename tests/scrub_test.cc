@@ -1,0 +1,253 @@
+// Scrub-and-repair, health quarantine, and replica failover tests: the
+// fault-tolerant tertiary path detects corrupted media, repairs from
+// replicas, quarantines failing volumes, and records (never crashes on)
+// unrecoverable losses.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "highlight/highlight.h"
+#include "lfs/fsck.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (auto& b : v) {
+    b = static_cast<uint8_t>(rng.Next());
+  }
+  return v;
+}
+
+class ScrubTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    HighLightConfig config;
+    config.disks.push_back({Rz57Profile(), 8 * 1024});
+    JukeboxProfile j = Hp6300MoProfile();
+    j.num_slots = 4;
+    j.volume_capacity_bytes = 16ull * 64 * kBlockSize;
+    config.jukeboxes.push_back({j, false, 16});
+    config.lfs.seg_size_blocks = 64;
+    config.lfs.cache_max_segments = 8;
+    auto hl = HighLightFs::Create(config, &clock_);
+    ASSERT_TRUE(hl.ok());
+    hl_ = std::move(*hl);
+  }
+
+  // Migrates `/f` holding `data`, returning the file's primary tseg.
+  uint32_t MigrateOneSegment(const std::vector<uint8_t>& data, int replicas) {
+    Result<uint32_t> ino = hl_->fs().Create("/f");
+    EXPECT_TRUE(ino.ok());
+    ino_ = *ino;
+    EXPECT_TRUE(hl_->fs().Write(ino_, 0, data).ok());
+    MigratorOptions opts;
+    opts.replicas = replicas;
+    Result<MigrationReport> r = hl_->migrator().MigrateFiles({ino_}, opts);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(hl_->DropCleanCacheLines().ok());
+    for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
+      const SegUsage& u = hl_->tseg_table().Get(t);
+      if (!(u.flags & kSegClean) && !(u.flags & kSegReplica)) {
+        return t;
+      }
+    }
+    ADD_FAILURE() << "no primary tseg after migration";
+    return kNoSegment;
+  }
+
+  // Scribbles over the on-medium image of `tseg`.
+  void CorruptOnMedium(uint32_t tseg) {
+    uint32_t volume = hl_->address_map().VolumeOfTseg(tseg);
+    Result<Volume*> vol = hl_->footprint().GetVolume(static_cast<int>(volume));
+    ASSERT_TRUE(vol.ok());
+    std::vector<uint8_t> junk(kBlockSize, 0xA5);
+    ASSERT_TRUE(
+        (*vol)->Write(hl_->address_map().ByteOffsetOnVolume(tseg), junk).ok());
+  }
+
+  SimClock clock_;
+  std::unique_ptr<HighLightFs> hl_;
+  uint32_t ino_ = kNoInode;
+};
+
+TEST_F(ScrubTest, ScrubDetectsAndRepairsFromReplica) {
+  auto data = Pattern(256 * 1024, 1);
+  uint32_t tseg = MigrateOneSegment(data, /*replicas=*/1);
+  ASSERT_NE(tseg, kNoSegment);
+  CorruptOnMedium(tseg);
+
+  Result<Scrubber::Report> report = hl_->scrubber().ScrubAll();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->scanned, 0u);
+  EXPECT_EQ(report->repaired, 1u);
+  EXPECT_EQ(report->unrecoverable, 0u);
+  EXPECT_TRUE(hl_->scrubber().LostSegments().empty());
+  EXPECT_EQ(hl_->scrubber().stats().repairs, 1u);
+
+  // The repaired primary serves reads again (uncached, from the medium).
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  std::vector<uint8_t> out(data.size());
+  Result<size_t> n = hl_->fs().Read(ino_, 0, out);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ScrubTest, ScrubRecordsUnrecoverableLoss) {
+  auto data = Pattern(256 * 1024, 2);
+  uint32_t tseg = MigrateOneSegment(data, /*replicas=*/0);
+  ASSERT_NE(tseg, kNoSegment);
+  CorruptOnMedium(tseg);
+
+  // No replica anywhere: the scrubber records the loss instead of crashing.
+  Result<Scrubber::Report> report = hl_->scrubber().ScrubAll();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->repaired, 0u);
+  EXPECT_EQ(report->unrecoverable, 1u);
+  EXPECT_EQ(hl_->scrubber().LostSegments().count(tseg), 1u);
+
+  // The damage is contained: the read fails cleanly with a corruption
+  // error, and the rest of the system keeps working.
+  std::vector<uint8_t> out(data.size());
+  Result<size_t> n = hl_->fs().Read(ino_, 0, out);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), ErrorCode::kCorruption);
+  Result<uint32_t> other = hl_->fs().Create("/g");
+  ASSERT_TRUE(other.ok());
+  ASSERT_TRUE(hl_->fs().Write(*other, 0, Pattern(64 * 1024, 3)).ok());
+  ASSERT_TRUE(hl_->fs().Sync().ok());
+}
+
+TEST_F(ScrubTest, ScrubRebuildsCrcCatalogAfterRemount) {
+  auto data = Pattern(256 * 1024, 4);
+  uint32_t tseg = MigrateOneSegment(data, /*replicas=*/0);
+  ASSERT_NE(tseg, kNoSegment);
+
+  // The CRC catalog is in-core only: a crash + remount empties it.
+  ASSERT_TRUE(hl_->Remount().ok());
+  EXPECT_EQ(hl_->tseg_table().CrcCount(), 0u);
+
+  // A scrub pass verifies each image against the media's own summary
+  // checksums and restamps the catalog.
+  Result<Scrubber::Report> report = hl_->scrubber().ScrubAll();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->crcs_stamped, 0u);
+  EXPECT_EQ(report->unrecoverable, 0u);
+  EXPECT_GT(hl_->tseg_table().CrcCount(), 0u);
+
+  std::vector<uint8_t> out(data.size());
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  Result<size_t> n = hl_->fs().Read(ino_, 0, out);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(out, data);
+}
+
+TEST_F(ScrubTest, FetchFailsOverToReplica) {
+  auto data = Pattern(256 * 1024, 5);
+  uint32_t tseg = MigrateOneSegment(data, /*replicas=*/1);
+  ASSERT_NE(tseg, kNoSegment);
+
+  // Mount the primary's volume so source selection ranks it first (the
+  // replica's volume was mounted last by the migration)...
+  uint32_t volume = hl_->address_map().VolumeOfTseg(tseg);
+  std::vector<uint8_t> sector(4096);
+  ASSERT_TRUE(
+      hl_->footprint().Read(static_cast<int>(volume), 0, sector).ok());
+  // ...then kill it outright: every read on it fails from now on.
+  Result<Volume*> vol = hl_->footprint().GetVolume(static_cast<int>(volume));
+  ASSERT_TRUE(vol.ok());
+  FaultChannel* channel = hl_->faults().Find("volume." + (*vol)->label());
+  ASSERT_NE(channel, nullptr);
+  channel->KillAt(clock_.Now());
+
+  // The demand fetch exhausts its retries on the primary, then fails over
+  // to the replica and serves the data.
+  std::vector<uint8_t> out(data.size());
+  Result<size_t> n = hl_->fs().Read(ino_, 0, out);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(out, data);
+  EXPECT_GT(hl_->io_server().stats().failovers, 0u);
+  EXPECT_GT(hl_->io_server().stats().replica_reads, 0u);
+  // The repeated failures pushed the dead volume out of the healthy state.
+  EXPECT_NE(hl_->health().VolumeState(volume), HealthState::kHealthy);
+}
+
+TEST_F(ScrubTest, QuarantineExcludesVolumeFromMigrationTargets) {
+  // Land a first file somewhere, then quarantine that volume.
+  auto data = Pattern(256 * 1024, 6);
+  uint32_t tseg = MigrateOneSegment(data, /*replicas=*/0);
+  ASSERT_NE(tseg, kNoSegment);
+  uint32_t volume = hl_->address_map().VolumeOfTseg(tseg);
+
+  for (int i = 0; i < hl_->health().policy().quarantine_after; ++i) {
+    hl_->health().RecordVolumeFailure(volume);
+  }
+  ASSERT_EQ(hl_->health().VolumeState(volume), HealthState::kQuarantined);
+  ASSERT_EQ(hl_->health().QuarantinedVolumes().count(volume), 1u);
+
+  // New migrations must avoid the quarantined volume.
+  std::set<uint32_t> before;
+  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
+    if (!(hl_->tseg_table().Get(t).flags & kSegClean)) {
+      before.insert(t);
+    }
+  }
+  Result<uint32_t> ino = hl_->fs().Create("/g");
+  ASSERT_TRUE(ino.ok());
+  ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(256 * 1024, 7)).ok());
+  ASSERT_TRUE(hl_->MigratePath("/g").ok());
+  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
+    if ((hl_->tseg_table().Get(t).flags & kSegClean) || before.count(t)) {
+      continue;
+    }
+    EXPECT_NE(hl_->address_map().VolumeOfTseg(t), volume)
+        << "fresh tseg " << t << " landed on the quarantined volume";
+  }
+
+  // An operator reinstate clears the quarantine.
+  hl_->health().ReinstateVolume(volume);
+  EXPECT_EQ(hl_->health().VolumeState(volume), HealthState::kHealthy);
+  EXPECT_TRUE(hl_->health().QuarantinedVolumes().empty());
+
+  // Everything written is still readable and the image is sound.
+  ASSERT_TRUE(hl_->fs().Checkpoint().ok());
+  FsckReport report = CheckFs(hl_->fs());
+  EXPECT_TRUE(report.clean()) << (report.errors.empty() ? ""
+                                                        : report.errors[0]);
+}
+
+TEST_F(ScrubTest, LatentSectorErrorRepairedFromReplica) {
+  auto data = Pattern(256 * 1024, 8);
+  uint32_t tseg = MigrateOneSegment(data, /*replicas=*/1);
+  ASSERT_NE(tseg, kNoSegment);
+
+  // Plant a latent sector error inside the primary's extent: reads covering
+  // it fail with a media error until the extent is rewritten.
+  uint32_t volume = hl_->address_map().VolumeOfTseg(tseg);
+  Result<Volume*> vol = hl_->footprint().GetVolume(static_cast<int>(volume));
+  ASSERT_TRUE(vol.ok());
+  FaultChannel* channel = hl_->faults().Find("volume." + (*vol)->label());
+  ASSERT_NE(channel, nullptr);
+  channel->AddLatentError(
+      hl_->address_map().ByteOffsetOnVolume(tseg) + 4096, 512);
+
+  // The scrubber's read hits the bad sector, and the repair write (which
+  // remaps it) restores the segment from the replica.
+  Result<Scrubber::Report> report = hl_->scrubber().ScrubAll();
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->repaired, 1u);
+  EXPECT_EQ(channel->LatentErrorCount(), 0u);
+
+  ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
+  std::vector<uint8_t> out(data.size());
+  Result<size_t> n = hl_->fs().Read(ino_, 0, out);
+  ASSERT_TRUE(n.ok()) << n.status().ToString();
+  EXPECT_EQ(out, data);
+}
+
+}  // namespace
+}  // namespace hl

@@ -1,10 +1,14 @@
-// Unit tests for the utility layer: Status/Result, CRC32, serialization, RNG.
+// Unit tests for the utility layer: Status/Result, CRC32, serialization,
+// RNG, fault injection, and device health tracking.
 
 #include <gtest/gtest.h>
 
 #include <cstring>
 
+#include "sim/sim_clock.h"
 #include "util/crc32.h"
+#include "util/fault_injector.h"
+#include "util/health.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 #include "util/status.h"
@@ -129,6 +133,162 @@ TEST(RngTest, DoubleInUnitInterval) {
     EXPECT_GE(d, 0.0);
     EXPECT_LT(d, 1.0);
   }
+}
+
+TEST(FaultChannelTest, ZeroProfileNeverFaults) {
+  SimClock clock;
+  FaultInjector inj(&clock, 42);
+  FaultChannel* c = inj.Channel("disk.d0");
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(c->Decide(FaultOp::kRead, i * 4096, 4096), FaultOutcome::kNone);
+    EXPECT_EQ(c->Decide(FaultOp::kWrite, i * 4096, 4096), FaultOutcome::kNone);
+  }
+  EXPECT_EQ(inj.stats().transients, 0u);
+}
+
+TEST(FaultChannelTest, FailNextOpsCountsDown) {
+  SimClock clock;
+  FaultInjector inj(&clock, 42);
+  FaultChannel* c = inj.Channel("disk.d0");
+  c->FailNextOps(2);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 16), FaultOutcome::kTransient);
+  EXPECT_EQ(c->Decide(FaultOp::kWrite, 0, 16), FaultOutcome::kTransient);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 16), FaultOutcome::kNone);
+  EXPECT_EQ(inj.stats().transients, 2u);
+}
+
+TEST(FaultChannelTest, WindowAndKillSwitch) {
+  SimClock clock;
+  FaultInjector inj(&clock, 42);
+  FaultChannel* c = inj.Channel("jukebox.j0");
+  c->FailBetween(100, 200);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 16), FaultOutcome::kNone);
+  clock.Advance(150);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 16), FaultOutcome::kTransient);
+  clock.Advance(100);  // Past the window.
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 16), FaultOutcome::kNone);
+  c->KillAt(clock.Now() + 50);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 16), FaultOutcome::kNone);
+  clock.Advance(50);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 16), FaultOutcome::kDeviceDown);
+  EXPECT_EQ(c->Decide(FaultOp::kWrite, 0, 16), FaultOutcome::kDeviceDown);
+  EXPECT_TRUE(c->dead());
+}
+
+TEST(FaultChannelTest, LatentErrorsHitReadsUntilOverwritten) {
+  SimClock clock;
+  FaultInjector inj(&clock, 42);
+  FaultChannel* c = inj.Channel("volume.v0");
+  c->AddLatentError(1000, 100);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 1000), FaultOutcome::kNone);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 1050, 16), FaultOutcome::kMediaError);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 0, 4096), FaultOutcome::kMediaError);
+  // A write covering the extent remaps the bad sectors.
+  c->NoteWrite(900, 400);
+  EXPECT_EQ(c->LatentErrorCount(), 0u);
+  EXPECT_EQ(c->Decide(FaultOp::kRead, 1050, 16), FaultOutcome::kNone);
+}
+
+TEST(FaultChannelTest, ProbabilisticFaultsAreSeedDeterministic) {
+  auto roll = [](uint64_t seed) {
+    SimClock clock;
+    FaultInjector inj(&clock, seed);
+    FaultChannel* c = inj.Channel("disk.d0");
+    FaultProfile p;
+    p.read_transient_p = 0.3;
+    c->set_profile(p);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(c->Decide(FaultOp::kRead, 0, 16) !=
+                         FaultOutcome::kNone);
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(roll(7), roll(7));
+  EXPECT_NE(roll(7), roll(8));
+}
+
+TEST(FaultChannelTest, ChannelStreamsIndependentOfCreationOrder) {
+  SimClock clock;
+  FaultProfile p;
+  p.read_transient_p = 0.5;
+  auto sample = [&](FaultChannel* c) {
+    std::vector<bool> v;
+    for (int i = 0; i < 32; ++i) {
+      v.push_back(c->Decide(FaultOp::kRead, 0, 16) != FaultOutcome::kNone);
+    }
+    return v;
+  };
+  FaultInjector a(&clock, 9);
+  a.Channel("disk.d0")->set_profile(p);
+  a.Channel("disk.d1")->set_profile(p);
+  FaultInjector b(&clock, 9);
+  b.Channel("disk.d1")->set_profile(p);
+  b.Channel("disk.d0")->set_profile(p);
+  EXPECT_EQ(sample(a.Channel("disk.d0")), sample(b.Channel("disk.d0")));
+  EXPECT_EQ(sample(a.Channel("disk.d1")), sample(b.Channel("disk.d1")));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsAndSaturates) {
+  RetryPolicy p;
+  p.backoff_us = 1000;
+  p.backoff_multiplier = 4.0;
+  p.max_backoff_us = 10'000;
+  EXPECT_EQ(p.BackoffFor(1), 1000u);
+  EXPECT_EQ(p.BackoffFor(2), 4000u);
+  EXPECT_EQ(p.BackoffFor(3), 10'000u);  // Capped.
+  EXPECT_EQ(p.BackoffFor(10), 10'000u);
+}
+
+TEST(HealthRegistryTest, FailuresEscalateAndSuccessesHeal) {
+  HealthPolicy policy;
+  policy.suspect_after = 2;
+  policy.quarantine_after = 4;
+  policy.heal_after = 2;
+  HealthRegistry health(policy);
+
+  EXPECT_EQ(health.VolumeState(0), HealthState::kHealthy);
+  health.RecordVolumeFailure(0);
+  EXPECT_EQ(health.VolumeState(0), HealthState::kHealthy);
+  health.RecordVolumeFailure(0);
+  EXPECT_EQ(health.VolumeState(0), HealthState::kSuspect);
+
+  // Consecutive successes heal a suspect back to healthy.
+  health.RecordVolumeSuccess(0);
+  health.RecordVolumeSuccess(0);
+  EXPECT_EQ(health.VolumeState(0), HealthState::kHealthy);
+
+  // Enough consecutive failures quarantine, and quarantine is sticky.
+  for (int i = 0; i < policy.quarantine_after; ++i) {
+    health.RecordVolumeFailure(0);
+  }
+  EXPECT_EQ(health.VolumeState(0), HealthState::kQuarantined);
+  EXPECT_EQ(health.QuarantinedVolumes().count(0), 1u);
+  for (int i = 0; i < 10; ++i) {
+    health.RecordVolumeSuccess(0);
+  }
+  EXPECT_EQ(health.VolumeState(0), HealthState::kQuarantined);
+
+  // Only an explicit reinstate clears it.
+  health.ReinstateVolume(0);
+  EXPECT_EQ(health.VolumeState(0), HealthState::kHealthy);
+  EXPECT_TRUE(health.QuarantinedVolumes().empty());
+  EXPECT_EQ(health.stats().quarantines, 1u);
+  EXPECT_EQ(health.stats().reinstatements, 1u);
+}
+
+TEST(HealthRegistryTest, SuccessResetsTheFailureStreak) {
+  HealthPolicy policy;
+  policy.suspect_after = 2;
+  policy.quarantine_after = 3;
+  HealthRegistry health(policy);
+  for (int i = 0; i < 10; ++i) {
+    health.RecordVolumeFailure(1);
+    health.RecordVolumeSuccess(1);
+  }
+  // Alternating failures never build a streak: still healthy.
+  EXPECT_EQ(health.VolumeState(1), HealthState::kHealthy);
+  EXPECT_TRUE(health.QuarantinedVolumes().empty());
 }
 
 }  // namespace

@@ -16,7 +16,10 @@
 #include "sim/sim_clock.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/span.h"
 #include "util/status.h"
+#include "util/timeseries.h"
+#include "util/trace.h"
 
 namespace hl::bench {
 
@@ -130,6 +133,24 @@ class JsonReport {
     snapshots_.emplace_back(label, snap.ToJson(4));
   }
 
+  // Embeds the ring's full surviving event window under trace.<label>.
+  void Trace(const std::string& label, const TraceRing& ring) {
+    traces_.emplace_back(label, ring.ToJson(ring.capacity()));
+  }
+
+  // Accumulates one Perfetto timeline process per call: the configuration's
+  // completed spans (one thread lane per device/daemon track) plus its
+  // sampled series as counter tracks. Write() emits the combined document
+  // as TRACE_<name>.json next to the BENCH json.
+  void Timeline(const std::string& label, const SpanTracer& spans,
+                const TimeSeriesSampler* series = nullptr) {
+    const int pid = ++timeline_pids_;
+    AppendPerfettoSpanEvents(spans, pid, label, &timeline_events_);
+    if (series != nullptr) {
+      AppendPerfettoCounterEvents(*series, pid, &timeline_events_);
+    }
+  }
+
   // Writes BENCH_<name>.json in the current directory.
   void Write() const {
     std::string path = "BENCH_" + name_ + ".json";
@@ -159,9 +180,28 @@ class JsonReport {
       std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
                    Quoted(snapshots_[i].first).c_str(), indented.c_str());
     }
+    std::fprintf(f, "\n  },\n  \"trace\": {");
+    for (size_t i = 0; i < traces_.size(); ++i) {
+      std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
+                   Quoted(traces_[i].first).c_str(),
+                   traces_[i].second.c_str());
+    }
     std::fprintf(f, "\n  }\n}\n");
     std::fclose(f);
     std::printf("  wrote %s\n", path.c_str());
+
+    if (!timeline_events_.empty()) {
+      const std::string timeline = PerfettoTraceJson(timeline_events_);
+      std::string tpath = "TRACE_" + name_ + ".json";
+      std::FILE* tf = std::fopen(tpath.c_str(), "w");
+      if (tf == nullptr) {
+        std::fprintf(stderr, "warning: cannot write %s\n", tpath.c_str());
+        return;
+      }
+      std::fwrite(timeline.data(), 1, timeline.size(), tf);
+      std::fclose(tf);
+      std::printf("  wrote %s\n", tpath.c_str());
+    }
   }
 
  private:
@@ -172,6 +212,9 @@ class JsonReport {
   std::string name_;
   std::vector<std::pair<std::string, std::string>> values_;
   std::vector<std::pair<std::string, std::string>> snapshots_;
+  std::vector<std::pair<std::string, std::string>> traces_;
+  std::string timeline_events_;
+  int timeline_pids_ = 0;
 };
 
 inline void Die(const Status& status, const char* what) {

@@ -116,6 +116,8 @@ Delay MeasureHighLight(size_t bytes, bool drop_cache,
     DieOr(hl->fs().Read(ino, off, out), "read");
   });
   report.Snapshot(label, hl->Metrics());
+  report.Trace(label, hl->trace());
+  report.Timeline(label, hl->spans(), &hl->timeseries());
   return d;
 }
 

@@ -78,6 +78,8 @@ ConfigResult RunConfig(const std::optional<DiskProfile>& staging,
     result.contention_kbps =
         bench::KBpsValue(mr.bytes_migrated, clock.Now() - t0);
     report.Snapshot(label + "_contention", hl->Metrics());
+    report.Trace(label + "_contention", hl->trace());
+    report.Timeline(label + "_contention", hl->spans(), &hl->timeseries());
   }
 
   // No-contention phase: stage everything first (delayed copy-out), then
@@ -101,6 +103,8 @@ ConfigResult RunConfig(const std::optional<DiskProfile>& staging,
     result.overall_kbps =
         bench::KBpsValue(mr.bytes_migrated, stage_elapsed + drain);
     report.Snapshot(label + "_no_contention", hl->Metrics());
+    report.Trace(label + "_no_contention", hl->trace());
+    report.Timeline(label + "_no_contention", hl->spans(), &hl->timeseries());
   }
   return result;
 }
@@ -139,8 +143,10 @@ ModeResult RunMode(bool write_behind, bench::JsonReport& report) {
   result.media_swaps = hl->footprint().TotalMediaSwaps();
   result.backpressure_stalls = hl->io_server().stats().backpressure_stalls;
   result.fsck_clean = CheckFs(hl->fs()).clean();
-  report.Snapshot(write_behind ? "write_behind" : "synchronous",
-                  hl->Metrics());
+  const std::string mode = write_behind ? "write_behind" : "synchronous";
+  report.Snapshot(mode, hl->Metrics());
+  report.Trace(mode, hl->trace());
+  report.Timeline(mode, hl->spans(), &hl->timeseries());
   return result;
 }
 

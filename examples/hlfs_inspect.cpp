@@ -13,6 +13,12 @@
 //   --health    exercise the fault path (injected transients, a media
 //               scribble, a scrub pass) and dump device/volume health,
 //               fault-channel state, and the retry/scrub counters
+//   --spans     corrupt the preferred copy of a replicated segment, demand-
+//               fetch it (CRC mismatch -> retries -> failover -> install),
+//               and print the causal span tree plus the slowest spans
+//   --timeline  dump the time-series telemetry and write the combined
+//               span + counter timeline as TRACE_hlfs_inspect.json
+//               (loadable in ui.perfetto.dev or chrome://tracing)
 
 #include <cstdio>
 #include <cstring>
@@ -66,6 +72,8 @@ int main(int argc, char** argv) {
   bool dump_metrics = false;
   bool dump_trace = false;
   bool dump_health = false;
+  bool dump_spans = false;
+  bool dump_timeline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
@@ -73,8 +81,14 @@ int main(int argc, char** argv) {
       dump_trace = true;
     } else if (std::strcmp(argv[i], "--health") == 0) {
       dump_health = true;
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      dump_spans = true;
+    } else if (std::strcmp(argv[i], "--timeline") == 0) {
+      dump_timeline = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--metrics] [--trace] [--health]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--metrics] [--trace] [--health] [--spans] "
+                   "[--timeline]\n",
                    argv[0]);
       return 2;
     }
@@ -299,11 +313,106 @@ int main(int argc, char** argv) {
                 hl->scrubber().LostSegments().size());
   }
 
+  if (dump_spans) {
+    // One complete span tree for the hard case: the copy the I/O server
+    // prefers is corrupt, so the demand fetch shows CRC verification
+    // failing, the bounded retries, the failover to the surviving copy and
+    // the final cache-line install — all as children of one fetch.
+    uint32_t f3 = Check(hl->fs().LookupPath("/proj/file3"), "lookup");
+    MigratorOptions opts;
+    opts.replicas = 1;
+    Check(hl->migrator().MigrateFiles({f3}, opts).status(), "migrate");
+
+    auto refs = Check(hl->fs().CollectFileBlocks(f3), "collect blocks");
+    uint32_t primary = kNoSegment;
+    for (const BlockRef& r : refs) {
+      if (r.lbn == 0 && r.daddr != kNoBlock) {
+        primary = hl->address_map().TsegOf(r.daddr);
+        break;
+      }
+    }
+    if (primary == kNoSegment) {
+      std::fprintf(stderr, "spans: file3 block 0 not tertiary-resident\n");
+      return 1;
+    }
+    // The fetch tries the "closest" copy first (a mounted volume beats a
+    // media swap); corrupt exactly that one so the failover must happen.
+    std::vector<uint32_t> candidates = {primary};
+    for (uint32_t replica : hl->tseg_table().ReplicasOf(primary)) {
+      candidates.push_back(replica);
+    }
+    uint32_t victim = candidates.front();
+    for (uint32_t candidate : candidates) {
+      auto mounted = hl->footprint().VolumeMounted(
+          static_cast<int>(hl->address_map().VolumeOfTseg(candidate)));
+      if (mounted.ok() && *mounted) {
+        victim = candidate;
+        break;
+      }
+    }
+    uint32_t vol = hl->address_map().VolumeOfTseg(victim);
+    Volume* medium = Check(hl->footprint().GetVolume(vol), "volume");
+    std::vector<uint8_t> junk(kBlockSize, 0xA5);
+    Check(medium->Write(hl->address_map().ByteOffsetOnVolume(victim), junk),
+          "scribble");
+    // Drop the cache last: CollectFileBlocks may itself demand-fault the
+    // segment back in, and a resident line would turn the read below into a
+    // cache hit instead of the faulted fetch this dump exists to show.
+    Check(hl->DropCleanCacheLines(), "drop cache lines");
+
+    hl->spans().Clear();  // Keep the dump to this one access.
+    std::vector<uint8_t> buf(4096);
+    Check(hl->fs().Read(f3, 0, buf).status(), "demand fetch");
+
+    std::printf("\n=== causal span tree (corrupt tseg %u, served by %s) ===\n",
+                victim, victim == primary ? "replica" : "primary");
+    std::printf("%s", RenderSpanForest(hl->spans().Completed()).c_str());
+    std::printf("\n=== slowest spans ===\n");
+    for (const SpanRecord& s : hl->spans().Slowest(10)) {
+      std::printf("  %-18s [%-14s] %10llu us @%llu\n", s.name.c_str(),
+                  s.track.c_str(),
+                  static_cast<unsigned long long>(s.duration_us()),
+                  static_cast<unsigned long long>(s.begin_us));
+    }
+  }
+
+  if (dump_timeline) {
+    std::printf("\n=== time-series telemetry (cadence %llu us) ===\n",
+                static_cast<unsigned long long>(
+                    hl->timeseries().cadence_us()));
+    for (const std::string& name : hl->timeseries().SeriesNames()) {
+      const auto& points = hl->timeseries().Series(name);
+      if (points.empty()) {
+        std::printf("  %-32s (no samples)\n", name.c_str());
+        continue;
+      }
+      std::printf("  %-32s %zu samples, last=%lld @%llus\n", name.c_str(),
+                  points.size(), static_cast<long long>(points.back().value),
+                  static_cast<unsigned long long>(points.back().t_us /
+                                                  kUsPerSec));
+    }
+    std::string events;
+    AppendPerfettoSpanEvents(hl->spans(), /*pid=*/1, "hlfs_inspect", &events);
+    AppendPerfettoCounterEvents(hl->timeseries(), /*pid=*/1, &events);
+    const std::string timeline = PerfettoTraceJson(events);
+    const char* path = "TRACE_hlfs_inspect.json";
+    FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path);
+      return 1;
+    }
+    std::fwrite(timeline.data(), 1, timeline.size(), out);
+    std::fclose(out);
+    std::printf("  wrote %s (%zu bytes)\n", path, timeline.size());
+  }
+
   if (dump_metrics) {
     std::printf("\n=== metrics ===\n%s\n", hl->Metrics().ToJson().c_str());
   }
   if (dump_trace) {
-    std::printf("\n=== trace ===\n%s\n", hl->trace().ToJson().c_str());
+    // Full surviving window (explicit cap = everything the ring still holds).
+    std::printf("\n=== trace ===\n%s\n",
+                hl->trace().ToJson(hl->trace().capacity()).c_str());
   }
   return report.clean() ? 0 : 1;
 }

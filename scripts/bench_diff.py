@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Diff a bench run's headline values against a committed baseline.
+
+Usage: bench_diff.py ACTUAL_BENCH_JSON BASELINE_JSON [--rtol FRACTION]
+
+Compares the "values" section of a freshly-written BENCH_<name>.json against
+a committed baseline (bench/baselines/<name>.json). Keys must match in both
+directions — a value that appears or disappears is drift, not noise. Numeric
+values compare within a relative tolerance band (--rtol, default 0: the
+simulation is deterministic, so bit-identical is the expectation; the band
+exists for deliberate timing-model changes, where a loosened one-off run
+beats silently re-baselining). Strings compare exactly.
+
+Exit status: 0 on match, 1 on drift, 2 on usage/IO errors.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_values(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot load {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if "values" not in doc or not isinstance(doc["values"], dict):
+        print(f"bench_diff: {path} has no \"values\" object", file=sys.stderr)
+        sys.exit(2)
+    return doc.get("bench", "?"), doc["values"]
+
+
+def numeric(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff bench headline values against a baseline.")
+    parser.add_argument("actual", help="BENCH_<name>.json from a fresh run")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument("--rtol", type=float, default=0.0,
+                        help="relative tolerance for numeric values "
+                             "(default 0: exact)")
+    args = parser.parse_args()
+
+    bench, actual = load_values(args.actual)
+    _, baseline = load_values(args.baseline)
+
+    drift = []
+    for key in sorted(set(actual) | set(baseline)):
+        if key not in actual:
+            drift.append(f"missing from run:      {key} "
+                         f"(baseline: {baseline[key]!r})")
+            continue
+        if key not in baseline:
+            drift.append(f"missing from baseline: {key} "
+                         f"(run: {actual[key]!r})")
+            continue
+        a, b = actual[key], baseline[key]
+        if numeric(a) and numeric(b):
+            bound = args.rtol * max(abs(a), abs(b))
+            if abs(a - b) > bound:
+                rel = abs(a - b) / max(abs(b), 1e-12)
+                drift.append(f"value drift:           {key}: {b!r} -> {a!r} "
+                             f"(rel {rel:.2e}, rtol {args.rtol:.2e})")
+        elif a != b:
+            drift.append(f"value drift:           {key}: {b!r} -> {a!r}")
+
+    if drift:
+        print(f"bench_diff: {bench}: {len(drift)} drift(s) vs "
+              f"{args.baseline}:")
+        for line in drift:
+            print(f"  {line}")
+        return 1
+    print(f"bench_diff: {bench}: {len(actual)} values match "
+          f"{args.baseline} (rtol {args.rtol:g})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,5 +31,20 @@ if [[ $fast -eq 0 ]]; then
   # dedicated pass under the sanitizers: memory bugs love error paths.
   echo "==> fault-label tests (asan)"
   ctest --preset asan -L fault -j "$jobs"
+  # The observability surface (spans, sampler, exporters) likewise: the
+  # tracer's unwind and ring-eviction paths are where lifetime bugs hide.
+  echo "==> observability-label tests (asan)"
+  ctest --preset asan -L observability -j "$jobs"
 fi
+
+# Bench smoke: the cheapest bench (raw device rates, ~1 s) runs end to end
+# and its headline values must match the committed baseline bit-for-bit —
+# observation code must never perturb the simulation.
+echo "==> bench smoke (table5 vs baseline)"
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+cmake --build --preset default --target table5_raw_devices -j "$jobs" >/dev/null
+(cd "$smoke_dir" && "$OLDPWD"/build/bench/table5_raw_devices >/dev/null)
+python3 scripts/bench_diff.py "$smoke_dir"/BENCH_table5_raw_devices.json \
+  bench/baselines/table5_raw_devices.json
 echo "All checks passed."

@@ -17,6 +17,9 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
   auto hl = std::unique_ptr<HighLightFs>(new HighLightFs());
   hl->clock_ = clock;
   hl->trace_ = std::make_unique<TraceRing>(clock);
+  hl->spans_ = std::make_unique<SpanTracer>(clock, config.span_capacity);
+  hl->timeseries_ = std::make_unique<TimeSeriesSampler>(
+      config.timeseries_cadence_us, config.timeseries_capacity);
   hl->faults_ = std::make_unique<FaultInjector>(clock, config.fault_seed);
   hl->faults_->AttachMetrics(&hl->metrics_, Tracer(hl->trace_.get()));
   hl->health_ = std::make_unique<HealthRegistry>(config.health);
@@ -52,6 +55,7 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
     hl->jukeboxes_.back()->AttachMetrics(&hl->metrics_,
                                          Tracer(hl->trace_.get()));
     hl->jukeboxes_.back()->AttachFaults(hl->faults_.get());
+    hl->jukeboxes_.back()->SetSpans(hl->spans_.get());
     jukeboxes.push_back(hl->jukeboxes_.back().get());
     uint32_t per_volume =
         spec.segs_per_volume != 0
@@ -103,8 +107,66 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
   hl->io_server_->AttachMetrics(&hl->metrics_, Tracer(hl->trace_.get()));
   hl->io_server_->set_retry_policy(hl->retry_policy_);
   hl->io_server_->SetHealth(hl->health_.get());
+  hl->io_server_->SetSpans(hl->spans_.get());
   RETURN_IF_ERROR(hl->WireFsComponents());
+
+  // Time-series probes. They only *read* component state and must survive
+  // Remount's teardown window (Lfs::Mount advances the clock while cache_
+  // and friends are reset), hence the null checks.
+  HighLightFs* self = hl.get();
+  const auto permille = [](uint64_t part, uint64_t whole) -> int64_t {
+    return whole == 0 ? 0 : static_cast<int64_t>(part * 1000 / whole);
+  };
+  hl->timeseries_->AddSeries("cache.used_lines", [self]() -> int64_t {
+    return self->cache_ ? self->cache_->Used() : 0;
+  });
+  hl->timeseries_->AddSeries("cache.hit_permille", [self,
+                                                    permille]() -> int64_t {
+    if (!self->cache_) {
+      return 0;
+    }
+    const SegmentCache::Stats s = self->cache_->Snapshot();
+    return permille(s.hits, s.hits + s.misses);
+  });
+  hl->timeseries_->AddSeries("io.queue_depth", [self]() -> int64_t {
+    return self->io_server_
+               ? static_cast<int64_t>(self->io_server_->QueueDepth())
+               : 0;
+  });
+  hl->timeseries_->AddSeries("service.demand_fetches", [self]() -> int64_t {
+    return self->service_ ? static_cast<int64_t>(
+                                self->service_->stats().demand_fetches)
+                          : 0;
+  });
+  for (size_t i = 0; i < hl->disks_.size(); ++i) {
+    hl->timeseries_->AddSeries(
+        "disk." + hl->disks_[i]->Name() + ".busy_permille",
+        [self, i, permille]() -> int64_t {
+          return i < self->disks_.size()
+                     ? permille(self->disks_[i]->busy_time(),
+                                self->clock_->Now())
+                     : 0;
+        });
+  }
+  for (size_t i = 0; i < hl->jukeboxes_.size(); ++i) {
+    hl->timeseries_->AddSeries(
+        "jukebox." + hl->jukeboxes_[i]->profile().name + ".busy_permille",
+        [self, i, permille]() -> int64_t {
+          return i < self->jukeboxes_.size()
+                     ? permille(self->jukeboxes_[i]->busy_time(),
+                                self->clock_->Now())
+                     : 0;
+        });
+  }
+  clock->SetTickHook(
+      [self](SimTime now) { self->timeseries_->Poll(now); });
   return hl;
+}
+
+HighLightFs::~HighLightFs() {
+  if (clock_ != nullptr) {
+    clock_->SetTickHook(nullptr);
+  }
 }
 
 Status HighLightFs::WireFsComponents() {
@@ -112,6 +174,7 @@ Status HighLightFs::WireFsComponents() {
   cache_ = std::make_unique<SegmentCache>(fs_.get(), cache_replacement_);
   RETURN_IF_ERROR(cache_->Init());
   cache_->AttachMetrics(&metrics_, tracer);
+  cache_->SetSpans(spans_.get());
   blockmap_->SetCache(cache_.get());
   blockmap_->AttachMetrics(&metrics_, tracer);
 
@@ -138,6 +201,7 @@ Status HighLightFs::WireFsComponents() {
   service_ = std::make_unique<ServiceProcess>(cache_.get(), io_server_.get(),
                                               clock_);
   service_->AttachMetrics(&metrics_, tracer);
+  service_->SetSpans(spans_.get());
   service_->set_sequential_readahead(sequential_readahead_);
   // Read-ahead only chases segments that exist, hold data, and are primaries
   // (replica tsegs are never addressed by file pointers).
@@ -157,6 +221,7 @@ Status HighLightFs::WireFsComponents() {
                                          tsegs_.get(), amap_.get(), clock_);
   migrator_->AttachMetrics(&metrics_, tracer);
   migrator_->SetHealth(health_.get());
+  migrator_->SetSpans(spans_.get());
   // A remount mid-delayed-copyout leaves staging lines whose segments the
   // new migrator instance must still copy out.
   RETURN_IF_ERROR(migrator_->RecoverStaging());

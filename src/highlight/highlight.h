@@ -37,6 +37,8 @@
 #include "util/fault_injector.h"
 #include "util/health.h"
 #include "util/metrics.h"
+#include "util/span.h"
+#include "util/timeseries.h"
 #include "util/trace.h"
 
 namespace hl {
@@ -78,6 +80,15 @@ struct HighLightConfig {
   RetryPolicy retry;
   // Failure thresholds for the healthy -> suspect -> quarantined machine.
   HealthPolicy health;
+
+  // Observability. Completed causal spans kept in the tracer's window.
+  size_t span_capacity = 4096;
+  // Gauge-sampling cadence for the time-series telemetry (0 disables);
+  // default one sample per simulated second. Points kept per series are
+  // bounded by timeseries_capacity. Sampling only reads state, so bench
+  // results are bit-identical at any cadence.
+  SimTime timeseries_cadence_us = kUsPerSec;
+  size_t timeseries_capacity = 4096;
 };
 
 // The unified migration request: one entry point covering whole-subtree
@@ -164,6 +175,17 @@ class HighLightFs {
   TraceRing& trace() { return *trace_; }
   MetricsSnapshot Metrics();
 
+  // Causal span tracer shared by every daemon and device: one span tree per
+  // demand fetch / migration, exportable as a Perfetto timeline. Survives
+  // Remount (rebuilt components re-attach to it).
+  SpanTracer& spans() { return *spans_; }
+  // Time-series telemetry: gauges sampled on a fixed sim-time cadence via
+  // the clock's tick hook (cadence 0 in the config disables sampling).
+  TimeSeriesSampler& timeseries() { return *timeseries_; }
+
+  // Detaches the clock tick hook installed at Create() time.
+  ~HighLightFs();
+
  private:
   HighLightFs() = default;
   // Builds the Lfs-dependent components (cache, tseg table, daemons).
@@ -203,6 +225,8 @@ class HighLightFs {
   bool sequential_readahead_ = false;
   MetricsRegistry metrics_;
   std::unique_ptr<TraceRing> trace_;
+  std::unique_ptr<SpanTracer> spans_;
+  std::unique_ptr<TimeSeriesSampler> timeseries_;
 };
 
 }  // namespace hl

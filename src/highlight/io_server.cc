@@ -93,8 +93,13 @@ Status IoServer::RetrySync(uint32_t tseg, uint32_t volume,
                            const std::function<Status()>& attempt) {
   Status s = OkStatus();
   for (int try_no = 1; try_no <= retry_.max_attempts; ++try_no) {
+    SpanScope retry;  // Covers backoff + re-attempt from the second try on.
     if (try_no > 1) {
       const SimTime backoff = retry_.BackoffFor(try_no - 1);
+      retry = SpanScope(spans_, "retry", "io");
+      retry.Annotate("tseg", std::to_string(tseg));
+      retry.Annotate("attempt", std::to_string(try_no - 1));
+      retry.Annotate("backoff_us", std::to_string(backoff));
       stats_.retries++;
       stats_.retry_backoff_us += backoff;
       tracer_.Record(TraceEvent::kRetry, tseg,
@@ -150,6 +155,8 @@ Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
   const uint64_t seg_bytes = amap_->SegBytes();
   std::vector<uint8_t> buf(seg_bytes);
 
+  SpanScope fetch(spans_, "fetch", "io");
+  fetch.Annotate("tseg", std::to_string(tseg));
   const SimTime fetch_start = clock_->Now();
   std::vector<uint32_t> candidates = SourceCandidates(tseg);
   uint32_t served_from = tseg;
@@ -157,9 +164,12 @@ Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
       IoError("tseg " + std::to_string(tseg) + ": no tertiary copy");
   bool got = false;
   for (size_t i = 0; i < candidates.size(); ++i) {
+    SpanScope failover;  // Each extra source tried is a failover child.
     if (i > 0) {
       stats_.failovers++;
       tracer_.Record(TraceEvent::kFailover, tseg, candidates[i]);
+      failover = SpanScope(spans_, "failover", "io");
+      failover.Annotate("source", std::to_string(candidates[i]));
     }
     last = ReadTertiaryCopy(candidates[i], buf);
     if (last.ok()) {
@@ -173,16 +183,20 @@ Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
   }
   if (served_from != tseg) {
     stats_.replica_reads++;
+    fetch.Annotate("served_from", std::to_string(served_from));
   }
 
   // Memory copy out of the transfer buffer, then a raw write to the cache
   // line (the paper's extra-copies path).
+  SpanScope install(spans_, "install", "io");
+  install.Annotate("disk_seg", std::to_string(disk_seg));
   SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
   clock_->Advance(copy);
   SimTime t0 = clock_->Now();
   RETURN_IF_ERROR(raw_disk_->WriteBlocks(DiskSegFirstBlock(disk_seg),
                                          seg_size_blocks_, buf));
   phases_.Add("ioserver", clock_->Now() - t0 + copy);
+  install = SpanScope();  // Close before the fetch-level bookkeeping.
 
   stats_.segments_fetched++;
   stats_.bytes_fetched += seg_bytes;
@@ -195,6 +209,8 @@ Status IoServer::CopyOutSegment(uint32_t tseg, uint32_t disk_seg) {
   const uint64_t seg_bytes = amap_->SegBytes();
   std::vector<uint8_t> buf(seg_bytes);
 
+  SpanScope span(spans_, "copyout", "io");
+  span.Annotate("tseg", std::to_string(tseg));
   SimTime t0 = clock_->Now();
   RETURN_IF_ERROR(raw_disk_->ReadBlocks(DiskSegFirstBlock(disk_seg),
                                         seg_size_blocks_, buf));
@@ -238,6 +254,9 @@ Status IoServer::EnqueueReplicaWrite(uint32_t tseg, uint32_t disk_seg,
 }
 
 Status IoServer::Enqueue(PendingOp op) {
+  if (spans_ != nullptr) {
+    op.ctx = spans_->Capture();
+  }
   queue_.push_back(std::move(op));
   stats_.ops_enqueued++;
   stats_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
@@ -320,6 +339,15 @@ Status IoServer::IssueOne(PendingOp& op) {
   const uint64_t seg_bytes = amap_->SegBytes();
   std::vector<uint8_t> buf(seg_bytes);
 
+  // The issue-time span is a child of the *enqueue-time* context, not of
+  // whatever span happens to be open now (often a later drain): causality
+  // follows the queued request across the asynchronous hand-off.
+  SpanScope issue(spans_, op.ctx.span,
+                  op.kind == OpKind::kReplicaWrite ? "issue_replica_write"
+                                                   : "issue_copyout",
+                  "io");
+  issue.Annotate("tseg", std::to_string(op.tseg));
+
   // The staging-line read and memory copy still run synchronously — they
   // contend for the disk arm (the reason delayed copy-out exists at all).
   const SimTime issue_start = clock_->Now();
@@ -355,6 +383,12 @@ Status IoServer::IssueOne(PendingOp& op) {
     stats_.retry_backoff_us += backoff;
     tracer_.Record(TraceEvent::kRetry, op.tseg,
                    static_cast<uint64_t>(try_no));
+    if (spans_ != nullptr) {
+      // The backoff happens in the device's future, not on the caller's
+      // clock — record it as a pre-timed span on the issue branch.
+      spans_->AddComplete("retry", "io", issue.id(), earliest,
+                          earliest + backoff);
+    }
     earliest += backoff;
     end = footprint_->ScheduleWrite(earliest, static_cast<int>(volume),
                                     offset, buf);
@@ -374,6 +408,10 @@ Status IoServer::IssueOne(PendingOp& op) {
   if (crc_store_) {
     crc_store_(op.tseg, Crc32(buf));
   }
+  if (spans_ != nullptr) {
+    spans_->AddComplete("tertiary_write", "tertiary", issue.id(), earliest,
+                        *end);
+  }
   phases_.Add("footprint", *end - t0);
   outstanding_.insert(*end);
   pipeline_busy_until_ = std::max(pipeline_busy_until_, *end);
@@ -388,6 +426,7 @@ Status IoServer::IssueOne(PendingOp& op) {
 
 Status IoServer::Drain() {
   stats_.drains++;
+  SpanScope span(spans_, "drain", "io");
   Status first = OkStatus();
   while (!queue_.empty()) {
     Status s = IssueNext();  // Callbacks may enqueue more; loop re-checks.
@@ -415,6 +454,8 @@ size_t IoServer::Outstanding() const {
 
 Status IoServer::SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
                                   PrefetchDone done) {
+  SpanScope span(spans_, "prefetch_read", "io");
+  span.Annotate("tseg", std::to_string(tseg));
   uint32_t source = PickSource(tseg);
   uint32_t volume = amap_->VolumeOfTseg(source);
   uint64_t offset = amap_->ByteOffsetOnVolume(source);
@@ -440,6 +481,9 @@ Status IoServer::SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
     }
     return crc;
   }
+  if (spans_ != nullptr) {
+    spans_->AddComplete("tertiary_read", "tertiary", span.id(), t0, *end);
+  }
   phases_.Add("footprint", *end - t0);
   stats_.prefetches_scheduled++;
   tracer_.Record(TraceEvent::kPrefetch, tseg, *end - t0);
@@ -451,6 +495,8 @@ Status IoServer::SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
 
 Status IoServer::InstallSegment(uint32_t disk_seg,
                                 std::span<const uint8_t> bytes) {
+  SpanScope span(spans_, "install", "io");
+  span.Annotate("disk_seg", std::to_string(disk_seg));
   const uint64_t seg_bytes = amap_->SegBytes();
   SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
   clock_->Advance(copy);

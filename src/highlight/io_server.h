@@ -39,6 +39,7 @@
 #include "util/fault_injector.h"
 #include "util/health.h"
 #include "util/metrics.h"
+#include "util/span.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -169,6 +170,12 @@ class IoServer {
   // queue_stall / end_of_medium trace events through `tracer`.
   void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
+  // Causal span tracing on the "io" lane: fetch with retry / failover /
+  // install children, sync + queued copy-outs (queued ops capture the
+  // enqueuer's TraceContext so issue-time spans keep their causal parent),
+  // prefetch reads and drains. Null disables.
+  void SetSpans(SpanTracer* spans) { spans_ = spans; }
+
   // Extra per-byte CPU cost of the user-space staging copies (tertiary <->
   // memory <-> raw disk). Default models a ~10 MB/s memcpy on the testbed.
   void set_cpu_copy_us_per_mb(SimTime us) { cpu_copy_us_per_mb_ = us; }
@@ -181,6 +188,9 @@ class IoServer {
     uint32_t tseg;
     uint32_t disk_seg;
     Completion done;
+    // Enqueue-time span context; the issue-time span is begun under it so
+    // write-behind work stays causally attached to whoever queued it.
+    TraceContext ctx;
   };
 
   uint32_t DiskSegFirstBlock(uint32_t disk_seg) const {
@@ -234,6 +244,7 @@ class IoServer {
   Histogram fetch_latency_us_;    // Demand-fetch wall time.
   Histogram copyout_latency_us_;  // Issue-to-device-completion per copy-out.
   Tracer tracer_;
+  SpanTracer* spans_ = nullptr;
 
   std::deque<PendingOp> queue_;            // Enqueued, not yet issued.
   std::multiset<SimTime> outstanding_;     // Completion times of issued ops.

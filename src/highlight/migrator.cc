@@ -97,6 +97,8 @@ Status Migrator::CompleteSegment(const MigratorOptions& opts) {
   uint32_t tseg = cur_tseg_;
   cur_tseg_ = kNoSegment;
   cur_offset_ = 0;
+  SpanScope span(spans_, "complete_segment", "migrator");
+  span.Annotate("tseg", std::to_string(tseg));
   lifetime_.segments_completed++;
   staged_[tseg].replicas = opts.replicas;
   // The kernel's copy-out request to the service process (Table 4 queuing).
@@ -316,6 +318,9 @@ Result<uint32_t> Migrator::RetargetSegment(uint32_t old_tseg) {
     return Status(ErrorCode::kNoVolume,
                   "no volume available to re-target segment");
   }
+  SpanScope span(spans_, "retarget", "migrator");
+  span.Annotate("old_tseg", std::to_string(old_tseg));
+  span.Annotate("new_tseg", std::to_string(new_tseg));
   int64_t delta = static_cast<int64_t>(amap_->TsegBase(new_tseg)) -
                   static_cast<int64_t>(amap_->TsegBase(old_tseg));
   uint32_t spb = fs_->superblock().seg_size_blocks;
@@ -443,6 +448,8 @@ Status Migrator::MigrateOneFile(uint32_t ino, const MigratorOptions& opts,
     // Special files always remain on disk (section 6.4); so does the root.
     return OkStatus();
   }
+  SpanScope span(spans_, "migrate_file", "migrator");
+  span.Annotate("ino", std::to_string(ino));
   const uint64_t blocks_before = report.blocks_migrated;
   ASSIGN_OR_RETURN(std::vector<BlockRef> refs, fs_->CollectFileBlocks(ino));
   // Migrating the inode of a file whose indirect blocks stay on disk would
@@ -559,6 +566,8 @@ Status Migrator::ReMigrateFileBlocks(uint32_t ino,
 
 Result<MigrationReport> Migrator::MigrateFiles(
     const std::vector<uint32_t>& inos, const MigratorOptions& opts) {
+  SpanScope span(spans_, "migrate_files", "migrator");
+  span.Annotate("files", std::to_string(inos.size()));
   // Migrate only stable, on-disk state: push dirty data out first.
   RETURN_IF_ERROR(fs_->Sync());
   MigrationReport report;
@@ -660,8 +669,11 @@ Result<MigrationReport> Migrator::ClusterFiles(
 Result<MigrationReport> Migrator::RunPolicy(MigrationPolicy& policy,
                                             const MigratorOptions& opts,
                                             uint64_t bytes_target) {
+  SpanScope rank(spans_, "rank", "migrator");
   ASSIGN_OR_RETURN(std::vector<FileCandidate> ranked,
                    policy.Rank(*fs_, clock_->Now()));
+  rank.Annotate("candidates", std::to_string(ranked.size()));
+  rank = SpanScope();  // Ranking ends before the migration starts.
   std::vector<uint32_t> inos;
   uint64_t bytes = 0;
   for (const FileCandidate& f : ranked) {
@@ -675,6 +687,7 @@ Result<MigrationReport> Migrator::RunPolicy(MigrationPolicy& policy,
 }
 
 Status Migrator::FlushStaging() {
+  SpanScope span(spans_, "flush_staging", "migrator");
   MigratorOptions tail;
   tail.delayed_copyout = true;  // Copy-out happens via the pipeline below.
   RETURN_IF_ERROR(CompleteSegment(tail));

@@ -33,6 +33,7 @@
 #include "lfs/segment_builder.h"
 #include "util/health.h"
 #include "util/metrics.h"
+#include "util/span.h"
 #include "util/trace.h"
 
 namespace hl {
@@ -148,6 +149,12 @@ class Migrator {
   // migrate_file / retarget trace events through `tracer`.
   void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
+  // Span tracing on the "migrator" lane: ranking, per-file staging, segment
+  // completion, retargets and the flush barrier each open a span, so the
+  // write-behind copy-outs they enqueue stay causally attached to the
+  // migration that produced them. Null disables.
+  void SetSpans(SpanTracer* spans) { spans_ = spans; }
+
  private:
   struct StagedSegment {
     uint32_t tseg = kNoSegment;
@@ -220,6 +227,7 @@ class Migrator {
   Counter retargets_;
   Counter volumes_retired_;
   Tracer tracer_;
+  SpanTracer* spans_ = nullptr;
   // First error a pipeline completion callback could not return to its
   // caller; FlushStaging reports (and clears) it.
   Status pipeline_error_ = OkStatus();

@@ -201,6 +201,8 @@ Status SegmentCache::Eject(uint32_t tseg) {
   }
   uint32_t disk_seg = it->second.disk_seg;
   RetirePrefetchedOnDrop(it->second);
+  SpanScope span(spans_, "evict", "cache");
+  span.Annotate("tseg", std::to_string(tseg));
   tracer_.Record(TraceEvent::kCacheEvict, tseg, disk_seg);
   directory_.erase(it);
   free_.push_back(disk_seg);

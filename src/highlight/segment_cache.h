@@ -24,6 +24,7 @@
 #include "lfs/lfs.h"
 #include "util/metrics.h"
 #include "util/rng.h"
+#include "util/span.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -110,6 +111,10 @@ class SegmentCache {
   // cache_stage trace events through `tracer`.
   void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
+  // Span tracing on the "cache" lane: evictions become spans nested under
+  // whoever forced them (a demand fetch or a staging alloc). Null disables.
+  void SetSpans(SpanTracer* spans) { spans_ = spans; }
+
  private:
   Result<uint32_t> PickVictim();
   // Eject bookkeeping shared by Eject() and the eviction paths.
@@ -130,6 +135,7 @@ class SegmentCache {
   Counter prefetches_used_;
   Counter prefetches_wasted_;
   Tracer tracer_;
+  SpanTracer* spans_ = nullptr;
 };
 
 }  // namespace hl

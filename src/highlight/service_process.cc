@@ -26,6 +26,8 @@ Status ServiceProcess::FetchIntoCache(uint32_t tseg, bool is_prefetch) {
   if (pending != pending_prefetch_.end()) {
     // The sequential miss the read-ahead predicted: wait out the remainder
     // of the in-flight tertiary read, then install the buffered image.
+    SpanScope span(spans_, "readahead_install", "service");
+    span.Annotate("tseg", std::to_string(tseg));
     PendingPrefetch hit = std::move(pending->second);
     pending_prefetch_.erase(pending);
     if (hit.ready_at > clock_->Now()) {
@@ -68,6 +70,8 @@ Status ServiceProcess::FetchIntoCache(uint32_t tseg, bool is_prefetch) {
 }
 
 Status ServiceProcess::DemandFetch(uint32_t tseg) {
+  SpanScope span(spans_, "demand_fetch", "service");
+  span.Annotate("tseg", std::to_string(tseg));
   SimTime t0 = clock_->Now();
   clock_->Advance(request_overhead_us_);
   io_->phases().Add("queuing", clock_->Now() - t0);
@@ -90,6 +94,8 @@ Status ServiceProcess::DemandFetch(uint32_t tseg) {
       if (extra == tseg) {
         continue;
       }
+      SpanScope pf(spans_, "prefetch", "service");
+      pf.Annotate("tseg", std::to_string(extra));
       Status s = FetchIntoCache(extra, /*is_prefetch=*/true);
       if (!s.ok()) {
         stats_.failed_prefetches++;
@@ -112,6 +118,8 @@ void ServiceProcess::MaybeReadahead(uint32_t tseg) {
       pending_prefetch_.count(next) > 0) {
     return;
   }
+  SpanScope span(spans_, "readahead", "service");
+  span.Annotate("tseg", std::to_string(next));
   auto image = std::make_shared<std::vector<uint8_t>>(io_->SegBytes());
   Status s = io_->SchedulePrefetch(
       next, std::span<uint8_t>(image->data(), image->size()),

@@ -20,6 +20,7 @@
 #include "highlight/segment_cache.h"
 #include "sim/sim_clock.h"
 #include "util/metrics.h"
+#include "util/span.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -89,6 +90,10 @@ class ServiceProcess {
   // latency histogram, and emits readahead trace events through `tracer`.
   void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
 
+  // Causal span tracing: DemandFetch opens the root "demand_fetch" span
+  // every downstream cache/IO/device span nests under. Null disables.
+  void SetSpans(SpanTracer* spans) { spans_ = spans; }
+
   // Kernel/user crossing + queue handling cost per request (the "queuing"
   // slice of Table 4).
   void set_request_overhead_us(SimTime us) { request_overhead_us_ = us; }
@@ -116,6 +121,7 @@ class ServiceProcess {
   Stats stats_;
   Histogram demand_latency_us_;  // End-to-end demand-fetch wall time.
   Tracer tracer_;
+  SpanTracer* spans_ = nullptr;
 };
 
 }  // namespace hl

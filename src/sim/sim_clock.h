@@ -16,6 +16,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 
@@ -30,18 +31,37 @@ class SimClock {
  public:
   SimTime Now() const { return now_; }
 
-  void Advance(SimTime delta_us) { now_ += delta_us; }
+  void Advance(SimTime delta_us) {
+    if (delta_us == 0) {
+      return;
+    }
+    now_ += delta_us;
+    if (tick_hook_) {
+      tick_hook_(now_);
+    }
+  }
 
   void AdvanceTo(SimTime t) {
     if (t > now_) {
       now_ = t;
+      if (tick_hook_) {
+        tick_hook_(now_);
+      }
     }
   }
 
   void Reset() { now_ = 0; }
 
+  // Observer invoked after every time advancement with the new now, used by
+  // the observability layer for cadence-based sampling. Hooks must only
+  // *read* simulation state — advancing the clock from a hook would
+  // recurse. One hook at a time; pass nullptr to detach.
+  using TickHook = std::function<void(SimTime)>;
+  void SetTickHook(TickHook hook) { tick_hook_ = std::move(hook); }
+
  private:
   SimTime now_ = 0;
+  TickHook tick_hook_;
 };
 
 // A resource that serves one operation at a time (a disk spindle, an MO

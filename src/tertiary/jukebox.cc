@@ -34,6 +34,11 @@ void Jukebox::AttachFaults(FaultInjector* injector) {
   }
 }
 
+void Jukebox::SetSpans(SpanTracer* spans) {
+  spans_ = spans;
+  span_track_ = "jukebox." + profile_.name;
+}
+
 void Jukebox::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   tracer_ = tracer;
   if (registry == nullptr) {
@@ -74,6 +79,14 @@ Result<int> Jukebox::EnsureMounted(int slot, bool for_write, SimTime earliest,
   ++media_swaps_;
   tracer_.Record(TraceEvent::kVolumeSwitch, static_cast<uint64_t>(slot),
                  static_cast<uint64_t>(chosen));
+  if (spans_ != nullptr) {
+    // The swap occupies robot + drive in the device's future; parent it to
+    // whatever span is open on the caller's stack right now.
+    SpanId id = spans_->AddComplete("media_swap", span_track_,
+                                    spans_->current(), begin, end);
+    spans_->Annotate(id, "slot", std::to_string(slot));
+    spans_->Annotate(id, "drive", std::to_string(chosen));
+  }
   ++insertions_[slot];
   *ready_at = end;
   return chosen;
@@ -129,6 +142,13 @@ Result<SimTime> Jukebox::Transfer(SimTime earliest, int slot, uint64_t offset,
   SimTime end = bus_ ? drive.res.ScheduleWith(*bus_, ready, dur)
                      : drive.res.Schedule(ready, dur);
   drive.last_used = end;
+  if (spans_ != nullptr) {
+    SpanId id =
+        spans_->AddComplete(is_write ? "xfer_write" : "xfer_read",
+                            span_track_, spans_->current(), end - dur, end);
+    spans_->Annotate(id, "slot", std::to_string(slot));
+    spans_->Annotate(id, "bytes", std::to_string(bytes));
+  }
   return end;
 }
 

@@ -22,6 +22,7 @@
 #include "tertiary/volume.h"
 #include "util/fault_injector.h"
 #include "util/metrics.h"
+#include "util/span.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -80,6 +81,11 @@ class Jukebox {
   // Re-homes counters into `registry` under "jukebox.<name>.*" and emits
   // volume_switch trace events through `tracer`.
   void AttachMetrics(MetricsRegistry* registry, Tracer tracer);
+
+  // Device-lane span tracing: media swaps and transfers are recorded as
+  // pre-timed spans on the "jukebox.<name>" track, parented to whatever
+  // span is open on the caller's stack at schedule time. Null disables.
+  void SetSpans(SpanTracer* spans);
 
   // Robot + drive busy time (for utilization snapshots).
   SimTime busy_time() const {
@@ -141,6 +147,8 @@ class Jukebox {
 
   int fail_ops_ = 0;
   FaultChannel* faults_ = nullptr;
+  SpanTracer* spans_ = nullptr;
+  std::string span_track_;  // "jukebox.<name>", cached for the hot path.
   Counter media_swaps_;
   Counter bytes_read_;
   Counter bytes_written_;

@@ -36,6 +36,36 @@ void Histogram::BindTo(MetricsRegistry& registry, const std::string& name) {
   data_ = slot;
 }
 
+uint64_t Histogram::Data::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  p = std::min(1.0, std::max(0.0, p));
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count));
+  if (rank < 1) {
+    rank = 1;
+  }
+  if (rank > count) {
+    rank = count;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (seen + buckets[i] < rank) {
+      seen += buckets[i];
+      continue;
+    }
+    // Bucket i covers [2^(i-1), 2^i); bucket 0 holds zero-latency points.
+    uint64_t lo = i == 0 ? 0 : (1ull << (i - 1));
+    uint64_t hi = i == 0 ? 0 : (1ull << i) - 1;
+    double frac = static_cast<double>(rank - seen) /
+                  static_cast<double>(buckets[i]);
+    uint64_t v = lo + static_cast<uint64_t>(
+                          static_cast<double>(hi - lo) * frac);
+    return std::min(max, std::max(min, v));
+  }
+  return max;
+}
+
 uint64_t* MetricsRegistry::CounterSlot(const std::string& name) {
   auto it = counter_index_.find(name);
   if (it == counter_index_.end()) {
@@ -220,7 +250,11 @@ std::string MetricsSnapshot::ToJson(int indent) const {
            "\": {\"count\": " + std::to_string(h.count) +
            ", \"sum_us\": " + std::to_string(h.sum) +
            ", \"min_us\": " + std::to_string(h.min) +
-           ", \"max_us\": " + std::to_string(h.max) + ", \"buckets\": [";
+           ", \"max_us\": " + std::to_string(h.max) +
+           ", \"p50_us\": " + std::to_string(h.Percentile(0.50)) +
+           ", \"p95_us\": " + std::to_string(h.Percentile(0.95)) +
+           ", \"p99_us\": " + std::to_string(h.Percentile(0.99)) +
+           ", \"buckets\": [";
     // Trailing zero buckets carry no information; stop at the last non-zero.
     int last = Histogram::kNumBuckets - 1;
     while (last >= 0 && h.buckets[last] == 0) {

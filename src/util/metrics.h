@@ -113,6 +113,12 @@ class Histogram {
     uint64_t sum = 0;
     uint64_t min = 0;
     uint64_t max = 0;
+
+    // Estimated p-quantile (p in [0, 1]): rank-selects the bucket holding
+    // the quantile, interpolates linearly inside its [2^(i-1), 2^i) value
+    // range, and clamps to the observed [min, max]. Exact for p=1 (max);
+    // otherwise accurate to within the bucket's power-of-two resolution.
+    uint64_t Percentile(double p) const;
   };
 
   Histogram() = default;

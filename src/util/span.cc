@@ -1,0 +1,260 @@
+#include "util/span.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "util/metrics.h"
+
+namespace hl {
+
+SpanTracer::SpanTracer(SimClock* clock, size_t capacity)
+    : clock_(clock), capacity_(capacity == 0 ? 1 : capacity) {}
+
+SpanId SpanTracer::Begin(std::string name, std::string track) {
+  return BeginChildOf(current(), std::move(name), std::move(track));
+}
+
+SpanId SpanTracer::BeginChildOf(SpanId parent, std::string name,
+                                std::string track) {
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.begin_us = clock_ != nullptr ? clock_->Now() : 0;
+  rec.name = std::move(name);
+  rec.track = std::move(track);
+  open_.push_back(std::move(rec));
+  stack_.push_back(open_.back().id);
+  return open_.back().id;
+}
+
+SpanRecord* SpanTracer::FindOpen(SpanId id) {
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->id == id) {
+      return &*it;
+    }
+  }
+  return nullptr;
+}
+
+void SpanTracer::Annotate(SpanId id, std::string key, std::string value) {
+  SpanRecord* rec = FindOpen(id);
+  if (rec == nullptr) {
+    // Recently completed (AddComplete) spans are annotated after the fact;
+    // search the window newest-first.
+    for (auto it = done_.rbegin(); it != done_.rend(); ++it) {
+      if (it->id == id) {
+        rec = &*it;
+        break;
+      }
+    }
+  }
+  if (rec != nullptr) {
+    rec->args.emplace_back(std::move(key), std::move(value));
+  }
+}
+
+void SpanTracer::Retire(SpanRecord rec) {
+  done_.push_back(std::move(rec));
+  ++total_;
+  while (done_.size() > capacity_) {
+    done_.pop_front();
+  }
+}
+
+void SpanTracer::End(SpanId id) {
+  if (id == kNoSpan) {
+    return;
+  }
+  const SimTime now = clock_ != nullptr ? clock_->Now() : 0;
+  // Defensive unwind: a span ended while descendants are still open (an
+  // error path skipped their End) closes everything begun after it.
+  size_t idx = open_.size();
+  for (size_t i = open_.size(); i-- > 0;) {
+    if (open_[i].id == id) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == open_.size()) {
+    return;  // Unknown or already-ended span.
+  }
+  for (size_t i = open_.size(); i-- > idx;) {
+    open_[i].end_us = now;
+    Retire(std::move(open_[i]));
+    open_.pop_back();
+  }
+  while (!stack_.empty()) {
+    bool ended = stack_.back() == id;
+    // Everything above `id` on the stack was just retired with it.
+    stack_.pop_back();
+    if (ended) {
+      break;
+    }
+  }
+}
+
+SpanId SpanTracer::AddComplete(std::string name, std::string track,
+                               SpanId parent, SimTime begin_us,
+                               SimTime end_us) {
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.begin_us = begin_us;
+  rec.end_us = end_us;
+  rec.name = std::move(name);
+  rec.track = std::move(track);
+  SpanId id = rec.id;
+  Retire(std::move(rec));
+  return id;
+}
+
+std::vector<SpanRecord> SpanTracer::Slowest(size_t n) const {
+  std::vector<SpanRecord> all(done_.begin(), done_.end());
+  std::stable_sort(all.begin(), all.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.duration_us() > b.duration_us();
+                   });
+  if (all.size() > n) {
+    all.resize(n);
+  }
+  return all;
+}
+
+void SpanTracer::Clear() {
+  open_.clear();
+  stack_.clear();
+  done_.clear();
+  total_ = 0;
+}
+
+namespace {
+
+std::string ArgsJson(const SpanRecord& r) {
+  std::string out = "{";
+  for (size_t i = 0; i < r.args.size(); ++i) {
+    out += "\"" + JsonEscape(r.args[i].first) + "\": \"" +
+           JsonEscape(r.args[i].second) + "\"";
+    if (i + 1 < r.args.size()) {
+      out += ", ";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string SpanTracer::ToJson(size_t max_records) const {
+  size_t take = std::min(max_records, done_.size());
+  size_t start = done_.size() - take;
+  std::string out = "[";
+  for (size_t i = 0; i < take; ++i) {
+    const SpanRecord& r = done_[start + i];
+    out += "\n  {\"id\": " + std::to_string(r.id) +
+           ", \"parent\": " + std::to_string(r.parent) +
+           ", \"begin_us\": " + std::to_string(r.begin_us) +
+           ", \"end_us\": " + std::to_string(r.end_us) + ", \"name\": \"" +
+           JsonEscape(r.name) + "\", \"track\": \"" + JsonEscape(r.track) +
+           "\", \"args\": " + ArgsJson(r) + "}";
+    if (i + 1 < take) {
+      out += ",";
+    }
+  }
+  out += "\n]";
+  return out;
+}
+
+std::string RenderSpanForest(const std::deque<SpanRecord>& spans) {
+  std::map<SpanId, const SpanRecord*> by_id;
+  std::map<SpanId, std::vector<const SpanRecord*>> children;
+  std::vector<const SpanRecord*> roots;
+  for (const SpanRecord& s : spans) {
+    by_id[s.id] = &s;
+  }
+  for (const SpanRecord& s : spans) {
+    if (s.parent != kNoSpan && by_id.count(s.parent) > 0) {
+      children[s.parent].push_back(&s);
+    } else {
+      roots.push_back(&s);
+    }
+  }
+  // Children sort by begin time so the tree reads chronologically.
+  auto by_begin = [](const SpanRecord* a, const SpanRecord* b) {
+    return a->begin_us < b->begin_us ||
+           (a->begin_us == b->begin_us && a->id < b->id);
+  };
+  for (auto& [id, kids] : children) {
+    std::sort(kids.begin(), kids.end(), by_begin);
+  }
+  std::sort(roots.begin(), roots.end(), by_begin);
+
+  std::string out;
+  std::function<void(const SpanRecord*, int)> emit =
+      [&](const SpanRecord* s, int depth) {
+        out += std::string(static_cast<size_t>(depth) * 2, ' ');
+        out += s->name + " [" + s->track + "] " +
+               std::to_string(s->duration_us()) + "us @" +
+               std::to_string(s->begin_us);
+        for (const auto& [k, v] : s->args) {
+          out += " " + k + "=" + v;
+        }
+        out += "\n";
+        auto it = children.find(s->id);
+        if (it != children.end()) {
+          for (const SpanRecord* kid : it->second) {
+            emit(kid, depth + 1);
+          }
+        }
+      };
+  for (const SpanRecord* root : roots) {
+    emit(root, 0);
+  }
+  return out;
+}
+
+void AppendPerfettoSpanEvents(const SpanTracer& spans, int pid,
+                              const std::string& process_name,
+                              std::string* out) {
+  // One thread lane per distinct track, in first-appearance order.
+  std::map<std::string, int> tids;
+  for (const SpanRecord& s : spans.Completed()) {
+    tids.emplace(s.track, static_cast<int>(tids.size()) + 1);
+  }
+  *out += "  {\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " +
+          std::to_string(pid) + ", \"tid\": 0, \"args\": {\"name\": \"" +
+          JsonEscape(process_name) + "\"}},\n";
+  for (const auto& [track, tid] : tids) {
+    *out += "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " +
+            std::to_string(pid) + ", \"tid\": " + std::to_string(tid) +
+            ", \"args\": {\"name\": \"" + JsonEscape(track) + "\"}},\n";
+  }
+  for (const SpanRecord& s : spans.Completed()) {
+    *out += "  {\"ph\": \"X\", \"name\": \"" + JsonEscape(s.name) +
+            "\", \"cat\": \"" + JsonEscape(s.track) +
+            "\", \"ts\": " + std::to_string(s.begin_us) +
+            ", \"dur\": " + std::to_string(s.duration_us()) +
+            ", \"pid\": " + std::to_string(pid) +
+            ", \"tid\": " + std::to_string(tids[s.track]) +
+            ", \"args\": {\"span_id\": " + std::to_string(s.id) +
+            ", \"parent\": " + std::to_string(s.parent);
+    for (const auto& [k, v] : s.args) {
+      *out += ", \"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+    }
+    *out += "}},\n";
+  }
+}
+
+std::string PerfettoTraceJson(const std::string& events) {
+  std::string body = events;
+  // Strip the trailing comma the appenders leave behind.
+  size_t comma = body.find_last_of(',');
+  if (comma != std::string::npos &&
+      body.find_first_not_of(" \n", comma + 1) == std::string::npos) {
+    body.erase(comma, 1);
+  }
+  return "{\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n" + body +
+         "]}\n";
+}
+
+}  // namespace hl

@@ -1,0 +1,193 @@
+// Causal span tracing for the storage hierarchy.
+//
+// Where the TraceRing records flat point events ("a fetch happened"), the
+// SpanTracer records *intervals with ancestry*: a demand fetch is one span
+// whose children are the retry backoffs, the failover to a replica, the
+// media swap on the jukebox lane and the final cache-line install — one
+// navigable tree per tertiary access, which is exactly the decomposition
+// the paper's tables 2-6 are about (robot vs. seek vs. transfer vs. cache).
+//
+// The simulation is single-threaded, so context propagation is implicit: a
+// stack of open spans makes every Begin() a child of the innermost open
+// span. Asynchronous hand-offs (the write-behind pipeline queues an op now
+// and issues it later) capture a TraceContext at enqueue time and start the
+// issue-time span as BeginChildOf(captured parent), preserving causality
+// across the queue. Device operations whose completion time is known at
+// issue time (Resource scheduling) are recorded with AddComplete.
+//
+// Observation never perturbs the simulation: the tracer only *reads* the
+// SimClock. Bench tables are bit-identical with tracing on or off.
+
+#ifndef HIGHLIGHT_UTIL_SPAN_H_
+#define HIGHLIGHT_UTIL_SPAN_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/sim_clock.h"
+
+namespace hl {
+
+using SpanId = uint64_t;
+inline constexpr SpanId kNoSpan = 0;
+
+class SpanTracer;
+
+// A captured position in the span tree, for asynchronous hand-offs: the
+// enqueuer captures its context, the issuer begins children under it.
+struct TraceContext {
+  SpanTracer* tracer = nullptr;
+  SpanId span = kNoSpan;
+};
+
+struct SpanRecord {
+  SpanId id = kNoSpan;
+  SpanId parent = kNoSpan;
+  SimTime begin_us = 0;
+  SimTime end_us = 0;
+  std::string name;   // What happened ("fetch", "retry", "media_swap").
+  std::string track;  // Timeline lane ("service", "io", "jukebox.HP6300").
+  std::vector<std::pair<std::string, std::string>> args;
+
+  SimTime duration_us() const {
+    return end_us >= begin_us ? end_us - begin_us : 0;
+  }
+};
+
+// Bounded collector of completed spans (oldest dropped beyond `capacity`)
+// plus the stack of currently-open spans. Single-threaded; no locking.
+class SpanTracer {
+ public:
+  explicit SpanTracer(SimClock* clock, size_t capacity = 4096);
+
+  // Opens a span as a child of the innermost open span (the stack top).
+  SpanId Begin(std::string name, std::string track);
+  // Opens a span under an explicit parent (asynchronous causality); the new
+  // span still joins the stack so its own callees nest under it.
+  SpanId BeginChildOf(SpanId parent, std::string name, std::string track);
+  // Attaches a key/value argument to an open span, or to a recently
+  // completed one still in the window (device spans added with AddComplete
+  // are annotated right after the fact).
+  void Annotate(SpanId id, std::string key, std::string value);
+  // Closes the span at the current sim time. Closing a span that still has
+  // open descendants closes those descendants too (defensive unwind).
+  void End(SpanId id);
+  // Records an already-timed span directly — for device operations whose
+  // begin/end are known at issue time (Resource scheduling may complete in
+  // the simulated future without the clock having advanced there yet).
+  // Returns the new span's id, usable with Annotate.
+  SpanId AddComplete(std::string name, std::string track, SpanId parent,
+                     SimTime begin_us, SimTime end_us);
+
+  // The innermost open span (kNoSpan when idle).
+  SpanId current() const { return stack_.empty() ? kNoSpan : stack_.back(); }
+  TraceContext Capture() { return TraceContext{this, current()}; }
+
+  size_t capacity() const { return capacity_; }
+  size_t open_count() const { return open_.size(); }
+  // Lifetime count of completed spans, including dropped ones.
+  uint64_t total_spans() const { return total_; }
+
+  // The surviving window of completed spans, oldest completion first.
+  const std::deque<SpanRecord>& Completed() const { return done_; }
+  // The `n` longest completed spans, slowest first.
+  std::vector<SpanRecord> Slowest(size_t n) const;
+
+  void Clear();
+
+  // [{"id":..,"parent":..,"begin_us":..,"end_us":..,"name":..,...}, ...].
+  std::string ToJson(size_t max_records) const;
+
+ private:
+  SpanRecord* FindOpen(SpanId id);
+  void Retire(SpanRecord rec);
+
+  SimClock* clock_;
+  size_t capacity_;
+  std::vector<SpanRecord> open_;  // Open spans, begin order.
+  std::vector<SpanId> stack_;     // Implicit-context stack.
+  std::deque<SpanRecord> done_;   // Completed spans, completion order.
+  SpanId next_id_ = 1;
+  uint64_t total_ = 0;
+};
+
+// RAII span: opens on construction, closes on destruction; every operation
+// no-ops on a null tracer, so uninstrumented standalone components cost
+// nothing. Move-only (the mover takes over the End()).
+class SpanScope {
+ public:
+  SpanScope() = default;
+  SpanScope(SpanTracer* tracer, const char* name, const char* track)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->Begin(name, track);
+    }
+  }
+  // Child of an explicit parent (asynchronous hand-off).
+  SpanScope(SpanTracer* tracer, SpanId parent, const char* name,
+            const char* track)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) {
+      id_ = tracer_->BeginChildOf(parent, name, track);
+    }
+  }
+  ~SpanScope() { Close(); }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  SpanScope(SpanScope&& other) noexcept
+      : tracer_(other.tracer_), id_(other.id_) {
+    other.tracer_ = nullptr;
+    other.id_ = kNoSpan;
+  }
+  SpanScope& operator=(SpanScope&& other) noexcept {
+    if (this != &other) {
+      Close();
+      tracer_ = other.tracer_;
+      id_ = other.id_;
+      other.tracer_ = nullptr;
+      other.id_ = kNoSpan;
+    }
+    return *this;
+  }
+
+  void Annotate(std::string key, std::string value) {
+    if (tracer_ != nullptr) {
+      tracer_->Annotate(id_, std::move(key), std::move(value));
+    }
+  }
+  SpanId id() const { return id_; }
+  explicit operator bool() const { return tracer_ != nullptr; }
+
+ private:
+  void Close() {
+    if (tracer_ != nullptr) {
+      tracer_->End(id_);
+      tracer_ = nullptr;
+    }
+  }
+
+  SpanTracer* tracer_ = nullptr;
+  SpanId id_ = kNoSpan;
+};
+
+// Text rendering of the completed-span forest: children indented under
+// parents, durations and args inline (the hlfs_inspect --spans view).
+std::string RenderSpanForest(const std::deque<SpanRecord>& spans);
+
+// Chrome/Perfetto trace-event export. AppendPerfettoSpanEvents emits one
+// complete-event ("ph":"X", ts/dur in sim-µs) per span plus process_name /
+// thread_name metadata, one thread lane per distinct track, under process
+// `pid`; PerfettoTraceJson wraps accumulated events into the final
+// {"traceEvents": [...]} document chrome://tracing and ui.perfetto.dev load.
+void AppendPerfettoSpanEvents(const SpanTracer& spans, int pid,
+                              const std::string& process_name,
+                              std::string* out);
+std::string PerfettoTraceJson(const std::string& events);
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_UTIL_SPAN_H_

@@ -66,6 +66,7 @@ void TraceRing::Record(TraceEvent event, uint64_t a, uint64_t b) {
   slot.b = b;
   next_ = (next_ + 1) % ring_.size();
   ++total_;
+  ++counts_[static_cast<size_t>(event)];
 }
 
 std::vector<TraceRecord> TraceRing::Recent(size_t n) const {
@@ -81,7 +82,7 @@ std::vector<TraceRecord> TraceRing::Recent(size_t n) const {
   return out;
 }
 
-uint64_t TraceRing::CountOf(TraceEvent event) const {
+uint64_t TraceRing::WindowCountOf(TraceEvent event) const {
   uint64_t n = 0;
   size_t have = size();
   size_t start = (next_ + ring_.size() - have) % ring_.size();
@@ -96,6 +97,7 @@ uint64_t TraceRing::CountOf(TraceEvent event) const {
 void TraceRing::Clear() {
   next_ = 0;
   total_ = 0;
+  counts_.fill(0);
 }
 
 std::string TraceRing::ToJson(size_t max_records) const {

@@ -7,10 +7,16 @@
 // copyout and cache_evict as they happen. The ring overwrites the oldest
 // records; Recent() returns the surviving window oldest-first, which is the
 // "what just happened" view hlfs_inspect --trace dumps.
+//
+// Window vs. lifetime: Recent()/WindowCountOf() describe only the surviving
+// (capacity-bounded) window, while total_recorded() and CountOf() are
+// lifetime values maintained in per-event counters, so they stay correct
+// after the ring wraps and overwrites old records.
 
 #ifndef HIGHLIGHT_UTIL_TRACE_H_
 #define HIGHLIGHT_UTIL_TRACE_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -45,6 +51,9 @@ enum class TraceEvent : uint8_t {
   kScrubLoss,       // a=tseg, b=volume: no intact copy found.
 };
 
+inline constexpr size_t kTraceEventCount =
+    static_cast<size_t>(TraceEvent::kScrubLoss) + 1;
+
 // Stable lower_snake_case name ("seg_fetch", "volume_switch", ...).
 const char* TraceEventName(TraceEvent event);
 
@@ -68,18 +77,28 @@ class TraceRing {
   size_t size() const { return std::min(total_, ring_.size()); }
   // Total events ever recorded, including those the ring has overwritten.
   uint64_t total_recorded() const { return total_; }
-  uint64_t CountOf(TraceEvent event) const;
+  // Lifetime occurrences of `event`, unaffected by ring wraparound.
+  uint64_t CountOf(TraceEvent event) const {
+    return counts_[static_cast<size_t>(event)];
+  }
+  // Occurrences of `event` within the surviving window only (at most
+  // capacity() records deep — the view Recent()/ToJson() export).
+  uint64_t WindowCountOf(TraceEvent event) const;
 
   void Clear();
 
   // [{"t_us": ..., "event": "seg_fetch", "a": ..., "b": ...}, ...].
-  std::string ToJson(size_t max_records = 256) const;
+  // Exports the newest `max_records` of the surviving window; pass
+  // capacity() for the full window. The cap is deliberately explicit —
+  // truncation is a caller decision, not a silent default.
+  std::string ToJson(size_t max_records) const;
 
  private:
   SimClock* clock_;
   std::vector<TraceRecord> ring_;
   size_t next_ = 0;     // Ring slot the next record lands in.
   uint64_t total_ = 0;  // Lifetime record count.
+  std::array<uint64_t, kTraceEventCount> counts_{};  // Lifetime per event.
 };
 
 // Nullable handle components record through; default-constructed = no-op.

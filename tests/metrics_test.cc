@@ -155,9 +155,13 @@ TEST(TraceRingTest, WraparoundKeepsNewestOldestFirst) {
     EXPECT_EQ(recent[i].a, i + 2);
   }
   EXPECT_LT(recent.front().time, recent.back().time);
-  EXPECT_EQ(ring.CountOf(TraceEvent::kSegFetch), 4u);
+  // CountOf is a lifetime counter (all 6 recorded events); WindowCountOf
+  // scans only the 4 surviving ring entries.
+  EXPECT_EQ(ring.CountOf(TraceEvent::kSegFetch), 6u);
+  EXPECT_EQ(ring.WindowCountOf(TraceEvent::kSegFetch), 4u);
   ring.Clear();
   EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.CountOf(TraceEvent::kSegFetch), 0u);
 }
 
 TEST(TraceRingTest, RecentTruncatesToRequestedCount) {
@@ -182,7 +186,7 @@ TEST(TraceRingTest, JsonNamesAreStable) {
   SimClock clock;
   TraceRing ring(&clock, 8);
   ring.Record(TraceEvent::kVolumeSwitch, 1, 2);
-  std::string json = ring.ToJson();
+  std::string json = ring.ToJson(ring.capacity());
   EXPECT_NE(json.find("\"volume_switch\""), std::string::npos);
 }
 

@@ -19,9 +19,14 @@
 //   --timeline  dump the time-series telemetry and write the combined
 //               span + counter timeline as TRACE_hlfs_inspect.json
 //               (loadable in ui.perfetto.dev or chrome://tracing)
+//   --queue     build a write-behind + demand-fault backlog on the I/O
+//               server (delayed copy-outs, a held read batch window) and
+//               dump the pending queue grouped per tertiary volume
 
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
 
 #include "highlight/highlight.h"
@@ -74,6 +79,7 @@ int main(int argc, char** argv) {
   bool dump_health = false;
   bool dump_spans = false;
   bool dump_timeline = false;
+  bool dump_queue = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
@@ -85,10 +91,12 @@ int main(int argc, char** argv) {
       dump_spans = true;
     } else if (std::strcmp(argv[i], "--timeline") == 0) {
       dump_timeline = true;
+    } else if (std::strcmp(argv[i], "--queue") == 0) {
+      dump_queue = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--metrics] [--trace] [--health] [--spans] "
-                   "[--timeline]\n",
+                   "[--timeline] [--queue]\n",
                    argv[0]);
       return 2;
     }
@@ -103,6 +111,8 @@ int main(int argc, char** argv) {
   config.jukeboxes.push_back({j, false, 16});
   config.lfs.seg_size_blocks = 64;
   config.lfs.cache_max_segments = 8;
+  // The queue dump shows the async pipeline's unified read/write queue.
+  config.async_read_pipeline = dump_queue;
   auto hl = Check(HighLightFs::Create(config, &clock), "create");
 
   // Exercise the system so there is something to look at.
@@ -374,6 +384,78 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.duration_us()),
                   static_cast<unsigned long long>(s.begin_us));
     }
+  }
+
+  if (dump_queue) {
+    // Build a backlog worth dumping: two delayed-copyout migrations fill
+    // the write side, and a held batch window accumulates demand faults
+    // plus a read-ahead on the read side before the elevator may issue.
+    IoServer& io = hl->io_server();
+    MigratorOptions delayed;
+    delayed.delayed_copyout = true;
+    for (const char* path : {"/proj/file4", "/proj/file5"}) {
+      uint32_t ino = Check(hl->fs().LookupPath(path), "lookup");
+      Check(hl->migrator().MigrateFiles({ino}, delayed).status(), "migrate");
+    }
+    size_t saved_depth = io.max_queue_depth();
+    io.set_max_queue_depth(1);  // One op in flight; the rest stay visible.
+    io.HoldReads();
+    std::vector<uint32_t> fetchable;
+    std::vector<uint32_t> staged;
+    for (const SegmentCache::LineInfo& line : hl->cache().Lines()) {
+      if (line.staging) {
+        staged.push_back(line.tseg);
+      }
+    }
+    for (uint32_t t = 0; t < hl->tseg_table().size(); ++t) {
+      const SegUsage& u = hl->tseg_table().Get(t);
+      if ((u.flags & kSegClean) || (u.flags & kSegReplica) ||
+          (u.flags & kSegStaging)) {
+        continue;
+      }
+      if (fetchable.size() < 3) {
+        fetchable.push_back(t);
+      }
+    }
+    // The last fetchable segment plays the read-ahead; the rest are faults.
+    for (size_t i = 0; i + 1 < fetchable.size(); ++i) {
+      Check(io.EnqueueDemandRead(fetchable[i], kNoSegment,
+                                 [](const Status&, SimTime) {}),
+            "enqueue demand read");
+    }
+    if (!fetchable.empty()) {
+      auto image = std::make_shared<std::vector<uint8_t>>(io.SegBytes());
+      Check(io.EnqueuePrefetchRead(fetchable.back(), kNoSegment, image,
+                                   [](const Status&, SimTime) {}),
+            "enqueue prefetch read");
+    }
+    for (uint32_t t : staged) {
+      Check(hl->migrator().EnqueueCopyOut(t), "enqueue copyout");
+    }
+
+    std::printf("\n=== pending I/O queue (per volume) ===\n");
+    std::map<uint32_t, std::vector<IoServer::QueuedOpView>> by_volume;
+    for (const IoServer::QueuedOpView& op : io.PendingOps()) {
+      by_volume[op.volume].push_back(op);
+    }
+    for (const auto& [volume, ops] : by_volume) {
+      std::printf("  volume %u:\n", volume);
+      for (const IoServer::QueuedOpView& op : ops) {
+        std::printf("    %-14s tseg %-5u line %s\n", op.kind, op.tseg,
+                    op.disk_seg == kNoSegment
+                        ? "-"
+                        : std::to_string(op.disk_seg).c_str());
+      }
+    }
+    std::printf("  (%zu queued, %zu outstanding; window depth %zu; "
+                "reads held for batch)\n",
+                io.QueueDepth(), io.Outstanding(), io.max_queue_depth());
+
+    // Let the backlog complete and put the server back the way it was.
+    Check(io.ReleaseReads(), "release reads");
+    Check(io.Drain(), "drain");
+    Check(hl->migrator().FlushStaging(), "flush staging");
+    io.set_max_queue_depth(saved_depth);
   }
 
   if (dump_timeline) {

@@ -39,12 +39,18 @@ fi
 
 # Bench smoke: the cheapest bench (raw device rates, ~1 s) runs end to end
 # and its headline values must match the committed baseline bit-for-bit —
-# observation code must never perturb the simulation.
-echo "==> bench smoke (table5 vs baseline)"
+# observation code must never perturb the simulation. Table 3 rides along
+# because it also covers the async read pipeline's batched-fault scenario
+# (and, flag off, proves the pipeline plumbing changed no legacy numbers).
+echo "==> bench smoke (table5 + table3 vs baselines)"
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
-cmake --build --preset default --target table5_raw_devices -j "$jobs" >/dev/null
+cmake --build --preset default --target table5_raw_devices \
+  table3_access_delays -j "$jobs" >/dev/null
 (cd "$smoke_dir" && "$OLDPWD"/build/bench/table5_raw_devices >/dev/null)
 python3 scripts/bench_diff.py "$smoke_dir"/BENCH_table5_raw_devices.json \
   bench/baselines/table5_raw_devices.json
+(cd "$smoke_dir" && "$OLDPWD"/build/bench/table3_access_delays >/dev/null)
+python3 scripts/bench_diff.py "$smoke_dir"/BENCH_table3_access_delays.json \
+  bench/baselines/table3_access_delays.json
 echo "All checks passed."

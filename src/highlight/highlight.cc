@@ -101,9 +101,11 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
   hl->cache_replacement_ = config.cache_replacement;
   hl->migrator_opts_ = config.migrator;
   hl->sequential_readahead_ = config.sequential_readahead;
+  hl->async_read_pipeline_ = config.async_read_pipeline;
   hl->io_server_ = std::make_unique<IoServer>(
       hl->concat_.get(), hl->footprint_.get(), hl->amap_.get(), clock,
       kDefaultReservedBlocks, params.seg_size_blocks);
+  hl->io_server_->set_async_reads(hl->async_read_pipeline_);
   hl->io_server_->AttachMetrics(&hl->metrics_, Tracer(hl->trace_.get()));
   hl->io_server_->set_retry_policy(hl->retry_policy_);
   hl->io_server_->SetHealth(hl->health_.get());
@@ -203,6 +205,7 @@ Status HighLightFs::WireFsComponents() {
   service_->AttachMetrics(&metrics_, tracer);
   service_->SetSpans(spans_.get());
   service_->set_sequential_readahead(sequential_readahead_);
+  service_->set_async_read_pipeline(async_read_pipeline_);
   // Read-ahead only chases segments that exist, hold data, and are primaries
   // (replica tsegs are never addressed by file pointers).
   service_->SetReadaheadFilter([tsegs = tsegs_.get()](uint32_t tseg) {
@@ -475,14 +478,15 @@ MetricsSnapshot HighLightFs::Metrics() {
 }
 
 Status HighLightFs::DropCleanCacheLines() {
+  // Benchmarks use this to force genuinely uncached tertiary access; a
+  // buffered read-ahead image (or a still-queued prefetch read) would
+  // defeat that. Cancelling first also unpins prefetch install lines.
+  service_->DropPendingPrefetches();
   for (const SegmentCache::LineInfo& line : cache_->Lines()) {
-    if (!line.staging && !line.dirty) {
+    if (!line.staging && !line.dirty && !cache_->Installing(line.tseg)) {
       RETURN_IF_ERROR(cache_->Eject(line.tseg));
     }
   }
-  // Benchmarks use this to force genuinely uncached tertiary access; a
-  // buffered read-ahead image would defeat that.
-  service_->DropPendingPrefetches();
   fs_->FlushBufferCache();
   return OkStatus();
 }

@@ -71,6 +71,15 @@ struct HighLightConfig {
   // Sequential-miss read-ahead: a demand fetch of tseg N schedules an
   // asynchronous prefetch of N+1 through the I/O server pipeline.
   bool sequential_readahead = false;
+  // Swap-aware asynchronous read pipeline: demand fetches and read-ahead
+  // prefetches share the I/O server's queue with write-behind ops. The
+  // issue policy services demand before prefetch, batches queued reads for
+  // the mounted volume before paying a media swap, and sweeps unmounted
+  // volumes in elevator order; a faulting process resumes as soon as *its*
+  // segment lands (critical-segment-first), and concurrent faults on one
+  // tseg coalesce onto a single transfer. Off (the default) keeps the
+  // synchronous fetch path bit-identical to prior behavior.
+  bool async_read_pipeline = false;
 
   // Seed for the fault injector's per-channel RNG streams. With all fault
   // profiles at zero (the default) no randomness is ever consumed, so
@@ -223,6 +232,7 @@ class HighLightFs {
   MigratorOptions migrator_opts_;
   CacheReplacement cache_replacement_ = CacheReplacement::kLru;
   bool sequential_readahead_ = false;
+  bool async_read_pipeline_ = false;
   MetricsRegistry metrics_;
   std::unique_ptr<TraceRing> trace_;
   std::unique_ptr<SpanTracer> spans_;

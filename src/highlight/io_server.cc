@@ -43,6 +43,12 @@ void IoServer::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   stats_.failovers.BindTo(*registry, "io.failovers");
   stats_.crc_mismatches.BindTo(*registry, "io.crc_mismatches");
   stats_.crc_verified.BindTo(*registry, "io.crc_verified");
+  stats_.demand_reads_enqueued.BindTo(*registry, "io.read_queue.demand_enqueued");
+  stats_.prefetch_reads_enqueued.BindTo(*registry,
+                                        "io.read_queue.prefetch_enqueued");
+  stats_.reads_coalesced.BindTo(*registry, "io.read_queue.coalesced");
+  stats_.read_mounted_picks.BindTo(*registry, "io.read_queue.mounted_picks");
+  stats_.read_queue_depth.BindTo(*registry, "io.read_queue.depth");
   stats_.ops_enqueued.BindTo(*registry, "io.ops_enqueued");
   stats_.ops_issued.BindTo(*registry, "io.ops_issued");
   stats_.backpressure_stalls.BindTo(*registry, "io.backpressure_stalls");
@@ -257,10 +263,18 @@ Status IoServer::Enqueue(PendingOp op) {
   if (spans_ != nullptr) {
     op.ctx = spans_->Capture();
   }
+  op.seq = next_seq_++;
+  op.enqueued_at = clock_->Now();
   queue_.push_back(std::move(op));
   stats_.ops_enqueued++;
   stats_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
   return TryIssue();
+}
+
+void IoServer::set_max_queue_depth(size_t depth) {
+  // Clamp: with a zero-op window nothing could ever issue, so a Drain()
+  // after the shrink would spin forever waiting for room that cannot open.
+  max_queue_depth_ = std::max<size_t>(1, depth);
 }
 
 void IoServer::ReapOutstanding() {
@@ -278,11 +292,13 @@ Status IoServer::TryIssue() {
   // Hand ops to the devices while they have room; leftover ops stay queued
   // (that is the write-behind). Beyond the bound, the caller genuinely
   // stalls: advance the clock to the oldest outstanding completion and
-  // retry — this is the migrator waiting for the tertiary device.
-  while (!queue_.empty() && WindowHasRoom()) {
+  // retry — this is the migrator waiting for the tertiary device. Only
+  // write-class ops count toward the bound: queued reads stall their own
+  // waiter in EnsureReadIssued, never the enqueuer.
+  while (WindowHasRoom() && PickIndex() < queue_.size()) {
     RETURN_IF_ERROR(IssueNext());
   }
-  while (queue_.size() > max_queue_depth_) {
+  while (WriteQueueCount() > max_queue_depth_) {
     if (outstanding_.empty()) {
       RETURN_IF_ERROR(IssueNext());
       continue;
@@ -294,34 +310,104 @@ Status IoServer::TryIssue() {
     stats_.queue_stall_us += stall;
     tracer_.Record(TraceEvent::kQueueStall, queue_.size(), stall);
     clock_->AdvanceTo(oldest);
-    while (!queue_.empty() && WindowHasRoom()) {
+    while (WindowHasRoom() && PickIndex() < queue_.size()) {
       RETURN_IF_ERROR(IssueNext());
     }
   }
   return OkStatus();
 }
 
-Status IoServer::IssueNext() {
-  if (queue_.empty()) {
-    return OkStatus();
-  }
-  // Per-volume ordering: an op whose target volume is already in a drive
-  // beats older ops that would force a media swap.
-  size_t pick = 0;
+size_t IoServer::FirstEligibleIndex() const {
   for (size_t i = 0; i < queue_.size(); ++i) {
-    Result<bool> mounted = footprint_->VolumeMounted(
-        static_cast<int>(amap_->VolumeOfTseg(queue_[i].tseg)));
-    if (mounted.ok() && *mounted) {
-      pick = i;
-      break;
+    if (!(reads_held_ && IsReadOp(queue_[i].kind))) {
+      return i;
     }
   }
-  if (pick != 0) {
-    stats_.volume_batch_picks++;
+  return queue_.size();
+}
+
+size_t IoServer::PickIndex() {
+  if (!async_reads_) {
+    // Legacy write-behind pick (no read ops exist on this path): an op
+    // whose target volume is already in a drive beats older ops that would
+    // force a media swap.
+    if (queue_.empty()) {
+      return queue_.size();
+    }
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      Result<bool> mounted = footprint_->VolumeMounted(
+          static_cast<int>(amap_->VolumeOfTseg(queue_[i].tseg)));
+      if (mounted.ok() && *mounted) {
+        return i;
+      }
+    }
+    return 0;
   }
+  // Async rank: class (demand < write < prefetch) first — demand faults
+  // block a user process, prefetches are speculative — then mounted volume
+  // (ride the seated medium before paying a swap), then an upward elevator
+  // over volume numbers from the last read's volume, then FIFO.
+  size_t best = queue_.size();
+  uint64_t best_key[4] = {0, 0, 0, 0};
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    const PendingOp& op = queue_[i];
+    if (reads_held_ && IsReadOp(op.kind)) {
+      continue;
+    }
+    const uint64_t cls = op.kind == OpKind::kDemandRead ? 0
+                         : IsReadOp(op.kind)            ? 2
+                                                        : 1;
+    const uint32_t vol = amap_->VolumeOfTseg(op.tseg);
+    Result<bool> m = footprint_->VolumeMounted(static_cast<int>(vol));
+    const uint64_t unmounted = (m.ok() && *m) ? 0 : 1;
+    const uint64_t sweep = vol >= last_read_volume_
+                               ? vol - last_read_volume_
+                               : (uint64_t{1} << 32) + vol - last_read_volume_;
+    const uint64_t key[4] = {cls, unmounted, sweep, op.seq};
+    if (best >= queue_.size() ||
+        std::lexicographical_compare(key, key + 4, best_key, best_key + 4)) {
+      best = i;
+      best_key[0] = key[0];
+      best_key[1] = key[1];
+      best_key[2] = key[2];
+      best_key[3] = key[3];
+    }
+  }
+  return best;
+}
+
+Status IoServer::IssueNext() {
+  const size_t pick = PickIndex();
+  if (pick >= queue_.size()) {
+    return OkStatus();
+  }
+  if (!async_reads_) {
+    if (pick != 0) {
+      stats_.volume_batch_picks++;
+    }
+  } else {
+    const PendingOp& op = queue_[pick];
+    Result<bool> m = footprint_->VolumeMounted(
+        static_cast<int>(amap_->VolumeOfTseg(op.tseg)));
+    const bool mounted = m.ok() && *m;
+    if (mounted && pick != FirstEligibleIndex()) {
+      stats_.volume_batch_picks++;
+    }
+    if (mounted && IsReadOp(op.kind)) {
+      stats_.read_mounted_picks++;
+    }
+  }
+  return IssueAt(pick);
+}
+
+Status IoServer::IssueAt(size_t pick) {
   PendingOp op = std::move(queue_[pick]);
   queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
   stats_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
+  if (IsReadOp(op.kind)) {
+    stats_.read_queue_depth.Set(static_cast<int64_t>(ReadQueueCount()));
+    return IssueRead(op);
+  }
   return IssueOne(op);
 }
 
@@ -427,6 +513,9 @@ Status IoServer::IssueOne(PendingOp& op) {
 Status IoServer::Drain() {
   stats_.drains++;
   SpanScope span(spans_, "drain", "io");
+  // A drain is a completion barrier: holding reads across it would wedge
+  // the loop below, and makes no sense anyway — release the batch window.
+  reads_held_ = false;
   Status first = OkStatus();
   while (!queue_.empty()) {
     Status s = IssueNext();  // Callbacks may enqueue more; loop re-checks.
@@ -507,6 +596,340 @@ Status IoServer::InstallSegment(uint32_t disk_seg,
   stats_.segments_fetched++;
   stats_.bytes_fetched += seg_bytes;
   return OkStatus();
+}
+
+// --- Asynchronous read pipeline ---------------------------------------------
+
+size_t IoServer::FindQueuedRead(uint32_t tseg) const {
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (IsReadOp(queue_[i].kind) && queue_[i].tseg == tseg) {
+      return i;
+    }
+  }
+  return queue_.size();
+}
+
+size_t IoServer::ReadQueueCount() const {
+  size_t n = 0;
+  for (const PendingOp& op : queue_) {
+    if (IsReadOp(op.kind)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t IoServer::WriteQueueCount() const {
+  return queue_.size() - ReadQueueCount();
+}
+
+bool IoServer::ReadQueued(uint32_t tseg) const {
+  return FindQueuedRead(tseg) < queue_.size();
+}
+
+Status IoServer::EnqueueRead(PendingOp op) {
+  if (spans_ != nullptr) {
+    op.ctx = spans_->Capture();
+  }
+  op.seq = next_seq_++;
+  op.enqueued_at = clock_->Now();
+  const bool lazy = op.kind == OpKind::kPrefetchRead;
+  queue_.push_back(std::move(op));
+  stats_.ops_enqueued++;
+  stats_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
+  stats_.read_queue_depth.Set(static_cast<int64_t>(ReadQueueCount()));
+  // Prefetch-class reads are lazy: they sit in the queue until a demand
+  // issue or drain sweeps them up — that is what lets a whole run of
+  // read-aheads ride one mounted volume. Demand reads push the pipeline now.
+  if (reads_held_ || lazy) {
+    return OkStatus();
+  }
+  return TryIssue();
+}
+
+Status IoServer::EnqueueDemandRead(uint32_t tseg, uint32_t install_seg,
+                                   ReadDone done) {
+  if (!async_reads_) {
+    return Internal("demand-read queue requires async_read_pipeline");
+  }
+  const size_t idx = FindQueuedRead(tseg);
+  if (idx < queue_.size()) {
+    // Coalesce: a queued read (usually a not-yet-issued read-ahead) is
+    // promoted to demand class and gains this waiter; one transfer serves
+    // everyone.
+    PendingOp& op = queue_[idx];
+    op.kind = OpKind::kDemandRead;
+    if (op.disk_seg == kNoSegment) {
+      op.disk_seg = install_seg;
+    }
+    op.readers.push_back(std::move(done));
+    stats_.reads_coalesced++;
+    tracer_.Record(TraceEvent::kReadCoalesce, tseg, op.readers.size());
+    return reads_held_ ? OkStatus() : TryIssue();
+  }
+  PendingOp op;
+  op.kind = OpKind::kDemandRead;
+  op.tseg = tseg;
+  op.disk_seg = install_seg;
+  op.readers.push_back(std::move(done));
+  stats_.demand_reads_enqueued++;
+  return EnqueueRead(std::move(op));
+}
+
+Status IoServer::EnqueuePrefetchRead(uint32_t tseg, uint32_t install_seg,
+                                     std::shared_ptr<std::vector<uint8_t>> image,
+                                     ReadDone done) {
+  if (!async_reads_) {
+    return Internal("prefetch-read queue requires async_read_pipeline");
+  }
+  const size_t idx = FindQueuedRead(tseg);
+  if (idx < queue_.size()) {
+    // Already on its way (whatever the class): ride the queued transfer.
+    queue_[idx].readers.push_back(std::move(done));
+    stats_.reads_coalesced++;
+    tracer_.Record(TraceEvent::kReadCoalesce, tseg,
+                   queue_[idx].readers.size());
+    return OkStatus();
+  }
+  PendingOp op;
+  op.kind = OpKind::kPrefetchRead;
+  op.tseg = tseg;
+  op.disk_seg = install_seg;
+  op.image = std::move(image);
+  op.readers.push_back(std::move(done));
+  stats_.prefetch_reads_enqueued++;
+  return EnqueueRead(std::move(op));
+}
+
+Status IoServer::EnsureReadIssued(uint32_t tseg) {
+  while (true) {
+    const size_t idx = FindQueuedRead(tseg);
+    if (idx >= queue_.size()) {
+      return OkStatus();
+    }
+    if (WindowHasRoom()) {
+      // Issue in policy order until this tseg's op leaves the queue: the
+      // elevator keeps its sweep even when one waiter pulls the pipeline.
+      if (PickIndex() >= queue_.size()) {
+        // Reads are held; serve the waiter directly rather than deadlock.
+        RETURN_IF_ERROR(IssueAt(idx));
+      } else {
+        RETURN_IF_ERROR(IssueNext());
+      }
+      continue;
+    }
+    stats_.backpressure_stalls++;
+    const SimTime oldest = *outstanding_.begin();
+    const SimTime stall = oldest > clock_->Now() ? oldest - clock_->Now() : 0;
+    stats_.queue_stall_us += stall;
+    tracer_.Record(TraceEvent::kQueueStall, queue_.size(), stall);
+    clock_->AdvanceTo(oldest);
+  }
+}
+
+Status IoServer::ReleaseReads() {
+  reads_held_ = false;
+  return TryIssue();
+}
+
+bool IoServer::CancelQueuedRead(uint32_t tseg, const Status& status) {
+  const size_t idx = FindQueuedRead(tseg);
+  if (idx >= queue_.size()) {
+    return false;
+  }
+  PendingOp op = std::move(queue_[idx]);
+  queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(idx));
+  stats_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
+  stats_.read_queue_depth.Set(static_cast<int64_t>(ReadQueueCount()));
+  (void)DeliverRead(op, status, 0);
+  return true;
+}
+
+size_t IoServer::CancelQueuedPrefetchReads() {
+  size_t dropped = 0;
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->kind == OpKind::kPrefetchRead) {
+      PendingOp op = std::move(*it);
+      it = queue_.erase(it);
+      (void)DeliverRead(
+          op, Status(ErrorCode::kBusy, "queued prefetch read cancelled"), 0);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    stats_.queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    stats_.read_queue_depth.Set(static_cast<int64_t>(ReadQueueCount()));
+  }
+  return dropped;
+}
+
+Status IoServer::DeliverRead(PendingOp& op, const Status& s,
+                             SimTime ready_at) {
+  if (op.readers.empty()) {
+    return s;
+  }
+  std::vector<ReadDone> readers = std::move(op.readers);
+  for (ReadDone& done : readers) {
+    if (done) {
+      done(s, ready_at);
+    }
+  }
+  return OkStatus();  // The callbacks own the error now.
+}
+
+Status IoServer::ScheduleTertiaryCopy(uint32_t source, std::span<uint8_t> buf,
+                                      uint64_t parent_span,
+                                      SimTime* end_out) {
+  const uint32_t volume = amap_->VolumeOfTseg(source);
+  const uint64_t offset = amap_->ByteOffsetOnVolume(source);
+  const SimTime t0 = clock_->Now();
+  SimTime earliest = t0;
+  Status s = OkStatus();
+  for (int try_no = 1; try_no <= retry_.max_attempts; ++try_no) {
+    if (try_no > 1) {
+      // Pipeline retries delay the reissued transfer's start instead of
+      // stalling the caller (mirrors the write-behind retry model).
+      const SimTime backoff = retry_.BackoffFor(try_no - 1);
+      stats_.retries++;
+      stats_.retry_backoff_us += backoff;
+      tracer_.Record(TraceEvent::kRetry, source,
+                     static_cast<uint64_t>(try_no - 1));
+      if (spans_ != nullptr) {
+        spans_->AddComplete("retry", "io", parent_span, earliest,
+                            earliest + backoff);
+      }
+      earliest += backoff;
+    }
+    Result<SimTime> end = footprint_->ScheduleRead(
+        earliest, static_cast<int>(volume), offset, buf);
+    // Data moves synchronously even though device time completes later, so
+    // the image can be CRC-checked now; a corrupt read retries like an I/O
+    // error.
+    s = end.ok() ? VerifyCrc(source, buf, volume) : end.status();
+    if (health_ != nullptr) {
+      if (s.ok()) {
+        health_->RecordVolumeSuccess(volume);
+      } else if (Retryable(s)) {
+        health_->RecordVolumeFailure(volume);
+      }
+    }
+    if (s.ok()) {
+      if (spans_ != nullptr) {
+        spans_->AddComplete("tertiary_read", "tertiary", parent_span, t0,
+                            *end);
+      }
+      phases_.Add("footprint", *end - t0);
+      *end_out = *end;
+      return s;
+    }
+    if (!Retryable(s)) {
+      return s;
+    }
+  }
+  return s;
+}
+
+Status IoServer::IssueRead(PendingOp& op) {
+  stats_.ops_issued++;
+  const uint64_t seg_bytes = amap_->SegBytes();
+  if (!op.image) {
+    op.image = std::make_shared<std::vector<uint8_t>>(seg_bytes);
+  }
+  std::span<uint8_t> buf(op.image->data(), op.image->size());
+  const bool demand = op.kind == OpKind::kDemandRead;
+
+  SpanScope issue(spans_, op.ctx.span,
+                  demand ? "issue_demand_read" : "issue_prefetch_read", "io");
+  issue.Annotate("tseg", std::to_string(op.tseg));
+
+  const SimTime issue_start = clock_->Now();
+  std::vector<uint32_t> candidates = SourceCandidates(op.tseg);
+  Status last =
+      IoError("tseg " + std::to_string(op.tseg) + ": no tertiary copy");
+  uint32_t served_from = op.tseg;
+  SimTime end_time = 0;
+  bool got = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    SpanScope failover;  // Each extra source tried is a failover child.
+    if (i > 0) {
+      stats_.failovers++;
+      tracer_.Record(TraceEvent::kFailover, op.tseg, candidates[i]);
+      failover = SpanScope(spans_, "failover", "io");
+      failover.Annotate("source", std::to_string(candidates[i]));
+    }
+    last = ScheduleTertiaryCopy(candidates[i], buf, issue.id(), &end_time);
+    if (last.ok()) {
+      served_from = candidates[i];
+      got = true;
+      break;
+    }
+  }
+  if (!got) {
+    return DeliverRead(op, last, 0);
+  }
+  if (served_from != op.tseg) {
+    stats_.replica_reads++;
+    issue.Annotate("served_from", std::to_string(served_from));
+  }
+
+  SimTime ready = end_time;
+  if (op.disk_seg != kNoSegment) {
+    // Install into the cache line now (memory copy + raw disk write — the
+    // paper's extra-copies path); the line is usable once both the disk
+    // write and the tertiary transfer have completed.
+    SpanScope install(spans_, "install", "io");
+    install.Annotate("disk_seg", std::to_string(op.disk_seg));
+    const SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
+    clock_->Advance(copy);
+    const SimTime t0 = clock_->Now();
+    Status wrote = raw_disk_->WriteBlocks(DiskSegFirstBlock(op.disk_seg),
+                                          seg_size_blocks_, *op.image);
+    if (!wrote.ok()) {
+      return DeliverRead(op, wrote, 0);
+    }
+    phases_.Add("ioserver", clock_->Now() - t0 + copy);
+    ready = std::max(ready, clock_->Now());
+    stats_.segments_fetched++;
+    stats_.bytes_fetched += seg_bytes;
+    tracer_.Record(TraceEvent::kSegFetch, op.tseg, op.disk_seg);
+  }
+  outstanding_.insert(end_time);
+  pipeline_busy_until_ = std::max(pipeline_busy_until_, end_time);
+  last_read_volume_ = amap_->VolumeOfTseg(served_from);
+  if (demand) {
+    fetch_latency_us_.Observe(ready - op.enqueued_at);
+  } else {
+    stats_.prefetches_scheduled++;
+    tracer_.Record(TraceEvent::kPrefetch, op.tseg, end_time - issue_start);
+  }
+  return DeliverRead(op, OkStatus(), ready);
+}
+
+std::vector<IoServer::QueuedOpView> IoServer::PendingOps() const {
+  std::vector<QueuedOpView> out;
+  out.reserve(queue_.size());
+  for (const PendingOp& op : queue_) {
+    const char* kind = "copyout";
+    switch (op.kind) {
+      case OpKind::kCopyOut:
+        kind = "copyout";
+        break;
+      case OpKind::kReplicaWrite:
+        kind = "replica_write";
+        break;
+      case OpKind::kDemandRead:
+        kind = "demand_read";
+        break;
+      case OpKind::kPrefetchRead:
+        kind = "prefetch_read";
+        break;
+    }
+    out.push_back(QueuedOpView{kind, op.tseg, op.disk_seg,
+                               amap_->VolumeOfTseg(op.tseg)});
+  }
+  return out;
 }
 
 }  // namespace hl

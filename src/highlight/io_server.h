@@ -29,11 +29,13 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "blockdev/block_device.h"
 #include "highlight/address_map.h"
+#include "lfs/format.h"
 #include "sim/sim_clock.h"
 #include "tertiary/footprint.h"
 #include "util/fault_injector.h"
@@ -120,6 +122,70 @@ class IoServer {
   Status SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
                           PrefetchDone done);
 
+  // --- Asynchronous read pipeline ------------------------------------------
+  //
+  // With async reads enabled, demand fetches and read-ahead prefetches enter
+  // the same bounded queue as the write-behind ops. The issue policy ranks
+  // queued work by class (demand < write < prefetch), prefers ops whose
+  // volume is already mounted, and sweeps the remaining reads in an elevator
+  // over volume numbers so K faults on one unmounted volume pay one media
+  // swap instead of K. Duplicate reads for the same tseg coalesce into a
+  // single transfer whose completion fans out to every waiter.
+
+  void set_async_reads(bool on) { async_reads_ = on; }
+  bool async_reads() const { return async_reads_; }
+
+  // Completion of a queued read; `ready_at` is when the data is usable
+  // (device completion, plus the cache-line install when one was requested).
+  using ReadDone = std::function<void(Status, SimTime ready_at)>;
+
+  // Queues a demand read of `tseg`, installed into cache line `install_seg`
+  // at issue time (memory copy + raw disk write, the synchronous FetchSegment
+  // costs). If a read for `tseg` is already queued it is promoted to demand
+  // class and this waiter rides it. Never stalls the caller; pair with
+  // EnsureReadIssued() to force the op onto the device.
+  Status EnqueueDemandRead(uint32_t tseg, uint32_t install_seg, ReadDone done);
+
+  // Queues a prefetch-class read. `install_seg` == kNoSegment buffers the
+  // image into `image` only (sequential read-ahead); otherwise the segment
+  // installs into that cache line at issue time. Prefetch reads are lazy:
+  // they wait in the queue until a demand issue or drain sweeps them up,
+  // which is what lets them ride a mounted volume for free.
+  Status EnqueuePrefetchRead(uint32_t tseg, uint32_t install_seg,
+                             std::shared_ptr<std::vector<uint8_t>> image,
+                             ReadDone done);
+
+  // True while a read op for `tseg` sits in the queue (not yet issued).
+  bool ReadQueued(uint32_t tseg) const;
+
+  // Issues queued ops (in policy order) until the read for `tseg` has been
+  // handed to a device, stalling on the outstanding window as needed. No-op
+  // when no read for `tseg` is queued.
+  Status EnsureReadIssued(uint32_t tseg);
+
+  // Removes a still-queued read for `tseg`, delivering `status` to its
+  // waiters. Returns false when no such op was queued.
+  bool CancelQueuedRead(uint32_t tseg, const Status& status);
+
+  // Drops every queued prefetch-class read (cache invalidation / volume
+  // erase), delivering kBusy to their waiters. Returns the number dropped.
+  size_t CancelQueuedPrefetchReads();
+
+  // Batch window: while held, read ops accumulate in the queue without being
+  // issued, so ReleaseReads() sees the whole fault batch at once and the
+  // elevator can order it before the first media swap is paid.
+  void HoldReads() { reads_held_ = true; }
+  Status ReleaseReads();
+
+  // Introspection for hlfs_inspect --queue: pending (not yet issued) ops.
+  struct QueuedOpView {
+    const char* kind;   // "copyout", "replica_write", "demand_read", ...
+    uint32_t tseg;
+    uint32_t disk_seg;  // Staging line / install target; kNoSegment = none.
+    uint32_t volume;
+  };
+  std::vector<QueuedOpView> PendingOps() const;
+
   // Copies a previously prefetched segment image into cache line `disk_seg`
   // (memory copy + raw disk write), charging the usual I/O-server costs.
   Status InstallSegment(uint32_t disk_seg, std::span<const uint8_t> bytes);
@@ -134,7 +200,11 @@ class IoServer {
   size_t QueueDepth() const { return queue_.size(); }
   // Issued operations whose device time has not yet completed.
   size_t Outstanding() const;
-  void set_max_queue_depth(size_t depth) { max_queue_depth_ = depth; }
+  // Clamped to >= 1: a zero-op window could never issue anything and would
+  // wedge Drain(). Shrinking below current occupancy is safe — the excess
+  // drains through the normal backpressure path on the next issue.
+  void set_max_queue_depth(size_t depth);
+  size_t max_queue_depth() const { return max_queue_depth_; }
   SimTime pipeline_busy_until() const { return pipeline_busy_until_; }
 
   PhaseAccumulator& phases() { return phases_; }
@@ -162,6 +232,12 @@ class IoServer {
     Counter drains;
     Counter queue_stall_us;      // Simulated time spent stalled on backpressure.
     Gauge queue_depth;           // Pending queue occupancy; max() = high-water.
+    // Read-queue counters (async read pipeline).
+    Counter demand_reads_enqueued;
+    Counter prefetch_reads_enqueued;
+    Counter reads_coalesced;     // Duplicate requests merged into a queued op.
+    Counter read_mounted_picks;  // Reads issued while their volume was mounted.
+    Gauge read_queue_depth;      // Pending read ops; max() = high-water.
   };
   const Stats& stats() const { return stats_; }
 
@@ -181,16 +257,25 @@ class IoServer {
   void set_cpu_copy_us_per_mb(SimTime us) { cpu_copy_us_per_mb_ = us; }
 
  private:
-  enum class OpKind { kCopyOut, kReplicaWrite };
+  enum class OpKind { kCopyOut, kReplicaWrite, kDemandRead, kPrefetchRead };
+  static bool IsReadOp(OpKind kind) {
+    return kind == OpKind::kDemandRead || kind == OpKind::kPrefetchRead;
+  }
 
   struct PendingOp {
     OpKind kind;
-    uint32_t tseg;
-    uint32_t disk_seg;
+    uint32_t tseg = kNoSegment;
+    uint32_t disk_seg = kNoSegment;
     Completion done;
+    // Read ops: transfer buffer (owned, or a read-ahead's shared image) and
+    // the waiters a coalesced transfer fans out to.
+    std::shared_ptr<std::vector<uint8_t>> image;
+    std::vector<ReadDone> readers;
     // Enqueue-time span context; the issue-time span is begun under it so
     // write-behind work stays causally attached to whoever queued it.
     TraceContext ctx;
+    uint64_t seq = 0;          // FIFO tiebreaker for the async issue policy.
+    SimTime enqueued_at = 0;
   };
 
   uint32_t DiskSegFirstBlock(uint32_t disk_seg) const {
@@ -214,14 +299,36 @@ class IoServer {
   Status VerifyCrc(uint32_t source, std::span<const uint8_t> buf,
                    uint32_t volume);
   Status Enqueue(PendingOp op);
+  Status EnqueueRead(PendingOp op);
   // Issues queued ops while the device window has room.
   Status TryIssue();
   // Pops the best next op (volume batching) and hands it to the device.
   Status IssueNext();
+  // Index the issue policy would pick next, or queue_.size() when nothing
+  // is eligible (empty queue, or only held reads).
+  size_t PickIndex();
+  // Oldest eligible index (FIFO baseline the batching counters compare to).
+  size_t FirstEligibleIndex() const;
+  // Pops queue_[pick] and hands it to the device.
+  Status IssueAt(size_t pick);
   Status IssueOne(PendingOp& op);
+  // Issues a queued read: source selection (health-ordered, with failover),
+  // scheduled tertiary transfer with retry/backoff, CRC verification, an
+  // optional cache-line install, and completion fan-out to every waiter.
+  Status IssueRead(PendingOp& op);
+  // Async analog of ReadTertiaryCopy: reserves device time from now, moves
+  // the data immediately, returns the device completion via `end_out`.
+  Status ScheduleTertiaryCopy(uint32_t source, std::span<uint8_t> buf,
+                              uint64_t parent_span, SimTime* end_out);
   // Routes `s` to the op's completion callback if it has one, else returns
   // it to the issuing caller.
   Status Deliver(PendingOp& op, const Status& s);
+  Status DeliverRead(PendingOp& op, const Status& s, SimTime ready_at);
+  size_t FindQueuedRead(uint32_t tseg) const;
+  size_t ReadQueueCount() const;
+  // Write-class ops pending; the backpressure bound applies to these (reads
+  // never stall their enqueuer — they stall in EnsureReadIssued instead).
+  size_t WriteQueueCount() const;
   // Drops completion times that have passed; stalls (advancing the clock)
   // until the outstanding window has room for one more op.
   void ReapOutstanding();
@@ -250,6 +357,12 @@ class IoServer {
   std::multiset<SimTime> outstanding_;     // Completion times of issued ops.
   size_t max_queue_depth_ = 8;
   SimTime pipeline_busy_until_ = 0;
+  bool async_reads_ = false;
+  bool reads_held_ = false;
+  uint64_t next_seq_ = 0;
+  // Last volume a read was issued against; the elevator sweeps upward from
+  // here (C-SCAN over volume numbers, a proxy for jukebox slot order).
+  uint32_t last_read_volume_ = 0;
 };
 
 }  // namespace hl

@@ -52,6 +52,13 @@ uint32_t SegmentCache::LookupForAccess(uint32_t tseg) {
     ++misses_;
     return kNoSegment;
   }
+  CompleteIfReady(it->second);
+  if (it->second.installing) {
+    // The line exists but its data is still in flight: a miss, so the
+    // fault handler coalesces this request onto the existing fetch.
+    ++misses_;
+    return kNoSegment;
+  }
   ++hits_;
   if (it->second.prefetched) {
     it->second.prefetched = false;
@@ -76,10 +83,11 @@ void SegmentCache::RetirePrefetchedOnDrop(const LineInfo& line) {
 }
 
 Result<uint32_t> SegmentCache::PickVictim() {
-  // Candidates: non-pinned (not staging, not dirty) lines.
+  // Candidates: non-pinned (not staging, not dirty, not installing) lines.
   std::vector<const LineInfo*> candidates;
-  for (const auto& [tseg, line] : directory_) {
-    if (!line.staging && !line.dirty) {
+  for (auto& [tseg, line] : directory_) {
+    CompleteIfReady(line);
+    if (!line.staging && !line.dirty && !line.installing) {
       candidates.push_back(&line);
     }
   }
@@ -196,8 +204,12 @@ Status SegmentCache::Eject(uint32_t tseg) {
   if (it == directory_.end()) {
     return NotFound("tseg " + std::to_string(tseg) + " not cached");
   }
+  CompleteIfReady(it->second);
   if (it->second.staging || it->second.dirty) {
     return Status(ErrorCode::kBusy, "line holds the only copy (staging)");
+  }
+  if (it->second.installing) {
+    return Status(ErrorCode::kBusy, "line install still in flight");
   }
   uint32_t disk_seg = it->second.disk_seg;
   RetirePrefetchedOnDrop(it->second);
@@ -209,6 +221,74 @@ Status SegmentCache::Eject(uint32_t tseg) {
   RETURN_IF_ERROR(
       fs_->SetSegFlags(disk_seg, kSegClean, kSegCached | kSegStaging));
   return fs_->SetSegCacheTag(disk_seg, kNoSegment);
+}
+
+void SegmentCache::CompleteIfReady(LineInfo& line) {
+  if (line.installing && line.ready_at != 0 &&
+      line.ready_at <= fs_->clock()->Now()) {
+    line.installing = false;
+    ++inflight_completed_;
+  }
+}
+
+Result<uint32_t> SegmentCache::BeginInstall(uint32_t tseg, bool prefetched) {
+  ASSIGN_OR_RETURN(uint32_t disk_seg,
+                   AllocLine(tseg, /*staging=*/false, prefetched));
+  LineInfo& line = directory_[tseg];
+  line.installing = true;
+  line.ready_at = 0;
+  ++inflight_begun_;
+  return disk_seg;
+}
+
+void SegmentCache::SetInstallReady(uint32_t tseg, SimTime ready_at) {
+  auto it = directory_.find(tseg);
+  if (it != directory_.end() && it->second.installing) {
+    it->second.ready_at = ready_at;
+  }
+}
+
+Status SegmentCache::FinishInstall(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  if (it == directory_.end()) {
+    return NotFound("tseg " + std::to_string(tseg) + " not cached");
+  }
+  if (it->second.installing) {
+    it->second.installing = false;
+    ++inflight_completed_;
+  }
+  return OkStatus();
+}
+
+Status SegmentCache::AbortInstall(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  if (it == directory_.end()) {
+    return NotFound("tseg " + std::to_string(tseg) + " not cached");
+  }
+  if (it->second.installing) {
+    it->second.installing = false;
+    ++inflight_aborted_;
+  }
+  return Eject(tseg);
+}
+
+bool SegmentCache::Installing(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  if (it == directory_.end()) {
+    return false;
+  }
+  CompleteIfReady(it->second);
+  return it->second.installing;
+}
+
+SimTime SegmentCache::InstallReadyAt(uint32_t tseg) const {
+  auto it = directory_.find(tseg);
+  return it == directory_.end() ? 0 : it->second.ready_at;
+}
+
+void SegmentCache::NoteInflightWait(uint32_t tseg) {
+  (void)tseg;
+  ++inflight_waits_;
 }
 
 Status SegmentCache::Resize(uint32_t new_capacity) {
@@ -246,6 +326,10 @@ SegmentCache::Stats SegmentCache::Snapshot() const {
   s.prefetches_installed = prefetches_installed_;
   s.prefetches_used = prefetches_used_;
   s.prefetches_wasted = prefetches_wasted_;
+  s.inflight_begun = inflight_begun_;
+  s.inflight_waits = inflight_waits_;
+  s.inflight_completed = inflight_completed_;
+  s.inflight_aborted = inflight_aborted_;
   return s;
 }
 
@@ -261,6 +345,10 @@ void SegmentCache::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   prefetches_installed_.BindTo(*registry, "cache.prefetches_installed");
   prefetches_used_.BindTo(*registry, "cache.prefetches_used");
   prefetches_wasted_.BindTo(*registry, "cache.prefetches_wasted");
+  inflight_begun_.BindTo(*registry, "cache.inflight.begun");
+  inflight_waits_.BindTo(*registry, "cache.inflight.waits");
+  inflight_completed_.BindTo(*registry, "cache.inflight.completed");
+  inflight_aborted_.BindTo(*registry, "cache.inflight.aborted");
 }
 
 std::vector<SegmentCache::LineInfo> SegmentCache::Lines() const {

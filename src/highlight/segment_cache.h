@@ -53,8 +53,27 @@ class SegmentCache {
 
   // Lookup on the demand path: same result as Lookup() but counts a hit or
   // a miss, and retires the prefetched flag on first use (prefetch-accuracy
-  // accounting).
+  // accounting). A line whose install is still in flight reads as a miss so
+  // the fault handler routes the request onto the existing fetch instead of
+  // serving a partially-written line.
   uint32_t LookupForAccess(uint32_t tseg);
+
+  // Async-read-pipeline install protocol. BeginInstall allocates a line
+  // whose data is still in flight on the tertiary device: the line is in
+  // the directory (so duplicate faults and read-aheads can find it) but
+  // pinned — never an eviction victim, and Eject refuses with kBusy — until
+  // the install completes. SetInstallReady stamps the sim time at which the
+  // transfer lands; once that time passes, the line lazily auto-completes.
+  // FinishInstall is idempotent (safe for every coalesced waiter to call);
+  // AbortInstall unpins and drops the line after a failed fetch.
+  Result<uint32_t> BeginInstall(uint32_t tseg, bool prefetched);
+  void SetInstallReady(uint32_t tseg, SimTime ready_at);
+  Status FinishInstall(uint32_t tseg);
+  Status AbortInstall(uint32_t tseg);
+  bool Installing(uint32_t tseg);
+  SimTime InstallReadyAt(uint32_t tseg) const;
+  // Counts a demand fault that coalesced onto an in-flight install.
+  void NoteInflightWait(uint32_t tseg);
 
   // Records an access for replacement bookkeeping.
   void Touch(uint32_t tseg);
@@ -88,6 +107,8 @@ class SegmentCache {
     bool staging = false;     // Being assembled by the migrator.
     bool dirty = false;       // Assembled but not yet on tertiary media.
     bool prefetched = false;  // Speculatively fetched, not yet demand-used.
+    bool installing = false;  // Data still in flight from tertiary.
+    SimTime ready_at = 0;     // When the in-flight transfer lands (0: TBD).
   };
   std::vector<LineInfo> Lines() const;
   uint32_t Capacity() const { return static_cast<uint32_t>(pool_.size()); }
@@ -104,6 +125,10 @@ class SegmentCache {
     uint64_t prefetches_installed = 0;
     uint64_t prefetches_used = 0;
     uint64_t prefetches_wasted = 0;
+    uint64_t inflight_begun = 0;      // Installing lines registered.
+    uint64_t inflight_waits = 0;      // Faults coalesced onto one fetch.
+    uint64_t inflight_completed = 0;  // Installs that landed.
+    uint64_t inflight_aborted = 0;    // Installs torn down after a failure.
   };
   Stats Snapshot() const;
 
@@ -119,6 +144,8 @@ class SegmentCache {
   Result<uint32_t> PickVictim();
   // Eject bookkeeping shared by Eject() and the eviction paths.
   void RetirePrefetchedOnDrop(const LineInfo& line);
+  // Lazily completes an installing line whose ready time has passed.
+  void CompleteIfReady(LineInfo& line);
 
   Lfs* fs_;
   CacheReplacement policy_;
@@ -134,6 +161,10 @@ class SegmentCache {
   Counter prefetches_installed_;
   Counter prefetches_used_;
   Counter prefetches_wasted_;
+  Counter inflight_begun_;
+  Counter inflight_waits_;
+  Counter inflight_completed_;
+  Counter inflight_aborted_;
   Tracer tracer_;
   SpanTracer* spans_ = nullptr;
 };

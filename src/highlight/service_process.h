@@ -35,6 +35,27 @@ class ServiceProcess {
   // the segment into the cache, and runs the prefetch policy.
   Status DemandFetch(uint32_t tseg);
 
+  // Routes fetches through the I/O server's unified read queue instead of
+  // the synchronous FetchSegment path (HighLightConfig::async_read_pipeline).
+  void set_async_read_pipeline(bool on) { async_reads_ = on; }
+
+  // Batched demand service: the kernel's queue of outstanding faults handed
+  // over at once. With the async pipeline the whole batch is enqueued before
+  // the first issue, so the elevator orders transfers per volume (K faults
+  // on one unmounted volume pay one media swap), and each request resumes as
+  // soon as *its* segment is usable (critical-segment-first) — `delay_us` is
+  // that per-request resume time, measured from batch arrival. Without the
+  // pipeline, requests are serviced strictly in order, each waiting out all
+  // of its predecessors. Prefetch policy and read-ahead are not run for
+  // batch requests. The returned vector parallels `tsegs`.
+  struct BatchFetchResult {
+    uint32_t tseg = kNoSegment;
+    Status status = OkStatus();
+    SimTime delay_us = 0;  // Request arrival -> segment usable.
+  };
+  Result<std::vector<BatchFetchResult>> DemandFetchBatch(
+      const std::vector<uint32_t>& tsegs);
+
   // Explicit ejection request (e.g. the migrator reclaiming cache space).
   Status Eject(uint32_t tseg) { return cache_->Eject(tseg); }
 
@@ -67,13 +88,10 @@ class ServiceProcess {
   void SetReadaheadFilter(ReadaheadFilter filter) {
     readahead_filter_ = std::move(filter);
   }
-  // Invalidates buffered prefetch images (volume erase / cache drops make
-  // them stale). Dropped images were fetched but never served a miss, so
-  // they count as wasted read-aheads.
-  void DropPendingPrefetches() {
-    stats_.readaheads_wasted += pending_prefetch_.size();
-    pending_prefetch_.clear();
-  }
+  // Invalidates buffered prefetch images and cancels still-queued prefetch
+  // reads (volume erase / cache drops make them stale). Dropped images were
+  // fetched but never served a miss, so they count as wasted read-aheads.
+  void DropPendingPrefetches();
   size_t PendingPrefetches() const { return pending_prefetch_.size(); }
 
   struct Stats {
@@ -101,6 +119,15 @@ class ServiceProcess {
  private:
   Status FetchIntoCache(uint32_t tseg, bool is_prefetch);
   void MaybeReadahead(uint32_t tseg);
+  // Async-pipeline demand path: registers an installing line, queues the
+  // read, forces it onto the device and waits (clock) for its ready time.
+  Status AsyncDemandFetch(uint32_t tseg);
+  // Concurrent fault on an in-flight tseg: wait on the existing fetch
+  // instead of issuing a second one.
+  Status AwaitInflight(uint32_t tseg);
+  // Async-pipeline policy prefetch: fire-and-forget enqueue that installs
+  // into its line whenever the pipeline sweeps it up.
+  Status AsyncPrefetch(uint32_t tseg);
 
   struct PendingPrefetch {
     std::shared_ptr<std::vector<uint8_t>> image;
@@ -113,6 +140,7 @@ class ServiceProcess {
   PrefetchPolicy prefetch_;
   SlowAccessNotifier notifier_;
   bool readahead_ = false;
+  bool async_reads_ = false;
   ReadaheadFilter readahead_filter_;
   std::map<uint32_t, PendingPrefetch> pending_prefetch_;
   SimTime request_overhead_us_ = 2000;  // ~2 ms per request round trip.

@@ -48,6 +48,7 @@ void Jukebox::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   media_swaps_.BindTo(*registry, prefix + "media_swaps");
   bytes_read_.BindTo(*registry, prefix + "bytes_read");
   bytes_written_.BindTo(*registry, prefix + "bytes_written");
+  mounted_transfers_.BindTo(*registry, prefix + "mounted_transfers");
 }
 
 Result<int> Jukebox::EnsureMounted(int slot, bool for_write, SimTime earliest,
@@ -58,6 +59,7 @@ Result<int> Jukebox::EnsureMounted(int slot, bool for_write, SimTime earliest,
   // Already mounted?
   for (size_t i = 0; i < drives_.size(); ++i) {
     if (drives_[i].loaded_slot == slot) {
+      ++mounted_transfers_;
       *ready_at = earliest;
       return static_cast<int>(i);
     }

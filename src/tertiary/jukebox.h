@@ -75,6 +75,9 @@ class Jukebox {
   uint64_t media_swaps() const { return media_swaps_; }
   uint64_t bytes_read() const { return bytes_read_; }
   uint64_t bytes_written() const { return bytes_written_; }
+  // Transfers that found their volume already seated in a drive — the
+  // batching win the swap-aware read scheduler is after.
+  uint64_t mounted_transfers() const { return mounted_transfers_; }
   // Per-volume insertion counts (tape wear, section 6.5 footnote).
   uint64_t insertions(int slot) const { return insertions_[slot]; }
 
@@ -152,6 +155,7 @@ class Jukebox {
   Counter media_swaps_;
   Counter bytes_read_;
   Counter bytes_written_;
+  Counter mounted_transfers_;
   Tracer tracer_;
 };
 

@@ -50,6 +50,10 @@ const char* TraceEventName(TraceEvent event) {
       return "scrub_repair";
     case TraceEvent::kScrubLoss:
       return "scrub_loss";
+    case TraceEvent::kReadCoalesce:
+      return "read_coalesce";
+    case TraceEvent::kFetchBatch:
+      return "fetch_batch";
   }
   return "unknown";
 }

@@ -49,10 +49,12 @@ enum class TraceEvent : uint8_t {
   kHealthChange,    // a=volume (~0 for non-volume entities), b=HealthState.
   kScrubRepair,     // a=repaired tseg, b=source tseg used.
   kScrubLoss,       // a=tseg, b=volume: no intact copy found.
+  kReadCoalesce,    // a=tseg, b=waiters: duplicate read merged into one op.
+  kFetchBatch,      // a=request count: batched demand-fetch service.
 };
 
 inline constexpr size_t kTraceEventCount =
-    static_cast<size_t>(TraceEvent::kScrubLoss) + 1;
+    static_cast<size_t>(TraceEvent::kFetchBatch) + 1;
 
 // Stable lower_snake_case name ("seg_fetch", "volume_switch", ...).
 const char* TraceEventName(TraceEvent event);

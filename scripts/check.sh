@@ -53,4 +53,14 @@ python3 scripts/bench_diff.py "$smoke_dir"/BENCH_table5_raw_devices.json \
 (cd "$smoke_dir" && "$OLDPWD"/build/bench/table3_access_delays >/dev/null)
 python3 scripts/bench_diff.py "$smoke_dir"/BENCH_table3_access_delays.json \
   bench/baselines/table3_access_delays.json
+
+# Engine-ops gate: the TsegTable bookkeeping indices must agree with their
+# linear-scan references, Store() must coalesce, and the migration-pass
+# loop must hold its >= 5x wall-clock speedup floor over the pre-index
+# implementation (see bench/engine_ops.cc).
+echo "==> engine-ops gate (deterministic smoke vs baseline)"
+cmake --build --preset default --target engine_ops -j "$jobs" >/dev/null
+(cd "$smoke_dir" && "$OLDPWD"/build/bench/engine_ops --smoke)
+python3 scripts/bench_diff.py "$smoke_dir"/BENCH_engine_ops.json \
+  bench/baselines/engine_ops.json
 echo "All checks passed."

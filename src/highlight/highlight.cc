@@ -182,6 +182,7 @@ Status HighLightFs::WireFsComponents() {
 
   tsegs_ = std::make_unique<TsegTable>(fs_.get(), amap_.get());
   RETURN_IF_ERROR(tsegs_->Load());
+  tsegs_->AttachMetrics(&metrics_);
   fs_->SetTertiaryAccounting(
       [tsegs = tsegs_.get()](uint32_t daddr, int64_t delta) {
         tsegs->OnAccounting(daddr, delta);

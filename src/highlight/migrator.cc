@@ -144,6 +144,9 @@ Status Migrator::CopyOut(uint32_t tseg) {
 
 void Migrator::RetireVolume(uint32_t volume) {
   ++volumes_retired_;
+  if (tsegs_->CleanCount(volume) == 0) {
+    return;  // Nothing left to retire on this volume.
+  }
   // Persistently retire the volume's unused segments.
   uint32_t first = amap_->FirstTsegOfVolume(volume);
   for (uint32_t i = 0; i < amap_->segs_per_volume(); ++i) {

@@ -150,12 +150,11 @@ Result<uint64_t> TertiaryCleaner::CleanVolume(uint32_t volume) {
     stats_.segments_reclaimed++;
   }
   // Replicas elsewhere whose primaries lived on this volume are now
-  // orphans: release them too (their space was never counted as live).
-  for (uint32_t t = 0; t < tsegs_->size(); ++t) {
-    const SegUsage& u = tsegs_->Get(t);
-    if ((u.flags & kSegReplica) &&
-        std::find(dirty_tsegs.begin(), dirty_tsegs.end(), u.cache_tseg) !=
-            dirty_tsegs.end()) {
+  // orphans: release them too (their space was never counted as live). The
+  // replica index makes this a per-primary lookup instead of a full-table
+  // scan.
+  for (uint32_t primary : dirty_tsegs) {
+    for (uint32_t t : tsegs_->ReplicasOf(primary)) {
       tsegs_->SetFlags(t, kSegClean, kSegDirty | kSegReplica);
       tsegs_->SetAvailBytes(t, static_cast<uint32_t>(amap_->SegBytes()));
       tsegs_->ClearCrc(t);

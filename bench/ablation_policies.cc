@@ -26,11 +26,13 @@ constexpr uint64_t kSeed = 0xAB1A7E;
 std::unique_ptr<HighLightFs> Build(SimClock& clock,
                                    CacheReplacement replacement,
                                    uint32_t cache_segments) {
-  HighLightConfig config;
-  config.disks.push_back({Rz57Profile(), 512 * 256});  // 512 MB.
-  config.jukeboxes.push_back({Hp6300MoProfile(), false, 0});
-  config.lfs.cache_max_segments = cache_segments;
-  config.cache_replacement = replacement;
+  HighLightConfig config = DieOr(HighLightConfig::Builder()
+                                     .AddDisk(Rz57Profile(), 512 * 256)
+                                     .AddJukebox(Hp6300MoProfile())
+                                     .CacheMaxSegments(cache_segments)
+                                     .CacheReplacementPolicy(replacement)
+                                     .Build(),
+                                 "config");
   return DieOr(HighLightFs::Create(config, &clock), "create");
 }
 
@@ -78,11 +80,11 @@ void RankingAblation() {
     } else {
       policy = std::make_unique<SizePolicy>();
     }
-    DieOr(hl->Migrate(*policy, 24ull << 20), "migrate");
+    DieOr(hl->Migrate(MigrationRequest{.policy = policy.get(), .bytes_target = 24ull << 20}), "migrate");
     Die(hl->DropCleanCacheLines(), "drop");
 
     // Re-reference trace: 90% hot files, 10% uniform.
-    uint64_t fetches_before = hl->service().stats().demand_fetches;
+    uint64_t fetches_before = hl->Internals().service.stats().demand_fetches;
     SimTime t0 = clock.Now();
     Rng trace(kSeed + 99);
     std::vector<uint8_t> buf(64 * 1024);
@@ -92,12 +94,12 @@ void RankingAblation() {
       uint32_t ino = DieOr(hl->fs().LookupPath(paths[index]), "lookup");
       DieOr(hl->fs().Read(ino, 0, buf), "trace read");
     }
-    uint64_t fetches = hl->service().stats().demand_fetches - fetches_before;
+    uint64_t fetches = hl->Internals().service.stats().demand_fetches - fetches_before;
     table.AddRow({policy_name, bench::Fmt("%.0f", static_cast<double>(fetches)),
                   bench::Seconds(clock.Now() - t0),
                   bench::Fmt("%.1f MB",
                              static_cast<double>(
-                                 hl->io_server().stats().bytes_fetched) /
+                                 hl->Internals().io_server.stats().bytes_fetched) /
                                  (1 << 20))});
   }
   table.Print();
@@ -134,7 +136,7 @@ void ReplacementAblation() {
     MigratorOptions data_only;
     data_only.migrate_inode = false;
     data_only.migrate_metadata = false;
-    DieOr(hl->migrator().MigrateFiles({ino}, data_only), "migrate");
+    DieOr(hl->Internals().migrator.MigrateFiles({ino}, data_only), "migrate");
     Die(hl->DropCleanCacheLines(), "drop");
 
     // Skewed re-references: 80% of reads within a 6-segment hot window.
@@ -146,7 +148,7 @@ void ReplacementAblation() {
       uint64_t off = seg * (1 << 20) + trace.Below(200) * 4096;
       DieOr(hl->fs().Read(ino, off, buf), "read");
     }
-    const SegmentCache::Stats st = hl->cache().Snapshot();
+    const SegmentCache::Stats st = hl->Internals().cache.Snapshot();
     double hit_rate =
         static_cast<double>(st.hits) /
         static_cast<double>(st.hits + st.misses ? st.hits + st.misses : 1);
@@ -178,9 +180,9 @@ void DelayedWriteAblation() {
     opts.delayed_copyout = delayed;
     SimTime t0 = clock.Now();
     MigrationReport report =
-        DieOr(hl->migrator().MigrateFiles({ino}, opts), "migrate");
-    uint32_t peak_pending = hl->migrator().PendingSegments();
-    Die(hl->migrator().FlushStaging(), "flush");
+        DieOr(hl->Internals().migrator.MigrateFiles({ino}, opts), "migrate");
+    uint32_t peak_pending = hl->Internals().migrator.PendingSegments();
+    Die(hl->Internals().migrator.FlushStaging(), "flush");
     SimTime elapsed = clock.Now() - t0;
     table.AddRow({delayed ? "delayed" : "immediate", bench::Seconds(elapsed),
                   bench::Fmt("%.0f", static_cast<double>(peak_pending)),
@@ -211,17 +213,17 @@ void PrefetchAblation() {
     }
     clock.Advance(3600 * kUsPerSec);
     NamespacePolicy ns;
-    DieOr(hl->Migrate(ns, 0), "migrate");
+    DieOr(hl->Migrate(MigrationRequest{.policy = &ns}), "migrate");
     Die(hl->DropCleanCacheLines(), "drop");
 
     if (prefetch) {
       // The migrator laid the unit out contiguously; prefetch the next two
       // segments on each miss.
-      hl->service().SetPrefetchPolicy([&hl](uint32_t tseg) {
+      hl->Internals().service.SetPrefetchPolicy([&hl](uint32_t tseg) {
         std::vector<uint32_t> extra;
         for (uint32_t next = tseg + 1; next <= tseg + 2; ++next) {
-          if (next < hl->tseg_table().size() &&
-              !(hl->tseg_table().Get(next).flags & kSegClean)) {
+          if (next < hl->Internals().tseg_table.size() &&
+              !(hl->Internals().tseg_table.Get(next).flags & kSegClean)) {
             extra.push_back(next);
           }
         }
@@ -239,7 +241,7 @@ void PrefetchAblation() {
     table.AddRow({prefetch ? "on (next 2 segs)" : "off",
                   bench::Fmt("%.0f",
                              static_cast<double>(
-                                 hl->block_map().stats().demand_faults)),
+                                 hl->Internals().block_map.stats().demand_faults)),
                   bench::Seconds(clock.Now() - t0)});
   }
   table.Print();
@@ -277,16 +279,16 @@ void GranularityAblation() {
     }
 
     if (block_range) {
-      DieOr(hl->MigrateColdRanges(cutoff), "cold-range migrate");
+      DieOr(hl->Migrate(MigrationRequest{.cold_cutoff = cutoff}), "cold-range migrate");
     } else {
       MigratorOptions opts;  // Whole-file: everything goes, hot tail too.
-      DieOr(hl->migrator().MigrateFiles({ino}, opts), "whole-file migrate");
+      DieOr(hl->Internals().migrator.MigrateFiles({ino}, opts), "whole-file migrate");
     }
     Die(hl->DropCleanCacheLines(), "drop");
 
     // The OLTP phase: hot-tail point queries.
     Rng oltp(kSeed + 1);
-    uint64_t fetches0 = hl->service().stats().demand_fetches;
+    uint64_t fetches0 = hl->Internals().service.stats().demand_fetches;
     SimTime t0 = clock.Now();
     for (int q = 0; q < 400; ++q) {
       uint64_t p = kPages - kHot + oltp.Below(kHot);
@@ -298,7 +300,7 @@ void GranularityAblation() {
     if (refs.ok()) {
       for (const BlockRef& r : *refs) {
         if (!IsMetaLbn(r.lbn) &&
-            hl->address_map().Classify(r.daddr) == AddressMap::Zone::kDisk) {
+            hl->Internals().address_map.Classify(r.daddr) == AddressMap::Zone::kDisk) {
           on_disk += kBlockSize;
         }
       }
@@ -306,7 +308,7 @@ void GranularityAblation() {
     table.AddRow({block_range ? "block-range (cold only)" : "whole-file",
                   bench::Seconds(clock.Now() - t0),
                   bench::Fmt("%.0f", static_cast<double>(
-                                         hl->service().stats().demand_fetches -
+                                         hl->Internals().service.stats().demand_fetches -
                                          fetches0)),
                   bench::Fmt("%.1f MB",
                              static_cast<double>(on_disk) / (1 << 20))});

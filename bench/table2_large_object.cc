@@ -207,7 +207,7 @@ std::vector<PhaseResult> RunHighLight(bool migrate_to_cache,
   auto hl = DieOr(HighLightFs::Create(config, &clock), "highlight create");
   uint32_t ino = CreateBigFile(hl->fs(), "/bigobject");
   if (migrate_to_cache) {
-    MigrationReport report = DieOr(hl->MigratePath("/bigobject"), "migrate");
+    MigrationReport report = DieOr(hl->Migrate(MigrationRequest{.path = "/bigobject"}), "migrate");
     std::fprintf(stderr, "[%s] migrated %llu blocks in %u segments\n", label,
                  static_cast<unsigned long long>(report.blocks_migrated),
                  report.segments_completed);

@@ -86,10 +86,12 @@ Delay MeasureFfs(size_t bytes) {
 Delay MeasureHighLight(size_t bytes, bool drop_cache,
                        bench::JsonReport& report, const std::string& label) {
   SimClock clock;
-  HighLightConfig config;
-  config.disks.push_back({Rz57Profile(), kDiskBlocks});
-  config.jukeboxes.push_back({Hp6300MoProfile(), false, 0});
-  config.lfs.cache_max_segments = 120;
+  HighLightConfig config = DieOr(HighLightConfig::Builder()
+                                     .AddDisk(Rz57Profile(), kDiskBlocks)
+                                     .AddJukebox(Hp6300MoProfile())
+                                     .CacheMaxSegments(120)
+                                     .Build(),
+                                 "config");
   auto hl = DieOr(HighLightFs::Create(config, &clock), "create");
   uint32_t ino = DieOr(hl->fs().Create("/f"), "create");
   Die(hl->fs().Write(ino, 0, bench::Payload(bytes, kSeed)), "write");
@@ -100,15 +102,15 @@ Delay MeasureHighLight(size_t bytes, bool drop_cache,
   MigratorOptions data_only;
   data_only.migrate_inode = false;
   data_only.migrate_metadata = false;
-  DieOr(hl->migrator().MigrateFiles({ino}, data_only), "migrate");
+  DieOr(hl->Internals().migrator.MigrateFiles({ino}, data_only), "migrate");
   if (drop_cache) {
     Die(hl->DropCleanCacheLines(), "drop cache");
     // Prime the write drive so the volume is loaded (the paper's "the
     // tertiary volume was in the drive when the tests began").
     std::vector<uint8_t> sector(4096);
-    uint32_t vol = hl->address_map().VolumeOfTseg(
-        hl->address_map().FirstTsegOfVolume(0));
-    Die(hl->footprint().Read(vol, 0, sector), "prime drive");
+    uint32_t vol = hl->Internals().address_map.VolumeOfTseg(
+        hl->Internals().address_map.FirstTsegOfVolume(0));
+    Die(hl->Internals().footprint.Read(vol, 0, sector), "prime drive");
   } else {
     hl->fs().FlushBufferCache();  // Cold buffer cache, warm segment cache.
   }
@@ -135,11 +137,13 @@ BatchStats MeasureBatchedFaults(bool async, size_t k,
                                 bench::JsonReport& report,
                                 const std::string& label) {
   SimClock clock;
-  HighLightConfig config;
-  config.disks.push_back({Rz57Profile(), kDiskBlocks});
-  config.jukeboxes.push_back({Hp6300MoProfile(), false, 0});
-  config.lfs.cache_max_segments = 120;
-  config.async_read_pipeline = async;
+  HighLightConfig config = DieOr(HighLightConfig::Builder()
+                                     .AddDisk(Rz57Profile(), kDiskBlocks)
+                                     .AddJukebox(Hp6300MoProfile())
+                                     .CacheMaxSegments(120)
+                                     .AsyncReadPipeline(async)
+                                     .Build(),
+                                 "config");
   auto hl = DieOr(HighLightFs::Create(config, &clock), "create");
 
   MigratorOptions data_only;
@@ -147,7 +151,7 @@ BatchStats MeasureBatchedFaults(bool async, size_t k,
   data_only.migrate_metadata = false;
   uint32_t next_tseg[4] = {};
   for (uint32_t v = 0; v < 4; ++v) {
-    next_tseg[v] = hl->address_map().FirstTsegOfVolume(v);
+    next_tseg[v] = hl->Internals().address_map.FirstTsegOfVolume(v);
   }
   auto migrate_to = [&](const std::string& path, uint32_t volume) {
     uint32_t ino = DieOr(hl->fs().Create(path), "create");
@@ -155,7 +159,7 @@ BatchStats MeasureBatchedFaults(bool async, size_t k,
         "write");
     MigratorOptions opts = data_only;
     opts.preferred_volume = volume;
-    DieOr(hl->migrator().MigrateFiles({ino}, opts), "migrate");
+    DieOr(hl->Internals().migrator.MigrateFiles({ino}, opts), "migrate");
     return next_tseg[volume]++;
   };
 
@@ -168,10 +172,10 @@ BatchStats MeasureBatchedFaults(bool async, size_t k,
   migrate_to("/park", 3);
   Die(hl->DropCleanCacheLines(), "drop cache");
 
-  uint64_t swaps0 = hl->footprint().TotalMediaSwaps();
-  auto results = DieOr(hl->service().DemandFetchBatch(faults), "batch");
+  uint64_t swaps0 = hl->Internals().footprint.TotalMediaSwaps();
+  auto results = DieOr(hl->Internals().service.DemandFetchBatch(faults), "batch");
   BatchStats stats;
-  stats.swaps = hl->footprint().TotalMediaSwaps() - swaps0;
+  stats.swaps = hl->Internals().footprint.TotalMediaSwaps() - swaps0;
   SimTime total = 0;
   for (const auto& r : results) {
     Die(r.status, "batched fetch");

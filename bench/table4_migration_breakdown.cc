@@ -41,14 +41,14 @@ int main() {
   Die(hl->fs().Sync(), "sync");
 
   // Reset attribution so only the migration run is measured.
-  hl->io_server().phases().Reset();
+  hl->Internals().io_server.phases().Reset();
   SimTime t0 = clock.Now();
-  MigrationReport report = DieOr(hl->MigratePath("/bigobject"), "migrate");
+  MigrationReport report = DieOr(hl->Migrate(MigrationRequest{.path = "/bigobject"}), "migrate");
   SimTime elapsed = clock.Now() - t0;
 
   bench::Title("Table 4: I/O server / migrator time breakdown (51.2 MB "
                "migration to MO)");
-  PhaseAccumulator& phases = hl->io_server().phases();
+  PhaseAccumulator& phases = hl->Internals().io_server.phases();
   bench::Table table({"Phase", "paper", "simulated"});
   table.AddRow({"Footprint write", "62%",
                 bench::Fmt("%.0f%%", phases.Percent("footprint"))});

@@ -74,7 +74,7 @@ ConfigResult RunConfig(const std::optional<DiskProfile>& staging,
     auto hl = Build(clock, staging);
     FillFile(*hl, "/bigobject");
     SimTime t0 = clock.Now();
-    MigrationReport mr = DieOr(hl->MigratePath("/bigobject"), "migrate");
+    MigrationReport mr = DieOr(hl->Migrate(MigrationRequest{.path = "/bigobject"}), "migrate");
     result.contention_kbps =
         bench::KBpsValue(mr.bytes_migrated, clock.Now() - t0);
     report.Snapshot(label + "_contention", hl->Metrics());
@@ -93,10 +93,10 @@ ConfigResult RunConfig(const std::optional<DiskProfile>& staging,
     delayed.delayed_copyout = true;
     SimTime t0 = clock.Now();
     MigrationReport mr =
-        DieOr(hl->migrator().MigrateFiles({ino}, delayed), "stage");
+        DieOr(hl->Internals().migrator.MigrateFiles({ino}, delayed), "stage");
     stage_elapsed = clock.Now() - t0;
     SimTime t1 = clock.Now();
-    Die(hl->migrator().FlushStaging(), "drain");
+    Die(hl->Internals().migrator.FlushStaging(), "drain");
     SimTime drain = clock.Now() - t1;
     result.no_contention_kbps =
         bench::KBpsValue(mr.bytes_migrated, drain);
@@ -135,13 +135,13 @@ ModeResult RunMode(bool write_behind, bench::JsonReport& report) {
   uint32_t ino = FillFile(*hl, "/bigobject");
   (void)ino;
   SimTime t0 = clock.Now();
-  MigrationReport mr = DieOr(hl->MigratePath("/bigobject"), "migrate");
-  Die(hl->migrator().FlushStaging(), "flush");
+  MigrationReport mr = DieOr(hl->Migrate(MigrationRequest{.path = "/bigobject"}), "migrate");
+  Die(hl->Internals().migrator.FlushStaging(), "flush");
   SimTime elapsed = clock.Now() - t0;
   result.kbps = bench::KBpsValue(mr.bytes_migrated, elapsed);
   result.elapsed_s = static_cast<double>(elapsed) / 1e6;
-  result.media_swaps = hl->footprint().TotalMediaSwaps();
-  result.backpressure_stalls = hl->io_server().stats().backpressure_stalls;
+  result.media_swaps = hl->Internals().footprint.TotalMediaSwaps();
+  result.backpressure_stalls = hl->Internals().io_server.stats().backpressure_stalls;
   result.fsck_clean = CheckFs(hl->fs()).clean();
   const std::string mode = write_behind ? "write_behind" : "synchronous";
   report.Snapshot(mode, hl->Metrics());

@@ -69,7 +69,7 @@ int main() {
     // cold dumps first; cap migration at everything but ~2 checkpoints.
     if (epoch >= 2) {
       MigrationReport r = Check(
-          hl->Migrate(stp, (epoch - 1) * kCheckpointBytes), "migrate");
+          hl->Migrate(MigrationRequest{.policy = &stp, .bytes_target = (epoch - 1) * kCheckpointBytes}), "migrate");
       if (r.files_migrated > 0) {
         std::printf("  migrator archived %u checkpoint(s) (%llu MB)\n",
                     r.files_migrated,
@@ -94,9 +94,9 @@ int main() {
               "fetches, %llu media swaps\n",
               n >> 20, secs, static_cast<double>(n) / 1024.0 / secs,
               static_cast<unsigned long long>(
-                  hl->service().stats().demand_fetches),
+                  hl->Internals().service.stats().demand_fetches),
               static_cast<unsigned long long>(
-                  hl->footprint().TotalMediaSwaps()));
+                  hl->Internals().footprint.TotalMediaSwaps()));
 
   // Roll forward: verify the newest on-disk checkpoint is still fast.
   uint32_t newest = Check(

@@ -67,7 +67,7 @@ int main() {
   }
   MigratorOptions opts;
   MigrationReport report = Check(
-      hl->migrator().MigrateBlocks(rel, cold_range, opts), "migrate range");
+      hl->Internals().migrator.MigrateBlocks(rel, cold_range, opts), "migrate range");
   std::printf("block-range migration: %llu cold pages to tertiary, hot tail "
               "of %u pages stays on disk\n",
               static_cast<unsigned long long>(report.blocks_migrated),
@@ -76,7 +76,7 @@ int main() {
 
   // OLTP on the hot tail: must never touch the robot.
   Rng oltp(0x0175);
-  uint64_t swaps_before = hl->footprint().TotalMediaSwaps();
+  uint64_t swaps_before = hl->Internals().footprint.TotalMediaSwaps();
   SimTime t0 = clock.Now();
   for (int q = 0; q < 500; ++q) {
     uint32_t p = kPages - kHotPages +
@@ -86,7 +86,7 @@ int main() {
   }
   std::printf("500 hot-tail queries: %.2f s, tertiary touched: %s\n",
               static_cast<double>(clock.Now() - t0) / kUsPerSec,
-              hl->footprint().TotalMediaSwaps() == swaps_before ? "no"
+              hl->Internals().footprint.TotalMediaSwaps() == swaps_before ? "no"
                                                                 : "YES (bug)");
 
   // A historical analytic query scans a cold range: demand fetches occur,
@@ -100,11 +100,11 @@ int main() {
               "(segment-as-cache-line amortization)\n",
               static_cast<double>(clock.Now() - t0) / kUsPerSec,
               static_cast<unsigned long long>(
-                  hl->service().stats().demand_fetches));
+                  hl->Internals().service.stats().demand_fetches));
 
   // Point queries over the whole history: each may fault one segment.
   t0 = clock.Now();
-  int faults_before = static_cast<int>(hl->block_map().stats().demand_faults);
+  int faults_before = static_cast<int>(hl->Internals().block_map.stats().demand_faults);
   for (int q = 0; q < 50; ++q) {
     uint32_t p = static_cast<uint32_t>(oltp.Below(kPages - kHotPages));
     Check(hl->fs().Read(rel, static_cast<uint64_t>(p) * 4096, page).status(),
@@ -112,7 +112,7 @@ int main() {
   }
   std::printf("50 random historical point queries: %.1f s, new faults: %d\n",
               static_cast<double>(clock.Now() - t0) / kUsPerSec,
-              static_cast<int>(hl->block_map().stats().demand_faults) -
+              static_cast<int>(hl->Internals().block_map.stats().demand_faults) -
                   faults_before);
   return 0;
 }

@@ -129,8 +129,8 @@ int main(int argc, char** argv) {
   }
   Check(hl->fs().Sync(), "sync");
   clock.Advance(3600 * kUsPerSec);
-  Check(hl->MigratePath("/proj/file0").status(), "migrate");
-  Check(hl->MigratePath("/proj/file1").status(), "migrate");
+  Check(hl->Migrate(MigrationRequest{.path = "/proj/file0"}).status(), "migrate");
+  Check(hl->Migrate(MigrationRequest{.path = "/proj/file1"}).status(), "migrate");
   Check(hl->fs().Checkpoint(), "checkpoint");
   // Crash and recover, so the dump shows a rolled-forward log.
   uint32_t f5 = Check(hl->fs().LookupPath("/proj/file5"), "lookup");
@@ -143,7 +143,7 @@ int main(int argc, char** argv) {
     // transient drive faults (retried through), then a media scribble on a
     // replicated segment — the scrub pass detects it, repairs it from the
     // replica, and rebuilds the post-remount CRC catalog along the way.
-    hl->jukebox(0).FailNextOps(2);
+    hl->Internals().jukebox(0).FailNextOps(2);
     uint32_t f0 = Check(hl->fs().LookupPath("/proj/file0"), "lookup");
     std::vector<uint8_t> buf(4096);
     Check(hl->fs().Read(f0, 0, buf).status(), "faulted read");
@@ -151,24 +151,24 @@ int main(int argc, char** argv) {
     uint32_t f2 = Check(hl->fs().LookupPath("/proj/file2"), "lookup");
     MigratorOptions opts;
     opts.replicas = 1;
-    Check(hl->migrator().MigrateFiles({f2}, opts).status(), "migrate");
+    Check(hl->Internals().migrator.MigrateFiles({f2}, opts).status(), "migrate");
     uint32_t bad_tseg = kNoSegment;
-    for (uint32_t t = 0; t < hl->tseg_table().size(); ++t) {
-      const SegUsage& u = hl->tseg_table().Get(t);
+    for (uint32_t t = 0; t < hl->Internals().tseg_table.size(); ++t) {
+      const SegUsage& u = hl->Internals().tseg_table.Get(t);
       if ((u.flags & kSegReplica)) {
         bad_tseg = u.cache_tseg;  // A replicated primary: repairable.
         break;
       }
     }
     if (bad_tseg != kNoSegment) {
-      uint32_t vol = hl->address_map().VolumeOfTseg(bad_tseg);
-      Volume* medium = Check(hl->footprint().GetVolume(vol), "volume");
+      uint32_t vol = hl->Internals().address_map.VolumeOfTseg(bad_tseg);
+      Volume* medium = Check(hl->Internals().footprint.GetVolume(vol), "volume");
       std::vector<uint8_t> junk(kBlockSize, 0xA5);
-      Check(medium->Write(hl->address_map().ByteOffsetOnVolume(bad_tseg),
+      Check(medium->Write(hl->Internals().address_map.ByteOffsetOnVolume(bad_tseg),
                           junk),
             "scribble");
     }
-    Check(hl->scrubber().ScrubAll().status(), "scrub");
+    Check(hl->Internals().scrubber.ScrubAll().status(), "scrub");
   }
 
   Lfs& fs = hl->fs();
@@ -240,14 +240,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n=== tertiary segment table (in use) ===\n");
-  const TsegTable& tsegs = hl->tseg_table();
+  const TsegTable& tsegs = hl->Internals().tseg_table;
   for (uint32_t t = 0; t < tsegs.size(); ++t) {
     const SegUsage& u = tsegs.Get(t);
     if (u.flags & kSegClean) {
       continue;
     }
     std::printf("  tseg %-5u vol %-3u live %-9u %-22s%s\n", t,
-                hl->address_map().VolumeOfTseg(t), u.live_bytes,
+                hl->Internals().address_map.VolumeOfTseg(t), u.live_bytes,
                 FlagNames(u.flags).c_str(),
                 (u.flags & kSegReplica)
                     ? (" of " + std::to_string(u.cache_tseg)).c_str()
@@ -255,7 +255,7 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n=== segment cache directory ===\n");
-  for (const SegmentCache::LineInfo& line : hl->cache().Lines()) {
+  for (const SegmentCache::LineInfo& line : hl->Internals().cache.Lines()) {
     std::printf("  tseg %-5u in disk seg %-4u touches=%llu%s%s\n", line.tseg,
                 line.disk_seg,
                 static_cast<unsigned long long>(line.touches),
@@ -263,9 +263,9 @@ int main(int argc, char** argv) {
                 line.dirty ? " [dirty]" : "");
   }
   std::printf("  (%u/%u lines in use; %llu hits, %llu misses)\n",
-              hl->cache().Used(), hl->cache().Capacity(),
-              static_cast<unsigned long long>(hl->cache().Snapshot().hits),
-              static_cast<unsigned long long>(hl->cache().Snapshot().misses));
+              hl->Internals().cache.Used(), hl->Internals().cache.Capacity(),
+              static_cast<unsigned long long>(hl->Internals().cache.Snapshot().hits),
+              static_cast<unsigned long long>(hl->Internals().cache.Snapshot().misses));
 
   std::printf("\n=== fsck ===\n");
   FsckReport report = CheckFs(fs);
@@ -284,22 +284,22 @@ int main(int argc, char** argv) {
     std::printf("\n=== device & volume health ===\n");
     std::printf("  %-28s %-12s %8s %8s %6s %6s\n", "entity", "state",
                 "fails", "oks", "streak", "heal");
-    for (const auto& [name, entry] : hl->health().Entries()) {
+    for (const auto& [name, entry] : hl->Internals().health.Entries()) {
       std::printf("  %-28s %-12s %8llu %8llu %6d %6d\n", name.c_str(),
                   HealthStateName(entry.state),
                   static_cast<unsigned long long>(entry.failures_total),
                   static_cast<unsigned long long>(entry.successes_total),
                   entry.consecutive_failures, entry.consecutive_successes);
     }
-    if (hl->health().Entries().empty()) {
+    if (hl->Internals().health.Entries().empty()) {
       std::printf("  (no failures recorded; every entity healthy)\n");
     }
     std::printf("  quarantined volumes: %zu\n",
-                hl->health().QuarantinedVolumes().size());
+                hl->Internals().health.QuarantinedVolumes().size());
 
     std::printf("\n=== fault channels ===\n");
-    for (const std::string& name : hl->faults().ChannelNames()) {
-      const FaultChannel* c = hl->faults().Find(name);
+    for (const std::string& name : hl->Internals().faults.ChannelNames()) {
+      const FaultChannel* c = hl->Internals().faults.Find(name);
       std::printf("  %-28s %s latent-extents=%zu\n", name.c_str(),
                   c->dead() ? "DEAD " : "alive", c->LatentErrorCount());
     }
@@ -320,7 +320,7 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("  lost segments: %zu\n",
-                hl->scrubber().LostSegments().size());
+                hl->Internals().scrubber.LostSegments().size());
   }
 
   if (dump_spans) {
@@ -331,13 +331,13 @@ int main(int argc, char** argv) {
     uint32_t f3 = Check(hl->fs().LookupPath("/proj/file3"), "lookup");
     MigratorOptions opts;
     opts.replicas = 1;
-    Check(hl->migrator().MigrateFiles({f3}, opts).status(), "migrate");
+    Check(hl->Internals().migrator.MigrateFiles({f3}, opts).status(), "migrate");
 
     auto refs = Check(hl->fs().CollectFileBlocks(f3), "collect blocks");
     uint32_t primary = kNoSegment;
     for (const BlockRef& r : refs) {
       if (r.lbn == 0 && r.daddr != kNoBlock) {
-        primary = hl->address_map().TsegOf(r.daddr);
+        primary = hl->Internals().address_map.TsegOf(r.daddr);
         break;
       }
     }
@@ -348,22 +348,22 @@ int main(int argc, char** argv) {
     // The fetch tries the "closest" copy first (a mounted volume beats a
     // media swap); corrupt exactly that one so the failover must happen.
     std::vector<uint32_t> candidates = {primary};
-    for (uint32_t replica : hl->tseg_table().ReplicasOf(primary)) {
+    for (uint32_t replica : hl->Internals().tseg_table.ReplicasOf(primary)) {
       candidates.push_back(replica);
     }
     uint32_t victim = candidates.front();
     for (uint32_t candidate : candidates) {
-      auto mounted = hl->footprint().VolumeMounted(
-          static_cast<int>(hl->address_map().VolumeOfTseg(candidate)));
+      auto mounted = hl->Internals().footprint.VolumeMounted(
+          static_cast<int>(hl->Internals().address_map.VolumeOfTseg(candidate)));
       if (mounted.ok() && *mounted) {
         victim = candidate;
         break;
       }
     }
-    uint32_t vol = hl->address_map().VolumeOfTseg(victim);
-    Volume* medium = Check(hl->footprint().GetVolume(vol), "volume");
+    uint32_t vol = hl->Internals().address_map.VolumeOfTseg(victim);
+    Volume* medium = Check(hl->Internals().footprint.GetVolume(vol), "volume");
     std::vector<uint8_t> junk(kBlockSize, 0xA5);
-    Check(medium->Write(hl->address_map().ByteOffsetOnVolume(victim), junk),
+    Check(medium->Write(hl->Internals().address_map.ByteOffsetOnVolume(victim), junk),
           "scribble");
     // Drop the cache last: CollectFileBlocks may itself demand-fault the
     // segment back in, and a resident line would turn the read below into a
@@ -390,25 +390,25 @@ int main(int argc, char** argv) {
     // Build a backlog worth dumping: two delayed-copyout migrations fill
     // the write side, and a held batch window accumulates demand faults
     // plus a read-ahead on the read side before the elevator may issue.
-    IoServer& io = hl->io_server();
+    IoServer& io = hl->Internals().io_server;
     MigratorOptions delayed;
     delayed.delayed_copyout = true;
     for (const char* path : {"/proj/file4", "/proj/file5"}) {
       uint32_t ino = Check(hl->fs().LookupPath(path), "lookup");
-      Check(hl->migrator().MigrateFiles({ino}, delayed).status(), "migrate");
+      Check(hl->Internals().migrator.MigrateFiles({ino}, delayed).status(), "migrate");
     }
     size_t saved_depth = io.max_queue_depth();
     io.set_max_queue_depth(1);  // One op in flight; the rest stay visible.
     io.HoldReads();
     std::vector<uint32_t> fetchable;
     std::vector<uint32_t> staged;
-    for (const SegmentCache::LineInfo& line : hl->cache().Lines()) {
+    for (const SegmentCache::LineInfo& line : hl->Internals().cache.Lines()) {
       if (line.staging) {
         staged.push_back(line.tseg);
       }
     }
-    for (uint32_t t = 0; t < hl->tseg_table().size(); ++t) {
-      const SegUsage& u = hl->tseg_table().Get(t);
+    for (uint32_t t = 0; t < hl->Internals().tseg_table.size(); ++t) {
+      const SegUsage& u = hl->Internals().tseg_table.Get(t);
       if ((u.flags & kSegClean) || (u.flags & kSegReplica) ||
           (u.flags & kSegStaging)) {
         continue;
@@ -430,7 +430,7 @@ int main(int argc, char** argv) {
             "enqueue prefetch read");
     }
     for (uint32_t t : staged) {
-      Check(hl->migrator().EnqueueCopyOut(t), "enqueue copyout");
+      Check(hl->Internals().migrator.EnqueueCopyOut(t), "enqueue copyout");
     }
 
     std::printf("\n=== pending I/O queue (per volume) ===\n");
@@ -454,7 +454,7 @@ int main(int argc, char** argv) {
     // Let the backlog complete and put the server back the way it was.
     Check(io.ReleaseReads(), "release reads");
     Check(io.Drain(), "drain");
-    Check(hl->migrator().FlushStaging(), "flush staging");
+    Check(hl->Internals().migrator.FlushStaging(), "flush staging");
     io.set_max_queue_depth(saved_depth);
   }
 

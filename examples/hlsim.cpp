@@ -191,13 +191,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.demand_fetches),
               static_cast<unsigned long long>(stats.media_swaps));
   std::printf("segment cache         %llu hits / %llu misses, %u/%u lines\n",
-              static_cast<unsigned long long>(hl->cache().Snapshot().hits),
-              static_cast<unsigned long long>(hl->cache().Snapshot().misses),
-              hl->cache().Used(), hl->cache().Capacity());
+              static_cast<unsigned long long>(hl->Internals().cache.Snapshot().hits),
+              static_cast<unsigned long long>(hl->Internals().cache.Snapshot().misses),
+              hl->Internals().cache.Used(), hl->Internals().cache.Capacity());
   std::printf("tertiary              %llu live MB across %u dirty segments\n",
               static_cast<unsigned long long>(
-                  hl->tseg_table().TotalLiveBytes() >> 20),
-              hl->tseg_table().DirtyTsegCount());
+                  hl->Internals().tseg_table.TotalLiveBytes() >> 20),
+              hl->Internals().tseg_table.DirtyTsegCount());
   std::printf("disk                  %u/%u log segments clean\n",
               hl->fs().CleanSegmentCount(),
               hl->fs().NumSegments() -

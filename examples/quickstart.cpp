@@ -41,8 +41,8 @@ int main() {
   auto hl = Check(HighLightFs::Create(config, &clock), "create");
   std::printf("HighLight up: %u disk segments, %u tertiary segments on %u "
               "volumes\n",
-              hl->fs().NumSegments(), hl->address_map().tertiary_nsegs(),
-              hl->address_map().num_volumes());
+              hl->fs().NumSegments(), hl->Internals().address_map.tertiary_nsegs(),
+              hl->Internals().address_map.num_volumes());
 
   // 2. Use it like any file system.
   Check(hl->fs().Mkdir("/data").status(), "mkdir");
@@ -59,7 +59,7 @@ int main() {
   // 3. Time passes; the file goes cold and the migrator sends it to tape.
   clock.Advance(24 * 3600 * kUsPerSec);
   StpPolicy stp;  // The paper's space-time-product ranking.
-  MigrationReport report = Check(hl->Migrate(stp), "migrate");
+  MigrationReport report = Check(hl->Migrate(MigrationRequest{.policy = &stp}), "migrate");
   std::printf("migrated %u file(s), %llu blocks, %u tertiary segment(s)\n",
               report.files_migrated,
               static_cast<unsigned long long>(report.blocks_migrated),
@@ -74,9 +74,9 @@ int main() {
               "(demand fetches: %llu, media swaps: %llu)\n",
               n, static_cast<double>(clock.Now() - t0) / kUsPerSec,
               static_cast<unsigned long long>(
-                  hl->service().stats().demand_fetches),
+                  hl->Internals().service.stats().demand_fetches),
               static_cast<unsigned long long>(
-                  hl->footprint().TotalMediaSwaps()));
+                  hl->Internals().footprint.TotalMediaSwaps()));
   if (out != payload) {
     std::fprintf(stderr, "DATA MISMATCH\n");
     return 1;

@@ -81,7 +81,7 @@ int main() {
   // --- Nightly migration: day-directories are the namespace units -----------
   NamespacePolicy by_day("/");
   MigrationReport report =
-      Check(hl->Migrate(by_day, 100ull << 20), "migrate");
+      Check(hl->Migrate(MigrationRequest{.policy = &by_day, .bytes_target = 100ull << 20}), "migrate");
   std::printf("migrated %u files into %u tertiary segments "
               "(%llu MB; EOM retargets: %u)\n",
               report.files_migrated, report.segments_completed,
@@ -91,11 +91,11 @@ int main() {
 
   // --- Analysis phase: re-read one archived week ------------------------------
   // Sequential prefetch exploits the per-day clustering on tape.
-  hl->service().SetPrefetchPolicy([&hl](uint32_t tseg) {
+  hl->Internals().service.SetPrefetchPolicy([&hl](uint32_t tseg) {
     std::vector<uint32_t> extra;
     for (uint32_t next = tseg + 1; next <= tseg + 3; ++next) {
-      if (next < hl->tseg_table().size() &&
-          !(hl->tseg_table().Get(next).flags & kSegClean)) {
+      if (next < hl->Internals().tseg_table.size() &&
+          !(hl->Internals().tseg_table.Get(next).flags & kSegClean)) {
         extra.push_back(next);
       }
     }
@@ -126,12 +126,12 @@ int main() {
   std::printf("demand fetches: %llu, prefetches: %llu, media swaps: %llu, "
               "cache hit rate: %.0f%%\n",
               static_cast<unsigned long long>(
-                  hl->service().stats().demand_fetches),
-              static_cast<unsigned long long>(hl->service().stats().prefetches),
+                  hl->Internals().service.stats().demand_fetches),
+              static_cast<unsigned long long>(hl->Internals().service.stats().prefetches),
               static_cast<unsigned long long>(
-                  hl->footprint().TotalMediaSwaps()),
-              100.0 * static_cast<double>(hl->cache().Snapshot().hits) /
-                  static_cast<double>(hl->cache().Snapshot().hits +
-                                      hl->cache().Snapshot().misses));
+                  hl->Internals().footprint.TotalMediaSwaps()),
+              100.0 * static_cast<double>(hl->Internals().cache.Snapshot().hits) /
+                  static_cast<double>(hl->Internals().cache.Snapshot().hits +
+                                      hl->Internals().cache.Snapshot().misses));
   return 0;
 }

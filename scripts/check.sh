@@ -63,4 +63,14 @@ cmake --build --preset default --target engine_ops -j "$jobs" >/dev/null
 (cd "$smoke_dir" && "$OLDPWD"/build/bench/engine_ops --smoke)
 python3 scripts/bench_diff.py "$smoke_dir"/BENCH_engine_ops.json \
   bench/baselines/engine_ops.json
+
+# Federation gate: the central stager drives 4 shards through the
+# FetchBackend seam under a seeded Zipf/diurnal population; the smoke
+# population's headline values (tail delays, throughput, fair-share
+# counters) must match the committed baseline bit-for-bit.
+echo "==> federation gate (stager smoke vs baseline)"
+cmake --build --preset default --target federation_scale -j "$jobs" >/dev/null
+(cd "$smoke_dir" && "$OLDPWD"/build/bench/federation_scale --smoke >/dev/null)
+python3 scripts/bench_diff.py "$smoke_dir"/BENCH_federation_scale_smoke.json \
+  bench/baselines/federation_scale_smoke.json
 echo "All checks passed."

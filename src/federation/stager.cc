@@ -1,0 +1,273 @@
+#include "federation/stager.h"
+
+#include <algorithm>
+
+namespace hl {
+
+StagerScheduler::StagerScheduler(SimClock* clock, StagerConfig config)
+    : clock_(clock), config_(config) {
+  stats_.demand_admitted.BindTo(metrics_, "stager.demand_admitted");
+  stats_.migration_admitted.BindTo(metrics_, "stager.migration_admitted");
+  stats_.scrub_admitted.BindTo(metrics_, "stager.scrub_admitted");
+  stats_.rejected.BindTo(metrics_, "stager.rejected");
+  stats_.demand_served.BindTo(metrics_, "stager.demand_served");
+  stats_.fetch_errors.BindTo(metrics_, "stager.fetch_errors");
+  stats_.migration_runs.BindTo(metrics_, "stager.migration_runs");
+  stats_.scrub_steps.BindTo(metrics_, "stager.scrub_steps");
+  stats_.batches_dispatched.BindTo(metrics_, "stager.batches_dispatched");
+  stats_.coalesced.BindTo(metrics_, "stager.coalesced");
+  stats_.steered_to_replica.BindTo(metrics_, "stager.steered_to_replica");
+  stats_.balanced_to_replica.BindTo(metrics_, "stager.balanced_to_replica");
+  stats_.drive_waits.BindTo(metrics_, "stager.drive_waits");
+  stats_.cache_hits.BindTo(metrics_, "stager.cache_hits");
+  stats_.queue_depth.BindTo(metrics_, "stager.queue_depth");
+  fetch_delay_us_.BindTo(metrics_, "stager.fetch_delay_us");
+  queue_wait_us_.BindTo(metrics_, "stager.queue_wait_us");
+}
+
+int StagerScheduler::AddShard(FetchBackend* backend) {
+  shards_.push_back(backend);
+  replica_of_.push_back(-1);
+  quarantined_.push_back(false);
+  return static_cast<int>(shards_.size()) - 1;
+}
+
+void StagerScheduler::SetReplicaShard(int shard, int replica) {
+  replica_of_.at(shard) = replica;
+}
+
+void StagerScheduler::SetShardQuarantined(int shard, bool quarantined) {
+  quarantined_.at(shard) = quarantined;
+}
+
+bool StagerScheduler::ShardQuarantined(int shard) const {
+  return quarantined_.at(shard);
+}
+
+size_t StagerScheduler::DemandBacklog() const {
+  size_t n = 0;
+  for (const Tenant& t : tenants_) {
+    n += t.fifo.size();
+  }
+  return n;
+}
+
+size_t StagerScheduler::PendingRequests() const {
+  return DemandBacklog() + migrations_.size() + scrubs_.size();
+}
+
+uint64_t StagerScheduler::ServedFor(const std::string& tenant) const {
+  auto it = served_.find(tenant);
+  return it == served_.end() ? 0 : it->second;
+}
+
+std::vector<std::string> StagerScheduler::Tenants() const {
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const Tenant& t : tenants_) {
+    names.push_back(t.name);
+  }
+  return names;
+}
+
+void StagerScheduler::UpdateQueueGauge() {
+  stats_.queue_depth.Set(static_cast<int64_t>(PendingRequests()));
+}
+
+Status StagerScheduler::SubmitFetch(const std::string& tenant, int shard,
+                                    uint32_t tseg) {
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "stager: no such shard");
+  }
+  if (PendingRequests() >= config_.max_queue) {
+    stats_.rejected++;
+    return Status(ErrorCode::kBusy, "stager: admission queue full");
+  }
+  auto [it, inserted] = tenant_index_.try_emplace(tenant, tenants_.size());
+  if (inserted) {
+    tenants_.push_back(Tenant{tenant, {}});
+  }
+  tenants_[it->second].fifo.push_back(
+      DemandRequest{shard, tseg, clock_->Now()});
+  stats_.demand_admitted++;
+  UpdateQueueGauge();
+  return OkStatus();
+}
+
+Status StagerScheduler::SubmitMigration(const std::string& tenant, int shard,
+                                        MigrationRequest request) {
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "stager: no such shard");
+  }
+  if (PendingRequests() >= config_.max_queue) {
+    stats_.rejected++;
+    return Status(ErrorCode::kBusy, "stager: admission queue full");
+  }
+  migrations_.push_back(MigrationItem{shard, tenant, std::move(request)});
+  stats_.migration_admitted++;
+  UpdateQueueGauge();
+  return OkStatus();
+}
+
+Status StagerScheduler::SubmitScrub(int shard, uint32_t max_segments) {
+  if (shard < 0 || static_cast<size_t>(shard) >= shards_.size()) {
+    return Status(ErrorCode::kInvalidArgument, "stager: no such shard");
+  }
+  if (PendingRequests() >= config_.max_queue) {
+    stats_.rejected++;
+    return Status(ErrorCode::kBusy, "stager: admission queue full");
+  }
+  scrubs_.push_back(ScrubItem{shard, max_segments});
+  stats_.scrub_admitted++;
+  UpdateQueueGauge();
+  return OkStatus();
+}
+
+int StagerScheduler::RouteShard(int shard, const std::vector<size_t>& load) {
+  int replica = replica_of_[shard];
+  bool have_replica =
+      replica >= 0 && static_cast<size_t>(replica) < shards_.size();
+  if (quarantined_[shard]) {
+    if (have_replica && !quarantined_[replica]) {
+      stats_.steered_to_replica++;
+      return replica;
+    }
+    return shard;  // Last resort: the only copy still serves.
+  }
+  if (config_.balance_replica_pairs && have_replica &&
+      !quarantined_[replica] && load[replica] < load[shard]) {
+    stats_.balanced_to_replica++;
+    return replica;
+  }
+  return shard;
+}
+
+Status StagerScheduler::Pump() {
+  if (DemandBacklog() > 0) {
+    // --- Demand round: fair-share selection into per-shard batches. -------
+    struct Picked {
+      DemandRequest req;
+      size_t tenant = 0;  // Index into tenants_.
+    };
+    size_t nshards = shards_.size();
+    std::vector<std::vector<Picked>> batches(nshards);
+    std::vector<size_t> load(nshards, 0);
+    // The round's active set: shards holding one of the farm's drive
+    // tokens. Filled first-come in tenant-rotation order, so the rotation
+    // moves the tokens across shards round over round.
+    std::vector<bool> active(nshards, false);
+    size_t active_count = 0;
+    size_t ntenants = tenants_.size();
+    for (size_t i = 0; i < ntenants; ++i) {
+      size_t tenant_idx = (rr_tenant_ + i) % ntenants;
+      Tenant& tenant = tenants_[tenant_idx];
+      uint64_t quantum = config_.fair_share_quantum;
+      while (quantum > 0 && !tenant.fifo.empty()) {
+        int target = RouteShard(tenant.fifo.front().shard, load);
+        if (!active[target]) {
+          if (config_.drive_tokens != 0 &&
+              active_count >= config_.drive_tokens) {
+            // No drive available for this shard this round. Stop taking
+            // from this tenant so its per-tenant FIFO order holds.
+            stats_.drive_waits++;
+            break;
+          }
+          active[target] = true;
+          active_count++;
+        }
+        if (batches[target].size() >= config_.max_batch) {
+          break;  // Shard's round batch is full; keep FIFO order.
+        }
+        DemandRequest req = tenant.fifo.front();
+        tenant.fifo.pop_front();
+        req.shard = target;
+        batches[target].push_back(Picked{req, tenant_idx});
+        load[target]++;
+        quantum--;
+      }
+    }
+    // Dispatch each shard's batch through its elevator pipeline.
+    for (size_t s = 0; s < nshards; ++s) {
+      if (batches[s].empty()) {
+        continue;
+      }
+      // Coalesce duplicate tsegs within the batch: the backend sees each
+      // segment once; every request still gets an outcome.
+      std::vector<uint32_t> unique;
+      std::vector<size_t> slot_of(batches[s].size());
+      for (size_t i = 0; i < batches[s].size(); ++i) {
+        uint32_t tseg = batches[s][i].req.tseg;
+        size_t slot = unique.size();
+        for (size_t u = 0; u < unique.size(); ++u) {
+          if (unique[u] == tseg) {
+            slot = u;
+            break;
+          }
+        }
+        if (slot == unique.size()) {
+          unique.push_back(tseg);
+        } else {
+          stats_.coalesced++;
+        }
+        slot_of[i] = slot;
+      }
+      for (uint32_t tseg : unique) {
+        if (shards_[s]->SegmentCached(tseg)) {
+          stats_.cache_hits++;
+        }
+      }
+      SimTime dispatched_at = clock_->Now();
+      ASSIGN_OR_RETURN(std::vector<FetchOutcome> outcomes,
+                       shards_[s]->FetchBatch(unique));
+      stats_.batches_dispatched++;
+      for (size_t i = 0; i < batches[s].size(); ++i) {
+        const Picked& picked = batches[s][i];
+        const FetchOutcome& out = outcomes[slot_of[i]];
+        if (!out.status.ok()) {
+          stats_.fetch_errors++;
+          continue;
+        }
+        SimTime wait = dispatched_at - picked.req.submitted_at;
+        queue_wait_us_.Observe(wait);
+        fetch_delay_us_.Observe(wait + out.delay_us);
+        stats_.demand_served++;
+        served_[tenants_[picked.tenant].name]++;
+      }
+    }
+    if (ntenants > 0) {
+      rr_tenant_ = (rr_tenant_ + 1) % ntenants;
+    }
+    UpdateQueueGauge();
+    return OkStatus();
+  }
+  if (!migrations_.empty()) {
+    MigrationItem item = std::move(migrations_.front());
+    migrations_.pop_front();
+    ASSIGN_OR_RETURN(MigrationReport report,
+                     shards_[item.shard]->Migrate(item.request));
+    (void)report;
+    stats_.migration_runs++;
+    UpdateQueueGauge();
+    return OkStatus();
+  }
+  if (!scrubs_.empty()) {
+    ScrubItem item = scrubs_.front();
+    scrubs_.pop_front();
+    ASSIGN_OR_RETURN(uint32_t scanned,
+                     shards_[item.shard]->ScrubStep(item.max_segments));
+    (void)scanned;
+    stats_.scrub_steps++;
+    UpdateQueueGauge();
+    return OkStatus();
+  }
+  return OkStatus();
+}
+
+Status StagerScheduler::RunUntilIdle() {
+  while (PendingRequests() > 0) {
+    RETURN_IF_ERROR(Pump());
+  }
+  return OkStatus();
+}
+
+}  // namespace hl

@@ -1,0 +1,167 @@
+// StagerScheduler: a CASTOR-style central stager for a federation of
+// HighLight disk-farm shards (PAPERS.md: "CASTOR status and evolution").
+//
+// One scheduler owns N FetchBackend shards on a single SimClock. Clients —
+// the million-user workload generator, the replayer, tests — submit work
+// into a bounded admission queue in three classes, serviced strictly in
+// priority order: demand recalls beat migration passes beat scrub
+// increments. Within the demand class, tenants share the drive farm by
+// deficit round-robin (each scheduling round a tenant may claim at most
+// `fair_share_quantum` dispatches, and the round's starting tenant
+// rotates), so a hot tenant cannot starve the rest. Demand recalls are
+// dispatched as per-shard *batches* through FetchBackend::FetchBatch, which
+// hands the whole batch to the shard's elevator/coalescing read pipeline so
+// media swaps amortize across the batch.
+//
+// The shared jukebox drive farm is modeled by `drive_tokens`: at most that
+// many shards may receive tertiary work in one round; requests for
+// token-less shards wait (counted) and the tenant rotation naturally moves
+// the tokens around. Shards may be paired with a replica shard holding an
+// identical tertiary layout: a quarantined shard's recalls steer to its
+// replica, and (optionally) healthy pairs balance load between the two.
+
+#ifndef HIGHLIGHT_FEDERATION_STAGER_H_
+#define HIGHLIGHT_FEDERATION_STAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "highlight/fetch_backend.h"
+#include "sim/sim_clock.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+namespace hl {
+
+enum class StagerClass { kDemand = 0, kMigration = 1, kScrub = 2 };
+
+struct StagerConfig {
+  // Admission bound across all classes; submits beyond it get kBusy.
+  size_t max_queue = 4096;
+  // Demand recalls dispatched to one shard in one round (one FetchBatch).
+  size_t max_batch = 16;
+  // Demand dispatches one tenant may claim per round (deficit round-robin).
+  uint64_t fair_share_quantum = 8;
+  // Shards that may receive tertiary work per round — the shared drive
+  // farm. 0 = unlimited (every shard has a dedicated drive set).
+  size_t drive_tokens = 0;
+  // Healthy primary/replica pairs split demand by current round load.
+  bool balance_replica_pairs = false;
+};
+
+class StagerScheduler {
+ public:
+  explicit StagerScheduler(SimClock* clock, StagerConfig config = {});
+
+  // Registers a shard; returns its id (dense, starting at 0). The backend
+  // must outlive the scheduler.
+  int AddShard(FetchBackend* backend);
+  size_t NumShards() const { return shards_.size(); }
+
+  // Pairs `shard` with a replica holding an identical tertiary layout
+  // (same tseg numbering — built from the same deterministic workload).
+  void SetReplicaShard(int shard, int replica);
+  // Scheduler-level quarantine: a quarantined shard's demand recalls steer
+  // to its replica when one is healthy (a replica-less quarantined shard
+  // still serves, as refusing the only copy would strand the data).
+  // Migration and scrub keep running — scrub is how a shard rehabilitates.
+  void SetShardQuarantined(int shard, bool quarantined);
+  bool ShardQuarantined(int shard) const;
+
+  // --- Admission -----------------------------------------------------------
+
+  Status SubmitFetch(const std::string& tenant, int shard, uint32_t tseg);
+  Status SubmitMigration(const std::string& tenant, int shard,
+                         MigrationRequest request);
+  Status SubmitScrub(int shard, uint32_t max_segments);
+
+  // --- Service -------------------------------------------------------------
+
+  // One scheduling round: dispatches demand batches under fair-share and
+  // drive tokens; with no demand backlog, runs one migration pass; with
+  // neither, one scrub increment. Advances the SimClock by whatever device
+  // time the dispatched work costs.
+  Status Pump();
+  // Pumps until the admission queue is empty.
+  Status RunUntilIdle();
+
+  size_t PendingRequests() const;
+  // Demand recalls completed for `tenant` so far.
+  uint64_t ServedFor(const std::string& tenant) const;
+  // Tenants in first-submission order (the fair-share rotation order).
+  std::vector<std::string> Tenants() const;
+
+  // stager.* counters, queue gauges, and the fetch-delay / queue-wait
+  // histograms the tail-latency reporting reads.
+  MetricsRegistry& metrics() { return metrics_; }
+  MetricsSnapshot Metrics() { return metrics_.Snapshot(); }
+
+ private:
+  struct DemandRequest {
+    int shard = 0;
+    uint32_t tseg = 0;
+    SimTime submitted_at = 0;
+  };
+  struct MigrationItem {
+    int shard = 0;
+    std::string tenant;
+    MigrationRequest request;
+  };
+  struct ScrubItem {
+    int shard = 0;
+    uint32_t max_segments = 0;
+  };
+  struct Tenant {
+    std::string name;
+    std::deque<DemandRequest> fifo;
+  };
+
+  // Routes a request to its serving shard (quarantine steering, optional
+  // pair balancing). `round_load` is the per-shard batch occupancy so far.
+  int RouteShard(int shard, const std::vector<size_t>& round_load);
+  size_t DemandBacklog() const;
+  void UpdateQueueGauge();
+
+  SimClock* clock_;
+  StagerConfig config_;
+  std::vector<FetchBackend*> shards_;
+  std::vector<int> replica_of_;
+  std::vector<bool> quarantined_;
+
+  std::vector<Tenant> tenants_;                // First-submission order.
+  std::map<std::string, size_t> tenant_index_;
+  std::deque<MigrationItem> migrations_;
+  std::deque<ScrubItem> scrubs_;
+  size_t rr_tenant_ = 0;  // Round's starting tenant (rotates every round).
+
+  std::map<std::string, uint64_t> served_;
+
+  MetricsRegistry metrics_;
+  struct Stats {
+    Counter demand_admitted;
+    Counter migration_admitted;
+    Counter scrub_admitted;
+    Counter rejected;          // Admission-bound refusals.
+    Counter demand_served;
+    Counter fetch_errors;
+    Counter migration_runs;
+    Counter scrub_steps;
+    Counter batches_dispatched;
+    Counter coalesced;         // Duplicate (shard, tseg) folded into a batch.
+    Counter steered_to_replica;
+    Counter balanced_to_replica;
+    Counter drive_waits;       // Requests deferred for want of a drive token.
+    Counter cache_hits;        // Recalls served from a shard's segment cache.
+    Gauge queue_depth;         // Pending requests; max() = high-water.
+  };
+  Stats stats_;
+  Histogram fetch_delay_us_;  // Submit -> segment usable, per demand recall.
+  Histogram queue_wait_us_;   // Submit -> batch dispatch.
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_FEDERATION_STAGER_H_

@@ -6,6 +6,58 @@
 
 namespace hl {
 
+Result<HighLightConfig> HighLightConfig::Builder::Build() const {
+  if (config_.disks.empty()) {
+    return InvalidArgument("config: at least one disk is required");
+  }
+  if (config_.jukeboxes.empty()) {
+    return InvalidArgument("config: at least one jukebox is required");
+  }
+  if (config_.lfs.seg_size_blocks == 0) {
+    return InvalidArgument("config: seg_size_blocks must be nonzero");
+  }
+  const uint64_t seg_bytes =
+      static_cast<uint64_t>(config_.lfs.seg_size_blocks) * kBlockSize;
+  for (size_t i = 0; i < config_.disks.size(); ++i) {
+    // Each disk must contribute at least one whole log segment beyond the
+    // reserved area (a zero-segment disk would fail deep inside Mkfs).
+    const uint64_t bytes =
+        static_cast<uint64_t>(config_.disks[i].blocks) * kBlockSize;
+    if (bytes < kDefaultReservedBlocks * kBlockSize + seg_bytes) {
+      return InvalidArgument("config: disk " + std::to_string(i) +
+                             " too small for one segment plus the reserved "
+                             "area");
+    }
+  }
+  uint32_t segs_per_volume = 0;
+  for (size_t i = 0; i < config_.jukeboxes.size(); ++i) {
+    const auto& spec = config_.jukeboxes[i];
+    if (spec.profile.num_slots == 0) {
+      return InvalidArgument("config: jukebox " + std::to_string(i) +
+                             " has no volume slots");
+    }
+    const uint32_t per_volume =
+        spec.segs_per_volume != 0
+            ? spec.segs_per_volume
+            : static_cast<uint32_t>(spec.profile.volume_capacity_bytes /
+                                    seg_bytes);
+    if (per_volume == 0) {
+      return InvalidArgument("config: jukebox " + std::to_string(i) +
+                             " volumes are smaller than one segment");
+    }
+    if (segs_per_volume == 0) {
+      segs_per_volume = per_volume;
+    } else if (segs_per_volume != per_volume) {
+      // Same uniform-arithmetic constraint Create() enforces (section 6.3),
+      // surfaced at build time with the offending index.
+      return InvalidArgument("config: jukebox " + std::to_string(i) +
+                             " disagrees on segs_per_volume; set it "
+                             "explicitly when mixing devices");
+    }
+  }
+  return config_;
+}
+
 Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
     const HighLightConfig& config, SimClock* clock) {
   if (config.disks.empty()) {
@@ -377,24 +429,70 @@ Result<MigrationReport> HighLightFs::MigrateColdRangesUnder(
   return total;
 }
 
-Result<MigrationReport> HighLightFs::MigratePath(const std::string& path) {
-  MigrationRequest request;
-  request.path = path;
-  return Migrate(request);
+bool HighLightFs::SegmentCached(uint32_t tseg) const {
+  // Pure directory query (Lookup counts no hit/miss statistics); a line
+  // whose install is still in flight does count as cached — the recall will
+  // ride the existing fetch instead of paying new drive time.
+  return cache_->Lookup(tseg) != kNoSegment;
 }
 
-Result<MigrationReport> HighLightFs::Migrate(MigrationPolicy& policy,
-                                             uint64_t bytes_target) {
-  MigrationRequest request;
-  request.policy = &policy;
-  request.bytes_target = bytes_target;
-  return Migrate(request);
+uint32_t HighLightFs::TertiarySegments() const {
+  return amap_->tertiary_nsegs();
 }
 
-Result<MigrationReport> HighLightFs::MigrateColdRanges(SimTime cutoff) {
-  MigrationRequest request;
-  request.cold_cutoff = cutoff;
-  return Migrate(request);
+std::vector<uint32_t> HighLightFs::FetchableSegments() const {
+  std::vector<uint32_t> out;
+  for (uint32_t tseg = 0; tseg < tsegs_->size(); ++tseg) {
+    const SegUsage& u = tsegs_->Get(tseg);
+    if (!(u.flags & kSegClean) && !(u.flags & kSegReplica)) {
+      out.push_back(tseg);
+    }
+  }
+  return out;
+}
+
+Result<FetchOutcome> HighLightFs::FetchSegment(uint32_t tseg) {
+  FetchOutcome outcome;
+  outcome.tseg = tseg;
+  const SimTime t0 = clock_->Now();
+  outcome.status = service_->DemandFetch(tseg);
+  outcome.delay_us = clock_->Now() - t0;
+  return outcome;
+}
+
+Result<std::vector<FetchOutcome>> HighLightFs::FetchBatch(
+    const std::vector<uint32_t>& tsegs) {
+  ASSIGN_OR_RETURN(std::vector<ServiceProcess::BatchFetchResult> results,
+                   service_->DemandFetchBatch(tsegs));
+  std::vector<FetchOutcome> outcomes;
+  outcomes.reserve(results.size());
+  for (const auto& r : results) {
+    outcomes.push_back({r.tseg, r.status, r.delay_us});
+  }
+  return outcomes;
+}
+
+Result<uint32_t> HighLightFs::ScrubStep(uint32_t max_segments) {
+  ASSIGN_OR_RETURN(Scrubber::Report report,
+                   scrubber_->ScrubStep(max_segments));
+  return report.scanned;
+}
+
+uint64_t HighLightFs::MediaSwaps() const {
+  return footprint_->TotalMediaSwaps();
+}
+
+Result<uint32_t> HighLightFs::CleanUntil(uint32_t want_clean) {
+  return cleaner_->CleanUntil(want_clean);
+}
+
+HighLightFs::InternalsView HighLightFs::Internals() {
+  return InternalsView{*migrator_,       *cleaner_, *tertiary_cleaner_,
+                       *scrubber_,       *faults_,  *health_,
+                       *cache_,          *io_server_, *service_,
+                       *tsegs_,          *amap_,    *blockmap_,
+                       *footprint_,      *access_tracker_,
+                       &disks_,          &jukeboxes_};
 }
 
 void HighLightFs::RefreshDerivedGauges() {

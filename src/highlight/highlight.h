@@ -7,6 +7,13 @@
 // API via fs(); hierarchy management happens underneath, exactly as the
 // paper promises ("applications never need know that files are not always
 // resident on secondary storage").
+//
+// The public surface is deliberately small: fs()/clock(), the unified
+// Migrate(MigrationRequest) entry point, Remount/AddDisk/CleanUntil/
+// DropCleanCacheLines, the observability getters, and the FetchBackend
+// interface a federation stager drives. Tests and benchmarks that need to
+// poke individual components go through the Internals() facade instead of
+// per-component accessors.
 
 #ifndef HIGHLIGHT_HIGHLIGHT_HIGHLIGHT_H_
 #define HIGHLIGHT_HIGHLIGHT_HIGHLIGHT_H_
@@ -20,6 +27,7 @@
 #include "blockdev/sim_disk.h"
 #include "highlight/address_map.h"
 #include "highlight/block_map_driver.h"
+#include "highlight/fetch_backend.h"
 #include "highlight/io_server.h"
 #include "highlight/migration_policy.h"
 #include "highlight/migrator.h"
@@ -98,29 +106,86 @@ struct HighLightConfig {
   // results are bit-identical at any cadence.
   SimTime timeseries_cadence_us = kUsPerSec;
   size_t timeseries_capacity = 4096;
+
+  class Builder;
 };
 
-// The unified migration request: one entry point covering whole-subtree
-// migration, policy-driven migration with a byte budget, and block-range
-// (cold-range) migration. The older MigratePath / Migrate(policy) /
-// MigrateColdRanges helpers are thin wrappers over it.
-struct MigrationRequest {
-  // Subtree (or single file) the migration considers.
-  std::string path = "/";
-  // Ranking policy: candidates under `path` migrate best-first until at
-  // least `bytes_target` bytes are staged (0 = everything rankable).
-  // Null = wholesale migration of the subtree.
-  MigrationPolicy* policy = nullptr;
-  uint64_t bytes_target = 0;
-  // Block-range mode (section 5.2): migrate only the block ranges not read
-  // since this cutoff; files modified since then are skipped as unstable.
-  // Mutually exclusive with `policy`.
-  std::optional<SimTime> cold_cutoff;
-  // Per-request migrator options (default: the config's options).
-  std::optional<MigratorOptions> options;
+// Fluent construction with build-time validation: shard/disk/jukebox specs
+// that would previously fail deep inside HighLightFs::Create() (zero-sized
+// disks, segs_per_volume disagreements, volumes smaller than a segment) are
+// rejected when Build() runs, with a message naming the bad spec.
+class HighLightConfig::Builder {
+ public:
+  Builder& AddDisk(const DiskProfile& profile, uint32_t blocks) {
+    config_.disks.push_back({profile, blocks});
+    return *this;
+  }
+  Builder& AddJukebox(const JukeboxProfile& profile, bool write_once = false,
+                      uint32_t segs_per_volume = 0) {
+    config_.jukeboxes.push_back({profile, write_once, segs_per_volume});
+    return *this;
+  }
+  Builder& SharedBus(bool on = true) {
+    config_.shared_bus = on;
+    return *this;
+  }
+  Builder& Lfs(const LfsParams& params) {
+    config_.lfs = params;
+    return *this;
+  }
+  Builder& SegSizeBlocks(uint32_t blocks) {
+    config_.lfs.seg_size_blocks = blocks;
+    return *this;
+  }
+  Builder& CacheMaxSegments(uint32_t segments) {
+    config_.lfs.cache_max_segments = segments;
+    return *this;
+  }
+  Builder& CacheReplacementPolicy(CacheReplacement policy) {
+    config_.cache_replacement = policy;
+    return *this;
+  }
+  Builder& MigratorDefaults(const MigratorOptions& options) {
+    config_.migrator = options;
+    return *this;
+  }
+  Builder& SequentialReadahead(bool on = true) {
+    config_.sequential_readahead = on;
+    return *this;
+  }
+  Builder& AsyncReadPipeline(bool on = true) {
+    config_.async_read_pipeline = on;
+    return *this;
+  }
+  Builder& FaultSeed(uint64_t seed) {
+    config_.fault_seed = seed;
+    return *this;
+  }
+  Builder& Retry(const RetryPolicy& policy) {
+    config_.retry = policy;
+    return *this;
+  }
+  Builder& Health(const HealthPolicy& policy) {
+    config_.health = policy;
+    return *this;
+  }
+  Builder& SpanCapacity(size_t capacity) {
+    config_.span_capacity = capacity;
+    return *this;
+  }
+  Builder& TimeseriesCadence(SimTime cadence_us) {
+    config_.timeseries_cadence_us = cadence_us;
+    return *this;
+  }
+
+  // Validates the assembled specs; errors name the offending entry.
+  Result<HighLightConfig> Build() const;
+
+ private:
+  HighLightConfig config_;
 };
 
-class HighLightFs {
+class HighLightFs : public FetchBackend {
  public:
   // Builds the device stack and formats a fresh file system.
   static Result<std::unique_ptr<HighLightFs>> Create(
@@ -130,34 +195,27 @@ class HighLightFs {
   Lfs& fs() { return *fs_; }
   SimClock& clock() { return *clock_; }
 
-  // Component access for policies, benchmarks and tests.
-  Migrator& migrator() { return *migrator_; }
-  Cleaner& cleaner() { return *cleaner_; }
-  TertiaryCleaner& tertiary_cleaner() { return *tertiary_cleaner_; }
-  Scrubber& scrubber() { return *scrubber_; }
-  FaultInjector& faults() { return *faults_; }
-  HealthRegistry& health() { return *health_; }
-  SegmentCache& cache() { return *cache_; }
-  IoServer& io_server() { return *io_server_; }
-  ServiceProcess& service() { return *service_; }
-  TsegTable& tseg_table() { return *tsegs_; }
-  const AddressMap& address_map() const { return *amap_; }
-  BlockMapDriver& block_map() { return *blockmap_; }
-  Footprint& footprint() { return *footprint_; }
-  SimDisk& disk(size_t i) { return *disks_[i]; }
-  Jukebox& jukebox(size_t i) { return *jukeboxes_[i]; }
-
   // The migration entry point: dispatches on the request's mode (wholesale
-  // subtree, policy-ranked with byte budget, or cold block ranges).
-  Result<MigrationReport> Migrate(const MigrationRequest& request);
+  // subtree, policy-ranked with byte budget, or cold block ranges). Also
+  // the FetchBackend migration-class entry the stager drives.
+  Result<MigrationReport> Migrate(const MigrationRequest& request) override;
 
-  // Deprecated convenience wrappers over Migrate(MigrationRequest).
-  Result<MigrationReport> MigratePath(const std::string& path);
-  Result<MigrationReport> Migrate(MigrationPolicy& policy,
-                                  uint64_t bytes_target = 0);
-  Result<MigrationReport> MigrateColdRanges(SimTime cutoff);
+  // FetchBackend: the scheduler-facing demand/scrub surface. Demand recalls
+  // route through the service process (and, when enabled, the async read
+  // pipeline's elevator/coalescing machinery).
+  bool SegmentCached(uint32_t tseg) const override;
+  uint32_t TertiarySegments() const override;
+  std::vector<uint32_t> FetchableSegments() const override;
+  Result<FetchOutcome> FetchSegment(uint32_t tseg) override;
+  Result<std::vector<FetchOutcome>> FetchBatch(
+      const std::vector<uint32_t>& tsegs) override;
+  Result<uint32_t> ScrubStep(uint32_t max_segments) override;
+  uint64_t MediaSwaps() const override;
 
-  AccessRangeTracker& access_tracker() { return *access_tracker_; }
+  // Runs the disk cleaner until `want_clean` segments are clean (or no
+  // progress is possible); returns segments reclaimed. The water-mark
+  // scheme of section 8.1 (replayer, stager migration passes) drives this.
+  Result<uint32_t> CleanUntil(uint32_t want_clean);
 
   // Ejects every clean cache line (benchmarks use this to force uncached
   // access to tertiary-resident data).
@@ -192,8 +250,39 @@ class HighLightFs {
   // the clock's tick hook (cadence 0 in the config disables sampling).
   TimeSeriesSampler& timeseries() { return *timeseries_; }
 
+  // Test/bench facade: one struct of references to every internal
+  // component. Production callers (scheduler, replayer, applications) stay
+  // on the public surface above; anything reaching past it — fault
+  // injection, queue introspection, policy knobs — says so explicitly by
+  // going through Internals().
+  struct InternalsView {
+    Migrator& migrator;
+    Cleaner& cleaner;
+    TertiaryCleaner& tertiary_cleaner;
+    Scrubber& scrubber;
+    FaultInjector& faults;
+    HealthRegistry& health;
+    SegmentCache& cache;
+    IoServer& io_server;
+    ServiceProcess& service;
+    TsegTable& tseg_table;
+    const AddressMap& address_map;
+    BlockMapDriver& block_map;
+    Footprint& footprint;
+    AccessRangeTracker& access_tracker;
+
+    SimDisk& disk(size_t i) const { return *(*disks_)[i]; }
+    size_t num_disks() const { return disks_->size(); }
+    Jukebox& jukebox(size_t i) const { return *(*jukeboxes_)[i]; }
+    size_t num_jukeboxes() const { return jukeboxes_->size(); }
+
+    const std::vector<std::unique_ptr<SimDisk>>* disks_;
+    const std::vector<std::unique_ptr<Jukebox>>* jukeboxes_;
+  };
+  InternalsView Internals();
+
   // Detaches the clock tick hook installed at Create() time.
-  ~HighLightFs();
+  ~HighLightFs() override;
 
  private:
   HighLightFs() = default;

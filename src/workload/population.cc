@@ -1,0 +1,186 @@
+#include "workload/population.h"
+
+#include <cmath>
+
+namespace hl {
+
+namespace {
+
+// SplitMix64 finalizer: the user -> tenant hash. Deterministic and well
+// mixed so tenant populations are balanced without a per-user table.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double Zeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+PopulationGenerator::PopulationGenerator(const PopulationParams& params)
+    : params_(params), rng_(params.seed) {
+  if (params_.catalog_files == 0) {
+    params_.catalog_files = 1;
+  }
+  if (params_.tenants == 0) {
+    params_.tenants = 1;
+  }
+  if (params_.mean_session_requests == 0) {
+    params_.mean_session_requests = 1;
+  }
+  // The Gray formulation diverges at theta == 1; clamp just below.
+  if (params_.zipf_theta >= 0.9999) {
+    params_.zipf_theta = 0.9999;
+  }
+  if (params_.zipf_theta < 0.0) {
+    params_.zipf_theta = 0.0;
+  }
+  // Gray et al. zipfian constants. The O(catalog) zeta sum runs once; with
+  // the default 32 Ki catalog that is negligible next to any simulation.
+  zetan_ = Zeta(params_.catalog_files, params_.zipf_theta);
+  zeta2_ = Zeta(2, params_.zipf_theta);
+  alpha_ = 1.0 / (1.0 - params_.zipf_theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(params_.catalog_files),
+                         1.0 - params_.zipf_theta)) /
+         (1.0 - zeta2_ / zetan_);
+
+  // Apportion sessions to diurnal buckets in proportion to the load curve,
+  // assigning largest-remainder leftovers to the heaviest buckets so the
+  // total is exact and the split deterministic.
+  double weight[kBuckets];
+  double total = 0;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    SimTime mid = (2 * static_cast<SimTime>(b) + 1) *
+                  (params_.duration_us / (2 * kBuckets));
+    weight[b] = LoadAt(mid);
+    total += weight[b];
+  }
+  uint64_t assigned = 0;
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    bucket_sessions_[b] = static_cast<uint64_t>(
+        static_cast<double>(params_.sessions) * weight[b] / total);
+    assigned += bucket_sessions_[b];
+  }
+  uint32_t b = 0;
+  while (assigned < params_.sessions) {
+    // Round-robin the remainder across buckets by descending weight rank;
+    // a simple rotating scan keeps it deterministic and near-proportional.
+    uint32_t best = b % kBuckets;
+    bucket_sessions_[best]++;
+    assigned++;
+    b++;
+  }
+}
+
+PopulationGenerator::~PopulationGenerator() = default;
+
+double PopulationGenerator::LoadAt(SimTime at) const {
+  constexpr double kTwoPi = 6.283185307179586;
+  SimTime day = 24ull * 3600 * kUsPerSec;
+  double phase = static_cast<double>(at % day) / static_cast<double>(day);
+  // Trough at 04:00, peak at 16:00 — the classic interactive-center shape
+  // (sin peaks where phase - 5/12 == 1/4, i.e. at 16:00).
+  return 1.0 +
+         params_.diurnal_amplitude * std::sin(kTwoPi * (phase - 5.0 / 12.0));
+}
+
+uint32_t PopulationGenerator::TenantOf(uint64_t user) const {
+  return static_cast<uint32_t>(Mix64(user) % params_.tenants);
+}
+
+uint64_t PopulationGenerator::SampleZipf() {
+  double u = rng_.NextDouble();
+  double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, params_.zipf_theta)) {
+    return 1;
+  }
+  auto rank = static_cast<uint64_t>(
+      static_cast<double>(params_.catalog_files) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= params_.catalog_files ? params_.catalog_files - 1 : rank;
+}
+
+void PopulationGenerator::OpenSession() {
+  // Advance to the next bucket that still owes sessions.
+  while (bucket_ < kBuckets && bucket_emitted_ >= bucket_sessions_[bucket_]) {
+    bucket_++;
+    bucket_emitted_ = 0;
+  }
+  SimTime bucket_span = params_.duration_us / kBuckets;
+  SimTime base = bucket_ * bucket_span;
+  uint64_t n = bucket_sessions_[bucket_];
+  // Evenly spaced inside the bucket with per-session jitter: start times
+  // stay nondecreasing within the bucket and across buckets.
+  SimTime slot = n == 0 ? bucket_span : bucket_span / n;
+  SimTime jitter = slot == 0 ? 0 : rng_.Below(slot);
+  session_clock_ = base + bucket_emitted_ * slot + jitter;
+  bucket_emitted_++;
+
+  session_user_ = rng_.Below(params_.users == 0 ? 1 : params_.users);
+  session_tenant_ = TenantOf(session_user_);
+  session_file_ = SampleZipf();
+  // Geometric session length with the configured mean: P(one more) chosen
+  // so E[length] = mean_session_requests.
+  double p_more = 1.0 - 1.0 / static_cast<double>(
+                            params_.mean_session_requests);
+  session_left_ = 1;
+  while (rng_.Chance(p_more)) {
+    session_left_++;
+  }
+  in_session_ = true;
+  sessions_emitted_++;
+}
+
+std::optional<PopulationEvent> PopulationGenerator::Next() {
+  if (!in_session_) {
+    if (sessions_emitted_ >= params_.sessions) {
+      return std::nullopt;
+    }
+    OpenSession();
+    PopulationEvent ev;
+    ev.at = session_clock_;
+    ev.user = session_user_;
+    ev.tenant = session_tenant_;
+    ev.file = session_file_;
+    ev.session_open = true;
+    session_left_--;
+    ev.session_close = session_left_ == 0;
+    in_session_ = !ev.session_close;
+    requests_emitted_++;
+    return ev;
+  }
+  // Subsequent request in the open session: think time, then either the
+  // next sequential file (locality) or a fresh Zipf draw.
+  SimTime think = params_.think_time_us == 0
+                      ? 0
+                      : 1 + rng_.Below(2 * params_.think_time_us);
+  session_clock_ += think;
+  if (rng_.Chance(params_.sequential_fraction)) {
+    session_file_ = (session_file_ + 1) % params_.catalog_files;
+  } else {
+    session_file_ = SampleZipf();
+  }
+  PopulationEvent ev;
+  ev.at = session_clock_;
+  ev.user = session_user_;
+  ev.tenant = session_tenant_;
+  ev.file = session_file_;
+  session_left_--;
+  ev.session_close = session_left_ == 0;
+  in_session_ = !ev.session_close;
+  requests_emitted_++;
+  return ev;
+}
+
+}  // namespace hl

@@ -1,0 +1,107 @@
+// PopulationGenerator: a deterministic seeded model of a mass-storage user
+// population at supercomputer-center scale (the deployment HighLight and
+// CASTOR-class stagers target): millions of registered users opening
+// sessions against a shared file catalog whose popularity follows a Zipf
+// law, with arrival intensity following a diurnal load curve.
+//
+// The generator streams events in O(1) memory per call — no per-user or
+// per-session tables — so "millions of users" costs nothing beyond the
+// id space. Sessions are emitted in nondecreasing start-time order; the
+// requests *within* a session carry think-time offsets from the session
+// start, so consumers should advance their clock with
+// max(now, event.at) rather than assuming a globally sorted stream.
+//
+// File popularity uses the Gray et al. zipfian generator (the YCSB
+// formulation): one O(catalog) zeta precomputation at construction, O(1)
+// per sample. Rank r is the r-th most popular file, so file ids double as
+// popularity ranks; consumers decide how ranks map onto shards/segments.
+
+#ifndef HIGHLIGHT_WORKLOAD_POPULATION_H_
+#define HIGHLIGHT_WORKLOAD_POPULATION_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "sim/sim_clock.h"
+#include "util/rng.h"
+
+namespace hl {
+
+struct PopulationParams {
+  uint64_t users = 1'000'000;   // Registered user ids (sparse draws).
+  uint32_t tenants = 8;         // Accounting groups users hash into.
+  uint64_t catalog_files = 1ull << 15;  // Distinct files, id == Zipf rank.
+  double zipf_theta = 0.99;     // Catalog skew (0 = uniform, ~1 = heavy).
+  uint64_t sessions = 10'000;   // Open/close sessions across the window.
+  uint32_t mean_session_requests = 4;   // Geometric session length.
+  SimTime duration_us = 24ull * 3600 * kUsPerSec;  // Modeled window.
+  double diurnal_amplitude = 0.6;  // Peak-vs-mean arrival swing, in [0, 1).
+  SimTime think_time_us = 2 * kUsPerSec;  // Mean gap between requests.
+  double sequential_fraction = 0.3;  // P(next request = previous file + 1).
+  uint64_t seed = 0x9E3779B97F4A7C15ull;
+};
+
+struct PopulationEvent {
+  SimTime at = 0;          // Nondecreasing across session opens only.
+  uint64_t user = 0;
+  uint32_t tenant = 0;
+  uint64_t file = 0;       // Catalog rank: 0 is the most popular file.
+  bool session_open = false;   // First request of its session.
+  bool session_close = false;  // Last request of its session.
+};
+
+class PopulationGenerator {
+ public:
+  explicit PopulationGenerator(const PopulationParams& params);
+  PopulationGenerator(const PopulationGenerator&) = delete;
+  PopulationGenerator& operator=(const PopulationGenerator&) = delete;
+  ~PopulationGenerator();
+
+  // Next request in the stream; nullopt once every session has closed.
+  std::optional<PopulationEvent> Next();
+
+  // Diurnal arrival weight for an absolute sim time: 1 + A*sin(...) shaped,
+  // normalized to mean 1 over a day. Exposed for tests and load reporting.
+  double LoadAt(SimTime at) const;
+
+  uint64_t sessions_emitted() const { return sessions_emitted_; }
+  uint64_t requests_emitted() const { return requests_emitted_; }
+
+  // Deterministic user -> tenant assignment (SplitMix64 hash mod tenants).
+  uint32_t TenantOf(uint64_t user) const;
+
+ private:
+  uint64_t SampleZipf();
+  void OpenSession();
+
+  PopulationParams params_;
+  Rng rng_;
+
+  // Zipf state (Gray et al. / YCSB): zeta(n, theta) precomputed once.
+  double zetan_ = 0;
+  double zeta2_ = 0;
+  double alpha_ = 0;
+  double eta_ = 0;
+
+  // Diurnal schedule: sessions are apportioned to fixed buckets by the
+  // load curve; within a bucket, starts are evenly spaced with jitter.
+  static constexpr uint32_t kBuckets = 96;  // 15-minute buckets per day.
+  uint64_t bucket_sessions_[kBuckets] = {};
+  uint32_t bucket_ = 0;          // Current bucket.
+  uint64_t bucket_emitted_ = 0;  // Session opens emitted in this bucket.
+
+  // Active session being drained (requests stream one Next() at a time).
+  bool in_session_ = false;
+  uint64_t session_user_ = 0;
+  uint32_t session_tenant_ = 0;
+  uint64_t session_file_ = 0;     // Previous request's file (locality).
+  SimTime session_clock_ = 0;     // Request timestamp within the session.
+  uint32_t session_left_ = 0;     // Requests still to emit.
+
+  uint64_t sessions_emitted_ = 0;
+  uint64_t requests_emitted_ = 0;
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_WORKLOAD_POPULATION_H_

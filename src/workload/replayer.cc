@@ -39,11 +39,13 @@ Status TraceReplayer::MaybeMigrate(ReplayStats& stats) {
                               : 1;
   uint64_t bytes_target = static_cast<uint64_t>(deficit_segs) * seg_bytes;
 
-  ASSIGN_OR_RETURN(MigrationReport report,
-                   hl_->Migrate(*policy_, bytes_target));
+  ASSIGN_OR_RETURN(
+      MigrationReport report,
+      hl_->Migrate(MigrationRequest{.policy = policy_,
+                                    .bytes_target = bytes_target}));
   stats.migration_runs++;
   stats.bytes_migrated += report.bytes_migrated;
-  RETURN_IF_ERROR(hl_->cleaner().CleanUntil(want_clean).status());
+  RETURN_IF_ERROR(hl_->CleanUntil(want_clean).status());
   return OkStatus();
 }
 
@@ -51,8 +53,10 @@ Result<ReplayStats> TraceReplayer::Replay(const Trace& trace) {
   ReplayStats stats;
   SimClock& clock = hl_->clock();
   SimTime start = clock.Now();
-  uint64_t fetches_start = hl_->service().stats().demand_fetches;
-  uint64_t swaps_start = hl_->footprint().TotalMediaSwaps();
+  // The replayer stays on the public surface: fetch/swap deltas come from
+  // the metrics snapshot rather than component accessors.
+  uint64_t fetches_start = hl_->Metrics().Value("service.demand_fetches");
+  uint64_t swaps_start = hl_->MediaSwaps();
 
   std::vector<uint8_t> io_buffer;
   for (const WorkloadEvent& event : trace.events) {
@@ -111,8 +115,8 @@ Result<ReplayStats> TraceReplayer::Replay(const Trace& trace) {
   RETURN_IF_ERROR(hl_->fs().Checkpoint());
   stats.elapsed = clock.Now() - start;
   stats.demand_fetches =
-      hl_->service().stats().demand_fetches - fetches_start;
-  stats.media_swaps = hl_->footprint().TotalMediaSwaps() - swaps_start;
+      hl_->Metrics().Value("service.demand_fetches") - fetches_start;
+  stats.media_swaps = hl_->MediaSwaps() - swaps_start;
   return stats;
 }
 

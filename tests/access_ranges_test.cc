@@ -133,7 +133,7 @@ TEST_F(ColdRangeMigrationTest, HotTailStaysOnDiskColdPrefixMigrates) {
         hl_->fs().Read(*ino, static_cast<uint64_t>(p) * 4096, page).ok());
   }
 
-  Result<MigrationReport> report = hl_->MigrateColdRanges(cutoff);
+  Result<MigrationReport> report = hl_->Migrate(MigrationRequest{.cold_cutoff = cutoff});
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->blocks_migrated, 512u - 32u);
 
@@ -144,7 +144,7 @@ TEST_F(ColdRangeMigrationTest, HotTailStaysOnDiskColdPrefixMigrates) {
     if (IsMetaLbn(r.lbn)) {
       continue;
     }
-    AddressMap::Zone zone = hl_->address_map().Classify(r.daddr);
+    AddressMap::Zone zone = hl_->Internals().address_map.Classify(r.daddr);
     if (r.lbn >= 512 - 32) {
       EXPECT_EQ(zone, AddressMap::Zone::kDisk) << "hot lbn " << r.lbn;
     } else {
@@ -163,7 +163,7 @@ TEST_F(ColdRangeMigrationTest, RecentlyModifiedFilesAreSkipped) {
   Result<uint32_t> ino = hl_->fs().Create("/busy");
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(256 * 1024, 2)).ok());
-  Result<MigrationReport> report = hl_->MigrateColdRanges(cutoff);
+  Result<MigrationReport> report = hl_->Migrate(MigrationRequest{.cold_cutoff = cutoff});
   ASSERT_TRUE(report.ok());
   EXPECT_EQ(report->blocks_migrated, 0u);
 }
@@ -178,7 +178,7 @@ TEST_F(ColdRangeMigrationTest, SequentiallyReadFileCostsOneRecord) {
   for (uint64_t off = 0; off < (1 << 20); off += buf.size()) {
     ASSERT_TRUE(hl_->fs().Read(*ino, off, buf).ok());
   }
-  EXPECT_EQ(hl_->access_tracker().RecordCount(*ino), 1u);
+  EXPECT_EQ(hl_->Internals().access_tracker.RecordCount(*ino), 1u);
 }
 
 }  // namespace

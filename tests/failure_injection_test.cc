@@ -45,20 +45,20 @@ TEST_F(FailureInjectionTest, JukeboxFailureDuringDemandFetchSurfaces) {
   ASSERT_TRUE(ino.ok());
   auto data = Pattern(256 * 1024, 1);
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, data).ok());
-  ASSERT_TRUE(hl_->MigratePath("/f").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/f"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
   // The drive keeps failing past the retry budget (3 attempts): the read
   // fails cleanly...
-  hl_->jukebox(0).FailNextOps(3);
+  hl_->Internals().jukebox(0).FailNextOps(3);
   std::vector<uint8_t> out(data.size());
   Result<size_t> n = hl_->fs().Read(*ino, 0, out);
   ASSERT_FALSE(n.ok());
   EXPECT_EQ(n.status().code(), ErrorCode::kIoError);
   // ... after charging backed-off retries ...
-  EXPECT_GE(hl_->io_server().stats().retries, 2u);
+  EXPECT_GE(hl_->Internals().io_server.stats().retries, 2u);
   // ... without registering a bogus cache line ...
-  EXPECT_EQ(hl_->cache().Used(), 0u);
+  EXPECT_EQ(hl_->Internals().cache.Used(), 0u);
   // ... and the retry succeeds.
   Result<size_t> again = hl_->fs().Read(*ino, 0, out);
   ASSERT_TRUE(again.ok());
@@ -70,19 +70,19 @@ TEST_F(FailureInjectionTest, TransientJukeboxFaultIsRetriedThrough) {
   ASSERT_TRUE(ino.ok());
   auto data = Pattern(256 * 1024, 11);
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, data).ok());
-  ASSERT_TRUE(hl_->MigratePath("/f").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/f"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
   // Two transient faults stay inside the 3-attempt budget: the application
   // never sees them, but the backoff costs simulated time.
-  hl_->jukebox(0).FailNextOps(2);
+  hl_->Internals().jukebox(0).FailNextOps(2);
   const SimTime before = clock_.Now();
-  const uint64_t retries_before = hl_->io_server().stats().retries;
+  const uint64_t retries_before = hl_->Internals().io_server.stats().retries;
   std::vector<uint8_t> out(data.size());
   Result<size_t> n = hl_->fs().Read(*ino, 0, out);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(out, data);
-  EXPECT_EQ(hl_->io_server().stats().retries, retries_before + 2);
+  EXPECT_EQ(hl_->Internals().io_server.stats().retries, retries_before + 2);
   const RetryPolicy policy;  // Defaults match the config's defaults.
   EXPECT_GE(clock_.Now() - before, policy.BackoffFor(1) + policy.BackoffFor(2));
 }
@@ -92,12 +92,12 @@ TEST_F(FailureInjectionTest, JukeboxFailureDuringCopyOutSurfaces) {
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(128 * 1024, 2)).ok());
   // Outlast the retry budget so the failure surfaces to the caller.
-  hl_->jukebox(0).FailNextOps(3);
-  Result<MigrationReport> r = hl_->MigratePath("/f");
+  hl_->Internals().jukebox(0).FailNextOps(3);
+  Result<MigrationReport> r = hl_->Migrate(MigrationRequest{.path = "/f"});
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), ErrorCode::kIoError);
   // The staged segment stays on the pending ledger until copy-out lands.
-  EXPECT_GT(hl_->migrator().PendingSegments(), 0u);
+  EXPECT_GT(hl_->Internals().migrator.PendingSegments(), 0u);
 
   // The staged segment still holds the only... no: pointers were flipped at
   // staging time and the cache line is pinned dirty, so data remain
@@ -109,8 +109,8 @@ TEST_F(FailureInjectionTest, JukeboxFailureDuringCopyOutSurfaces) {
 
   // Draining later (fault cleared) completes the migration and releases
   // the staging pin.
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
-  EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
+  EXPECT_EQ(hl_->Internals().migrator.PendingSegments(), 0u);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ASSERT_TRUE(hl_->fs().Read(*ino, 0, out).ok());
   EXPECT_EQ(out, Pattern(128 * 1024, 2));
@@ -122,7 +122,7 @@ TEST_F(FailureInjectionTest, DiskFailureDuringSyncSurfaces) {
   // Small enough (100 KB < one 256 KB segment) that nothing auto-flushes
   // before the injected fault.
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(100 * 1024, 3)).ok());
-  hl_->disk(0).FailNextOps(1);
+  hl_->Internals().disk(0).FailNextOps(1);
   Status s = hl_->fs().Sync();
   EXPECT_EQ(s.code(), ErrorCode::kIoError);
   // Dirty data survived the failed flush; a later sync lands them.
@@ -139,10 +139,10 @@ TEST_F(FailureInjectionTest, MediaCorruptionDetectedByChecksum) {
   Result<uint32_t> ino = hl_->fs().Create("/f");
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(256 * 1024, 4)).ok());
-  ASSERT_TRUE(hl_->MigratePath("/f").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/f"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
-  Result<Volume*> vol = hl_->footprint().GetVolume(0);
+  Result<Volume*> vol = hl_->Internals().footprint.GetVolume(0);
   ASSERT_TRUE(vol.ok());
   // Corrupt the first segment's summary block on the medium.
   std::vector<uint8_t> junk(kBlockSize, 0x5C);
@@ -154,18 +154,18 @@ TEST_F(FailureInjectionTest, MediaCorruptionDetectedByChecksum) {
   Result<size_t> n = hl_->fs().Read(*ino, 0, out);
   ASSERT_FALSE(n.ok());
   EXPECT_EQ(n.status().code(), ErrorCode::kCorruption);
-  EXPECT_GT(hl_->io_server().stats().crc_mismatches, 0u);
-  EXPECT_EQ(hl_->cache().Used(), 0u);
+  EXPECT_GT(hl_->Internals().io_server.stats().crc_mismatches, 0u);
+  EXPECT_EQ(hl_->Internals().cache.Used(), 0u);
 
   // The media-side summary checksums agree: a raw segment-level parse of
   // the on-medium image reports no valid partial segments (the cleaner
   // would treat it as empty, not as data).
-  uint32_t first_tseg = hl_->address_map().FirstTsegOfVolume(0);
+  uint32_t first_tseg = hl_->Internals().address_map.FirstTsegOfVolume(0);
   uint32_t spb = hl_->fs().superblock().seg_size_blocks;
   std::vector<uint8_t> image(static_cast<size_t>(spb) * kBlockSize);
   ASSERT_TRUE((*vol)->Read(0, image).ok());
   EXPECT_TRUE(ParsePartialsFromImage(
-                  image, hl_->address_map().TsegBase(first_tseg), spb)
+                  image, hl_->Internals().address_map.TsegBase(first_tseg), spb)
                   .empty());
 }
 
@@ -191,26 +191,26 @@ TEST_F(FailureInjectionTest, FailedDemandFetchLeavesNoReadaheadResidue) {
   ASSERT_TRUE(ino.ok());
   auto data = Pattern(512 * 1024, 6);  // Two 256 KB segments.
   ASSERT_TRUE(hl->fs().Write(*ino, 0, data).ok());
-  ASSERT_TRUE(hl->MigratePath("/f").ok());
+  ASSERT_TRUE(hl->Migrate(MigrationRequest{.path = "/f"}).ok());
   ASSERT_TRUE(hl->DropCleanCacheLines().ok());
 
   // Exhaust the retry budget: the demand fetch of the first segment fails
   // before any read-ahead is ever issued. (128 KB stays inside one
   // segment's data blocks.)
-  hl->jukebox(0).FailNextOps(3);
+  hl->Internals().jukebox(0).FailNextOps(3);
   std::vector<uint8_t> out(128 * 1024);
   Result<size_t> n = hl->fs().Read(*ino, 0, out);
   ASSERT_FALSE(n.ok());
-  EXPECT_EQ(hl->service().PendingPrefetches(), 0u);
-  EXPECT_EQ(hl->service().stats().readaheads_issued, 0u);
-  EXPECT_EQ(hl->cache().Used(), 0u);
+  EXPECT_EQ(hl->Internals().service.PendingPrefetches(), 0u);
+  EXPECT_EQ(hl->Internals().service.stats().readaheads_issued, 0u);
+  EXPECT_EQ(hl->Internals().cache.Used(), 0u);
 
   // Fault cleared: the fetch succeeds and chases the next segment ahead.
   ASSERT_TRUE(hl->fs().Read(*ino, 0, out).ok());
   EXPECT_EQ(std::vector<uint8_t>(data.begin(), data.begin() + out.size()),
             out);
-  EXPECT_EQ(hl->service().stats().readaheads_issued, 1u);
-  EXPECT_EQ(hl->service().PendingPrefetches(), 1u);
+  EXPECT_EQ(hl->Internals().service.stats().readaheads_issued, 1u);
+  EXPECT_EQ(hl->Internals().service.PendingPrefetches(), 1u);
 
   // A sequential miss into the second segment consumes the buffered image
   // (and chases the third segment in turn).
@@ -218,15 +218,15 @@ TEST_F(FailureInjectionTest, FailedDemandFetchLeavesNoReadaheadResidue) {
   EXPECT_EQ(std::vector<uint8_t>(data.begin() + 300 * 1024,
                                  data.begin() + 300 * 1024 + out.size()),
             out);
-  EXPECT_EQ(hl->service().stats().readaheads_consumed, 1u);
-  EXPECT_EQ(hl->service().stats().readaheads_wasted, 0u);
+  EXPECT_EQ(hl->Internals().service.stats().readaheads_consumed, 1u);
+  EXPECT_EQ(hl->Internals().service.stats().readaheads_wasted, 0u);
 
   // Dropping the cache discards the chased image and counts it as wasted —
   // no pending entry survives to alias a future fetch.
-  const uint64_t pending = hl->service().PendingPrefetches();
+  const uint64_t pending = hl->Internals().service.PendingPrefetches();
   ASSERT_TRUE(hl->DropCleanCacheLines().ok());
-  EXPECT_EQ(hl->service().PendingPrefetches(), 0u);
-  EXPECT_EQ(hl->service().stats().readaheads_wasted, pending);
+  EXPECT_EQ(hl->Internals().service.PendingPrefetches(), 0u);
+  EXPECT_EQ(hl->Internals().service.stats().readaheads_wasted, pending);
 }
 
 TEST_F(FailureInjectionTest, RepeatedFaultsDoNotWedgeTheSystem) {
@@ -234,12 +234,12 @@ TEST_F(FailureInjectionTest, RepeatedFaultsDoNotWedgeTheSystem) {
   ASSERT_TRUE(ino.ok());
   auto data = Pattern(512 * 1024, 5);
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, data).ok());
-  ASSERT_TRUE(hl_->MigratePath("/f").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/f"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
   std::vector<uint8_t> out(data.size());
   for (int round = 0; round < 5; ++round) {
-    hl_->jukebox(0).FailNextOps(1);
+    hl_->Internals().jukebox(0).FailNextOps(1);
     (void)hl_->fs().Read(*ino, 0, out);  // May fail; must not wedge.
     Result<size_t> n = hl_->fs().Read(*ino, 0, out);
     ASSERT_TRUE(n.ok()) << "round " << round;

@@ -48,8 +48,8 @@ class FaultSweepTest : public ::testing::TestWithParam<uint64_t> {
   // eventually starve the allocator; an operator reinstate between rounds
   // models the repair crew.
   void ReinstateAll() {
-    for (uint32_t v = 0; v < hl_->address_map().num_volumes(); ++v) {
-      hl_->health().ReinstateVolume(v);
+    for (uint32_t v = 0; v < hl_->Internals().address_map.num_volumes(); ++v) {
+      hl_->Internals().health.ReinstateVolume(v);
     }
   }
 
@@ -81,11 +81,11 @@ TEST_P(FaultSweepTest, NoDataLossUnderRandomTertiaryFaults) {
   flaky.read_transient_p = 0.05;
   flaky.write_transient_p = 0.05;
   flaky.load_timeout_p = 0.05;
-  ASSERT_GT(hl_->faults().SetProfile("jukebox.*", flaky), 0);
+  ASSERT_GT(hl_->Internals().faults.SetProfile("jukebox.*", flaky), 0);
   FaultProfile media;
   media.read_transient_p = 0.02;
   media.read_corrupt_p = 0.01;  // Transient bit flips, caught by CRC.
-  ASSERT_GT(hl_->faults().SetProfile("volume.*", media), 0);
+  ASSERT_GT(hl_->Internals().faults.SetProfile("volume.*", media), 0);
 
   std::map<std::string, std::vector<uint8_t>> expect;
   MigratorOptions opts;
@@ -104,8 +104,8 @@ TEST_P(FaultSweepTest, NoDataLossUnderRandomTertiaryFaults) {
       // Migration may fail mid-copy-out; the staged ledger holds the
       // segments until a later flush lands them.
       Status migrated = Eventually([&] {
-        Result<MigrationReport> r = hl_->migrator().MigrateFiles({*ino}, opts);
-        return r.ok() ? hl_->migrator().FlushStaging() : r.status();
+        Result<MigrationReport> r = hl_->Internals().migrator.MigrateFiles({*ino}, opts);
+        return r.ok() ? hl_->Internals().migrator.FlushStaging() : r.status();
       });
       ASSERT_TRUE(migrated.ok()) << migrated.ToString();
     }
@@ -127,12 +127,12 @@ TEST_P(FaultSweepTest, NoDataLossUnderRandomTertiaryFaults) {
   }
 
   // The sweep must actually have injected something, or it proves nothing.
-  const FaultInjector::Stats& fs = hl_->faults().stats();
+  const FaultInjector::Stats& fs = hl_->Internals().faults.stats();
   EXPECT_GT(fs.transients + fs.load_timeouts + fs.corruptions, 0u);
 
   // Injection off: every byte reads back clean on the first try.
   FaultProfile quiet;
-  ASSERT_GT(hl_->faults().SetProfile("*", quiet), 0);
+  ASSERT_GT(hl_->Internals().faults.SetProfile("*", quiet), 0);
   ReinstateAll();
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   for (const auto& [path, data] : expect) {
@@ -145,7 +145,7 @@ TEST_P(FaultSweepTest, NoDataLossUnderRandomTertiaryFaults) {
   }
 
   // A final scrub pass finds nothing unrecoverable, and the image is sound.
-  Result<Scrubber::Report> scrubbed = hl_->scrubber().ScrubAll();
+  Result<Scrubber::Report> scrubbed = hl_->Internals().scrubber.ScrubAll();
   ASSERT_TRUE(scrubbed.ok()) << scrubbed.status().ToString();
   EXPECT_EQ(scrubbed->unrecoverable, 0u);
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
@@ -174,19 +174,19 @@ TEST_P(FaultSweepTest, SweepIsDeterministic) {
     FaultProfile flaky;
     flaky.read_transient_p = 0.1;
     flaky.write_transient_p = 0.1;
-    ASSERT_GT(hl->faults().SetProfile("jukebox.*", flaky), 0);
+    ASSERT_GT(hl->Internals().faults.SetProfile("jukebox.*", flaky), 0);
 
     Result<uint32_t> ino = hl->fs().Create("/f");
     ASSERT_TRUE(ino.ok());
     ASSERT_TRUE(hl->fs().Write(*ino, 0, Pattern(256 * 1024, 9)).ok());
     for (int i = 0; i < 20; ++i) {
-      (void)hl->MigratePath("/f");
-      (void)hl->migrator().FlushStaging();
+      (void)hl->Migrate(MigrationRequest{.path = "/f"});
+      (void)hl->Internals().migrator.FlushStaging();
       (void)hl->DropCleanCacheLines();
       std::vector<uint8_t> out(256 * 1024);
       (void)hl->fs().Read(*ino, 0, out);
     }
-    *transients = hl->faults().stats().transients;
+    *transients = hl->Internals().faults.stats().transients;
     *end = clock.Now();
   };
 

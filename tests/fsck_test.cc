@@ -168,7 +168,7 @@ TEST_F(FsckTest, HighLightImageWithMigrationIsClean) {
   Result<uint32_t> ino = (*hl)->fs().Create("/cold");
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE((*hl)->fs().Write(*ino, 0, Pattern(1 << 20, 3)).ok());
-  ASSERT_TRUE((*hl)->MigratePath("/cold").ok());
+  ASSERT_TRUE((*hl)->Migrate(MigrationRequest{.path = "/cold"}).ok());
   ASSERT_TRUE((*hl)->fs().Checkpoint().ok());
   FsckReport report = CheckFs((*hl)->fs());
   EXPECT_TRUE(report.clean()) << (report.errors.empty() ? ""

@@ -38,9 +38,9 @@ TEST(MultiJukeboxTest, VolumesSpanTwoChangers) {
   config.lfs.cache_max_segments = 8;
   auto hl = HighLightFs::Create(config, &clock);
   ASSERT_TRUE(hl.ok()) << hl.status().ToString();
-  EXPECT_EQ((*hl)->footprint().NumVolumes(), 8);
-  EXPECT_EQ((*hl)->address_map().num_volumes(), 8u);
-  EXPECT_EQ((*hl)->address_map().tertiary_nsegs(), 96u);
+  EXPECT_EQ((*hl)->Internals().footprint.NumVolumes(), 8);
+  EXPECT_EQ((*hl)->Internals().address_map.num_volumes(), 8u);
+  EXPECT_EQ((*hl)->Internals().address_map.tertiary_nsegs(), 96u);
 
   // Migrate enough data to spill past the first changer's volumes.
   // Volume order consumes volume 0 (changer 0) first; filling >4 volumes
@@ -50,10 +50,10 @@ TEST(MultiJukeboxTest, VolumesSpanTwoChangers) {
     Result<uint32_t> ino = (*hl)->fs().Create(path);
     ASSERT_TRUE(ino.ok());
     ASSERT_TRUE((*hl)->fs().Write(*ino, 0, Pattern(1 << 20, i)).ok());
-    ASSERT_TRUE((*hl)->MigratePath(path).ok());
+    ASSERT_TRUE((*hl)->Migrate(MigrationRequest{.path = path}).ok());
   }
-  EXPECT_GT((*hl)->jukebox(0).bytes_written(), 0u);
-  EXPECT_GT((*hl)->jukebox(1).bytes_written(), 0u);
+  EXPECT_GT((*hl)->Internals().jukebox(0).bytes_written(), 0u);
+  EXPECT_GT((*hl)->Internals().jukebox(1).bytes_written(), 0u);
 
   // Everything reads back, cold.
   ASSERT_TRUE((*hl)->DropCleanCacheLines().ok());
@@ -96,7 +96,7 @@ TEST(SharedBusTest, SwapStallsDiskTraffic) {
   // Migration (first tertiary write) mounts a volume: 13.5 s swap holds the
   // bus, so the whole operation takes at least that long.
   SimTime t0 = clock.Now();
-  ASSERT_TRUE((*hl)->MigratePath("/f").ok());
+  ASSERT_TRUE((*hl)->Migrate(MigrationRequest{.path = "/f"}).ok());
   EXPECT_GT(clock.Now() - t0, 13'000'000u);
 }
 
@@ -118,7 +118,7 @@ TEST(WormArchiveTest, WriteOnceArchiveLifecycle) {
     Result<uint32_t> ino = (*hl)->fs().Create(path);
     ASSERT_TRUE(ino.ok());
     ASSERT_TRUE((*hl)->fs().Write(*ino, 0, Pattern(512 * 1024, 20 + i)).ok());
-    Result<MigrationReport> r = (*hl)->MigratePath(path);
+    Result<MigrationReport> r = (*hl)->Migrate(MigrationRequest{.path = path});
     ASSERT_TRUE(r.ok()) << r.status().ToString();
   }
   ASSERT_TRUE((*hl)->DropCleanCacheLines().ok());
@@ -173,7 +173,7 @@ TEST(GrandIntegrationTest, EverythingTogether) {
   for (const auto& [path, seed] : files) {
     inos.push_back(*hl->fs().LookupPath(path));
   }
-  ASSERT_TRUE(hl->migrator().MigrateFiles(inos, opts).ok());
+  ASSERT_TRUE(hl->Internals().migrator.MigrateFiles(inos, opts).ok());
 
   // Demand-fetch some files back; update others (supersede on disk).
   ASSERT_TRUE(hl->DropCleanCacheLines().ok());
@@ -195,8 +195,8 @@ TEST(GrandIntegrationTest, EverythingTogether) {
   ASSERT_TRUE(hl->fs().Sync().ok());
 
   // Disk cleaner pass, then tertiary cleaner on the now-dirty volume 0.
-  ASSERT_TRUE(hl->cleaner().Clean(8).ok());
-  ASSERT_TRUE(hl->tertiary_cleaner().CleanWorstVolume(0.95).ok());
+  ASSERT_TRUE(hl->Internals().cleaner.Clean(8).ok());
+  ASSERT_TRUE(hl->Internals().tertiary_cleaner.CleanWorstVolume(0.95).ok());
 
   // Crash + remount, then verify every file cold.
   ASSERT_TRUE(hl->fs().Checkpoint().ok());

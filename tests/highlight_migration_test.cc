@@ -68,7 +68,7 @@ class HighLightTest : public ::testing::Test {
     Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(ino);
     EXPECT_TRUE(refs.ok());
     for (const BlockRef& r : *refs) {
-      if (hl_->address_map().Classify(r.daddr) !=
+      if (hl_->Internals().address_map.Classify(r.daddr) !=
           AddressMap::Zone::kTertiary) {
         return false;
       }
@@ -85,7 +85,7 @@ TEST_F(HighLightTest, WholeFileMigrationRoundTrip) {
   Result<uint32_t> ino = hl_->fs().LookupPath("/cold");
   ASSERT_TRUE(ino.ok());
 
-  Result<MigrationReport> report = hl_->MigratePath("/cold");
+  Result<MigrationReport> report = hl_->Migrate(MigrationRequest{.path = "/cold"});
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->files_migrated, 1u);
   EXPECT_GE(report->blocks_migrated, 256u);  // 1 MB of 4 KB blocks.
@@ -97,14 +97,14 @@ TEST_F(HighLightTest, WholeFileMigrationRoundTrip) {
 
 TEST_F(HighLightTest, DemandFetchAfterCacheDrop) {
   MakeFile("/cold", 1 << 20, 2);
-  ASSERT_TRUE(hl_->MigratePath("/cold").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/cold"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
-  EXPECT_EQ(hl_->cache().Used(), 0u);
+  EXPECT_EQ(hl_->Internals().cache.Used(), 0u);
 
-  uint64_t fetches_before = hl_->service().stats().demand_fetches;
+  uint64_t fetches_before = hl_->Internals().service.stats().demand_fetches;
   SimTime t0 = clock_.Now();
   ExpectFileContents("/cold", 1 << 20, 2);
-  EXPECT_GT(hl_->service().stats().demand_fetches, fetches_before);
+  EXPECT_GT(hl_->Internals().service.stats().demand_fetches, fetches_before);
   // The first access paid tertiary latency (media swap and/or MO read).
   EXPECT_GT(clock_.Now() - t0, 1 * kUsPerSec);
 
@@ -118,7 +118,7 @@ TEST_F(HighLightTest, ApplicationsNeedNoSpecialActions) {
   // The paper's core promise: same API before and after migration.
   uint32_t ino = MakeFile("/transparent", 300 * 1024, 3);
   ExpectFileContents("/transparent", 300 * 1024, 3);
-  ASSERT_TRUE(hl_->MigratePath("/transparent").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/transparent"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectFileContents("/transparent", 300 * 1024, 3);
   // Writes still work: they land on disk (new version supersedes tertiary).
@@ -131,7 +131,7 @@ TEST_F(HighLightTest, ApplicationsNeedNoSpecialActions) {
 
 TEST_F(HighLightTest, UpdatesToMigratedFilesAppendToDiskLog) {
   uint32_t ino = MakeFile("/updatable", 256 * 1024, 5);
-  ASSERT_TRUE(hl_->MigratePath("/updatable").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/updatable"}).ok());
   ASSERT_TRUE(FullyMigrated(ino));
 
   // Overwrite one block; it must come back disk-resident.
@@ -142,13 +142,13 @@ TEST_F(HighLightTest, UpdatesToMigratedFilesAppendToDiskLog) {
   bool block2_on_disk = false;
   for (const BlockRef& r : *refs) {
     if (r.lbn == 2) {
-      block2_on_disk = hl_->address_map().Classify(r.daddr) ==
+      block2_on_disk = hl_->Internals().address_map.Classify(r.daddr) ==
                        AddressMap::Zone::kDisk;
     }
   }
   EXPECT_TRUE(block2_on_disk);
   // And the tseg table lost the superseded block's live bytes.
-  EXPECT_LT(hl_->tseg_table().TotalLiveBytes(), (256u * 1024) + 8192);
+  EXPECT_LT(hl_->Internals().tseg_table.TotalLiveBytes(), (256u * 1024) + 8192);
 }
 
 TEST_F(HighLightTest, PartialFileBlockRangeMigration) {
@@ -160,7 +160,7 @@ TEST_F(HighLightTest, PartialFileBlockRangeMigration) {
   }
   MigratorOptions opts;
   Result<MigrationReport> report =
-      hl_->migrator().MigrateBlocks(ino, lbns, opts);
+      hl_->Internals().migrator.MigrateBlocks(ino, lbns, opts);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->blocks_migrated, 64u);
 
@@ -172,7 +172,7 @@ TEST_F(HighLightTest, PartialFileBlockRangeMigration) {
     if (IsMetaLbn(r.lbn)) {
       continue;
     }
-    if (hl_->address_map().Classify(r.daddr) == AddressMap::Zone::kTertiary) {
+    if (hl_->Internals().address_map.Classify(r.daddr) == AddressMap::Zone::kTertiary) {
       ++tertiary;
     } else {
       ++disk;
@@ -197,7 +197,7 @@ TEST_F(HighLightTest, DirectoriesAndMetadataCanMigrate) {
   ASSERT_TRUE(a_ino.ok());
   ASSERT_TRUE(b_ino.ok());
   MigratorOptions opts;
-  Result<MigrationReport> report = hl_->migrator().MigrateFiles(
+  Result<MigrationReport> report = hl_->Internals().migrator.MigrateFiles(
       {*a_ino, *b_ino, *dir_ino}, opts);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
 
@@ -209,14 +209,14 @@ TEST_F(HighLightTest, DirectoriesAndMetadataCanMigrate) {
 
 TEST_F(HighLightTest, EndOfMediumRetargetsToNextVolume) {
   // Shrink volume 0's real capacity to force end-of-medium mid-stream.
-  Result<Volume*> vol = hl_->footprint().GetVolume(0);
+  Result<Volume*> vol = hl_->Internals().footprint.GetVolume(0);
   ASSERT_TRUE(vol.ok());
   (*vol)->SetActualCapacity(3 * 64 * kBlockSize);  // Room for 3 segments.
 
   MakeFile("/big", 2 << 20, 10);  // 2 MB = 8 segments (+ metadata).
-  Result<MigrationReport> report = hl_->MigratePath("/big");
+  Result<MigrationReport> report = hl_->Migrate(MigrationRequest{.path = "/big"});
   ASSERT_TRUE(report.ok()) << report.status().ToString();
-  EXPECT_GT(hl_->migrator().lifetime_report().eom_retargets, 0u);
+  EXPECT_GT(hl_->Internals().migrator.lifetime_report().eom_retargets, 0u);
 
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectFileContents("/big", 2 << 20, 10);
@@ -232,19 +232,19 @@ TEST_F(HighLightTest, DelayedCopyOutBatchesTertiaryWrites) {
   ASSERT_TRUE(i2.ok());
   MigratorOptions opts;
   opts.delayed_copyout = true;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*i1, *i2}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*i1, *i2}, opts).ok());
   // Segments staged but not yet on media.
-  EXPECT_GT(hl_->migrator().PendingSegments(), 0u);
-  uint64_t copied_before = hl_->io_server().stats().segments_copied_out;
+  EXPECT_GT(hl_->Internals().migrator.PendingSegments(), 0u);
+  uint64_t copied_before = hl_->Internals().io_server.stats().segments_copied_out;
   EXPECT_EQ(copied_before, 0u);
 
   // Data remain readable from the staged (pinned) cache lines.
   ExpectFileContents("/cold1", 512 * 1024, 11);
 
   // The idle-time flush pushes everything to media.
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
-  EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);
-  EXPECT_GT(hl_->io_server().stats().segments_copied_out, 0u);
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
+  EXPECT_EQ(hl_->Internals().migrator.PendingSegments(), 0u);
+  EXPECT_GT(hl_->Internals().io_server.stats().segments_copied_out, 0u);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectFileContents("/cold1", 512 * 1024, 11);
   ExpectFileContents("/cold2", 512 * 1024, 12);
@@ -252,7 +252,7 @@ TEST_F(HighLightTest, DelayedCopyOutBatchesTertiaryWrites) {
 
 TEST_F(HighLightTest, MigratedStateSurvivesRemount) {
   MakeFile("/durable", 1 << 20, 13);
-  ASSERT_TRUE(hl_->MigratePath("/durable").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/durable"}).ok());
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
 
   ASSERT_TRUE(hl_->Remount().ok());
@@ -284,7 +284,7 @@ TEST_F(HighLightTest, StpPolicyMigratesColdLargeFilesFirst) {
   EXPECT_EQ((*ranked)[2].path, "/hot");
 
   // Migrate ~the best candidate only.
-  Result<MigrationReport> report = hl_->Migrate(stp, 1);
+  Result<MigrationReport> report = hl_->Migrate(MigrationRequest{.policy = &stp, .bytes_target = 1});
   ASSERT_TRUE(report.ok());
   Result<uint32_t> cold = hl_->fs().LookupPath("/cold-big");
   ASSERT_TRUE(cold.ok());
@@ -314,22 +314,22 @@ TEST_F(HighLightTest, NamespacePolicyKeepsUnitsAdjacent) {
 
 TEST_F(HighLightTest, PrefetchPullsFollowOnSegments) {
   // Sequential prefetch policy: on a miss of tseg t, also fetch t+1.
-  hl_->service().SetPrefetchPolicy([this](uint32_t tseg) {
+  hl_->Internals().service.SetPrefetchPolicy([this](uint32_t tseg) {
     std::vector<uint32_t> extra;
-    if (hl_->tseg_table().size() > tseg + 1 &&
-        !(hl_->tseg_table().Get(tseg + 1).flags & kSegClean)) {
+    if (hl_->Internals().tseg_table.size() > tseg + 1 &&
+        !(hl_->Internals().tseg_table.Get(tseg + 1).flags & kSegClean)) {
       extra.push_back(tseg + 1);
     }
     return extra;
   });
   MakeFile("/seq", 1 << 20, 21);  // Spans ~4 tertiary segments.
-  ASSERT_TRUE(hl_->MigratePath("/seq").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/seq"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
   ExpectFileContents("/seq", 1 << 20, 21);
-  EXPECT_GT(hl_->service().stats().prefetches, 0u);
+  EXPECT_GT(hl_->Internals().service.stats().prefetches, 0u);
   // Prefetching cut the number of demand faults below the segment count.
-  EXPECT_LT(hl_->block_map().stats().demand_faults, 4u);
+  EXPECT_LT(hl_->Internals().block_map.stats().demand_faults, 4u);
 }
 
 TEST_F(HighLightTest, MigrationStreamsTargetDifferentVolumes) {
@@ -346,18 +346,18 @@ TEST_F(HighLightTest, MigrationStreamsTargetDifferentVolumes) {
   to_vol1.preferred_volume = 1;
   MigratorOptions to_vol2;
   to_vol2.preferred_volume = 2;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*a}, to_vol1).ok());
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*b}, to_vol2).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*a}, to_vol1).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*b}, to_vol2).ok());
 
   auto volumes_of = [&](uint32_t ino) {
     std::set<uint32_t> volumes;
     Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(ino);
     EXPECT_TRUE(refs.ok());
     for (const BlockRef& r : *refs) {
-      if (hl_->address_map().Classify(r.daddr) ==
+      if (hl_->Internals().address_map.Classify(r.daddr) ==
           AddressMap::Zone::kTertiary) {
-        volumes.insert(hl_->address_map().VolumeOfTseg(
-            hl_->address_map().TsegOf(r.daddr)));
+        volumes.insert(hl_->Internals().address_map.VolumeOfTseg(
+            hl_->Internals().address_map.TsegOf(r.daddr)));
       }
     }
     return volumes;
@@ -371,21 +371,21 @@ TEST_F(HighLightTest, MigrationStreamsTargetDifferentVolumes) {
 
 TEST_F(HighLightTest, DeadZoneAccessRejected) {
   std::vector<uint8_t> buf(kBlockSize);
-  uint32_t dead = hl_->address_map().disk_blocks() + 100;
-  EXPECT_EQ(hl_->block_map().ReadBlocks(dead, 1, buf).code(),
+  uint32_t dead = hl_->Internals().address_map.disk_blocks() + 100;
+  EXPECT_EQ(hl_->Internals().block_map.ReadBlocks(dead, 1, buf).code(),
             ErrorCode::kDeadZone);
-  EXPECT_EQ(hl_->block_map().WriteBlocks(dead, 1, buf).code(),
+  EXPECT_EQ(hl_->Internals().block_map.WriteBlocks(dead, 1, buf).code(),
             ErrorCode::kDeadZone);
 }
 
 TEST_F(HighLightTest, TsegTableTracksLiveBytes) {
   MakeFile("/tracked", 512 * 1024, 22);
-  ASSERT_TRUE(hl_->MigratePath("/tracked").ok());
-  uint64_t live = hl_->tseg_table().TotalLiveBytes();
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/tracked"}).ok());
+  uint64_t live = hl_->Internals().tseg_table.TotalLiveBytes();
   EXPECT_GE(live, 512u * 1024);        // Data blocks.
   EXPECT_LT(live, 700u * 1024);        // Plus bounded metadata.
   ASSERT_TRUE(hl_->fs().Unlink("/tracked").ok());
-  EXPECT_LT(hl_->tseg_table().TotalLiveBytes(), 4096u);
+  EXPECT_LT(hl_->Internals().tseg_table.TotalLiveBytes(), 4096u);
 }
 
 // The unified request API: one Migrate() dispatching on the request's mode.

@@ -116,7 +116,7 @@ TEST_P(HighLightFuzzTest, RandomHierarchyOpsMatchModel) {
         if (path.empty()) {
           break;
         }
-        Result<MigrationReport> r = hl->MigratePath(path);
+        Result<MigrationReport> r = hl->Migrate(MigrationRequest{.path = path});
         ASSERT_TRUE(r.ok()) << r.status().ToString();
         break;
       }
@@ -137,7 +137,7 @@ TEST_P(HighLightFuzzTest, RandomHierarchyOpsMatchModel) {
           lbns.push_back(l);
         }
         MigratorOptions opts;
-        ASSERT_TRUE(hl->migrator().MigrateBlocks(*ino, lbns, opts).ok());
+        ASSERT_TRUE(hl->Internals().migrator.MigrateBlocks(*ino, lbns, opts).ok());
         break;
       }
       case 8: {  // Eject clean cache lines + flush buffer cache.
@@ -181,7 +181,7 @@ TEST_P(HighLightFuzzTest, RandomHierarchyOpsMatchModel) {
 
   // Cache invariants: directory entries are unique and mirror the ifile.
   std::set<uint32_t> tsegs;
-  for (const SegmentCache::LineInfo& line : hl->cache().Lines()) {
+  for (const SegmentCache::LineInfo& line : hl->Internals().cache.Lines()) {
     EXPECT_TRUE(tsegs.insert(line.tseg).second) << "duplicate cache tag";
     const SegUsage& u = hl->fs().GetSegUsage(line.disk_seg);
     EXPECT_TRUE(u.flags & kSegCached);

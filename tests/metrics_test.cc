@@ -215,7 +215,7 @@ class MetricsRemountTest : public ::testing::Test {
     ASSERT_TRUE(
         hl_->fs().Write(*ino, 0, std::vector<uint8_t>(300 * 1024, 0x5A)).ok());
     ASSERT_TRUE(hl_->fs().Sync().ok());
-    ASSERT_TRUE(hl_->MigratePath(path).ok());
+    ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = path}).ok());
   }
 
   SimClock clock_;

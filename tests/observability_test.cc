@@ -147,11 +147,11 @@ TEST_F(ObservabilityFsTest, RetriesNestUnderFetchInOneDemandTree) {
   ASSERT_TRUE(ino.ok());
   auto data = Pattern(256 * 1024, 7);
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, data).ok());
-  ASSERT_TRUE(hl_->MigratePath("/f").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/f"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
   // Two transient drive faults: retried through within one demand fetch.
-  hl_->jukebox(0).FailNextOps(2);
+  hl_->Internals().jukebox(0).FailNextOps(2);
   hl_->spans().Clear();
   std::vector<uint8_t> out(4096);
   ASSERT_TRUE(hl_->fs().Read(*ino, 0, out).ok());
@@ -186,7 +186,7 @@ TEST_F(ObservabilityFsTest, CrcFailoverShowsAsChildOfFetch) {
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, data).ok());
   MigratorOptions opts;
   opts.replicas = 1;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*ino}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*ino}, opts).ok());
 
   // Find the tertiary segment holding block 0 and corrupt the copy the I/O
   // server will try first (a copy on a mounted volume beats a media swap).
@@ -195,31 +195,31 @@ TEST_F(ObservabilityFsTest, CrcFailoverShowsAsChildOfFetch) {
   uint32_t primary = kNoSegment;
   for (const BlockRef& r : *refs) {
     if (r.lbn == 0 && r.daddr != kNoBlock) {
-      primary = hl_->address_map().TsegOf(r.daddr);
+      primary = hl_->Internals().address_map.TsegOf(r.daddr);
       break;
     }
   }
   ASSERT_NE(primary, kNoSegment);
   std::vector<uint32_t> candidates = {primary};
-  for (uint32_t replica : hl_->tseg_table().ReplicasOf(primary)) {
+  for (uint32_t replica : hl_->Internals().tseg_table.ReplicasOf(primary)) {
     candidates.push_back(replica);
   }
   uint32_t victim = candidates.front();
   for (uint32_t candidate : candidates) {
-    auto mounted = hl_->footprint().VolumeMounted(
-        static_cast<int>(hl_->address_map().VolumeOfTseg(candidate)));
+    auto mounted = hl_->Internals().footprint.VolumeMounted(
+        static_cast<int>(hl_->Internals().address_map.VolumeOfTseg(candidate)));
     if (mounted.ok() && *mounted) {
       victim = candidate;
       break;
     }
   }
-  uint32_t vol = hl_->address_map().VolumeOfTseg(victim);
-  auto medium = hl_->footprint().GetVolume(vol);
+  uint32_t vol = hl_->Internals().address_map.VolumeOfTseg(victim);
+  auto medium = hl_->Internals().footprint.GetVolume(vol);
   ASSERT_TRUE(medium.ok());
   std::vector<uint8_t> junk(kBlockSize, 0xA5);
   ASSERT_TRUE(
       (*medium)
-          ->Write(hl_->address_map().ByteOffsetOnVolume(victim), junk)
+          ->Write(hl_->Internals().address_map.ByteOffsetOnVolume(victim), junk)
           .ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
@@ -263,8 +263,8 @@ TEST_F(ObservabilityFsTest, WriteBehindIssueSpansInheritEnqueueContext) {
   hl_->spans().Clear();
   MigratorOptions opts;
   opts.write_behind = true;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*ino}, opts).ok());
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*ino}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
 
   const auto& spans = hl_->spans().Completed();
   const SpanRecord* issue = FindByName(spans, "issue_copyout");
@@ -344,7 +344,7 @@ TEST(TimeSeriesSamplerTest, DeterministicAcrossIdenticalRuns) {
     EXPECT_TRUE(hl.ok());
     uint32_t ino = *(*hl)->fs().Create("/f");
     EXPECT_TRUE((*hl)->fs().Write(ino, 0, Pattern(256 * 1024, 99)).ok());
-    EXPECT_TRUE((*hl)->MigratePath("/f").ok());
+    EXPECT_TRUE((*hl)->Migrate(MigrationRequest{.path = "/f"}).ok());
     EXPECT_TRUE((*hl)->DropCleanCacheLines().ok());
     std::vector<uint8_t> out(4096);
     EXPECT_TRUE((*hl)->fs().Read(ino, 0, out).ok());

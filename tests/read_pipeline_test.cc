@@ -68,14 +68,14 @@ class ReadPipelineTest : public ::testing::Test {
     uint32_t ino = MakeFile(path, 200 * 1024, seed);
     MigratorOptions opts;
     opts.preferred_volume = volume;
-    EXPECT_TRUE(hl_->migrator().MigrateFiles({ino}, opts).ok());
+    EXPECT_TRUE(hl_->Internals().migrator.MigrateFiles({ino}, opts).ok());
     return last_migrated_[volume]++;
   }
 
   // Tracks the next tseg each volume's migrations land on.
   void InitTsegCursors() {
     for (uint32_t v = 0; v < 4; ++v) {
-      last_migrated_[v] = hl_->address_map().FirstTsegOfVolume(v);
+      last_migrated_[v] = hl_->Internals().address_map.FirstTsegOfVolume(v);
     }
   }
 
@@ -107,7 +107,7 @@ TEST_F(ReadPipelineTest, DemandReadsIssueBeforeQueuedPrefetches) {
   uint32_t dem_tseg = MigratedTseg("/demanded", 2, 32);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
-  IoServer& io = hl_->io_server();
+  IoServer& io = hl_->Internals().io_server;
   io.set_max_queue_depth(1);  // One issue, then the window is full.
   io.HoldReads();
   auto image = std::make_shared<std::vector<uint8_t>>(io.SegBytes());
@@ -135,9 +135,9 @@ TEST_F(ReadPipelineTest, MountedVolumeReadBeatsOlderSwapRead) {
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   // Seat volume 0 in the read drive.
   std::vector<uint8_t> sector(4096);
-  ASSERT_TRUE(hl_->footprint().Read(0, 0, sector).ok());
+  ASSERT_TRUE(hl_->Internals().footprint.Read(0, 0, sector).ok());
 
-  IoServer& io = hl_->io_server();
+  IoServer& io = hl_->Internals().io_server;
   io.set_max_queue_depth(1);
   io.HoldReads();
   ASSERT_TRUE(io.EnqueueDemandRead(unmounted_tseg, kNoSegment,
@@ -174,11 +174,11 @@ TEST_F(ReadPipelineTest, BatchedFaultsAmortizeSwapsAndResumeCriticalFirst) {
     // Park the write drive on volume 3 so neither fetch volume is seated.
     MigratedTseg("/park", 3, 45);
     EXPECT_TRUE(hl_->DropCleanCacheLines().ok());
-    uint64_t swaps0 = hl_->footprint().TotalMediaSwaps();
-    auto res = hl_->service().DemandFetchBatch({v1a, v2a, v1b, v2b});
+    uint64_t swaps0 = hl_->Internals().footprint.TotalMediaSwaps();
+    auto res = hl_->Internals().service.DemandFetchBatch({v1a, v2a, v1b, v2b});
     EXPECT_TRUE(res.ok()) << res.status().ToString();
     RunResult out;
-    out.swaps = hl_->footprint().TotalMediaSwaps() - swaps0;
+    out.swaps = hl_->Internals().footprint.TotalMediaSwaps() - swaps0;
     for (const auto& r : *res) {
       EXPECT_TRUE(r.status.ok()) << r.status.ToString();
       out.mean_delay += r.delay_us;
@@ -198,7 +198,7 @@ TEST_F(ReadPipelineTest, BatchedFaultsAmortizeSwapsAndResumeCriticalFirst) {
   // (queued second) because its volume's transfer lands first.
   EXPECT_LT(async.results[2].delay_us, async.results[1].delay_us);
   // The second read on each mounted volume rode the seated medium.
-  EXPECT_GE(hl_->io_server().stats().read_mounted_picks, 2u);
+  EXPECT_GE(hl_->Internals().io_server.stats().read_mounted_picks, 2u);
   MetricsSnapshot snap = hl_->Metrics();
   EXPECT_GE(snap.Value("jukebox.HP6300-MO.mounted_transfers"), 2u);
   EXPECT_EQ(snap.Value("io.read_queue.demand_enqueued"), 4u);
@@ -215,15 +215,15 @@ TEST_F(ReadPipelineTest, ConcurrentFaultsOnOneTsegShareOneTransfer) {
   uint32_t tseg = MigratedTseg("/hot", 0, 51);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
-  uint64_t fetched0 = hl_->io_server().stats().segments_fetched;
-  auto res = hl_->service().DemandFetchBatch({tseg, tseg, tseg});
+  uint64_t fetched0 = hl_->Internals().io_server.stats().segments_fetched;
+  auto res = hl_->Internals().service.DemandFetchBatch({tseg, tseg, tseg});
   ASSERT_TRUE(res.ok()) << res.status().ToString();
   for (const auto& r : *res) {
     EXPECT_TRUE(r.status.ok()) << r.status.ToString();
   }
-  EXPECT_EQ(hl_->io_server().stats().segments_fetched - fetched0, 1u)
+  EXPECT_EQ(hl_->Internals().io_server.stats().segments_fetched - fetched0, 1u)
       << "duplicate faults must coalesce onto one tertiary transfer";
-  SegmentCache::Stats cs = hl_->cache().Snapshot();
+  SegmentCache::Stats cs = hl_->Internals().cache.Snapshot();
   EXPECT_EQ(cs.inflight_waits, 2u);
   EXPECT_GE(cs.inflight_begun, 1u);
   EXPECT_GE(cs.inflight_completed, 1u);
@@ -239,25 +239,25 @@ TEST_F(ReadPipelineTest, ConcurrentFaultsOnOneTsegShareOneTransfer) {
 TEST_F(ReadPipelineTest, DuplicateReadaheadSuppressedWhileReadQueued) {
   Build(/*async=*/true, /*readahead=*/true);
   uint32_t ino = MakeFile("/seq", 600 * 1024, 61);
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({ino}, MigratorOptions{}).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({ino}, MigratorOptions{}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
-  uint32_t first = hl_->address_map().FirstTsegOfVolume(0);
+  uint32_t first = hl_->Internals().address_map.FirstTsegOfVolume(0);
 
-  ASSERT_TRUE(hl_->service().DemandFetch(first).ok());
-  EXPECT_EQ(hl_->service().stats().readaheads_issued, 1u);
-  EXPECT_TRUE(hl_->io_server().ReadQueued(first + 1))
+  ASSERT_TRUE(hl_->Internals().service.DemandFetch(first).ok());
+  EXPECT_EQ(hl_->Internals().service.stats().readaheads_issued, 1u);
+  EXPECT_TRUE(hl_->Internals().io_server.ReadQueued(first + 1))
       << "read-ahead should sit lazily in the queue";
 
   // Re-running the demand path re-triggers the read-ahead policy; the
   // still-queued read for first+1 must not be fetched twice.
-  ASSERT_TRUE(hl_->service().DemandFetch(first).ok());
-  EXPECT_EQ(hl_->service().stats().readaheads_issued, 1u);
-  EXPECT_EQ(hl_->service().stats().readaheads_wasted, 1u);
+  ASSERT_TRUE(hl_->Internals().service.DemandFetch(first).ok());
+  EXPECT_EQ(hl_->Internals().service.stats().readaheads_issued, 1u);
+  EXPECT_EQ(hl_->Internals().service.stats().readaheads_wasted, 1u);
 
   // The predicted miss promotes the queued prefetch instead of refetching.
-  ASSERT_TRUE(hl_->service().DemandFetch(first + 1).ok());
-  EXPECT_EQ(hl_->io_server().stats().reads_coalesced, 1u);
-  EXPECT_EQ(hl_->service().stats().readaheads_consumed, 1u);
+  ASSERT_TRUE(hl_->Internals().service.DemandFetch(first + 1).ok());
+  EXPECT_EQ(hl_->Internals().io_server.stats().reads_coalesced, 1u);
+  EXPECT_EQ(hl_->Internals().service.stats().readaheads_consumed, 1u);
   EXPECT_EQ(hl_->Metrics().Value("io.read_queue.coalesced"), 1u);
   ExpectFileContents("/seq", 600 * 1024, 61);
   ExpectFsckClean();
@@ -273,9 +273,9 @@ TEST_F(ReadPipelineTest, QuarantinedVolumeOrderedLastAmongFetchSources) {
   MigratorOptions opts;
   opts.replicas = 1;
   opts.preferred_volume = 0;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({ino}, opts).ok());
-  uint32_t primary = hl_->address_map().FirstTsegOfVolume(0);
-  ASSERT_EQ(hl_->tseg_table().ReplicasOf(primary).size(), 1u);
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({ino}, opts).ok());
+  uint32_t primary = hl_->Internals().address_map.FirstTsegOfVolume(0);
+  ASSERT_EQ(hl_->Internals().tseg_table.ReplicasOf(primary).size(), 1u);
   // Park the write drive on volume 3 so neither copy's volume is seated
   // and the healthy primary is tried first (stable source order).
   MigratedTseg("/park", 3, 72);
@@ -285,21 +285,21 @@ TEST_F(ReadPipelineTest, QuarantinedVolumeOrderedLastAmongFetchSources) {
   // on the primary, fails over to the replica, and quarantines volume 0.
   FaultProfile broken;
   broken.read_transient_p = 1.0;
-  ASSERT_GT(hl_->faults().SetProfile("volume.HP6300-MO.vol0", broken), 0);
+  ASSERT_GT(hl_->Internals().faults.SetProfile("volume.HP6300-MO.vol0", broken), 0);
 
-  ASSERT_TRUE(hl_->service().DemandFetch(primary).ok());
-  EXPECT_GE(hl_->io_server().stats().failovers, 1u);
-  EXPECT_GE(hl_->io_server().stats().replica_reads, 1u);
-  EXPECT_EQ(hl_->health().VolumeState(0), HealthState::kQuarantined);
+  ASSERT_TRUE(hl_->Internals().service.DemandFetch(primary).ok());
+  EXPECT_GE(hl_->Internals().io_server.stats().failovers, 1u);
+  EXPECT_GE(hl_->Internals().io_server.stats().replica_reads, 1u);
+  EXPECT_EQ(hl_->Internals().health.VolumeState(0), HealthState::kQuarantined);
 
   // With volume 0 quarantined it drops to the back of the candidate list:
   // the next fetch goes straight to the replica, no failover needed.
-  uint64_t failovers = hl_->io_server().stats().failovers;
-  ASSERT_TRUE(hl_->service().Eject(primary).ok());
-  ASSERT_TRUE(hl_->service().DemandFetch(primary).ok());
-  EXPECT_EQ(hl_->io_server().stats().failovers, failovers)
+  uint64_t failovers = hl_->Internals().io_server.stats().failovers;
+  ASSERT_TRUE(hl_->Internals().service.Eject(primary).ok());
+  ASSERT_TRUE(hl_->Internals().service.DemandFetch(primary).ok());
+  EXPECT_EQ(hl_->Internals().io_server.stats().failovers, failovers)
       << "a quarantined primary must not be tried before a healthy replica";
-  EXPECT_GE(hl_->io_server().stats().replica_reads, 2u);
+  EXPECT_GE(hl_->Internals().io_server.stats().replica_reads, 2u);
   ExpectFileContents("/replicated", 200 * 1024, 71);
 }
 
@@ -311,17 +311,17 @@ TEST_F(ReadPipelineTest, ShrinkingQueueDepthBelowOccupancyStillDrains) {
   uint32_t a = MakeFile("/qa", 200 * 1024, 81);
   uint32_t b = MakeFile("/qb", 200 * 1024, 82);
   uint32_t c = MakeFile("/qc", 200 * 1024, 83);
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({a}, delayed).ok());
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({b}, delayed).ok());
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({c}, delayed).ok());
-  ASSERT_EQ(hl_->migrator().PendingSegments(), 3u);
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({a}, delayed).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({b}, delayed).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({c}, delayed).ok());
+  ASSERT_EQ(hl_->Internals().migrator.PendingSegments(), 3u);
 
-  IoServer& io = hl_->io_server();
+  IoServer& io = hl_->Internals().io_server;
   io.set_max_queue_depth(2);
-  uint32_t first = hl_->address_map().FirstTsegOfVolume(0);
-  ASSERT_TRUE(hl_->migrator().EnqueueCopyOut(first).ok());
-  ASSERT_TRUE(hl_->migrator().EnqueueCopyOut(first + 1).ok());
-  ASSERT_TRUE(hl_->migrator().EnqueueCopyOut(first + 2).ok());
+  uint32_t first = hl_->Internals().address_map.FirstTsegOfVolume(0);
+  ASSERT_TRUE(hl_->Internals().migrator.EnqueueCopyOut(first).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.EnqueueCopyOut(first + 1).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.EnqueueCopyOut(first + 2).ok());
   ASSERT_GT(io.QueueDepth() + io.Outstanding(), 0u);
 
   // Shrink below current occupancy, then all the way to zero: the depth
@@ -330,10 +330,10 @@ TEST_F(ReadPipelineTest, ShrinkingQueueDepthBelowOccupancyStillDrains) {
   io.set_max_queue_depth(1);
   io.set_max_queue_depth(0);
   EXPECT_EQ(io.max_queue_depth(), 1u);
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
   EXPECT_EQ(io.QueueDepth(), 0u);
   EXPECT_EQ(io.Outstanding(), 0u);
-  EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);
+  EXPECT_EQ(hl_->Internals().migrator.PendingSegments(), 0u);
 
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectFileContents("/qa", 200 * 1024, 81);

@@ -122,9 +122,9 @@ class RearrangementTest : public ::testing::Test {
     Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(ino);
     EXPECT_TRUE(refs.ok());
     for (const BlockRef& r : *refs) {
-      if (hl_->address_map().Classify(r.daddr) ==
+      if (hl_->Internals().address_map.Classify(r.daddr) ==
           AddressMap::Zone::kTertiary) {
-        tsegs.insert(hl_->address_map().TsegOf(r.daddr));
+        tsegs.insert(hl_->Internals().address_map.TsegOf(r.daddr));
       }
     }
     return static_cast<uint32_t>(tsegs.size());
@@ -154,14 +154,14 @@ TEST_F(RearrangementTest, ClusteringReducesSegmentSpan) {
     for (uint32_t l = base; l < base + 16; ++l) {
       lbns.push_back(l);
     }
-    ASSERT_TRUE(hl_->migrator().MigrateBlocks(*a, lbns, opts).ok());
-    ASSERT_TRUE(hl_->migrator().MigrateBlocks(*b, lbns, opts).ok());
+    ASSERT_TRUE(hl_->Internals().migrator.MigrateBlocks(*a, lbns, opts).ok());
+    ASSERT_TRUE(hl_->Internals().migrator.MigrateBlocks(*b, lbns, opts).ok());
   }
   uint32_t span_before = SegmentSpan(*a);
   ASSERT_GT(span_before, 2u) << "expected an interleaved layout";
 
   // Rearrangement: the observed pattern is "file a alone"; cluster it.
-  Result<MigrationReport> r = hl_->migrator().ClusterFiles({*a}, opts);
+  Result<MigrationReport> r = hl_->Internals().migrator.ClusterFiles({*a}, opts);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   uint32_t span_after = SegmentSpan(*a);
   EXPECT_LT(span_after, span_before);
@@ -192,24 +192,24 @@ TEST_F(RearrangementTest, ClusteringCutsDemandFaults) {
     for (uint32_t l = base; l < base + 8; ++l) {
       lbns.push_back(l);
     }
-    ASSERT_TRUE(hl_->migrator().MigrateBlocks(*a, lbns, opts).ok());
-    ASSERT_TRUE(hl_->migrator().MigrateBlocks(*b, lbns, opts).ok());
+    ASSERT_TRUE(hl_->Internals().migrator.MigrateBlocks(*a, lbns, opts).ok());
+    ASSERT_TRUE(hl_->Internals().migrator.MigrateBlocks(*b, lbns, opts).ok());
   }
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
-  uint64_t faults0 = hl_->block_map().stats().demand_faults;
+  uint64_t faults0 = hl_->Internals().block_map.stats().demand_faults;
   std::vector<uint8_t> out(512 * 1024);
   ASSERT_TRUE(hl_->fs().Read(*a, 0, out).ok());
-  uint64_t faults_before = hl_->block_map().stats().demand_faults - faults0;
+  uint64_t faults_before = hl_->Internals().block_map.stats().demand_faults - faults0;
 
-  ASSERT_TRUE(hl_->migrator().ClusterFiles({*a}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.ClusterFiles({*a}, opts).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
-  faults0 = hl_->block_map().stats().demand_faults;
+  faults0 = hl_->Internals().block_map.stats().demand_faults;
   ASSERT_TRUE(hl_->fs().Read(*a, 0, out).ok());
-  uint64_t faults_after = hl_->block_map().stats().demand_faults - faults0;
+  uint64_t faults_after = hl_->Internals().block_map.stats().demand_faults - faults0;
   EXPECT_LT(faults_after, faults_before);
 
   // The dead pre-rearrangement copies remain reclaimable.
-  EXPECT_GT(hl_->tseg_table().TotalLiveBytes(), 0u);
+  EXPECT_GT(hl_->Internals().tseg_table.TotalLiveBytes(), 0u);
 }
 
 TEST_F(RearrangementTest, ClusterFilesOnDiskOnlyIsNoOp) {
@@ -217,7 +217,7 @@ TEST_F(RearrangementTest, ClusterFilesOnDiskOnlyIsNoOp) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(hl_->fs().Write(*a, 0, Pattern(64 * 1024, 5)).ok());
   MigratorOptions opts;
-  Result<MigrationReport> r = hl_->migrator().ClusterFiles({*a}, opts);
+  Result<MigrationReport> r = hl_->Internals().migrator.ClusterFiles({*a}, opts);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->blocks_migrated, 0u);
 }

@@ -159,7 +159,7 @@ TEST_F(ReconfigTest, DiskRemovalViaCleanThenRetire) {
 }
 
 TEST_F(ReconfigTest, CacheGrowsAndShrinksOnline) {
-  SegmentCache& cache = hl_->cache();
+  SegmentCache& cache = hl_->Internals().cache;
   uint32_t before = cache.Capacity();
   ASSERT_TRUE(cache.Resize(before + 4).ok());
   EXPECT_EQ(cache.Capacity(), before + 4);
@@ -168,7 +168,7 @@ TEST_F(ReconfigTest, CacheGrowsAndShrinksOnline) {
   Result<uint32_t> ino = hl_->fs().Create("/cold");
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(1 << 20, 6)).ok());
-  ASSERT_TRUE(hl_->MigratePath("/cold").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/cold"}).ok());
   ASSERT_TRUE(cache.Resize(2).ok());
   EXPECT_EQ(cache.Capacity(), 2u);
   EXPECT_LE(cache.Used(), 2u);
@@ -186,24 +186,24 @@ TEST_F(ReconfigTest, CacheShrinkBelowPinnedFails) {
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(1 << 20, 7)).ok());
   MigratorOptions delayed;
   delayed.delayed_copyout = true;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*ino}, delayed).ok());
-  uint32_t pinned = hl_->migrator().PendingSegments();
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*ino}, delayed).ok());
+  uint32_t pinned = hl_->Internals().migrator.PendingSegments();
   ASSERT_GT(pinned, 0u);
-  EXPECT_EQ(hl_->cache().Resize(pinned - 1).code(), ErrorCode::kBusy);
+  EXPECT_EQ(hl_->Internals().cache.Resize(pinned - 1).code(), ErrorCode::kBusy);
   // Flush unpins; now the shrink succeeds.
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
-  EXPECT_TRUE(hl_->cache().Resize(1).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
+  EXPECT_TRUE(hl_->Internals().cache.Resize(1).ok());
 }
 
 TEST_F(ReconfigTest, SlowAccessNotifierFires) {
   Result<uint32_t> ino = hl_->fs().Create("/slow");
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(1 << 20, 8)).ok());
-  ASSERT_TRUE(hl_->MigratePath("/slow").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/slow"}).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
   std::vector<std::pair<uint32_t, SimTime>> notifications;
-  hl_->service().SetSlowAccessNotifier(
+  hl_->Internals().service.SetSlowAccessNotifier(
       [&](uint32_t tseg, SimTime estimate) {
         notifications.emplace_back(tseg, estimate);
       });

@@ -44,24 +44,24 @@ TEST_F(ReplicaTest, ReplicasLandOnOtherVolumes) {
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(512 * 1024, 1)).ok());
   MigratorOptions opts;
   opts.replicas = 1;
-  Result<MigrationReport> r = hl_->migrator().MigrateFiles({*ino}, opts);
+  Result<MigrationReport> r = hl_->Internals().migrator.MigrateFiles({*ino}, opts);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   ASSERT_GT(r->segments_completed, 0u);
 
   // Every primary segment has one replica, on a different volume, flagged
   // kSegReplica and never counted as live.
   uint32_t replicas_found = 0;
-  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-    const SegUsage& u = hl_->tseg_table().Get(t);
+  for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+    const SegUsage& u = hl_->Internals().tseg_table.Get(t);
     if (!(u.flags & kSegReplica)) {
       continue;
     }
     ++replicas_found;
     EXPECT_EQ(u.live_bytes, 0u);
-    EXPECT_NE(hl_->address_map().VolumeOfTseg(t),
-              hl_->address_map().VolumeOfTseg(u.cache_tseg));
+    EXPECT_NE(hl_->Internals().address_map.VolumeOfTseg(t),
+              hl_->Internals().address_map.VolumeOfTseg(u.cache_tseg));
     std::vector<uint32_t> reps =
-        hl_->tseg_table().ReplicasOf(u.cache_tseg);
+        hl_->Internals().tseg_table.ReplicasOf(u.cache_tseg);
     EXPECT_NE(std::find(reps.begin(), reps.end(), t), reps.end());
   }
   EXPECT_EQ(replicas_found, r->segments_completed);
@@ -74,7 +74,7 @@ TEST_F(ReplicaTest, FetchPrefersMountedReplicaVolume) {
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, data).ok());
   MigratorOptions opts;
   opts.replicas = 1;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*ino}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*ino}, opts).ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
 
   // Mount the REPLICA's volume by touching it directly, then unmount... the
@@ -82,27 +82,27 @@ TEST_F(ReplicaTest, FetchPrefersMountedReplicaVolume) {
   // data through drive 1 loads it. Find the replica volume and read a byte
   // from it so it occupies the read drive.
   uint32_t replica_vol = kNoSegment;
-  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-    if (hl_->tseg_table().Get(t).flags & kSegReplica) {
-      replica_vol = hl_->address_map().VolumeOfTseg(t);
+  for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+    if (hl_->Internals().tseg_table.Get(t).flags & kSegReplica) {
+      replica_vol = hl_->Internals().address_map.VolumeOfTseg(t);
       break;
     }
   }
   ASSERT_NE(replica_vol, kNoSegment);
   std::vector<uint8_t> sector(4096);
-  ASSERT_TRUE(hl_->footprint()
+  ASSERT_TRUE(hl_->Internals().footprint
                   .Read(static_cast<int>(replica_vol), 0, sector)
                   .ok());
-  ASSERT_TRUE(*hl_->footprint().VolumeMounted(static_cast<int>(replica_vol)));
+  ASSERT_TRUE(*hl_->Internals().footprint.VolumeMounted(static_cast<int>(replica_vol)));
 
   // Now demand-fetch the file: the replica volume is mounted, the primary's
   // is not necessarily, so replica reads should occur and data must match.
-  uint64_t replica_reads_before = hl_->io_server().stats().replica_reads;
+  uint64_t replica_reads_before = hl_->Internals().io_server.stats().replica_reads;
   std::vector<uint8_t> out(data.size());
   Result<size_t> n = hl_->fs().Read(*ino, 0, out);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(out, data);
-  EXPECT_GT(hl_->io_server().stats().replica_reads, replica_reads_before);
+  EXPECT_GT(hl_->Internals().io_server.stats().replica_reads, replica_reads_before);
 }
 
 TEST_F(ReplicaTest, ReplicaContentsIdenticalToPrimary) {
@@ -111,25 +111,25 @@ TEST_F(ReplicaTest, ReplicaContentsIdenticalToPrimary) {
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(128 * 1024, 3)).ok());
   MigratorOptions opts;
   opts.replicas = 1;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*ino}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*ino}, opts).ok());
 
-  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-    const SegUsage& u = hl_->tseg_table().Get(t);
+  for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+    const SegUsage& u = hl_->Internals().tseg_table.Get(t);
     if (!(u.flags & kSegReplica)) {
       continue;
     }
-    uint64_t seg_bytes = hl_->address_map().SegBytes();
+    uint64_t seg_bytes = hl_->Internals().address_map.SegBytes();
     std::vector<uint8_t> primary_img(seg_bytes), replica_img(seg_bytes);
-    uint32_t pvol = hl_->address_map().VolumeOfTseg(u.cache_tseg);
-    uint32_t rvol = hl_->address_map().VolumeOfTseg(t);
-    ASSERT_TRUE(hl_->footprint()
+    uint32_t pvol = hl_->Internals().address_map.VolumeOfTseg(u.cache_tseg);
+    uint32_t rvol = hl_->Internals().address_map.VolumeOfTseg(t);
+    ASSERT_TRUE(hl_->Internals().footprint
                     .Read(static_cast<int>(pvol),
-                          hl_->address_map().ByteOffsetOnVolume(u.cache_tseg),
+                          hl_->Internals().address_map.ByteOffsetOnVolume(u.cache_tseg),
                           primary_img)
                     .ok());
-    ASSERT_TRUE(hl_->footprint()
+    ASSERT_TRUE(hl_->Internals().footprint
                     .Read(static_cast<int>(rvol),
-                          hl_->address_map().ByteOffsetOnVolume(t),
+                          hl_->Internals().address_map.ByteOffsetOnVolume(t),
                           replica_img)
                     .ok());
     EXPECT_EQ(primary_img, replica_img);
@@ -142,20 +142,20 @@ TEST_F(ReplicaTest, ReplicaCatalogSurvivesRemount) {
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(128 * 1024, 4)).ok());
   MigratorOptions opts;
   opts.replicas = 1;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*ino}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*ino}, opts).ok());
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
 
   uint32_t replicas_before = 0;
-  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-    if (hl_->tseg_table().Get(t).flags & kSegReplica) {
+  for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+    if (hl_->Internals().tseg_table.Get(t).flags & kSegReplica) {
       ++replicas_before;
     }
   }
   ASSERT_GT(replicas_before, 0u);
   ASSERT_TRUE(hl_->Remount().ok());
   uint32_t replicas_after = 0;
-  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-    if (hl_->tseg_table().Get(t).flags & kSegReplica) {
+  for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+    if (hl_->Internals().tseg_table.Get(t).flags & kSegReplica) {
       ++replicas_after;
     }
   }
@@ -168,15 +168,15 @@ TEST_F(ReplicaTest, CleaningPrimaryVolumeReleasesOrphanReplicas) {
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(256 * 1024, 5)).ok());
   MigratorOptions opts;
   opts.replicas = 1;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({*ino}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({*ino}, opts).ok());
 
   // The primary copies live on volume 0; clean it.
-  ASSERT_TRUE(hl_->tertiary_cleaner().CleanVolume(0).ok());
+  ASSERT_TRUE(hl_->Internals().tertiary_cleaner.CleanVolume(0).ok());
   // No replica may still reference a segment on the cleaned volume.
-  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-    const SegUsage& u = hl_->tseg_table().Get(t);
+  for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+    const SegUsage& u = hl_->Internals().tseg_table.Get(t);
     if (u.flags & kSegReplica) {
-      EXPECT_NE(hl_->address_map().VolumeOfTseg(u.cache_tseg), 0u)
+      EXPECT_NE(hl_->Internals().address_map.VolumeOfTseg(u.cache_tseg), 0u)
           << "orphan replica " << t;
     }
   }

@@ -47,11 +47,11 @@ class ScrubTest : public ::testing::Test {
     EXPECT_TRUE(hl_->fs().Write(ino_, 0, data).ok());
     MigratorOptions opts;
     opts.replicas = replicas;
-    Result<MigrationReport> r = hl_->migrator().MigrateFiles({ino_}, opts);
+    Result<MigrationReport> r = hl_->Internals().migrator.MigrateFiles({ino_}, opts);
     EXPECT_TRUE(r.ok()) << r.status().ToString();
     EXPECT_TRUE(hl_->DropCleanCacheLines().ok());
-    for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-      const SegUsage& u = hl_->tseg_table().Get(t);
+    for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+      const SegUsage& u = hl_->Internals().tseg_table.Get(t);
       if (!(u.flags & kSegClean) && !(u.flags & kSegReplica)) {
         return t;
       }
@@ -62,12 +62,12 @@ class ScrubTest : public ::testing::Test {
 
   // Scribbles over the on-medium image of `tseg`.
   void CorruptOnMedium(uint32_t tseg) {
-    uint32_t volume = hl_->address_map().VolumeOfTseg(tseg);
-    Result<Volume*> vol = hl_->footprint().GetVolume(static_cast<int>(volume));
+    uint32_t volume = hl_->Internals().address_map.VolumeOfTseg(tseg);
+    Result<Volume*> vol = hl_->Internals().footprint.GetVolume(static_cast<int>(volume));
     ASSERT_TRUE(vol.ok());
     std::vector<uint8_t> junk(kBlockSize, 0xA5);
     ASSERT_TRUE(
-        (*vol)->Write(hl_->address_map().ByteOffsetOnVolume(tseg), junk).ok());
+        (*vol)->Write(hl_->Internals().address_map.ByteOffsetOnVolume(tseg), junk).ok());
   }
 
   SimClock clock_;
@@ -81,13 +81,13 @@ TEST_F(ScrubTest, ScrubDetectsAndRepairsFromReplica) {
   ASSERT_NE(tseg, kNoSegment);
   CorruptOnMedium(tseg);
 
-  Result<Scrubber::Report> report = hl_->scrubber().ScrubAll();
+  Result<Scrubber::Report> report = hl_->Internals().scrubber.ScrubAll();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report->scanned, 0u);
   EXPECT_EQ(report->repaired, 1u);
   EXPECT_EQ(report->unrecoverable, 0u);
-  EXPECT_TRUE(hl_->scrubber().LostSegments().empty());
-  EXPECT_EQ(hl_->scrubber().stats().repairs, 1u);
+  EXPECT_TRUE(hl_->Internals().scrubber.LostSegments().empty());
+  EXPECT_EQ(hl_->Internals().scrubber.stats().repairs, 1u);
 
   // The repaired primary serves reads again (uncached, from the medium).
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
@@ -104,11 +104,11 @@ TEST_F(ScrubTest, ScrubRecordsUnrecoverableLoss) {
   CorruptOnMedium(tseg);
 
   // No replica anywhere: the scrubber records the loss instead of crashing.
-  Result<Scrubber::Report> report = hl_->scrubber().ScrubAll();
+  Result<Scrubber::Report> report = hl_->Internals().scrubber.ScrubAll();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->repaired, 0u);
   EXPECT_EQ(report->unrecoverable, 1u);
-  EXPECT_EQ(hl_->scrubber().LostSegments().count(tseg), 1u);
+  EXPECT_EQ(hl_->Internals().scrubber.LostSegments().count(tseg), 1u);
 
   // The damage is contained: the read fails cleanly with a corruption
   // error, and the rest of the system keeps working.
@@ -129,15 +129,15 @@ TEST_F(ScrubTest, ScrubRebuildsCrcCatalogAfterRemount) {
 
   // The CRC catalog is in-core only: a crash + remount empties it.
   ASSERT_TRUE(hl_->Remount().ok());
-  EXPECT_EQ(hl_->tseg_table().CrcCount(), 0u);
+  EXPECT_EQ(hl_->Internals().tseg_table.CrcCount(), 0u);
 
   // A scrub pass verifies each image against the media's own summary
   // checksums and restamps the catalog.
-  Result<Scrubber::Report> report = hl_->scrubber().ScrubAll();
+  Result<Scrubber::Report> report = hl_->Internals().scrubber.ScrubAll();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report->crcs_stamped, 0u);
   EXPECT_EQ(report->unrecoverable, 0u);
-  EXPECT_GT(hl_->tseg_table().CrcCount(), 0u);
+  EXPECT_GT(hl_->Internals().tseg_table.CrcCount(), 0u);
 
   std::vector<uint8_t> out(data.size());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
@@ -153,14 +153,14 @@ TEST_F(ScrubTest, FetchFailsOverToReplica) {
 
   // Mount the primary's volume so source selection ranks it first (the
   // replica's volume was mounted last by the migration)...
-  uint32_t volume = hl_->address_map().VolumeOfTseg(tseg);
+  uint32_t volume = hl_->Internals().address_map.VolumeOfTseg(tseg);
   std::vector<uint8_t> sector(4096);
   ASSERT_TRUE(
-      hl_->footprint().Read(static_cast<int>(volume), 0, sector).ok());
+      hl_->Internals().footprint.Read(static_cast<int>(volume), 0, sector).ok());
   // ...then kill it outright: every read on it fails from now on.
-  Result<Volume*> vol = hl_->footprint().GetVolume(static_cast<int>(volume));
+  Result<Volume*> vol = hl_->Internals().footprint.GetVolume(static_cast<int>(volume));
   ASSERT_TRUE(vol.ok());
-  FaultChannel* channel = hl_->faults().Find("volume." + (*vol)->label());
+  FaultChannel* channel = hl_->Internals().faults.Find("volume." + (*vol)->label());
   ASSERT_NE(channel, nullptr);
   channel->KillAt(clock_.Now());
 
@@ -170,10 +170,10 @@ TEST_F(ScrubTest, FetchFailsOverToReplica) {
   Result<size_t> n = hl_->fs().Read(ino_, 0, out);
   ASSERT_TRUE(n.ok()) << n.status().ToString();
   EXPECT_EQ(out, data);
-  EXPECT_GT(hl_->io_server().stats().failovers, 0u);
-  EXPECT_GT(hl_->io_server().stats().replica_reads, 0u);
+  EXPECT_GT(hl_->Internals().io_server.stats().failovers, 0u);
+  EXPECT_GT(hl_->Internals().io_server.stats().replica_reads, 0u);
   // The repeated failures pushed the dead volume out of the healthy state.
-  EXPECT_NE(hl_->health().VolumeState(volume), HealthState::kHealthy);
+  EXPECT_NE(hl_->Internals().health.VolumeState(volume), HealthState::kHealthy);
 }
 
 TEST_F(ScrubTest, QuarantineExcludesVolumeFromMigrationTargets) {
@@ -181,37 +181,37 @@ TEST_F(ScrubTest, QuarantineExcludesVolumeFromMigrationTargets) {
   auto data = Pattern(256 * 1024, 6);
   uint32_t tseg = MigrateOneSegment(data, /*replicas=*/0);
   ASSERT_NE(tseg, kNoSegment);
-  uint32_t volume = hl_->address_map().VolumeOfTseg(tseg);
+  uint32_t volume = hl_->Internals().address_map.VolumeOfTseg(tseg);
 
-  for (int i = 0; i < hl_->health().policy().quarantine_after; ++i) {
-    hl_->health().RecordVolumeFailure(volume);
+  for (int i = 0; i < hl_->Internals().health.policy().quarantine_after; ++i) {
+    hl_->Internals().health.RecordVolumeFailure(volume);
   }
-  ASSERT_EQ(hl_->health().VolumeState(volume), HealthState::kQuarantined);
-  ASSERT_EQ(hl_->health().QuarantinedVolumes().count(volume), 1u);
+  ASSERT_EQ(hl_->Internals().health.VolumeState(volume), HealthState::kQuarantined);
+  ASSERT_EQ(hl_->Internals().health.QuarantinedVolumes().count(volume), 1u);
 
   // New migrations must avoid the quarantined volume.
   std::set<uint32_t> before;
-  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-    if (!(hl_->tseg_table().Get(t).flags & kSegClean)) {
+  for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+    if (!(hl_->Internals().tseg_table.Get(t).flags & kSegClean)) {
       before.insert(t);
     }
   }
   Result<uint32_t> ino = hl_->fs().Create("/g");
   ASSERT_TRUE(ino.ok());
   ASSERT_TRUE(hl_->fs().Write(*ino, 0, Pattern(256 * 1024, 7)).ok());
-  ASSERT_TRUE(hl_->MigratePath("/g").ok());
-  for (uint32_t t = 0; t < hl_->tseg_table().size(); ++t) {
-    if ((hl_->tseg_table().Get(t).flags & kSegClean) || before.count(t)) {
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/g"}).ok());
+  for (uint32_t t = 0; t < hl_->Internals().tseg_table.size(); ++t) {
+    if ((hl_->Internals().tseg_table.Get(t).flags & kSegClean) || before.count(t)) {
       continue;
     }
-    EXPECT_NE(hl_->address_map().VolumeOfTseg(t), volume)
+    EXPECT_NE(hl_->Internals().address_map.VolumeOfTseg(t), volume)
         << "fresh tseg " << t << " landed on the quarantined volume";
   }
 
   // An operator reinstate clears the quarantine.
-  hl_->health().ReinstateVolume(volume);
-  EXPECT_EQ(hl_->health().VolumeState(volume), HealthState::kHealthy);
-  EXPECT_TRUE(hl_->health().QuarantinedVolumes().empty());
+  hl_->Internals().health.ReinstateVolume(volume);
+  EXPECT_EQ(hl_->Internals().health.VolumeState(volume), HealthState::kHealthy);
+  EXPECT_TRUE(hl_->Internals().health.QuarantinedVolumes().empty());
 
   // Everything written is still readable and the image is sound.
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
@@ -227,17 +227,17 @@ TEST_F(ScrubTest, LatentSectorErrorRepairedFromReplica) {
 
   // Plant a latent sector error inside the primary's extent: reads covering
   // it fail with a media error until the extent is rewritten.
-  uint32_t volume = hl_->address_map().VolumeOfTseg(tseg);
-  Result<Volume*> vol = hl_->footprint().GetVolume(static_cast<int>(volume));
+  uint32_t volume = hl_->Internals().address_map.VolumeOfTseg(tseg);
+  Result<Volume*> vol = hl_->Internals().footprint.GetVolume(static_cast<int>(volume));
   ASSERT_TRUE(vol.ok());
-  FaultChannel* channel = hl_->faults().Find("volume." + (*vol)->label());
+  FaultChannel* channel = hl_->Internals().faults.Find("volume." + (*vol)->label());
   ASSERT_NE(channel, nullptr);
   channel->AddLatentError(
-      hl_->address_map().ByteOffsetOnVolume(tseg) + 4096, 512);
+      hl_->Internals().address_map.ByteOffsetOnVolume(tseg) + 4096, 512);
 
   // The scrubber's read hits the bad sector, and the repair write (which
   // remaps it) restores the segment from the replica.
-  Result<Scrubber::Report> report = hl_->scrubber().ScrubAll();
+  Result<Scrubber::Report> report = hl_->Internals().scrubber.ScrubAll();
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_EQ(report->repaired, 1u);
   EXPECT_EQ(channel->LatentErrorCount(), 0u);

@@ -41,7 +41,7 @@ class TertiaryCleanerTest : public ::testing::Test {
     Result<uint32_t> ino = hl_->fs().Create(path);
     EXPECT_TRUE(ino.ok());
     EXPECT_TRUE(hl_->fs().Write(*ino, 0, Pattern(bytes, seed)).ok());
-    EXPECT_TRUE(hl_->MigratePath(path).ok());
+    EXPECT_TRUE(hl_->Migrate(MigrationRequest{.path = path}).ok());
     return *ino;
   }
 
@@ -56,9 +56,9 @@ class TertiaryCleanerTest : public ::testing::Test {
 
   uint64_t VolumeLiveBytes(uint32_t volume) {
     uint64_t live = 0;
-    uint32_t first = hl_->address_map().FirstTsegOfVolume(volume);
-    for (uint32_t s = 0; s < hl_->address_map().segs_per_volume(); ++s) {
-      live += hl_->tseg_table().Get(first + s).live_bytes;
+    uint32_t first = hl_->Internals().address_map.FirstTsegOfVolume(volume);
+    for (uint32_t s = 0; s < hl_->Internals().address_map.segs_per_volume(); ++s) {
+      live += hl_->Internals().tseg_table.Get(first + s).live_bytes;
     }
     return live;
   }
@@ -73,17 +73,17 @@ TEST_F(TertiaryCleanerTest, ReclaimsFullyDeadVolume) {
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
   EXPECT_LT(VolumeLiveBytes(0), 4096u);
 
-  Result<uint64_t> moved = hl_->tertiary_cleaner().CleanVolume(0);
+  Result<uint64_t> moved = hl_->Internals().tertiary_cleaner.CleanVolume(0);
   ASSERT_TRUE(moved.ok()) << moved.status().ToString();
   EXPECT_EQ(*moved, 0u);  // Nothing live to move.
-  EXPECT_GT(hl_->tertiary_cleaner().stats().segments_reclaimed, 0u);
+  EXPECT_GT(hl_->Internals().tertiary_cleaner.stats().segments_reclaimed, 0u);
 
   // The volume's segments are clean again and allocatable.
-  uint32_t first = hl_->address_map().FirstTsegOfVolume(0);
-  for (uint32_t s = 0; s < hl_->address_map().segs_per_volume(); ++s) {
-    EXPECT_TRUE(hl_->tseg_table().Get(first + s).flags & kSegClean);
+  uint32_t first = hl_->Internals().address_map.FirstTsegOfVolume(0);
+  for (uint32_t s = 0; s < hl_->Internals().address_map.segs_per_volume(); ++s) {
+    EXPECT_TRUE(hl_->Internals().tseg_table.Get(first + s).flags & kSegClean);
   }
-  EXPECT_EQ(hl_->tseg_table().NextFreshTseg({}), first);
+  EXPECT_EQ(hl_->Internals().tseg_table.NextFreshTseg({}), first);
 }
 
 TEST_F(TertiaryCleanerTest, RelocatesLiveDataBeforeErasing) {
@@ -93,7 +93,7 @@ TEST_F(TertiaryCleanerTest, RelocatesLiveDataBeforeErasing) {
   ASSERT_TRUE(hl_->fs().Unlink("/kill").ok());
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
 
-  Result<uint64_t> moved = hl_->tertiary_cleaner().CleanVolume(0);
+  Result<uint64_t> moved = hl_->Internals().tertiary_cleaner.CleanVolume(0);
   ASSERT_TRUE(moved.ok()) << moved.status().ToString();
   EXPECT_GT(*moved, 0u);
 
@@ -102,10 +102,10 @@ TEST_F(TertiaryCleanerTest, RelocatesLiveDataBeforeErasing) {
   Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(keep);
   ASSERT_TRUE(refs.ok());
   for (const BlockRef& r : *refs) {
-    ASSERT_EQ(hl_->address_map().Classify(r.daddr),
+    ASSERT_EQ(hl_->Internals().address_map.Classify(r.daddr),
               AddressMap::Zone::kTertiary);
-    EXPECT_NE(hl_->address_map().VolumeOfTseg(
-                  hl_->address_map().TsegOf(r.daddr)),
+    EXPECT_NE(hl_->Internals().address_map.VolumeOfTseg(
+                  hl_->Internals().address_map.TsegOf(r.daddr)),
               0u);
   }
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
@@ -117,16 +117,16 @@ TEST_F(TertiaryCleanerTest, MigratedInodesFollowTheirBlocks) {
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
   Result<uint32_t> daddr_before = hl_->fs().InodeDaddr(ino);
   ASSERT_TRUE(daddr_before.ok());
-  ASSERT_EQ(hl_->address_map().Classify(*daddr_before),
+  ASSERT_EQ(hl_->Internals().address_map.Classify(*daddr_before),
             AddressMap::Zone::kTertiary);
 
-  ASSERT_TRUE(hl_->tertiary_cleaner().CleanVolume(0).ok());
+  ASSERT_TRUE(hl_->Internals().tertiary_cleaner.CleanVolume(0).ok());
   Result<uint32_t> daddr_after = hl_->fs().InodeDaddr(ino);
   ASSERT_TRUE(daddr_after.ok());
-  EXPECT_EQ(hl_->address_map().Classify(*daddr_after),
+  EXPECT_EQ(hl_->Internals().address_map.Classify(*daddr_after),
             AddressMap::Zone::kTertiary);
-  EXPECT_NE(hl_->address_map().VolumeOfTseg(
-                hl_->address_map().TsegOf(*daddr_after)),
+  EXPECT_NE(hl_->Internals().address_map.VolumeOfTseg(
+                hl_->Internals().address_map.TsegOf(*daddr_after)),
             0u);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectContents("/with-inode", 256 * 1024, 4);
@@ -134,7 +134,7 @@ TEST_F(TertiaryCleanerTest, MigratedInodesFollowTheirBlocks) {
 
 TEST_F(TertiaryCleanerTest, CleanedStateSurvivesRemount) {
   MakeAndMigrate("/durable", 512 * 1024, 5);
-  ASSERT_TRUE(hl_->tertiary_cleaner().CleanVolume(0).ok());
+  ASSERT_TRUE(hl_->Internals().tertiary_cleaner.CleanVolume(0).ok());
   ASSERT_TRUE(hl_->Remount().ok());
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectContents("/durable", 512 * 1024, 5);
@@ -147,7 +147,7 @@ TEST_F(TertiaryCleanerTest, WornVolumeSelectionPicksEmptiest) {
   ASSERT_TRUE(hl_->fs().Unlink("/dead").ok());
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
 
-  Result<uint64_t> moved = hl_->tertiary_cleaner().CleanWorstVolume(0.9);
+  Result<uint64_t> moved = hl_->Internals().tertiary_cleaner.CleanWorstVolume(0.9);
   ASSERT_TRUE(moved.ok()) << moved.status().ToString();
   // Volume 0 (the dead one) was chosen: nothing live should have moved...
   // unless /live shared a segment on volume 0. Either way, /live survives.
@@ -158,14 +158,14 @@ TEST_F(TertiaryCleanerTest, WornVolumeSelectionPicksEmptiest) {
 TEST_F(TertiaryCleanerTest, NoQualifyingVolumeIsNotFound) {
   MakeAndMigrate("/all-live", 1 << 20, 8);
   // Everything written is live: a 0.01 threshold excludes the volume.
-  Result<uint64_t> r = hl_->tertiary_cleaner().CleanWorstVolume(0.01);
+  Result<uint64_t> r = hl_->Internals().tertiary_cleaner.CleanWorstVolume(0.01);
   EXPECT_EQ(r.status().code(), ErrorCode::kNotFound);
 }
 
 TEST_F(TertiaryCleanerTest, WormVolumesRefuseCleaning) {
   Build(/*write_once=*/true);
   MakeAndMigrate("/worm-file", 256 * 1024, 9);
-  EXPECT_EQ(hl_->tertiary_cleaner().CleanVolume(0).status().code(),
+  EXPECT_EQ(hl_->Internals().tertiary_cleaner.CleanVolume(0).status().code(),
             ErrorCode::kNotSupported);
 }
 
@@ -179,7 +179,7 @@ TEST_F(TertiaryCleanerTest, ReclaimedSpaceIsReusable) {
     ASSERT_TRUE(hl_->fs().Unlink("/gen0-" + std::to_string(i)).ok());
   }
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
-  ASSERT_TRUE(hl_->tertiary_cleaner().CleanVolume(0).ok());
+  ASSERT_TRUE(hl_->Internals().tertiary_cleaner.CleanVolume(0).ok());
 
   uint32_t ino = MakeAndMigrate("/gen1", 1 << 20, 20);
   Result<std::vector<BlockRef>> refs = hl_->fs().CollectFileBlocks(ino);
@@ -187,8 +187,8 @@ TEST_F(TertiaryCleanerTest, ReclaimedSpaceIsReusable) {
   // New data landed on the reclaimed volume 0 (it is first in volume order).
   bool on_volume0 = false;
   for (const BlockRef& r : *refs) {
-    if (hl_->address_map().VolumeOfTseg(
-            hl_->address_map().TsegOf(r.daddr)) == 0) {
+    if (hl_->Internals().address_map.VolumeOfTseg(
+            hl_->Internals().address_map.TsegOf(r.daddr)) == 0) {
       on_volume0 = true;
     }
   }

@@ -81,8 +81,8 @@ TEST_F(WriteBehindTest, StagingLineSurvivesRemountMidDelayedCopyout) {
   uint32_t ino = MakeFile("/interrupted", 200 * 1024, 7);
   MigratorOptions delayed;
   delayed.delayed_copyout = true;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({ino}, delayed).ok());
-  ASSERT_GT(hl_->migrator().PendingSegments(), 0u);
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({ino}, delayed).ok());
+  ASSERT_GT(hl_->Internals().migrator.PendingSegments(), 0u);
   ASSERT_TRUE(hl_->fs().Checkpoint().ok());
 
   // Crash + remount before the copy-out: the staging line holds the ONLY
@@ -90,7 +90,7 @@ TEST_F(WriteBehindTest, StagingLineSurvivesRemountMidDelayedCopyout) {
   ASSERT_TRUE(hl_->Remount().ok());
 
   bool found_staging = false;
-  for (const SegmentCache::LineInfo& line : hl_->cache().Lines()) {
+  for (const SegmentCache::LineInfo& line : hl_->Internals().cache.Lines()) {
     if (line.staging) {
       found_staging = true;
       EXPECT_TRUE(line.dirty) << "staging line came back unpinned";
@@ -99,12 +99,12 @@ TEST_F(WriteBehindTest, StagingLineSurvivesRemountMidDelayedCopyout) {
   EXPECT_TRUE(found_staging)
       << "SegmentCache::Init dropped the kSegStaging flag";
   // The migrator recovered the interrupted staging ledger...
-  EXPECT_GT(hl_->migrator().PendingSegments(), 0u);
+  EXPECT_GT(hl_->Internals().migrator.PendingSegments(), 0u);
   // ...the data are still readable (served from the staging line)...
   ExpectFileContents("/interrupted", 200 * 1024, 7);
   // ...and the flush completes the migration cleanly.
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
-  EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
+  EXPECT_EQ(hl_->Internals().migrator.PendingSegments(), 0u);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectFileContents("/interrupted", 200 * 1024, 7);
   ExpectFsckClean();
@@ -113,26 +113,26 @@ TEST_F(WriteBehindTest, StagingLineSurvivesRemountMidDelayedCopyout) {
 TEST_F(WriteBehindTest, ReplicaFailoverStillPlacesRequestedCount) {
   uint32_t ino = MakeFile("/replicated", 200 * 1024, 8);
   // Volume 1 (the natural first replica target) cannot take a single byte.
-  Result<Volume*> bad = hl_->footprint().GetVolume(1);
+  Result<Volume*> bad = hl_->Internals().footprint.GetVolume(1);
   ASSERT_TRUE(bad.ok());
   (*bad)->SetActualCapacity(0);
 
   MigratorOptions opts;
   opts.replicas = 2;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({ino}, opts).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({ino}, opts).ok());
 
-  uint32_t primary = hl_->address_map().FirstTsegOfVolume(0);
-  std::vector<uint32_t> replicas = hl_->tseg_table().ReplicasOf(primary);
+  uint32_t primary = hl_->Internals().address_map.FirstTsegOfVolume(0);
+  std::vector<uint32_t> replicas = hl_->Internals().tseg_table.ReplicasOf(primary);
   ASSERT_EQ(replicas.size(), 2u)
       << "failed volume must not cost the remaining replica copies";
   for (uint32_t r : replicas) {
-    EXPECT_NE(hl_->address_map().VolumeOfTseg(r), 1u)
+    EXPECT_NE(hl_->Internals().address_map.VolumeOfTseg(r), 1u)
         << "replica landed on the full volume";
   }
   // End-of-medium on the replica path retired the bad volume like the
   // primary path would have.
-  uint32_t v1_first = hl_->address_map().FirstTsegOfVolume(1);
-  EXPECT_EQ(hl_->tseg_table().Get(v1_first).avail_bytes, 0u);
+  uint32_t v1_first = hl_->Internals().address_map.FirstTsegOfVolume(1);
+  EXPECT_EQ(hl_->Internals().tseg_table.Get(v1_first).avail_bytes, 0u);
   ExpectFileContents("/replicated", 200 * 1024, 8);
   ExpectFsckClean();
 }
@@ -141,17 +141,17 @@ TEST_F(WriteBehindTest, BackpressureBoundsTheQueue) {
   MigratorOptions wb;
   wb.write_behind = true;
   Build(wb);
-  hl_->io_server().set_max_queue_depth(2);
+  hl_->Internals().io_server.set_max_queue_depth(2);
   MakeFile("/big", 1536 * 1024, 9);
-  ASSERT_TRUE(hl_->MigratePath("/big").ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/big"}).ok());
 
-  const IoServer::Stats& s = hl_->io_server().stats();
+  const IoServer::Stats& s = hl_->Internals().io_server.stats();
   EXPECT_GT(s.ops_enqueued, 0u);
   EXPECT_GT(s.backpressure_stalls, 0u)
       << "a deep migration must hit the queue bound";
   // Enqueue admits one op past the bound before stalling the caller.
   EXPECT_LE(s.queue_depth.max(), 3);
-  EXPECT_LE(hl_->io_server().QueueDepth(), 2u);
+  EXPECT_LE(hl_->Internals().io_server.QueueDepth(), 2u);
   // The registry sees the same pipeline activity: a stalled enqueue accrues
   // wait time, and completed copy-outs count against the io.* slots.
   MetricsSnapshot snap = hl_->Metrics();
@@ -161,12 +161,12 @@ TEST_F(WriteBehindTest, BackpressureBoundsTheQueue) {
   EXPECT_GT(hl_->trace().CountOf(TraceEvent::kQueueStall), 0u);
 
   // The barrier empties the pipeline and unpins every staged line.
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
   EXPECT_GT(hl_->Metrics().Value("io.segments_copied_out"), 0u)
       << "drained copy-outs must move the registry counter";
-  EXPECT_EQ(hl_->io_server().QueueDepth(), 0u);
-  EXPECT_EQ(hl_->io_server().Outstanding(), 0u);
-  EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);
+  EXPECT_EQ(hl_->Internals().io_server.QueueDepth(), 0u);
+  EXPECT_EQ(hl_->Internals().io_server.Outstanding(), 0u);
+  EXPECT_EQ(hl_->Internals().migrator.PendingSegments(), 0u);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectFileContents("/big", 1536 * 1024, 9);
   ExpectFsckClean();
@@ -188,28 +188,28 @@ TEST_F(WriteBehindTest, DrainBatchesQueuedOpsByMountedVolume) {
   v0.preferred_volume = 0;
   MigratorOptions v1 = delayed;
   v1.preferred_volume = 1;
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({a1}, v0).ok());
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({b1}, v1).ok());
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({a2}, v0).ok());
-  ASSERT_TRUE(hl_->migrator().MigrateFiles({b2}, v1).ok());
-  ASSERT_EQ(hl_->migrator().PendingSegments(), 4u);
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({a1}, v0).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({b1}, v1).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({a2}, v0).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.MigrateFiles({b2}, v1).ok());
+  ASSERT_EQ(hl_->Internals().migrator.PendingSegments(), 4u);
 
-  uint32_t vol0_first = hl_->address_map().FirstTsegOfVolume(0);
-  uint32_t vol1_first = hl_->address_map().FirstTsegOfVolume(1);
-  uint64_t swaps_before = hl_->footprint().TotalMediaSwaps();
+  uint32_t vol0_first = hl_->Internals().address_map.FirstTsegOfVolume(0);
+  uint32_t vol1_first = hl_->Internals().address_map.FirstTsegOfVolume(1);
+  uint64_t swaps_before = hl_->Internals().footprint.TotalMediaSwaps();
 
   // Tight window so ops actually accumulate in the pending queue.
-  hl_->io_server().set_max_queue_depth(1);
-  ASSERT_TRUE(hl_->migrator().EnqueueCopyOut(vol0_first).ok());
-  ASSERT_TRUE(hl_->migrator().EnqueueCopyOut(vol1_first).ok());
-  ASSERT_TRUE(hl_->migrator().EnqueueCopyOut(vol0_first + 1).ok());
-  ASSERT_TRUE(hl_->migrator().EnqueueCopyOut(vol1_first + 1).ok());
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  hl_->Internals().io_server.set_max_queue_depth(1);
+  ASSERT_TRUE(hl_->Internals().migrator.EnqueueCopyOut(vol0_first).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.EnqueueCopyOut(vol1_first).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.EnqueueCopyOut(vol0_first + 1).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.EnqueueCopyOut(vol1_first + 1).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
 
-  EXPECT_EQ(hl_->footprint().TotalMediaSwaps() - swaps_before, 2u)
+  EXPECT_EQ(hl_->Internals().footprint.TotalMediaSwaps() - swaps_before, 2u)
       << "volume batching should load each volume exactly once";
-  EXPECT_GE(hl_->io_server().stats().volume_batch_picks, 1u);
-  EXPECT_EQ(hl_->migrator().PendingSegments(), 0u);
+  EXPECT_GE(hl_->Internals().io_server.stats().volume_batch_picks, 1u);
+  EXPECT_EQ(hl_->Internals().migrator.PendingSegments(), 0u);
 
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectFileContents("/a1", 200 * 1024, 11);
@@ -225,16 +225,16 @@ TEST_F(WriteBehindTest, EndOfMediumSurfacesAtCompletionAndRetargets) {
   Build(wb);
   // Volume 0 claims 20 segments but actually fits 2: the third copy-out
   // fails at completion-callback time and must re-target onto volume 1.
-  Result<Volume*> v0 = hl_->footprint().GetVolume(0);
+  Result<Volume*> v0 = hl_->Internals().footprint.GetVolume(0);
   ASSERT_TRUE(v0.ok());
   (*v0)->SetActualCapacity(2ull * 64 * kBlockSize);
 
   MakeFile("/overflow", 1 << 20, 15);
-  ASSERT_TRUE(hl_->MigratePath("/overflow").ok());
-  ASSERT_TRUE(hl_->migrator().FlushStaging().ok());
+  ASSERT_TRUE(hl_->Migrate(MigrationRequest{.path = "/overflow"}).ok());
+  ASSERT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
 
-  EXPECT_GT(hl_->migrator().lifetime_report().eom_retargets, 0u);
-  EXPECT_GT(hl_->io_server().stats().end_of_medium_events, 0u);
+  EXPECT_GT(hl_->Internals().migrator.lifetime_report().eom_retargets, 0u);
+  EXPECT_GT(hl_->Internals().io_server.stats().end_of_medium_events, 0u);
   ASSERT_TRUE(hl_->DropCleanCacheLines().ok());
   ExpectFileContents("/overflow", 1 << 20, 15);
   ExpectFsckClean();
@@ -249,8 +249,8 @@ TEST_F(WriteBehindTest, WriteBehindBeatsSynchronousCopyOut) {
     Build(opts);
     MakeFile("/workload", 2 << 20, 16);
     SimTime t0 = clock_.Now();
-    EXPECT_TRUE(hl_->MigratePath("/workload").ok());
-    EXPECT_TRUE(hl_->migrator().FlushStaging().ok());
+    EXPECT_TRUE(hl_->Migrate(MigrationRequest{.path = "/workload"}).ok());
+    EXPECT_TRUE(hl_->Internals().migrator.FlushStaging().ok());
     ExpectFsckClean();
     return clock_.Now() - t0;
   };
@@ -266,17 +266,17 @@ TEST_F(WriteBehindTest, SequentialReadaheadOverlapsTertiaryReads) {
   auto scan = [this](bool readahead) {
     Build(MigratorOptions{}, readahead);
     MakeFile("/scan", 1 << 20, 21);
-    EXPECT_TRUE(hl_->MigratePath("/scan").ok());
+    EXPECT_TRUE(hl_->Migrate(MigrationRequest{.path = "/scan"}).ok());
     EXPECT_TRUE(hl_->DropCleanCacheLines().ok());
     SimTime t0 = clock_.Now();
     ExpectFileContents("/scan", 1 << 20, 21);
     return clock_.Now() - t0;
   };
   SimTime cold = scan(false);
-  EXPECT_EQ(hl_->service().stats().readaheads_issued, 0u);
+  EXPECT_EQ(hl_->Internals().service.stats().readaheads_issued, 0u);
   SimTime overlapped = scan(true);
-  EXPECT_GT(hl_->service().stats().readaheads_issued, 0u);
-  EXPECT_GT(hl_->service().stats().readaheads_consumed, 0u);
+  EXPECT_GT(hl_->Internals().service.stats().readaheads_issued, 0u);
+  EXPECT_GT(hl_->Internals().service.stats().readaheads_consumed, 0u);
   EXPECT_LT(overlapped, cold);
   ExpectFsckClean();
 }

@@ -22,6 +22,10 @@
 //   --queue     build a write-behind + demand-fault backlog on the I/O
 //               server (delayed copy-outs, a held read batch window) and
 //               dump the pending queue grouped per tertiary volume
+//   --sites     stand up a peer site over a simulated WAN, replicate to
+//               it, then partition the link mid-backlog and dump per-site
+//               replication lag, ledger depth and divergent-segment count
+//               — first degraded, then again after the link heals
 
 #include <cstdio>
 #include <cstring>
@@ -29,9 +33,11 @@
 #include <memory>
 #include <string>
 
+#include "federation/site_replicator.h"
 #include "highlight/highlight.h"
 #include "lfs/fsck.h"
 #include "util/rng.h"
+#include "util/wan_link.h"
 
 using namespace hl;
 
@@ -80,6 +86,7 @@ int main(int argc, char** argv) {
   bool dump_spans = false;
   bool dump_timeline = false;
   bool dump_queue = false;
+  bool dump_sites = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
@@ -93,10 +100,12 @@ int main(int argc, char** argv) {
       dump_timeline = true;
     } else if (std::strcmp(argv[i], "--queue") == 0) {
       dump_queue = true;
+    } else if (std::strcmp(argv[i], "--sites") == 0) {
+      dump_sites = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--metrics] [--trace] [--health] [--spans] "
-                   "[--timeline] [--queue]\n",
+                   "[--timeline] [--queue] [--sites]\n",
                    argv[0]);
       return 2;
     }
@@ -456,6 +465,68 @@ int main(int argc, char** argv) {
     Check(io.Drain(), "drain");
     Check(hl->Internals().migrator.FlushStaging(), "flush staging");
     io.set_max_queue_depth(saved_depth);
+  }
+
+  if (dump_sites) {
+    // A second complete deployment plays the peer site. Replicate this
+    // one's tertiary population across the WAN, then migrate one more file
+    // and partition the link mid-backlog, so the dump shows a real queue,
+    // non-zero replication lag and a divergent segment — then heal the
+    // link, drain, and dump again converged.
+    auto peer = Check(HighLightFs::Create(config, &clock), "create peer site");
+    FaultInjector wan_faults(&clock, /*seed=*/0xD15A);
+    WanLink link("a-b", &clock);
+    link.AttachFaults(wan_faults.Channel("wan.a-b"));
+    SiteReplicator repl(&clock);
+    const int site_a = repl.AddSite("a", hl.get());
+    const int site_b = repl.AddSite("b", peer.get());
+    repl.SetLink(site_a, site_b, &link);
+
+    Check(repl.EnqueueNewSegments(site_a).status(), "enqueue");
+    Check(repl.RunUntilIdle(), "initial replication");
+
+    uint32_t f4 = Check(hl->fs().LookupPath("/proj/file4"), "lookup");
+    Check(hl->Internals().migrator.MigrateFiles({f4}, MigratorOptions{}).status(),
+          "migrate");
+    Check(repl.EnqueueNewSegments(site_a).status(), "enqueue backlog");
+    link.faults()->FailBetween(clock.Now(), clock.Now() + 600 * kUsPerSec);
+    clock.Advance(42 * kUsPerSec);
+    Check(repl.Pump(), "pump under partition");  // Defers; peer unreachable.
+
+    auto dump_repl = [&](const char* when) {
+      std::printf("\n=== site replication (%s) ===\n", when);
+      std::printf("  %-6s %-6s %-7s %-10s %-8s %s\n", "site", "quar", "queue",
+                  "lag", "ledger", "divergent-vs-peer");
+      for (int s = 0; s < static_cast<int>(repl.NumSites()); ++s) {
+        const int other = s == site_a ? site_b : site_a;
+        std::printf("  %-6s %-6s %-7zu %-10s %-8zu %u\n",
+                    repl.SiteName(s).c_str(),
+                    repl.SiteQuarantined(s) ? "yes" : "no", repl.QueueDepth(s),
+                    (std::to_string(repl.ReplicationLag(s) / kUsPerSec) + " s")
+                        .c_str(),
+                    repl.LedgerEntries(s), repl.DivergentCountVs(s, other));
+      }
+      std::printf("  link %-5s %-11s transfers=%llu bytes=%llu failures=%llu "
+                  "corrupted=%llu\n",
+                  link.name().c_str(),
+                  link.Partitioned() ? "PARTITIONED" : "up",
+                  static_cast<unsigned long long>(link.transfers()),
+                  static_cast<unsigned long long>(link.bytes_shipped()),
+                  static_cast<unsigned long long>(link.failures()),
+                  static_cast<unsigned long long>(link.corrupted_in_flight()));
+      std::printf("  shipped=%llu deferred=%llu ledger-persists=%llu\n",
+                  static_cast<unsigned long long>(
+                      repl.stats().segments_shipped.value()),
+                  static_cast<unsigned long long>(
+                      repl.stats().ship_deferred.value()),
+                  static_cast<unsigned long long>(
+                      repl.stats().ledger_persists.value()));
+    };
+    dump_repl("degraded: WAN partitioned, backlog pending");
+
+    clock.Advance(600 * kUsPerSec);  // Outlive the partition window.
+    Check(repl.RunUntilIdle(), "drain after heal");
+    dump_repl("healed: backlog drained");
   }
 
   if (dump_timeline) {

@@ -73,4 +73,15 @@ cmake --build --preset default --target federation_scale -j "$jobs" >/dev/null
 (cd "$smoke_dir" && "$OLDPWD"/build/bench/federation_scale --smoke >/dev/null)
 python3 scripts/bench_diff.py "$smoke_dir"/BENCH_federation_scale_smoke.json \
   bench/baselines/federation_scale_smoke.json
+
+# Site-disaster gate: kill one of two replicated sites mid-workload, fail
+# demand over to the survivor, rebuild the dead site from its peer via
+# anti-entropy. The smoke drill's recovery time, re-shipped byte count and
+# zero-data-loss gates are fully deterministic and must match the baseline
+# bit-for-bit.
+echo "==> site disaster gate (drill smoke vs baseline)"
+cmake --build --preset default --target site_disaster -j "$jobs" >/dev/null
+(cd "$smoke_dir" && "$OLDPWD"/build/bench/site_disaster --smoke >/dev/null)
+python3 scripts/bench_diff.py "$smoke_dir"/BENCH_site_disaster_smoke.json \
+  bench/baselines/site_disaster_smoke.json
 echo "All checks passed."

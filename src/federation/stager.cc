@@ -18,6 +18,8 @@ StagerScheduler::StagerScheduler(SimClock* clock, StagerConfig config)
   stats_.coalesced.BindTo(metrics_, "stager.coalesced");
   stats_.steered_to_replica.BindTo(metrics_, "stager.steered_to_replica");
   stats_.balanced_to_replica.BindTo(metrics_, "stager.balanced_to_replica");
+  stats_.failover_fetches.BindTo(metrics_, "stager.failover_fetches");
+  stats_.aging_promotions.BindTo(metrics_, "stager.aging_promotions");
   stats_.drive_waits.BindTo(metrics_, "stager.drive_waits");
   stats_.cache_hits.BindTo(metrics_, "stager.cache_hits");
   stats_.queue_depth.BindTo(metrics_, "stager.queue_depth");
@@ -29,7 +31,42 @@ int StagerScheduler::AddShard(FetchBackend* backend) {
   shards_.push_back(backend);
   replica_of_.push_back(-1);
   quarantined_.push_back(false);
+  site_of_.push_back(-1);
+  failover_peer_.push_back(-1);
   return static_cast<int>(shards_.size()) - 1;
+}
+
+void StagerScheduler::SetShardSite(int shard, int site) {
+  site_of_.at(shard) = site;
+}
+
+int StagerScheduler::ShardSite(int shard) const { return site_of_.at(shard); }
+
+void StagerScheduler::SetFailoverPeer(int shard, int peer) {
+  failover_peer_.at(shard) = peer;
+}
+
+void StagerScheduler::SetSiteQuarantined(int site, bool quarantined) {
+  if (quarantined) {
+    quarantined_sites_.insert(site);
+  } else {
+    quarantined_sites_.erase(site);
+  }
+}
+
+bool StagerScheduler::SiteQuarantined(int site) const {
+  return quarantined_sites_.count(site) != 0;
+}
+
+bool StagerScheduler::ShardSiteDown(int shard) const {
+  const int site = site_of_[shard];
+  if (site < 0) {
+    return false;
+  }
+  if (SiteQuarantined(site)) {
+    return true;
+  }
+  return site_health_ != nullptr && !site_health_->SiteAvailable(site);
 }
 
 void StagerScheduler::SetReplicaShard(int shard, int replica) {
@@ -124,6 +161,22 @@ Status StagerScheduler::SubmitScrub(int shard, uint32_t max_segments) {
 }
 
 int StagerScheduler::RouteShard(int shard, const std::vector<size_t>& load) {
+  // Site failover runs first: when the home site is down and the shard has
+  // a healthy cross-site peer, the recall leaves the site entirely. In-site
+  // replica steering below is pointless then — the whole machine room is
+  // out, not one shard.
+  if (ShardSiteDown(shard)) {
+    const int peer = failover_peer_[shard];
+    if (peer >= 0 && static_cast<size_t>(peer) < shards_.size() &&
+        !quarantined_[peer] && !ShardSiteDown(peer)) {
+      stats_.failover_fetches++;
+      tracer_.Record(TraceEvent::kFailover, static_cast<uint64_t>(shard),
+                     static_cast<uint64_t>(peer));
+      return peer;
+    }
+    // No healthy peer site: fall through — the home shard is still the
+    // only copy, and refusing it would strand the data.
+  }
   int replica = replica_of_[shard];
   bool have_replica =
       replica >= 0 && static_cast<size_t>(replica) < shards_.size();
@@ -237,9 +290,37 @@ Status StagerScheduler::Pump() {
     if (ntenants > 0) {
       rr_tenant_ = (rr_tenant_ + 1) % ntenants;
     }
+    // Admission-priority aging: maintenance that waited through enough
+    // consecutive demand rounds is promoted to run within this one, so a
+    // sustained demand flood can no longer starve migration and scrub
+    // forever. Strict priority (aging_rounds == 0) never promotes.
+    if (!migrations_.empty() || !scrubs_.empty()) {
+      starved_rounds_++;
+      if (config_.aging_rounds != 0 &&
+          starved_rounds_ >= config_.aging_rounds) {
+        starved_rounds_ = 0;
+        stats_.aging_promotions++;
+        if (!migrations_.empty()) {
+          MigrationItem item = std::move(migrations_.front());
+          migrations_.pop_front();
+          ASSIGN_OR_RETURN(MigrationReport report,
+                           shards_[item.shard]->Migrate(item.request));
+          (void)report;
+          stats_.migration_runs++;
+        } else {
+          ScrubItem item = scrubs_.front();
+          scrubs_.pop_front();
+          ASSIGN_OR_RETURN(uint32_t scanned,
+                           shards_[item.shard]->ScrubStep(item.max_segments));
+          (void)scanned;
+          stats_.scrub_steps++;
+        }
+      }
+    }
     UpdateQueueGauge();
     return OkStatus();
   }
+  starved_rounds_ = 0;  // An idle-of-demand round serves maintenance.
   if (!migrations_.empty()) {
     MigrationItem item = std::move(migrations_.front());
     migrations_.pop_front();

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,7 @@
 #include "sim/sim_clock.h"
 #include "util/metrics.h"
 #include "util/status.h"
+#include "util/trace.h"
 
 namespace hl {
 
@@ -50,6 +52,12 @@ struct StagerConfig {
   size_t drive_tokens = 0;
   // Healthy primary/replica pairs split demand by current round load.
   bool balance_replica_pairs = false;
+  // Admission-priority aging: after this many consecutive demand rounds
+  // with maintenance waiting, one starved migration pass (or, with none
+  // queued, one scrub increment) is promoted to run alongside the demand
+  // round, so sustained demand load can no longer starve maintenance
+  // forever. 0 (default) = strict priority, the pre-aging behavior.
+  uint64_t aging_rounds = 0;
 };
 
 class StagerScheduler {
@@ -70,6 +78,38 @@ class StagerScheduler {
   // Migration and scrub keep running — scrub is how a shard rehabilitates.
   void SetShardQuarantined(int shard, bool quarantined);
   bool ShardQuarantined(int shard) const;
+
+  // --- Multi-site failover ---------------------------------------------------
+  //
+  // Shards may belong to geographic *sites* (a jukebox machine room). When a
+  // shard's home site is down — operator-quarantined, or unreachable per the
+  // SiteHealthProvider (WAN partition) — its demand recalls fail over to the
+  // shard's designated peer: the shard at another site holding a replicated
+  // copy of the same tertiary layout (shipped there by the SiteReplicator).
+  // This extends the drive-level quarantine steering above to whole sites.
+
+  // Reachability oracle, typically the SiteReplicator: a site is available
+  // when it is not quarantined and some WAN path to it is up.
+  class SiteHealthProvider {
+   public:
+    virtual ~SiteHealthProvider() = default;
+    virtual bool SiteAvailable(int site) const = 0;
+  };
+
+  void SetShardSite(int shard, int site);
+  int ShardSite(int shard) const;
+  // The cross-site failover target for `shard` (one direction; set both
+  // ways for symmetric pairs).
+  void SetFailoverPeer(int shard, int peer);
+  // Scheduler-level site quarantine (operator action). WAN partitions are
+  // reported through the provider instead.
+  void SetSiteQuarantined(int site, bool quarantined);
+  bool SiteQuarantined(int site) const;
+  void SetSiteHealthProvider(const SiteHealthProvider* provider) {
+    site_health_ = provider;
+  }
+  // Routes failover/steering decisions into a trace ring (kFailover events).
+  void SetTracer(Tracer tracer) { tracer_ = tracer; }
 
   // --- Admission -----------------------------------------------------------
 
@@ -125,11 +165,20 @@ class StagerScheduler {
   size_t DemandBacklog() const;
   void UpdateQueueGauge();
 
+  // True when `shard`'s home site is down (quarantined or unreachable).
+  bool ShardSiteDown(int shard) const;
+
   SimClock* clock_;
   StagerConfig config_;
   std::vector<FetchBackend*> shards_;
   std::vector<int> replica_of_;
   std::vector<bool> quarantined_;
+  std::vector<int> site_of_;        // -1 = no site assigned.
+  std::vector<int> failover_peer_;  // -1 = no cross-site peer.
+  std::set<int> quarantined_sites_;
+  const SiteHealthProvider* site_health_ = nullptr;
+  Tracer tracer_;
+  uint64_t starved_rounds_ = 0;  // Demand rounds maintenance has waited.
 
   std::vector<Tenant> tenants_;                // First-submission order.
   std::map<std::string, size_t> tenant_index_;
@@ -153,6 +202,8 @@ class StagerScheduler {
     Counter coalesced;         // Duplicate (shard, tseg) folded into a batch.
     Counter steered_to_replica;
     Counter balanced_to_replica;
+    Counter failover_fetches;  // Recalls served by a peer site's shard.
+    Counter aging_promotions;  // Starved maintenance promoted past demand.
     Counter drive_waits;       // Requests deferred for want of a drive token.
     Counter cache_hits;        // Recalls served from a shard's segment cache.
     Gauge queue_depth;         // Pending requests; max() = high-water.

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,50 @@ class FetchBackend {
   // Media swaps this shard has paid so far — the stager's drive-farm
   // accounting reads it before/after a dispatch round.
   virtual uint64_t MediaSwaps() const = 0;
+};
+
+// SiteStore: the replication-facing surface of one shard — everything a
+// cross-site replicator needs beyond FetchBackend. Whole-segment images in
+// and out of the tertiary store, the per-segment CRC32 catalog TsegTable
+// stamps at copy-out (the currency of anti-entropy comparison), and a
+// durable site-local blob store for the replication ledger (backed by the
+// site's own LFS, so it survives a crash + remount like any other file).
+// HighLightFs implements both interfaces; tests substitute fakes.
+class SiteStore {
+ public:
+  virtual ~SiteStore() = default;
+
+  // Segment geometry: every image is exactly this many bytes.
+  virtual uint64_t SegmentImageBytes() const = 0;
+
+  // The dirty primary segments worth replicating, ascending (replicas and
+  // clean segments excluded — peers hold their own copies).
+  virtual std::vector<uint32_t> ReplicableSegments() const = 0;
+
+  // Whole-segment image read (charges normal drive/robot time).
+  virtual Result<std::vector<uint8_t>> ReadSegmentImage(uint32_t tseg) = 0;
+
+  // Installs a verified image over segment `tseg` in place (repair-style
+  // write, allowed on full volumes) and stamps the CRC catalog with the
+  // image's checksum.
+  virtual Status InstallSegmentImage(uint32_t tseg,
+                                     std::span<const uint8_t> image) = 0;
+
+  // Catalog lookup: false when no CRC is recorded for `tseg` (fresh mount,
+  // or the segment was never stamped).
+  virtual bool SegmentCrc(uint32_t tseg, uint32_t* crc) const = 0;
+
+  // Stamps the CRC catalog with a checksum the caller just computed from
+  // (and verified against) the on-media bytes — e.g. the replicator before
+  // shipping. Restores catalog stamps lost to a remount without waiting
+  // for a scrub pass.
+  virtual void StampSegmentCrc(uint32_t tseg, uint32_t crc) = 0;
+
+  // Durable site-local blobs, keyed by name. PersistBlob overwrites and
+  // syncs; LoadBlob returns kNotFound when the blob was never persisted.
+  virtual Status PersistBlob(const std::string& name,
+                             std::span<const uint8_t> data) = 0;
+  virtual Result<std::vector<uint8_t>> LoadBlob(const std::string& name) = 0;
 };
 
 }  // namespace hl

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/crc32.h"
 #include "util/logging.h"
 
 namespace hl {
@@ -480,6 +481,94 @@ Result<uint32_t> HighLightFs::ScrubStep(uint32_t max_segments) {
 
 uint64_t HighLightFs::MediaSwaps() const {
   return footprint_->TotalMediaSwaps();
+}
+
+uint64_t HighLightFs::SegmentImageBytes() const { return amap_->SegBytes(); }
+
+std::vector<uint32_t> HighLightFs::ReplicableSegments() const {
+  // Same population as FetchableSegments: dirty primaries. Peers replicate
+  // primaries only; local replica segments are a single-site redundancy
+  // scheme the peer rebuilds for itself.
+  return FetchableSegments();
+}
+
+Result<std::vector<uint8_t>> HighLightFs::ReadSegmentImage(uint32_t tseg) {
+  if (tseg >= tsegs_->size()) {
+    return InvalidArgument("ReadSegmentImage: tseg out of range");
+  }
+  std::vector<uint8_t> image(amap_->SegBytes());
+  RETURN_IF_ERROR(footprint_->Read(
+      static_cast<int>(amap_->VolumeOfTseg(tseg)),
+      amap_->ByteOffsetOnVolume(tseg), std::span<uint8_t>(image)));
+  return image;
+}
+
+Status HighLightFs::InstallSegmentImage(uint32_t tseg,
+                                        std::span<const uint8_t> image) {
+  if (tseg >= tsegs_->size()) {
+    return InvalidArgument("InstallSegmentImage: tseg out of range");
+  }
+  if (image.size() != amap_->SegBytes()) {
+    return InvalidArgument("InstallSegmentImage: image size mismatch");
+  }
+  const uint32_t volume = amap_->VolumeOfTseg(tseg);
+  const uint64_t offset = amap_->ByteOffsetOnVolume(tseg);
+  Status wrote = footprint_->RepairWrite(static_cast<int>(volume), offset,
+                                         image);
+  if (wrote.code() == ErrorCode::kOutOfRange) {
+    // Past the volume's high-water mark: the medium was erased (or is
+    // virgin) — a disaster rebuild, not an in-place repair. The normal
+    // write path lays the segment back down and re-extends the mark.
+    wrote = footprint_->Write(static_cast<int>(volume), offset, image);
+  }
+  RETURN_IF_ERROR(wrote);
+  tsegs_->SetCrc(tseg, Crc32(image));
+  return OkStatus();
+}
+
+bool HighLightFs::SegmentCrc(uint32_t tseg, uint32_t* crc) const {
+  return tsegs_->CrcOf(tseg, crc);
+}
+
+void HighLightFs::StampSegmentCrc(uint32_t tseg, uint32_t crc) {
+  if (tseg < tsegs_->size()) {
+    tsegs_->SetCrc(tseg, crc);
+  }
+}
+
+namespace {
+constexpr const char* kSiteBlobDir = "/.site";
+}  // namespace
+
+Status HighLightFs::PersistBlob(const std::string& name,
+                                std::span<const uint8_t> data) {
+  Result<uint32_t> dir = fs_->Mkdir(kSiteBlobDir);
+  if (!dir.ok() && dir.status().code() != ErrorCode::kExists) {
+    return dir.status();
+  }
+  const std::string path = std::string(kSiteBlobDir) + "/" + name;
+  Result<uint32_t> ino = fs_->LookupPath(path);
+  if (!ino.ok()) {
+    if (ino.status().code() != ErrorCode::kNotFound) {
+      return ino.status();
+    }
+    ino = fs_->Create(path);
+    RETURN_IF_ERROR(ino.status());
+  }
+  RETURN_IF_ERROR(fs_->Truncate(*ino, 0));
+  RETURN_IF_ERROR(fs_->Write(*ino, 0, data));
+  return fs_->Sync();
+}
+
+Result<std::vector<uint8_t>> HighLightFs::LoadBlob(const std::string& name) {
+  const std::string path = std::string(kSiteBlobDir) + "/" + name;
+  ASSIGN_OR_RETURN(uint32_t ino, fs_->LookupPath(path));
+  ASSIGN_OR_RETURN(StatInfo st, fs_->Stat(ino));
+  std::vector<uint8_t> data(st.size);
+  ASSIGN_OR_RETURN(size_t n,
+                   fs_->Read(ino, 0, std::span<uint8_t>(data)));
+  data.resize(n);
+  return data;
 }
 
 Result<uint32_t> HighLightFs::CleanUntil(uint32_t want_clean) {

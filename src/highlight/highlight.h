@@ -185,7 +185,7 @@ class HighLightConfig::Builder {
   HighLightConfig config_;
 };
 
-class HighLightFs : public FetchBackend {
+class HighLightFs : public FetchBackend, public SiteStore {
  public:
   // Builds the device stack and formats a fresh file system.
   static Result<std::unique_ptr<HighLightFs>> Create(
@@ -211,6 +211,22 @@ class HighLightFs : public FetchBackend {
       const std::vector<uint32_t>& tsegs) override;
   Result<uint32_t> ScrubStep(uint32_t max_segments) override;
   uint64_t MediaSwaps() const override;
+
+  // SiteStore: the cross-site replication surface. Whole-segment images
+  // move through Footprint (normal drive/robot time), the CRC catalog is
+  // TsegTable's, and blobs live as regular files under /.site in the LFS —
+  // so a persisted replication ledger survives crash + remount the same way
+  // every other on-disk structure does.
+  uint64_t SegmentImageBytes() const override;
+  std::vector<uint32_t> ReplicableSegments() const override;
+  Result<std::vector<uint8_t>> ReadSegmentImage(uint32_t tseg) override;
+  Status InstallSegmentImage(uint32_t tseg,
+                             std::span<const uint8_t> image) override;
+  bool SegmentCrc(uint32_t tseg, uint32_t* crc) const override;
+  void StampSegmentCrc(uint32_t tseg, uint32_t crc) override;
+  Status PersistBlob(const std::string& name,
+                     std::span<const uint8_t> data) override;
+  Result<std::vector<uint8_t>> LoadBlob(const std::string& name) override;
 
   // Runs the disk cleaner until `want_clean` segments are clean (or no
   // progress is possible); returns segments reclaimed. The water-mark

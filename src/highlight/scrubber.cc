@@ -15,6 +15,7 @@ void Scrubber::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
   stats_.segments_scrubbed.BindTo(*registry, "scrub.segments_scrubbed");
   stats_.corruptions_detected.BindTo(*registry, "scrub.corruptions_detected");
   stats_.repairs.BindTo(*registry, "scrub.repairs");
+  stats_.remote_repairs.BindTo(*registry, "scrub.remote_repairs");
   stats_.unrecoverable_losses.BindTo(*registry, "scrub.unrecoverable_losses");
   stats_.crcs_restamped.BindTo(*registry, "scrub.crcs_restamped");
 }
@@ -113,6 +114,23 @@ Result<Scrubber::Outcome> Scrubber::ScrubOne(uint32_t tseg) {
     // WORM media (or a dying drive) refuse the rewrite; other copies would
     // hit the same wall, so record the loss.
     break;
+  }
+  // Every local copy is gone: last resort is a peer site's copy over the
+  // WAN, when a multi-site deployment has wired one in.
+  if (remote_source_) {
+    Result<std::vector<uint8_t>> remote = remote_source_(tseg);
+    if (remote.ok() && VerifyImage(tseg, *remote)) {
+      Status repaired = footprint_->RepairWrite(
+          static_cast<int>(volume), amap_->ByteOffsetOnVolume(tseg), *remote);
+      if (repaired.ok()) {
+        tsegs_->SetCrc(tseg, Crc32(*remote));
+        lost_.erase(tseg);
+        stats_.repairs++;
+        stats_.remote_repairs++;
+        tracer_.Record(TraceEvent::kScrubRepair, tseg, kRemoteRepairSource);
+        return Outcome::kRepaired;
+      }
+    }
   }
   lost_.insert(tseg);
   stats_.unrecoverable_losses++;

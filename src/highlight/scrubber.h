@@ -14,6 +14,7 @@
 #define HIGHLIGHT_HIGHLIGHT_SCRUBBER_H_
 
 #include <cstdint>
+#include <functional>
 #include <set>
 #include <span>
 #include <vector>
@@ -38,6 +39,18 @@ class Scrubber {
   void SetHealth(HealthRegistry* health) { health_ = health; }
   void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
 
+  // Cross-site repair source, consulted strictly AFTER every local
+  // candidate (the primary and its sibling replicas) has been tried and
+  // found wanting: a multi-site deployment can hand the scrubber a hook
+  // that fetches a verified-good image of `tseg` from a peer site over the
+  // WAN. Keeping the ordering local-first means the expensive remote path
+  // only runs when the site has truly lost all intact copies.
+  using RemoteSource =
+      std::function<Result<std::vector<uint8_t>>(uint32_t tseg)>;
+  void SetRemoteRepairSource(RemoteSource source) {
+    remote_source_ = std::move(source);
+  }
+
   struct Report {
     uint32_t scanned = 0;        // Dirty tertiary segments examined.
     uint32_t clean = 0;          // Verified intact.
@@ -57,10 +70,15 @@ class Scrubber {
   // restores an intact copy).
   const std::set<uint32_t>& LostSegments() const { return lost_; }
 
+  // kScrubRepair trace records carry this in the source slot when the
+  // repair image came from a peer site instead of a local tseg.
+  static constexpr uint64_t kRemoteRepairSource = ~0ull;
+
   struct Stats {
     Counter segments_scrubbed;
     Counter corruptions_detected;
     Counter repairs;
+    Counter remote_repairs;  // Repairs sourced from a peer site's copy.
     Counter unrecoverable_losses;
     Counter crcs_restamped;  // Catalog entries rebuilt from media checksums.
   };
@@ -87,6 +105,7 @@ class Scrubber {
   SimClock* clock_;
   HealthRegistry* health_ = nullptr;
   RetryPolicy retry_;
+  RemoteSource remote_source_;
   uint32_t cursor_ = 0;  // Next tseg ScrubStep examines.
   std::set<uint32_t> lost_;
   Stats stats_;

@@ -61,9 +61,25 @@ struct RetryPolicy {
   SimTime backoff_us = 10'000;          // Delay before the first retry.
   double backoff_multiplier = 4.0;      // Growth per subsequent retry.
   SimTime max_backoff_us = 10'000'000;  // Cap on any single delay.
+  // Deterministic seeded jitter: each delay is scaled by a factor in
+  // [1 - jitter, 1] drawn from a stateless hash of (jitter_seed, retry), so
+  // synchronized retry ladders (many WAN shippers backing off together)
+  // de-phase without any shared RNG state. 0 (the default) applies no
+  // jitter and reproduces the unjittered delays bit-for-bit.
+  double jitter = 0.0;
+  uint64_t jitter_seed = 0;
+  // Cumulative cap: the summed backoff across every retry of one operation
+  // never exceeds this (0 = uncapped). Keeps an exponential WAN retry
+  // ladder from overshooting a partition window several times over.
+  SimTime max_total_backoff_us = 0;
 
-  // Delay before retry number `retry` (1-based); 0 for retry <= 0.
+  // Delay before retry number `retry` (1-based); 0 for retry <= 0. With
+  // max_total_backoff_us set, the delay is clipped to whatever cumulative
+  // budget the earlier retries left.
   SimTime BackoffFor(int retry) const;
+  // Sum of BackoffFor(1..retry) — the total stall a caller has paid once
+  // retry number `retry` has fired.
+  SimTime TotalBackoffThrough(int retry) const;
 };
 
 class FaultInjector;
@@ -91,6 +107,11 @@ class FaultChannel {
   void AddLatentError(uint64_t offset, uint64_t len);
   size_t LatentErrorCount() const { return latent_.size(); }
   bool dead() const;
+  // True while a *scripted* failure is pending or in force (FailNextOps
+  // budget, an active FailBetween window, or a kill). A pure peek: consults
+  // no randomness and consumes nothing, so reachability probes (is this WAN
+  // link partitioned right now?) never perturb the fault stream.
+  bool ScriptedFailureActive() const;
 
   // Decision point, called by the device once per operation with the byte
   // range involved. Non-kNone outcomes are counted and traced.

@@ -209,6 +209,58 @@ TEST(StagerSchedulerTest, AdmissionBoundRejectsWithBusy) {
   EXPECT_TRUE(stager.SubmitFetch("alice", 0, 2).ok());
 }
 
+TEST(StagerSchedulerTest, AgingPromotesStarvedMaintenanceUnderDemandFlood) {
+  SimClock clock;
+  FakeShard shard(&clock, 64, 1000);
+  StagerConfig config;
+  config.aging_rounds = 2;  // Promote after two straight demand rounds.
+  StagerScheduler stager(&clock, config);
+  stager.AddShard(&shard);
+
+  ASSERT_TRUE(stager
+                  .SubmitMigration("ops", 0, MigrationRequest{.path = "/"})
+                  .ok());
+  ASSERT_TRUE(stager.SubmitScrub(0, 4).ok());
+
+  // A demand flood: every round has fresh recalls, so strict priority
+  // would starve maintenance forever.
+  ASSERT_TRUE(stager.SubmitFetch("alice", 0, 0).ok());
+  ASSERT_TRUE(stager.Pump().ok());  // Round 1: starvation builds.
+  EXPECT_EQ(shard.migrations, 0);
+
+  ASSERT_TRUE(stager.SubmitFetch("alice", 0, 1).ok());
+  ASSERT_TRUE(stager.Pump().ok());  // Round 2: the migration ages in.
+  EXPECT_EQ(shard.migrations, 1);
+  EXPECT_EQ(shard.scrubs, 0);
+
+  ASSERT_TRUE(stager.SubmitFetch("alice", 0, 2).ok());
+  ASSERT_TRUE(stager.Pump().ok());  // Round 3: counter restarted.
+  EXPECT_EQ(shard.scrubs, 0);
+  ASSERT_TRUE(stager.SubmitFetch("alice", 0, 3).ok());
+  ASSERT_TRUE(stager.Pump().ok());  // Round 4: now the scrub ages in.
+  EXPECT_EQ(shard.scrubs, 1);
+
+  EXPECT_EQ(stager.ServedFor("alice"), 4u);  // Demand never waited.
+  EXPECT_EQ(stager.Metrics().Value("stager.aging_promotions"), 2u);
+}
+
+TEST(StagerSchedulerTest, StrictPriorityByDefaultNeverPromotes) {
+  SimClock clock;
+  FakeShard shard(&clock, 64, 1000);
+  StagerScheduler stager(&clock);  // aging_rounds = 0.
+  stager.AddShard(&shard);
+
+  ASSERT_TRUE(stager
+                  .SubmitMigration("ops", 0, MigrationRequest{.path = "/"})
+                  .ok());
+  for (uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(stager.SubmitFetch("alice", 0, i).ok());
+    ASSERT_TRUE(stager.Pump().ok());
+    EXPECT_EQ(shard.migrations, 0);
+  }
+  EXPECT_EQ(stager.Metrics().Value("stager.aging_promotions"), 0u);
+}
+
 TEST(StagerSchedulerTest, CacheHitsCountedFromShardCacheState) {
   SimClock clock;
   FakeShard shard(&clock, 8, 1000);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sim/sim_clock.h"
+#include "util/json_writer.h"
 #include "util/metrics.h"
 #include "util/rng.h"
 #include "util/span.h"
@@ -151,47 +152,55 @@ class JsonReport {
     }
   }
 
+  // Supplies a complete pre-merged Perfetto document (the
+  // ObservabilityHub's MergedTimelineJson) to write as TRACE_<name>.json
+  // instead of the per-call accumulation above.
+  void TimelineDocument(std::string doc) { timeline_doc_ = std::move(doc); }
+
   // Writes BENCH_<name>.json in the current directory.
   void Write() const {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("bench");
+    w.String(name_);
+    w.Key("values");
+    w.BeginObject();
+    for (const auto& [key, encoded] : values_) {
+      w.Key(key);
+      w.Raw(encoded);  // Pre-encoded by Value() (Fmt("%.3f") / quoting).
+    }
+    w.EndObject();
+    w.Key("metrics");
+    w.BeginObject();
+    for (const auto& [label, body] : snapshots_) {
+      w.Key(label);
+      w.Raw(body);
+    }
+    w.EndObject();
+    w.Key("trace");
+    w.BeginObject();
+    for (const auto& [label, body] : traces_) {
+      w.Key(label);
+      w.Raw(body);
+    }
+    w.EndObject();
+    w.EndObject();
+
     std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
       return;
     }
-    std::fprintf(f, "{\n  \"bench\": %s,\n  \"values\": {",
-                 Quoted(name_).c_str());
-    for (size_t i = 0; i < values_.size(); ++i) {
-      std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
-                   Quoted(values_[i].first).c_str(),
-                   values_[i].second.c_str());
-    }
-    std::fprintf(f, "\n  },\n  \"metrics\": {");
-    for (size_t i = 0; i < snapshots_.size(); ++i) {
-      // Indent the embedded snapshot body to nest under its label.
-      std::string body = snapshots_[i].second;
-      std::string indented;
-      for (char c : body) {
-        indented.push_back(c);
-        if (c == '\n') {
-          indented.append("    ");
-        }
-      }
-      std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
-                   Quoted(snapshots_[i].first).c_str(), indented.c_str());
-    }
-    std::fprintf(f, "\n  },\n  \"trace\": {");
-    for (size_t i = 0; i < traces_.size(); ++i) {
-      std::fprintf(f, "%s\n    %s: %s", i == 0 ? "" : ",",
-                   Quoted(traces_[i].first).c_str(),
-                   traces_[i].second.c_str());
-    }
-    std::fprintf(f, "\n  }\n}\n");
+    const std::string doc = w.Take() + "\n";
+    std::fwrite(doc.data(), 1, doc.size(), f);
     std::fclose(f);
     std::printf("  wrote %s\n", path.c_str());
 
-    if (!timeline_events_.empty()) {
-      const std::string timeline = PerfettoTraceJson(timeline_events_);
+    if (!timeline_events_.empty() || !timeline_doc_.empty()) {
+      const std::string timeline = timeline_doc_.empty()
+                                       ? PerfettoTraceJson(timeline_events_)
+                                       : timeline_doc_;
       std::string tpath = "TRACE_" + name_ + ".json";
       std::FILE* tf = std::fopen(tpath.c_str(), "w");
       if (tf == nullptr) {
@@ -214,8 +223,22 @@ class JsonReport {
   std::vector<std::pair<std::string, std::string>> snapshots_;
   std::vector<std::pair<std::string, std::string>> traces_;
   std::string timeline_events_;
+  std::string timeline_doc_;
   int timeline_pids_ = 0;
 };
+
+// End-of-run span-context leak check. A missed SpanScope unwind leaves the
+// implicit-context stack non-empty and silently mis-parents every later
+// span; benches assert quiescence at teardown so the leak fails the run
+// deterministically instead.
+inline void CheckSpansQuiescent(const SpanTracer& spans, const char* what) {
+  if (!spans.quiescent()) {
+    std::fprintf(stderr,
+                 "FATAL %s: span context leak (%zu spans still open)\n",
+                 what, spans.open_count());
+    std::exit(1);
+  }
+}
 
 inline void Die(const Status& status, const char* what) {
   if (!status.ok()) {

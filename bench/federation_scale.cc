@@ -25,6 +25,7 @@
 #include "bench/bench_util.h"
 #include "federation/stager.h"
 #include "highlight/highlight.h"
+#include "util/observability_hub.h"
 #include "workload/population.h"
 
 namespace hl {
@@ -74,7 +75,8 @@ JukeboxProfile SmallJukebox() {
 // pool holds `files_per_shard` migrated one-segment files.
 std::unique_ptr<HighLightFs> BuildShard(SimClock* clock,
                                         const ScaleParams& params,
-                                        uint32_t shard) {
+                                        uint32_t shard,
+                                        SpanTracer* shared_spans) {
   HighLightConfig config =
       DieOr(HighLightConfig::Builder()
                 .AddDisk(Rz57Profile(), 16 * 1024)
@@ -84,6 +86,8 @@ std::unique_ptr<HighLightFs> BuildShard(SimClock* clock,
                 .CacheMaxSegments(params.cache_lines)
                 .AsyncReadPipeline(true)
                 .TimeseriesCadence(0)  // One clock, N shards: no sampling.
+                .SharedSpans(shared_spans,
+                             "shard" + std::to_string(shard) + ".")
                 .Build(),
             "shard config");
   auto hl = DieOr(HighLightFs::Create(config, clock), "shard create");
@@ -136,15 +140,22 @@ int main(int argc, char** argv) {
               "fair share; 2 drive tokens shared across the shard farm");
 
   SimClock clock;
+  // One observability plane over the whole federation: every shard traces
+  // into the hub's core tracer through a "shardN." view, so the stager's
+  // dispatch and the shard fetches it drives are one causal span tree.
+  ObservabilityHub hub(&clock);
   std::vector<std::unique_ptr<HighLightFs>> shards;
   std::vector<std::vector<uint32_t>> fetchable(kShards);
   for (uint32_t s = 0; s < kShards; ++s) {
-    shards.push_back(BuildShard(&clock, scale, s));
+    shards.push_back(BuildShard(&clock, scale, s, &hub.spans()));
     fetchable[s] = shards.back()->FetchableSegments();
     if (fetchable[s].empty()) {
       bench::Die(Status(ErrorCode::kInternal, "shard has no tertiary pool"),
                  "setup");
     }
+    hub.Register("shard" + std::to_string(s), &shards.back()->metrics(),
+                 &shards.back()->trace(), &shards.back()->spans(),
+                 &shards.back()->timeseries());
   }
 
   StagerConfig stager_config;
@@ -156,6 +167,28 @@ int main(int argc, char** argv) {
   for (uint32_t s = 0; s < kShards; ++s) {
     stager.AddShard(shards[s].get());
   }
+  stager.SetSpans(&hub.spans());
+  stager.SetTracer(Tracer(&hub.trace()));
+  hub.Register("stager", &stager.metrics(), nullptr, nullptr, nullptr);
+
+  // Federation-level series + SLOs the hub watches each sampling instant.
+  hub.AddSeries("stager.queue_depth", [&stager] {
+    return static_cast<int64_t>(stager.PendingRequests());
+  });
+  Histogram::Data* fetch_delay =
+      stager.metrics().HistogramSlot("stager.fetch_delay_us");
+  hub.AddSeries("stager.fetch_delay_p99_us", [fetch_delay] {
+    return static_cast<int64_t>(fetch_delay->Percentile(0.99));
+  });
+  hub.AddSlo(SloRule{.name = "fetch_p99",
+                     .series = "stager.fetch_delay_p99_us",
+                     .threshold = 5'000'000});  // 5 s end-to-end recall.
+  hub.AddSlo(SloRule{.name = "queue_depth",
+                     .series = "stager.queue_depth",
+                     .threshold = 64});
+  // The hub's fan-out hook must land after every HighLightFs::Create (each
+  // Create installs its own tick hook; the clock holds exactly one).
+  hub.InstallTickHook();
 
   uint64_t swaps_before = 0;
   uint64_t bytes_before = 0;
@@ -277,6 +310,10 @@ int main(int argc, char** argv) {
   }
   report.Snapshot("stager", snap);
   report.Snapshot("shard0", shards[0]->Metrics());
+  report.Snapshot("hub", hub.MergedSnapshot());
+  report.Trace("hub", hub.trace());
+  report.TimelineDocument(hub.MergedTimelineJson());
+  bench::CheckSpansQuiescent(hub.spans(), "federation_scale");
 
   bench::Table table({"Metric", "Value"});
   table.AddRow({"users", std::to_string(pop.users)});

@@ -35,6 +35,7 @@
 #include "bench/bench_util.h"
 #include "federation/site_replicator.h"
 #include "highlight/highlight.h"
+#include "util/observability_hub.h"
 #include "util/wan_link.h"
 #include "workload/population.h"
 
@@ -88,7 +89,9 @@ JukeboxProfile SmallJukebox() {
 // the same deterministic inputs, so their layouts (tseg numbering, volume
 // geometry) are identical — the cross-site replication contract.
 std::unique_ptr<HighLightFs> BuildSite(SimClock* clock,
-                                       const DrillParams& params) {
+                                       const DrillParams& params,
+                                       SpanTracer* shared_spans,
+                                       const std::string& track_prefix) {
   HighLightConfig config =
       DieOr(HighLightConfig::Builder()
                 .AddDisk(Rz57Profile(), 16 * 1024)
@@ -98,6 +101,7 @@ std::unique_ptr<HighLightFs> BuildSite(SimClock* clock,
                 .CacheMaxSegments(params.cache_lines)
                 .AsyncReadPipeline(true)
                 .TimeseriesCadence(0)
+                .SharedSpans(shared_spans, track_prefix)
                 .Build(),
             "site config");
   auto hl = DieOr(HighLightFs::Create(config, clock), "site create");
@@ -180,8 +184,13 @@ int main(int argc, char** argv) {
 
   SimClock clock;
   FaultInjector faults(&clock, kSeed);
-  auto site_a = BuildSite(&clock, drill);
-  auto site_b = BuildSite(&clock, drill);
+  // One observability plane over the drill: both sites, the stager, the
+  // replicator and the WAN link all trace into the hub's core tracer, so a
+  // failover fetch is a single span tree from stager admission through the
+  // WAN hop to the peer site's install.
+  ObservabilityHub hub(&clock);
+  auto site_a = BuildSite(&clock, drill, &hub.spans(), "siteA.");
+  auto site_b = BuildSite(&clock, drill, &hub.spans(), "siteB.");
   std::vector<uint32_t> pool = site_a->FetchableSegments();
   if (pool.empty()) {
     bench::Die(Status(ErrorCode::kInternal, "site has no tertiary pool"),
@@ -190,7 +199,9 @@ int main(int argc, char** argv) {
 
   WanLink link("a-b", &clock);
   link.AttachFaults(faults.Channel("wan.a-b"));
+  link.SetSpans(&hub.spans());
   SiteReplicator repl(&clock);
+  repl.SetSpans(&hub.spans());
   const int kSiteA = repl.AddSite("a", site_a.get());
   const int kSiteB = repl.AddSite("b", site_b.get());
   repl.SetLink(kSiteA, kSiteB, &link);
@@ -219,6 +230,50 @@ int main(int argc, char** argv) {
   stager.SetFailoverPeer(kShardA, kShardB);
   stager.SetFailoverPeer(kShardB, kShardA);
   stager.SetSiteHealthProvider(&repl);
+  stager.SetSpans(&hub.spans());
+  stager.SetTracer(Tracer(&hub.trace()));
+
+  hub.Register("siteA", &site_a->metrics(), &site_a->trace(),
+               &site_a->spans(), &site_a->timeseries());
+  hub.Register("siteB", &site_b->metrics(), &site_b->trace(),
+               &site_b->spans(), &site_b->timeseries());
+  hub.Register("stager", &stager.metrics(), nullptr, nullptr, nullptr);
+  hub.Register("replicator", &repl.metrics(), nullptr, nullptr, nullptr);
+
+  // Federation-level series + the SLO watch over them: fetch-delay tail,
+  // admission queue depth, the dead site's replication lag, and bytes on
+  // the WAN (sampled mid-transfer by the tick hook).
+  hub.AddSeries("stager.queue_depth", [&stager] {
+    return static_cast<int64_t>(stager.PendingRequests());
+  });
+  hub.AddSeries("wan.inflight_bytes", [&link] {
+    return static_cast<int64_t>(link.inflight_bytes());
+  });
+  hub.AddSeries("siteA.replication_lag_s", [&repl, kSiteA] {
+    return static_cast<int64_t>(repl.ReplicationLag(kSiteA) / kUsPerSec);
+  });
+  hub.AddSeries("siteB.replication_lag_s", [&repl, kSiteB] {
+    return static_cast<int64_t>(repl.ReplicationLag(kSiteB) / kUsPerSec);
+  });
+  Histogram::Data* fetch_delay =
+      stager.metrics().HistogramSlot("stager.fetch_delay_us");
+  hub.AddSeries("stager.fetch_delay_p99_us", [fetch_delay] {
+    return static_cast<int64_t>(fetch_delay->Percentile(0.99));
+  });
+  hub.AddSlo(SloRule{.name = "fetch_p99",
+                     .series = "stager.fetch_delay_p99_us",
+                     .threshold = 5'000'000});  // 5 s end-to-end recall.
+  hub.AddSlo(SloRule{.name = "queue_depth",
+                     .series = "stager.queue_depth",
+                     .threshold = 64});
+  hub.AddSlo(SloRule{.name = "replication_lag",
+                     .series = "siteB.replication_lag_s",
+                     .threshold = 30});
+  hub.AddSlo(SloRule{.name = "wan_inflight",
+                     .series = "wan.inflight_bytes",
+                     .threshold = 4 << 20});
+  // After every HighLightFs::Create (each installs its own tick hook).
+  hub.InstallTickHook();
 
   PopulationParams pop;
   pop.users = drill.users;
@@ -394,6 +449,10 @@ int main(int argc, char** argv) {
   report.Value("ledger_persists", repl_snap.Value("site.ledger_persists"));
   report.Snapshot("replicator", repl_snap);
   report.Snapshot("stager", stager_snap);
+  report.Snapshot("hub", hub.MergedSnapshot());
+  report.Trace("hub", hub.trace());
+  report.TimelineDocument(hub.MergedTimelineJson());
+  bench::CheckSpansQuiescent(hub.spans(), "site_disaster");
 
   bench::Table table({"Metric", "Value"});
   table.AddRow({"requests", std::to_string(gen.requests_emitted())});

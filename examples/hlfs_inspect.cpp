@@ -26,6 +26,10 @@
 //               it, then partition the link mid-backlog and dump per-site
 //               replication lag, ledger depth and divergent-segment count
 //               — first degraded, then again after the link heals
+//   --json      machine-readable mode for --metrics and --sites: suppress
+//               the human-readable walk and emit one JSON document on
+//               stdout (through the same JsonWriter serializer the
+//               BENCH_<name>.json exporters use)
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +40,7 @@
 #include "federation/site_replicator.h"
 #include "highlight/highlight.h"
 #include "lfs/fsck.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
 #include "util/wan_link.h"
 
@@ -77,6 +82,107 @@ std::string FlagNames(uint16_t flags) {
   return out.empty() ? "-" : out;
 }
 
+// The human-readable on-media walk: superblock, log state, segment usage,
+// the live log tail, the tertiary segment table and the cache directory.
+// Skipped entirely in --json mode, where stdout is one JSON document.
+void DumpStructures(HighLightFs& hl) {
+  Lfs& fs = hl.fs();
+  const Superblock& sb = fs.superblock();
+
+  std::printf("=== superblock ===\n");
+  std::printf("  magic            0x%llX (v%u)\n",
+              static_cast<unsigned long long>(sb.magic), sb.version);
+  std::printf("  block size       %u B, segment %u blocks (%u KB)\n",
+              sb.block_size, sb.seg_size_blocks,
+              sb.seg_size_blocks * sb.block_size / 1024);
+  std::printf("  disk             %u blocks (%u segments, reserved %u)\n",
+              sb.disk_blocks, sb.nsegs, sb.reserved_blocks);
+  std::printf("  tertiary         %u segments on %u volumes (%u/volume), "
+              "base address %u\n",
+              sb.tertiary_nsegs, sb.num_volumes, sb.segs_per_volume,
+              sb.tertiary_base);
+  std::printf("  dead zone        [%u, %u)\n", sb.disk_blocks,
+              sb.tertiary_base);
+  std::printf("  cache limit      %u segments\n", sb.cache_max_segments);
+  std::printf("  max inodes       %u\n", sb.max_inodes);
+
+  std::printf("\n=== log state ===\n");
+  std::printf("  active segment   %u (offset %u blocks), next %u\n",
+              fs.cur_seg(), fs.cur_offset(), fs.next_seg());
+  std::printf("  clean segments   %u / %u\n", fs.CleanSegmentCount(),
+              fs.NumSegments());
+
+  std::printf("\n=== segment usage table (non-clean segments) ===\n");
+  std::printf("  %-6s %-10s %-28s %s\n", "seg", "live", "flags", "cache-tag");
+  for (uint32_t seg = 0; seg < fs.NumSegments(); ++seg) {
+    const SegUsage& u = fs.GetSegUsage(seg);
+    if ((u.flags & kSegClean) && u.cache_tseg == kNoSegment) {
+      continue;
+    }
+    std::printf("  %-6u %-10u %-28s %s\n", seg, u.live_bytes,
+                FlagNames(u.flags).c_str(),
+                u.cache_tseg == kNoSegment
+                    ? "-"
+                    : std::to_string(u.cache_tseg).c_str());
+  }
+
+  std::printf("\n=== partial segments of the last written segment ===\n");
+  uint32_t dump_seg = fs.cur_seg();
+  auto partials = Check(fs.ParseSegment(dump_seg), "parse segment");
+  for (const ParsedPartial& p : partials) {
+    std::printf("  pseg @%u serial=%llu blocks=%u next=%u files=%zu "
+                "inode-blocks=%zu%s\n",
+                p.base_daddr, static_cast<unsigned long long>(p.summary.serial),
+                p.num_blocks, p.summary.next, p.summary.finfos.size(),
+                p.summary.inode_daddrs.size(),
+                (p.summary.flags & kSsFlagCheckpoint) ? " [checkpoint]" : "");
+    for (const FInfo& f : p.summary.finfos) {
+      std::printf("      ino %-5u v%-3u lbns:", f.ino, f.version);
+      size_t shown = 0;
+      for (uint32_t lbn : f.lbns) {
+        if (shown++ >= 8) {
+          std::printf(" ...");
+          break;
+        }
+        if (IsMetaLbn(lbn)) {
+          std::printf(" M%x", lbn & 0xFFFF);
+        } else {
+          std::printf(" %u", lbn);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  std::printf("\n=== tertiary segment table (in use) ===\n");
+  const TsegTable& tsegs = hl.Internals().tseg_table;
+  for (uint32_t t = 0; t < tsegs.size(); ++t) {
+    const SegUsage& u = tsegs.Get(t);
+    if (u.flags & kSegClean) {
+      continue;
+    }
+    std::printf("  tseg %-5u vol %-3u live %-9u %-22s%s\n", t,
+                hl.Internals().address_map.VolumeOfTseg(t), u.live_bytes,
+                FlagNames(u.flags).c_str(),
+                (u.flags & kSegReplica)
+                    ? (" of " + std::to_string(u.cache_tseg)).c_str()
+                    : "");
+  }
+
+  std::printf("\n=== segment cache directory ===\n");
+  for (const SegmentCache::LineInfo& line : hl.Internals().cache.Lines()) {
+    std::printf("  tseg %-5u in disk seg %-4u touches=%llu%s%s\n", line.tseg,
+                line.disk_seg,
+                static_cast<unsigned long long>(line.touches),
+                line.staging ? " [staging]" : "",
+                line.dirty ? " [dirty]" : "");
+  }
+  std::printf("  (%u/%u lines in use; %llu hits, %llu misses)\n",
+              hl.Internals().cache.Used(), hl.Internals().cache.Capacity(),
+              static_cast<unsigned long long>(hl.Internals().cache.Snapshot().hits),
+              static_cast<unsigned long long>(hl.Internals().cache.Snapshot().misses));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,6 +193,7 @@ int main(int argc, char** argv) {
   bool dump_timeline = false;
   bool dump_queue = false;
   bool dump_sites = false;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
@@ -102,13 +209,26 @@ int main(int argc, char** argv) {
       dump_queue = true;
     } else if (std::strcmp(argv[i], "--sites") == 0) {
       dump_sites = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--metrics] [--trace] [--health] [--spans] "
-                   "[--timeline] [--queue] [--sites]\n",
+                   "[--timeline] [--queue] [--sites] [--json]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (json && !dump_metrics && !dump_sites) {
+    std::fprintf(stderr, "--json requires --metrics and/or --sites\n");
+    return 2;
+  }
+  if (json &&
+      (dump_trace || dump_health || dump_spans || dump_timeline || dump_queue)) {
+    std::fprintf(stderr,
+                 "--json supports only --metrics and --sites; the other dumps "
+                 "are human-readable\n");
+    return 2;
   }
 
   SimClock clock;
@@ -180,114 +300,35 @@ int main(int argc, char** argv) {
     Check(hl->Internals().scrubber.ScrubAll().status(), "scrub");
   }
 
-  Lfs& fs = hl->fs();
-  const Superblock& sb = fs.superblock();
+  if (!json) {
+    DumpStructures(*hl);
+  }
 
-  std::printf("=== superblock ===\n");
-  std::printf("  magic            0x%llX (v%u)\n",
-              static_cast<unsigned long long>(sb.magic), sb.version);
-  std::printf("  block size       %u B, segment %u blocks (%u KB)\n",
-              sb.block_size, sb.seg_size_blocks,
-              sb.seg_size_blocks * sb.block_size / 1024);
-  std::printf("  disk             %u blocks (%u segments, reserved %u)\n",
-              sb.disk_blocks, sb.nsegs, sb.reserved_blocks);
-  std::printf("  tertiary         %u segments on %u volumes (%u/volume), "
-              "base address %u\n",
-              sb.tertiary_nsegs, sb.num_volumes, sb.segs_per_volume,
-              sb.tertiary_base);
-  std::printf("  dead zone        [%u, %u)\n", sb.disk_blocks,
-              sb.tertiary_base);
-  std::printf("  cache limit      %u segments\n", sb.cache_max_segments);
-  std::printf("  max inodes       %u\n", sb.max_inodes);
-
-  std::printf("\n=== log state ===\n");
-  std::printf("  active segment   %u (offset %u blocks), next %u\n",
-              fs.cur_seg(), fs.cur_offset(), fs.next_seg());
-  std::printf("  clean segments   %u / %u\n", fs.CleanSegmentCount(),
-              fs.NumSegments());
-
-  std::printf("\n=== segment usage table (non-clean segments) ===\n");
-  std::printf("  %-6s %-10s %-28s %s\n", "seg", "live", "flags", "cache-tag");
-  for (uint32_t seg = 0; seg < fs.NumSegments(); ++seg) {
-    const SegUsage& u = fs.GetSegUsage(seg);
-    if ((u.flags & kSegClean) && u.cache_tseg == kNoSegment) {
-      continue;
+  FsckReport report = CheckFs(hl->fs());
+  if (!json) {
+    std::printf("\n=== fsck ===\n");
+    std::printf("  files=%u dirs=%u blocks=%llu\n", report.files_checked,
+                report.directories_checked,
+                static_cast<unsigned long long>(report.blocks_checked));
+    for (const std::string& e : report.errors) {
+      std::printf("  ERROR: %s\n", e.c_str());
     }
-    std::printf("  %-6u %-10u %-28s %s\n", seg, u.live_bytes,
-                FlagNames(u.flags).c_str(),
-                u.cache_tseg == kNoSegment
-                    ? "-"
-                    : std::to_string(u.cache_tseg).c_str());
-  }
-
-  std::printf("\n=== partial segments of the last written segment ===\n");
-  uint32_t dump_seg = fs.cur_seg();
-  auto partials = Check(fs.ParseSegment(dump_seg), "parse segment");
-  for (const ParsedPartial& p : partials) {
-    std::printf("  pseg @%u serial=%llu blocks=%u next=%u files=%zu "
-                "inode-blocks=%zu%s\n",
-                p.base_daddr, static_cast<unsigned long long>(p.summary.serial),
-                p.num_blocks, p.summary.next, p.summary.finfos.size(),
-                p.summary.inode_daddrs.size(),
-                (p.summary.flags & kSsFlagCheckpoint) ? " [checkpoint]" : "");
-    for (const FInfo& f : p.summary.finfos) {
-      std::printf("      ino %-5u v%-3u lbns:", f.ino, f.version);
-      size_t shown = 0;
-      for (uint32_t lbn : f.lbns) {
-        if (shown++ >= 8) {
-          std::printf(" ...");
-          break;
-        }
-        if (IsMetaLbn(lbn)) {
-          std::printf(" M%x", lbn & 0xFFFF);
-        } else {
-          std::printf(" %u", lbn);
-        }
-      }
-      std::printf("\n");
+    for (const std::string& w : report.warnings) {
+      std::printf("  warn:  %s\n", w.c_str());
     }
+    std::printf("  verdict: %s\n", report.clean() ? "CLEAN" : "CORRUPT");
   }
 
-  std::printf("\n=== tertiary segment table (in use) ===\n");
-  const TsegTable& tsegs = hl->Internals().tseg_table;
-  for (uint32_t t = 0; t < tsegs.size(); ++t) {
-    const SegUsage& u = tsegs.Get(t);
-    if (u.flags & kSegClean) {
-      continue;
-    }
-    std::printf("  tseg %-5u vol %-3u live %-9u %-22s%s\n", t,
-                hl->Internals().address_map.VolumeOfTseg(t), u.live_bytes,
-                FlagNames(u.flags).c_str(),
-                (u.flags & kSegReplica)
-                    ? (" of " + std::to_string(u.cache_tseg)).c_str()
-                    : "");
+  // In --json mode the requested sections accumulate into one document,
+  // emitted at the end — the same JsonWriter the bench exporters use.
+  JsonWriter jdoc;
+  if (json) {
+    jdoc.BeginObject();
+    jdoc.Key("tool");
+    jdoc.String("hlfs_inspect");
+    jdoc.Key("fsck_clean");
+    jdoc.Bool(report.clean());
   }
-
-  std::printf("\n=== segment cache directory ===\n");
-  for (const SegmentCache::LineInfo& line : hl->Internals().cache.Lines()) {
-    std::printf("  tseg %-5u in disk seg %-4u touches=%llu%s%s\n", line.tseg,
-                line.disk_seg,
-                static_cast<unsigned long long>(line.touches),
-                line.staging ? " [staging]" : "",
-                line.dirty ? " [dirty]" : "");
-  }
-  std::printf("  (%u/%u lines in use; %llu hits, %llu misses)\n",
-              hl->Internals().cache.Used(), hl->Internals().cache.Capacity(),
-              static_cast<unsigned long long>(hl->Internals().cache.Snapshot().hits),
-              static_cast<unsigned long long>(hl->Internals().cache.Snapshot().misses));
-
-  std::printf("\n=== fsck ===\n");
-  FsckReport report = CheckFs(fs);
-  std::printf("  files=%u dirs=%u blocks=%llu\n", report.files_checked,
-              report.directories_checked,
-              static_cast<unsigned long long>(report.blocks_checked));
-  for (const std::string& e : report.errors) {
-    std::printf("  ERROR: %s\n", e.c_str());
-  }
-  for (const std::string& w : report.warnings) {
-    std::printf("  warn:  %s\n", w.c_str());
-  }
-  std::printf("  verdict: %s\n", report.clean() ? "CLEAN" : "CORRUPT");
 
   if (dump_health) {
     std::printf("\n=== device & volume health ===\n");
@@ -493,7 +534,56 @@ int main(int argc, char** argv) {
     clock.Advance(42 * kUsPerSec);
     Check(repl.Pump(), "pump under partition");  // Defers; peer unreachable.
 
-    auto dump_repl = [&](const char* when) {
+    // One phase dump, either as a printf table or as a JSON object under
+    // sites.<key> ("degraded" / "healed") — same fields either way.
+    auto dump_repl = [&](const char* when, const char* key) {
+      if (json) {
+        jdoc.Key(key);
+        jdoc.BeginObject();
+        jdoc.Key("sites");
+        jdoc.BeginArray();
+        for (int s = 0; s < static_cast<int>(repl.NumSites()); ++s) {
+          const int other = s == site_a ? site_b : site_a;
+          jdoc.BeginObject();
+          jdoc.Key("name");
+          jdoc.String(repl.SiteName(s));
+          jdoc.Key("quarantined");
+          jdoc.Bool(repl.SiteQuarantined(s));
+          jdoc.Key("queue");
+          jdoc.UInt(repl.QueueDepth(s));
+          jdoc.Key("lag_s");
+          jdoc.UInt(repl.ReplicationLag(s) / kUsPerSec);
+          jdoc.Key("ledger");
+          jdoc.UInt(repl.LedgerEntries(s));
+          jdoc.Key("divergent_vs_peer");
+          jdoc.UInt(repl.DivergentCountVs(s, other));
+          jdoc.EndObject();
+        }
+        jdoc.EndArray();
+        jdoc.Key("link");
+        jdoc.BeginObject();
+        jdoc.Key("name");
+        jdoc.String(link.name());
+        jdoc.Key("partitioned");
+        jdoc.Bool(link.Partitioned());
+        jdoc.Key("transfers");
+        jdoc.UInt(link.transfers());
+        jdoc.Key("bytes_shipped");
+        jdoc.UInt(link.bytes_shipped());
+        jdoc.Key("failures");
+        jdoc.UInt(link.failures());
+        jdoc.Key("corrupted_in_flight");
+        jdoc.UInt(link.corrupted_in_flight());
+        jdoc.EndObject();
+        jdoc.Key("shipped");
+        jdoc.UInt(repl.stats().segments_shipped.value());
+        jdoc.Key("deferred");
+        jdoc.UInt(repl.stats().ship_deferred.value());
+        jdoc.Key("ledger_persists");
+        jdoc.UInt(repl.stats().ledger_persists.value());
+        jdoc.EndObject();
+        return;
+      }
       std::printf("\n=== site replication (%s) ===\n", when);
       std::printf("  %-6s %-6s %-7s %-10s %-8s %s\n", "site", "quar", "queue",
                   "lag", "ledger", "divergent-vs-peer");
@@ -522,11 +612,18 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       repl.stats().ledger_persists.value()));
     };
-    dump_repl("degraded: WAN partitioned, backlog pending");
+    if (json) {
+      jdoc.Key("sites");
+      jdoc.BeginObject();
+    }
+    dump_repl("degraded: WAN partitioned, backlog pending", "degraded");
 
     clock.Advance(600 * kUsPerSec);  // Outlive the partition window.
     Check(repl.RunUntilIdle(), "drain after heal");
-    dump_repl("healed: backlog drained");
+    dump_repl("healed: backlog drained", "healed");
+    if (json) {
+      jdoc.EndObject();
+    }
   }
 
   if (dump_timeline) {
@@ -560,12 +657,22 @@ int main(int argc, char** argv) {
   }
 
   if (dump_metrics) {
-    std::printf("\n=== metrics ===\n%s\n", hl->Metrics().ToJson().c_str());
+    if (json) {
+      // The full registry snapshot, spliced through the shared serializer.
+      jdoc.Key("metrics");
+      jdoc.Raw(hl->Metrics().ToJson(2));
+    } else {
+      std::printf("\n=== metrics ===\n%s\n", hl->Metrics().ToJson().c_str());
+    }
   }
   if (dump_trace) {
     // Full surviving window (explicit cap = everything the ring still holds).
     std::printf("\n=== trace ===\n%s\n",
                 hl->trace().ToJson(hl->trace().capacity()).c_str());
+  }
+  if (json) {
+    jdoc.EndObject();
+    std::printf("%s\n", jdoc.Take().c_str());
   }
   return report.clean() ? 0 : 1;
 }

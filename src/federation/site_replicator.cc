@@ -196,6 +196,12 @@ Status SiteReplicator::ShipImage(int src, int dst, uint32_t tseg,
   if (link == nullptr) {
     return IoError("site replicator: no link between sites");
   }
+  // Nests under whatever drove the ship — an anti-entropy round's span, a
+  // Pump round, a scrub repair — and parents the WAN transfer spans below.
+  SpanScope span(spans_, "site_ship", "site");
+  span.Annotate("src", sites_[src].name);
+  span.Annotate("dst", sites_[dst].name);
+  span.Annotate("tseg", std::to_string(tseg));
   Status last = OkStatus();
   for (int try_no = 1; try_no <= config_.retry.max_attempts; ++try_no) {
     if (try_no > 1) {
@@ -321,6 +327,9 @@ Result<SiteReplicator::AntiEntropyStats> SiteReplicator::AntiEntropyRound(
   AntiEntropyStats round;
   const SimTime start = clock_->Now();
   stats_.antientropy_rounds++;
+  SpanScope round_span(spans_, "antientropy_round", "site");
+  round_span.Annotate("src", sites_[src].name);
+  round_span.Annotate("dst", sites_[dst].name);
 
   std::vector<uint32_t> segs = s.store->ReplicableSegments();
   std::sort(segs.begin(), segs.end());
@@ -392,6 +401,9 @@ Result<SiteReplicator::AntiEntropyStats> SiteReplicator::AntiEntropyRound(
   // The catalog rows themselves crossed the WAN (tseg + CRC per entry).
   clock_->Advance(link->TransferCost(round.compared * kCatalogRowBytes));
   round.elapsed_us = clock_->Now() - start;
+  round_span.Annotate("compared", std::to_string(round.compared));
+  round_span.Annotate("divergent", std::to_string(round.divergent));
+  round_span.Annotate("shipped", std::to_string(round.shipped));
   if (s.ledger_dirty) {
     RETURN_IF_ERROR(PersistLedger(src));
   }
@@ -434,6 +446,13 @@ uint32_t SiteReplicator::DivergentCountVs(int src, int dst) const {
 
 Result<std::vector<uint8_t>> SiteReplicator::FetchVerifiedImage(
     int site, uint32_t tseg) {
+  // Links the remote-repair WAN hop (the transfer spans below) into the
+  // caller's tree — a failover fetch or scrub repair shows its WAN child.
+  SpanScope span(spans_, "site_fetch_image", "site");
+  span.Annotate("site", site < static_cast<int>(sites_.size())
+                            ? sites_[site].name
+                            : std::to_string(site));
+  span.Annotate("tseg", std::to_string(tseg));
   for (size_t p = 0; p < sites_.size(); ++p) {
     if (static_cast<int>(p) == site || sites_[p].quarantined ||
         !PeerReachable(site, static_cast<int>(p))) {
@@ -464,6 +483,7 @@ Result<std::vector<uint8_t>> SiteReplicator::FetchVerifiedImage(
         continue;
       }
       stats_.bytes_shipped += payload.size();
+      span.Annotate("peer", peer.name);
       return payload;
     }
   }

@@ -50,6 +50,7 @@
 #include "sim/sim_clock.h"
 #include "util/fault_injector.h"
 #include "util/metrics.h"
+#include "util/span.h"
 #include "util/status.h"
 #include "util/wan_link.h"
 
@@ -87,6 +88,13 @@ class SiteReplicator : public StagerScheduler::SiteHealthProvider {
   // counters into this replicator's registry.
   void SetLink(int a, int b, WanLink* link);
   WanLink* LinkBetween(int a, int b) const;
+
+  // Causal tracing. Point at the federation's shared tracer: each ShipImage
+  // becomes a "site_ship" span (the WAN transfers nest under it), each
+  // AntiEntropyRound an "antientropy_round" span parenting the per-segment
+  // ships it triggers, and FetchVerifiedImage a "site_fetch_image" span
+  // linking the remote-repair WAN hop into the caller's tree.
+  void SetSpans(SpanTracer* spans) { spans_ = spans; }
 
   // Operator quarantine of a whole site (dead machine room).
   void SetSiteQuarantined(int site, bool quarantined);
@@ -220,6 +228,7 @@ class SiteReplicator : public StagerScheduler::SiteHealthProvider {
 
   SimClock* clock_;
   SiteReplicatorConfig config_;
+  SpanTracer* spans_ = nullptr;
   std::vector<Site> sites_;
   std::map<std::pair<int, int>, WanLink*> links_;  // Key: (min, max).
   std::map<std::pair<int, int>, uint32_t> ae_cursor_;  // Resume points.

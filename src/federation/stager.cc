@@ -124,8 +124,18 @@ Status StagerScheduler::SubmitFetch(const std::string& tenant, int shard,
   if (inserted) {
     tenants_.push_back(Tenant{tenant, {}});
   }
+  // Record admission as a closed root span: it anchors the request's causal
+  // tree (the batch dispatch it later joins becomes its child).
+  SpanId admit = kNoSpan;
+  if (spans_ != nullptr) {
+    admit = spans_->BeginChildOf(kNoSpan, "stager_admit", "stager");
+    spans_->Annotate(admit, "tenant", tenant);
+    spans_->Annotate(admit, "shard", std::to_string(shard));
+    spans_->Annotate(admit, "tseg", std::to_string(tseg));
+    spans_->End(admit);
+  }
   tenants_[it->second].fifo.push_back(
-      DemandRequest{shard, tseg, clock_->Now()});
+      DemandRequest{shard, tseg, clock_->Now(), admit});
   stats_.demand_admitted++;
   UpdateQueueGauge();
   return OkStatus();
@@ -200,7 +210,8 @@ Status StagerScheduler::Pump() {
     // --- Demand round: fair-share selection into per-shard batches. -------
     struct Picked {
       DemandRequest req;
-      size_t tenant = 0;  // Index into tenants_.
+      size_t tenant = 0;     // Index into tenants_.
+      bool failover = false;  // Routed to a cross-site peer this round.
     };
     size_t nshards = shards_.size();
     std::vector<std::vector<Picked>> batches(nshards);
@@ -216,7 +227,10 @@ Status StagerScheduler::Pump() {
       Tenant& tenant = tenants_[tenant_idx];
       uint64_t quantum = config_.fair_share_quantum;
       while (quantum > 0 && !tenant.fifo.empty()) {
+        const uint64_t failovers_before = stats_.failover_fetches.value();
         int target = RouteShard(tenant.fifo.front().shard, load);
+        const bool failed_over =
+            stats_.failover_fetches.value() != failovers_before;
         if (!active[target]) {
           if (config_.drive_tokens != 0 &&
               active_count >= config_.drive_tokens) {
@@ -234,7 +248,7 @@ Status StagerScheduler::Pump() {
         DemandRequest req = tenant.fifo.front();
         tenant.fifo.pop_front();
         req.shard = target;
-        batches[target].push_back(Picked{req, tenant_idx});
+        batches[target].push_back(Picked{req, tenant_idx, failed_over});
         load[target]++;
         quantum--;
       }
@@ -269,6 +283,16 @@ Status StagerScheduler::Pump() {
           stats_.cache_hits++;
         }
       }
+      // The dispatch span parents the whole batch: it is a child of the
+      // first request's admit root, the shard's fetch spans nest under it
+      // via the shared implicit-context stack (FetchBatch is synchronous),
+      // and every request's fanout leaf below references it — so a
+      // coalesced recall's requests all share this one parent.
+      SpanScope dispatch(spans_, batches[s][0].req.admit_span,
+                         "stager_dispatch", "stager");
+      dispatch.Annotate("shard", std::to_string(s));
+      dispatch.Annotate("requests", std::to_string(batches[s].size()));
+      dispatch.Annotate("segments", std::to_string(unique.size()));
       SimTime dispatched_at = clock_->Now();
       ASSIGN_OR_RETURN(std::vector<FetchOutcome> outcomes,
                        shards_[s]->FetchBatch(unique));
@@ -276,6 +300,19 @@ Status StagerScheduler::Pump() {
       for (size_t i = 0; i < batches[s].size(); ++i) {
         const Picked& picked = batches[s][i];
         const FetchOutcome& out = outcomes[slot_of[i]];
+        if (spans_ != nullptr) {
+          SpanId fan = spans_->AddComplete("stager_fanout", "stager",
+                                           dispatch.id(), dispatched_at,
+                                           clock_->Now());
+          spans_->Annotate(fan, "tenant", tenants_[picked.tenant].name);
+          spans_->Annotate(fan, "tseg", std::to_string(picked.req.tseg));
+          if (picked.failover) {
+            spans_->Annotate(fan, "failover", "1");
+          }
+          if (!out.status.ok()) {
+            spans_->Annotate(fan, "error", out.status.ToString());
+          }
+        }
         if (!out.status.ok()) {
           stats_.fetch_errors++;
           continue;

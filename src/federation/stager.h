@@ -33,6 +33,7 @@
 #include "highlight/fetch_backend.h"
 #include "sim/sim_clock.h"
 #include "util/metrics.h"
+#include "util/span.h"
 #include "util/status.h"
 #include "util/trace.h"
 
@@ -110,6 +111,15 @@ class StagerScheduler {
   }
   // Routes failover/steering decisions into a trace ring (kFailover events).
   void SetTracer(Tracer tracer) { tracer_ = tracer; }
+  // Causal tracing. Point this at the federation's shared tracer (the
+  // ObservabilityHub core) to get one span tree across the stager and the
+  // shards it drives: SubmitFetch records a closed "stager_admit" root,
+  // Pump wraps each shard batch in a "stager_dispatch" child of the batch's
+  // first admit span — the shard's own fetch spans nest under it through
+  // the shared implicit-context stack — and every request in the batch gets
+  // a "stager_fanout" leaf under the dispatch, so a coalesced recall's
+  // requests all share one parent.
+  void SetSpans(SpanTracer* spans) { spans_ = spans; }
 
   // --- Admission -----------------------------------------------------------
 
@@ -144,6 +154,7 @@ class StagerScheduler {
     int shard = 0;
     uint32_t tseg = 0;
     SimTime submitted_at = 0;
+    SpanId admit_span = kNoSpan;  // The request's "stager_admit" root span.
   };
   struct MigrationItem {
     int shard = 0;
@@ -178,6 +189,7 @@ class StagerScheduler {
   std::set<int> quarantined_sites_;
   const SiteHealthProvider* site_health_ = nullptr;
   Tracer tracer_;
+  SpanTracer* spans_ = nullptr;
   uint64_t starved_rounds_ = 0;  // Demand rounds maintenance has waited.
 
   std::vector<Tenant> tenants_;                // First-submission order.

@@ -70,7 +70,11 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
   auto hl = std::unique_ptr<HighLightFs>(new HighLightFs());
   hl->clock_ = clock;
   hl->trace_ = std::make_unique<TraceRing>(clock);
-  hl->spans_ = std::make_unique<SpanTracer>(clock, config.span_capacity);
+  hl->spans_ =
+      config.shared_spans != nullptr
+          ? std::make_unique<SpanTracer>(config.shared_spans,
+                                         config.span_track_prefix)
+          : std::make_unique<SpanTracer>(clock, config.span_capacity);
   hl->timeseries_ = std::make_unique<TimeSeriesSampler>(
       config.timeseries_cadence_us, config.timeseries_capacity);
   hl->faults_ = std::make_unique<FaultInjector>(clock, config.fault_seed);

@@ -100,6 +100,14 @@ struct HighLightConfig {
 
   // Observability. Completed causal spans kept in the tracer's window.
   size_t span_capacity = 4096;
+  // Federation mode: when set, this deployment's tracer is a *view* of the
+  // shared tracer (ObservabilityHub core), forwarding every span with
+  // `span_track_prefix` applied to its track ("shard0." → lanes
+  // "shard0.service", "shard0.io", ...). All deployments sharing one core
+  // trace into a single causal tree; span_capacity is ignored (the core's
+  // window governs). The shared tracer must outlive this deployment.
+  SpanTracer* shared_spans = nullptr;
+  std::string span_track_prefix;
   // Gauge-sampling cadence for the time-series telemetry (0 disables);
   // default one sample per simulated second. Points kept per series are
   // bounded by timeseries_capacity. Sampling only reads state, so bench
@@ -171,6 +179,11 @@ class HighLightConfig::Builder {
   }
   Builder& SpanCapacity(size_t capacity) {
     config_.span_capacity = capacity;
+    return *this;
+  }
+  Builder& SharedSpans(SpanTracer* spans, std::string track_prefix) {
+    config_.shared_spans = spans;
+    config_.span_track_prefix = std::move(track_prefix);
     return *this;
   }
   Builder& TimeseriesCadence(SimTime cadence_us) {

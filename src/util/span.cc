@@ -11,12 +11,19 @@ namespace hl {
 SpanTracer::SpanTracer(SimClock* clock, size_t capacity)
     : clock_(clock), capacity_(capacity == 0 ? 1 : capacity) {}
 
+SpanTracer::SpanTracer(SpanTracer* delegate, std::string track_prefix)
+    : delegate_(delegate), prefix_(std::move(track_prefix)) {}
+
 SpanId SpanTracer::Begin(std::string name, std::string track) {
   return BeginChildOf(current(), std::move(name), std::move(track));
 }
 
 SpanId SpanTracer::BeginChildOf(SpanId parent, std::string name,
                                 std::string track) {
+  if (delegate_ != nullptr) {
+    return delegate_->BeginChildOf(parent, std::move(name),
+                                   prefix_ + track);
+  }
   SpanRecord rec;
   rec.id = next_id_++;
   rec.parent = parent;
@@ -38,6 +45,10 @@ SpanRecord* SpanTracer::FindOpen(SpanId id) {
 }
 
 void SpanTracer::Annotate(SpanId id, std::string key, std::string value) {
+  if (delegate_ != nullptr) {
+    delegate_->Annotate(id, std::move(key), std::move(value));
+    return;
+  }
   SpanRecord* rec = FindOpen(id);
   if (rec == nullptr) {
     // Recently completed (AddComplete) spans are annotated after the fact;
@@ -63,6 +74,10 @@ void SpanTracer::Retire(SpanRecord rec) {
 }
 
 void SpanTracer::End(SpanId id) {
+  if (delegate_ != nullptr) {
+    delegate_->End(id);
+    return;
+  }
   if (id == kNoSpan) {
     return;
   }
@@ -97,6 +112,10 @@ void SpanTracer::End(SpanId id) {
 SpanId SpanTracer::AddComplete(std::string name, std::string track,
                                SpanId parent, SimTime begin_us,
                                SimTime end_us) {
+  if (delegate_ != nullptr) {
+    return delegate_->AddComplete(std::move(name), prefix_ + track, parent,
+                                  begin_us, end_us);
+  }
   SpanRecord rec;
   rec.id = next_id_++;
   rec.parent = parent;
@@ -110,6 +129,9 @@ SpanId SpanTracer::AddComplete(std::string name, std::string track,
 }
 
 std::vector<SpanRecord> SpanTracer::Slowest(size_t n) const {
+  if (delegate_ != nullptr) {
+    return delegate_->Slowest(n);
+  }
   std::vector<SpanRecord> all(done_.begin(), done_.end());
   std::stable_sort(all.begin(), all.end(),
                    [](const SpanRecord& a, const SpanRecord& b) {
@@ -122,6 +144,10 @@ std::vector<SpanRecord> SpanTracer::Slowest(size_t n) const {
 }
 
 void SpanTracer::Clear() {
+  if (delegate_ != nullptr) {
+    delegate_->Clear();
+    return;
+  }
   open_.clear();
   stack_.clear();
   done_.clear();
@@ -146,6 +172,9 @@ std::string ArgsJson(const SpanRecord& r) {
 }  // namespace
 
 std::string SpanTracer::ToJson(size_t max_records) const {
+  if (delegate_ != nullptr) {
+    return delegate_->ToJson(max_records);
+  }
   size_t take = std::min(max_records, done_.size());
   size_t start = done_.size() - take;
   std::string out = "[";

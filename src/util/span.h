@@ -59,9 +59,23 @@ struct SpanRecord {
 
 // Bounded collector of completed spans (oldest dropped beyond `capacity`)
 // plus the stack of currently-open spans. Single-threaded; no locking.
+//
+// A tracer can also be constructed as a *view* over another tracer: every
+// operation forwards to the delegate with the view's track prefix applied,
+// and the open-span stack, completed window and ids are the delegate's. A
+// federation of deployments sharing one core tracer through per-deployment
+// views ("shard0.", "siteA.") therefore produces one causal span tree
+// spanning all of them — a stager dispatch that opens a span and then calls
+// into a shard nests the shard's spans under it automatically, because both
+// sides push onto the same implicit-context stack.
 class SpanTracer {
  public:
   explicit SpanTracer(SimClock* clock, size_t capacity = 4096);
+  // View constructor: forwards every operation to `delegate`, prefixing
+  // span tracks with `track_prefix` (e.g. "siteA." turns track "service"
+  // into "siteA.service" — its own lane in the merged timeline). The
+  // delegate must outlive the view.
+  SpanTracer(SpanTracer* delegate, std::string track_prefix);
 
   // Opens a span as a child of the innermost open span (the stack top).
   SpanId Begin(std::string name, std::string track);
@@ -83,16 +97,42 @@ class SpanTracer {
                      SimTime begin_us, SimTime end_us);
 
   // The innermost open span (kNoSpan when idle).
-  SpanId current() const { return stack_.empty() ? kNoSpan : stack_.back(); }
+  SpanId current() const {
+    if (delegate_ != nullptr) {
+      return delegate_->current();
+    }
+    return stack_.empty() ? kNoSpan : stack_.back();
+  }
   TraceContext Capture() { return TraceContext{this, current()}; }
 
-  size_t capacity() const { return capacity_; }
-  size_t open_count() const { return open_.size(); }
+  size_t capacity() const {
+    return delegate_ != nullptr ? delegate_->capacity() : capacity_;
+  }
+  size_t open_count() const {
+    return delegate_ != nullptr ? delegate_->open_count() : open_.size();
+  }
+  // True when no span is open and the implicit-context stack is empty — the
+  // end-of-run invariant the leak checks assert (a missed SpanScope unwind
+  // would leave residue here and silently mis-parent later spans).
+  bool quiescent() const {
+    if (delegate_ != nullptr) {
+      return delegate_->quiescent();
+    }
+    return open_.empty() && stack_.empty();
+  }
   // Lifetime count of completed spans, including dropped ones.
-  uint64_t total_spans() const { return total_; }
+  uint64_t total_spans() const {
+    return delegate_ != nullptr ? delegate_->total_spans() : total_;
+  }
+  // The tracer actually holding the spans (self unless this is a view).
+  const SpanTracer* root() const {
+    return delegate_ != nullptr ? delegate_->root() : this;
+  }
 
   // The surviving window of completed spans, oldest completion first.
-  const std::deque<SpanRecord>& Completed() const { return done_; }
+  const std::deque<SpanRecord>& Completed() const {
+    return delegate_ != nullptr ? delegate_->Completed() : done_;
+  }
   // The `n` longest completed spans, slowest first.
   std::vector<SpanRecord> Slowest(size_t n) const;
 
@@ -105,8 +145,10 @@ class SpanTracer {
   SpanRecord* FindOpen(SpanId id);
   void Retire(SpanRecord rec);
 
-  SimClock* clock_;
-  size_t capacity_;
+  SimClock* clock_ = nullptr;
+  size_t capacity_ = 0;
+  SpanTracer* delegate_ = nullptr;  // Non-null when this is a view.
+  std::string prefix_;              // View track prefix ("siteA.").
   std::vector<SpanRecord> open_;  // Open spans, begin order.
   std::vector<SpanId> stack_;     // Implicit-context stack.
   std::deque<SpanRecord> done_;   // Completed spans, completion order.

@@ -54,6 +54,10 @@ const char* TraceEventName(TraceEvent event) {
       return "read_coalesce";
     case TraceEvent::kFetchBatch:
       return "fetch_batch";
+    case TraceEvent::kSloBreach:
+      return "slo_breach";
+    case TraceEvent::kSloClear:
+      return "slo_clear";
   }
   return "unknown";
 }

@@ -51,10 +51,12 @@ enum class TraceEvent : uint8_t {
   kScrubLoss,       // a=tseg, b=volume: no intact copy found.
   kReadCoalesce,    // a=tseg, b=waiters: duplicate read merged into one op.
   kFetchBatch,      // a=request count: batched demand-fetch service.
+  kSloBreach,       // a=SLO rule index, b=observed series value.
+  kSloClear,        // a=SLO rule index, b=observed series value.
 };
 
 inline constexpr size_t kTraceEventCount =
-    static_cast<size_t>(TraceEvent::kFetchBatch) + 1;
+    static_cast<size_t>(TraceEvent::kSloClear) + 1;
 
 // Stable lower_snake_case name ("seg_fetch", "volume_switch", ...).
 const char* TraceEventName(TraceEvent event);

@@ -21,21 +21,30 @@ SimTime WanLink::TransferCost(uint64_t bytes) const {
 }
 
 Status WanLink::Transfer(std::span<uint8_t> payload) {
+  SpanScope span(spans_, "wan_transfer", ("wan." + name_).c_str());
+  span.Annotate("bytes", std::to_string(payload.size()));
   if (faults_ != nullptr) {
     const FaultOutcome outcome =
         faults_->Decide(FaultOp::kWrite, 0, payload.size());
     if (outcome != FaultOutcome::kNone) {
       // The sender pays the round-trip it waited before declaring timeout.
+      inflight_bytes_ = payload.size();
       clock_->Advance(profile_.latency_us);
+      inflight_bytes_ = 0;
       failures_total_++;
       transfer_failures_++;
+      span.Annotate("outcome", FaultOutcomeName(outcome));
       return Status(ErrorCode::kIoError,
                     "wan link " + name_ + ": transfer failed (" +
                         FaultOutcomeName(outcome) + ")");
     }
   }
   const SimTime cost = TransferCost(payload.size());
+  // In-flight while the clock crosses the wire time: a tick-hook sampler
+  // polling at a cadence boundary inside the advance sees the payload.
+  inflight_bytes_ = payload.size();
   clock_->Advance(cost);
+  inflight_bytes_ = 0;
   if (faults_ != nullptr && faults_->MaybeCorruptRead(payload, 0)) {
     corrupted_total_++;
     corrupted_++;

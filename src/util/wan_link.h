@@ -25,6 +25,7 @@
 #include "sim/sim_clock.h"
 #include "util/fault_injector.h"
 #include "util/metrics.h"
+#include "util/span.h"
 #include "util/status.h"
 
 namespace hl {
@@ -53,6 +54,12 @@ class WanLink {
   // stay readable through the accessors below).
   void AttachMetrics(MetricsRegistry* registry);
 
+  // Traces each Transfer as a "wan_transfer" span on track "wan.<name>" —
+  // its own lane in a merged federation timeline. The span nests under
+  // whatever the caller has open (a site ship, an anti-entropy round), so
+  // the WAN hop links into the cross-site causal tree.
+  void SetSpans(SpanTracer* spans) { spans_ = spans; }
+
   // Wire time for one message of `bytes`: latency + bytes / bandwidth.
   SimTime TransferCost(uint64_t bytes) const;
 
@@ -74,12 +81,18 @@ class WanLink {
   uint64_t bytes_shipped() const { return bytes_total_; }
   uint64_t failures() const { return failures_total_; }
   uint64_t corrupted_in_flight() const { return corrupted_total_; }
+  // Bytes currently on the wire. Nonzero only while a Transfer's clock
+  // advance is in progress, which is exactly when tick-hook samplers run —
+  // a cadence boundary crossed mid-transfer observes the payload size.
+  uint64_t inflight_bytes() const { return inflight_bytes_; }
 
  private:
   std::string name_;
   SimClock* clock_;
   WanLinkProfile profile_;
   FaultChannel* faults_ = nullptr;
+  SpanTracer* spans_ = nullptr;
+  uint64_t inflight_bytes_ = 0;
 
   uint64_t transfers_total_ = 0;
   uint64_t bytes_total_ = 0;

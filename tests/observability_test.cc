@@ -138,6 +138,16 @@ class ObservabilityFsTest : public ::testing::Test {
     hl_ = std::move(*hl);
   }
 
+  // End-of-run span-context leak check: a missed SpanScope unwind leaves
+  // the implicit-context stack non-empty and would silently mis-parent
+  // every span the next operation opens.
+  void TearDown() override {
+    if (hl_ != nullptr) {
+      EXPECT_TRUE(hl_->spans().quiescent())
+          << hl_->spans().open_count() << " spans still open";
+    }
+  }
+
   SimClock clock_;
   std::unique_ptr<HighLightFs> hl_;
 };

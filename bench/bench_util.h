@@ -129,6 +129,21 @@ class JsonReport {
     values_.emplace_back(key, Quoted(s));
   }
 
+  // Run facts that are *not* part of the compared surface: wall-clock
+  // timings, host throughput, mode flags. They land in the report's "info"
+  // object, which scripts/bench_diff.py never reads — "values" is reserved
+  // for deterministic simulation output, and anything nondeterministic in
+  // it would break the bit-identity gates.
+  void Info(const std::string& key, double v) {
+    info_.emplace_back(key, Fmt("%.3f", v));
+  }
+  void Info(const std::string& key, uint64_t v) {
+    info_.emplace_back(key, std::to_string(v));
+  }
+  void Info(const std::string& key, const std::string& s) {
+    info_.emplace_back(key, Quoted(s));
+  }
+
   // Embeds a registry snapshot under metrics.<label>.
   void Snapshot(const std::string& label, const MetricsSnapshot& snap) {
     snapshots_.emplace_back(label, snap.ToJson(4));
@@ -170,6 +185,15 @@ class JsonReport {
       w.Raw(encoded);  // Pre-encoded by Value() (Fmt("%.3f") / quoting).
     }
     w.EndObject();
+    if (!info_.empty()) {
+      w.Key("info");
+      w.BeginObject();
+      for (const auto& [key, encoded] : info_) {
+        w.Key(key);
+        w.Raw(encoded);
+      }
+      w.EndObject();
+    }
     w.Key("metrics");
     w.BeginObject();
     for (const auto& [label, body] : snapshots_) {
@@ -220,6 +244,7 @@ class JsonReport {
 
   std::string name_;
   std::vector<std::pair<std::string, std::string>> values_;
+  std::vector<std::pair<std::string, std::string>> info_;
   std::vector<std::pair<std::string, std::string>> snapshots_;
   std::vector<std::pair<std::string, std::string>> traces_;
   std::string timeline_events_;

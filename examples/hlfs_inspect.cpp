@@ -429,8 +429,8 @@ int main(int argc, char** argv) {
     std::printf("%s", RenderSpanForest(hl->spans().Completed()).c_str());
     std::printf("\n=== slowest spans ===\n");
     for (const SpanRecord& s : hl->spans().Slowest(10)) {
-      std::printf("  %-18s [%-14s] %10llu us @%llu\n", s.name.c_str(),
-                  s.track.c_str(),
+      std::printf("  %-18s [%-14s] %10llu us @%llu\n",
+                  std::string(s.name).c_str(), std::string(s.track).c_str(),
                   static_cast<unsigned long long>(s.duration_us()),
                   static_cast<unsigned long long>(s.begin_us));
     }

@@ -74,6 +74,27 @@ cmake --build --preset default --target federation_scale -j "$jobs" >/dev/null
 python3 scripts/bench_diff.py "$smoke_dir"/BENCH_federation_scale_smoke.json \
   bench/baselines/federation_scale_smoke.json
 
+# Parallel-determinism gate: the same smoke population with every shard on
+# its own timeline (--parallel_shards) must produce byte-identical headline
+# values — both modes are diffed against the same committed baseline. The
+# run must also sustain the committed sim-ops/sec wall-clock floor, so an
+# engine slowdown cannot hide behind bit-identical simulated output.
+echo "==> parallel-shards gate (determinism + ops floor)"
+(cd "$smoke_dir" && \
+  "$OLDPWD"/build/bench/federation_scale --smoke --parallel_shards >/dev/null)
+python3 scripts/bench_diff.py "$smoke_dir"/BENCH_federation_scale_smoke.json \
+  bench/baselines/federation_scale_smoke.json
+python3 - "$smoke_dir"/BENCH_federation_scale_smoke.json \
+  bench/baselines/federation_scale_opsfloor.txt <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+rate = float(doc["info"]["sim_ops_per_sec"])
+floor = float(open(sys.argv[2]).read().split()[0])
+print(f"  federation_scale --parallel_shards: {rate:.0f} sim-ops/s "
+      f"(committed floor: {floor:.0f})")
+sys.exit(0 if rate >= floor else 1)
+EOF
+
 # Site-disaster gate: kill one of two replicated sites mid-workload, fail
 # demand over to the survivor, rebuild the dead site from its peer via
 # anti-entropy. The smoke drill's recovery time, re-shipped byte count and

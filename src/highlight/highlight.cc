@@ -217,14 +217,14 @@ Result<std::unique_ptr<HighLightFs>> HighLightFs::Create(
                      : 0;
         });
   }
-  clock->SetTickHook(
+  hl->tick_hook_id_ = clock->AddTickHook(
       [self](SimTime now) { self->timeseries_->Poll(now); });
   return hl;
 }
 
 HighLightFs::~HighLightFs() {
   if (clock_ != nullptr) {
-    clock_->SetTickHook(nullptr);
+    clock_->RemoveTickHook(tick_hook_id_);
   }
 }
 
@@ -243,6 +243,12 @@ Status HighLightFs::WireFsComponents() {
   fs_->SetTertiaryAccounting(
       [tsegs = tsegs_.get()](uint32_t daddr, int64_t delta) {
         tsegs->OnAccounting(daddr, delta);
+      });
+  // Migration/free passes deliver all their deltas in one crossing.
+  fs_->SetTertiaryAccountingBatch(
+      [tsegs = tsegs_.get()](
+          std::span<const std::pair<uint32_t, int64_t>> deltas) {
+        tsegs->OnAccountingBatch(deltas);
       });
 
   io_server_->SetReplicaResolver([tsegs = tsegs_.get()](uint32_t tseg) {
@@ -662,6 +668,16 @@ void HighLightFs::RefreshDerivedGauges() {
   for (const auto& [phase, total] : io_server_->phases().totals()) {
     metrics_.gauge("phase." + phase + "_us").Set(static_cast<int64_t>(total));
   }
+
+  // Engine arena telemetry: sizes of the allocation-free hot-path pools
+  // (docs/METRICS.md "engine.*"). Steady-state growth here means a pool is
+  // not actually recycling.
+  metrics_.gauge("engine.interned_strings")
+      .Set(static_cast<int64_t>(spans_->interned_strings()));
+  metrics_.gauge("engine.span_window_bytes")
+      .Set(static_cast<int64_t>(spans_->window_bytes()));
+  metrics_.gauge("engine.buffer_arena_bytes")
+      .Set(static_cast<int64_t>(fs_->buffer_cache().arena_bytes()));
 }
 
 MetricsSnapshot HighLightFs::Metrics() {

@@ -355,6 +355,7 @@ class HighLightFs : public FetchBackend, public SiteStore {
   std::unique_ptr<TraceRing> trace_;
   std::unique_ptr<SpanTracer> spans_;
   std::unique_ptr<TimeSeriesSampler> timeseries_;
+  SimClock::TickHookId tick_hook_id_ = 0;
 };
 
 }  // namespace hl

@@ -149,7 +149,7 @@ Status IoServer::ReadTertiaryCopy(uint32_t source, std::span<uint8_t> buf) {
   return RetrySync(source, volume, [&]() {
     SimTime t0 = clock_->Now();
     Status s = footprint_->Read(static_cast<int>(volume), offset, buf);
-    phases_.Add("footprint", clock_->Now() - t0);
+    phases_.Add(phase_footprint_, clock_->Now() - t0);
     if (s.ok()) {
       s = VerifyCrc(source, buf, volume);
     }
@@ -201,7 +201,7 @@ Status IoServer::FetchSegment(uint32_t tseg, uint32_t disk_seg) {
   SimTime t0 = clock_->Now();
   RETURN_IF_ERROR(raw_disk_->WriteBlocks(DiskSegFirstBlock(disk_seg),
                                          seg_size_blocks_, buf));
-  phases_.Add("ioserver", clock_->Now() - t0 + copy);
+  phases_.Add(phase_ioserver_, clock_->Now() - t0 + copy);
   install = SpanScope();  // Close before the fetch-level bookkeeping.
 
   stats_.segments_fetched++;
@@ -222,14 +222,14 @@ Status IoServer::CopyOutSegment(uint32_t tseg, uint32_t disk_seg) {
                                         seg_size_blocks_, buf));
   SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
   clock_->Advance(copy);
-  phases_.Add("ioserver", clock_->Now() - t0);
+  phases_.Add(phase_ioserver_, clock_->Now() - t0);
 
   uint32_t volume = amap_->VolumeOfTseg(tseg);
   uint64_t offset = amap_->ByteOffsetOnVolume(tseg);
   Status write = RetrySync(tseg, volume, [&]() {
     SimTime w0 = clock_->Now();
     Status s = footprint_->Write(volume, offset, buf);
-    phases_.Add("footprint", clock_->Now() - w0);
+    phases_.Add(phase_footprint_, clock_->Now() - w0);
     return s;
   });
   if (write.code() == ErrorCode::kEndOfMedium) {
@@ -445,7 +445,7 @@ Status IoServer::IssueOne(PendingOp& op) {
   }
   SimTime copy = cpu_copy_us_per_mb_ * seg_bytes / (1024 * 1024);
   clock_->Advance(copy);
-  phases_.Add("ioserver", clock_->Now() - t0);
+  phases_.Add(phase_ioserver_, clock_->Now() - t0);
 
   // The tertiary write is scheduled, not waited for: data moves to the
   // medium now, device time completes at *end. End-of-medium (and any other
@@ -498,7 +498,7 @@ Status IoServer::IssueOne(PendingOp& op) {
     spans_->AddComplete("tertiary_write", "tertiary", issue.id(), earliest,
                         *end);
   }
-  phases_.Add("footprint", *end - t0);
+  phases_.Add(phase_footprint_, *end - t0);
   outstanding_.insert(*end);
   pipeline_busy_until_ = std::max(pipeline_busy_until_, *end);
   stats_.segments_copied_out++;
@@ -573,7 +573,7 @@ Status IoServer::SchedulePrefetch(uint32_t tseg, std::span<uint8_t> buf,
   if (spans_ != nullptr) {
     spans_->AddComplete("tertiary_read", "tertiary", span.id(), t0, *end);
   }
-  phases_.Add("footprint", *end - t0);
+  phases_.Add(phase_footprint_, *end - t0);
   stats_.prefetches_scheduled++;
   tracer_.Record(TraceEvent::kPrefetch, tseg, *end - t0);
   if (done) {
@@ -592,7 +592,7 @@ Status IoServer::InstallSegment(uint32_t disk_seg,
   SimTime t0 = clock_->Now();
   RETURN_IF_ERROR(raw_disk_->WriteBlocks(DiskSegFirstBlock(disk_seg),
                                          seg_size_blocks_, bytes));
-  phases_.Add("ioserver", clock_->Now() - t0 + copy);
+  phases_.Add(phase_ioserver_, clock_->Now() - t0 + copy);
   stats_.segments_fetched++;
   stats_.bytes_fetched += seg_bytes;
   return OkStatus();
@@ -820,7 +820,7 @@ Status IoServer::ScheduleTertiaryCopy(uint32_t source, std::span<uint8_t> buf,
         spans_->AddComplete("tertiary_read", "tertiary", parent_span, t0,
                             *end);
       }
-      phases_.Add("footprint", *end - t0);
+      phases_.Add(phase_footprint_, *end - t0);
       *end_out = *end;
       return s;
     }
@@ -889,7 +889,7 @@ Status IoServer::IssueRead(PendingOp& op) {
     if (!wrote.ok()) {
       return DeliverRead(op, wrote, 0);
     }
-    phases_.Add("ioserver", clock_->Now() - t0 + copy);
+    phases_.Add(phase_ioserver_, clock_->Now() - t0 + copy);
     ready = std::max(ready, clock_->Now());
     stats_.segments_fetched++;
     stats_.bytes_fetched += seg_bytes;

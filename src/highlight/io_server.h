@@ -208,6 +208,11 @@ class IoServer {
   SimTime pipeline_busy_until() const { return pipeline_busy_until_; }
 
   PhaseAccumulator& phases() { return phases_; }
+  // Interned handles for the Table-4 phases: hot paths attribute time via
+  // Add(id, ...) — a vector index — instead of a per-call string lookup.
+  PhaseAccumulator::PhaseId phase_ioserver() const { return phase_ioserver_; }
+  PhaseAccumulator::PhaseId phase_footprint() const { return phase_footprint_; }
+  PhaseAccumulator::PhaseId phase_queuing() const { return phase_queuing_; }
   uint64_t SegBytes() const { return amap_->SegBytes(); }
 
   struct Stats {
@@ -347,6 +352,11 @@ class IoServer {
   CrcLookup crc_lookup_;
   CrcStore crc_store_;
   PhaseAccumulator phases_;
+  // Interned once here; "footprint"/"ioserver"/"queuing" sort in the same
+  // order the old string-keyed map iterated, keeping export output stable.
+  PhaseAccumulator::PhaseId phase_footprint_ = phases_.Intern("footprint");
+  PhaseAccumulator::PhaseId phase_ioserver_ = phases_.Intern("ioserver");
+  PhaseAccumulator::PhaseId phase_queuing_ = phases_.Intern("queuing");
   Stats stats_;
   Histogram fetch_latency_us_;    // Demand-fetch wall time.
   Histogram copyout_latency_us_;  // Issue-to-device-completion per copy-out.

@@ -61,7 +61,7 @@ Status Migrator::FinishPseg() {
   SimTime t0 = clock_->Now();
   Status wrote =
       dev_->WriteBlocks(image.base_daddr, image.num_blocks, image.bytes);
-  io_->phases().Add("ioserver", clock_->Now() - t0);
+  io_->phases().Add(io_->phase_ioserver(), clock_->Now() - t0);
   if (!wrote.ok()) {
     // The staging write failed after pointers were flipped onto these
     // addresses. Re-dirty the blocks so the next sync re-homes them on disk
@@ -104,7 +104,7 @@ Status Migrator::CompleteSegment(const MigratorOptions& opts) {
   // The kernel's copy-out request to the service process (Table 4 queuing).
   SimTime t0 = clock_->Now();
   clock_->Advance(2000);
-  io_->phases().Add("queuing", clock_->Now() - t0);
+  io_->phases().Add(io_->phase_queuing(), clock_->Now() - t0);
   if (!opts.delayed_copyout) {
     if (opts.write_behind) {
       RETURN_IF_ERROR(EnqueueCopyOut(tseg));
@@ -465,6 +465,8 @@ Status Migrator::MigrateOneFile(uint32_t ino, const MigratorOptions& opts,
     eff.migrate_metadata = true;
   }
 
+  // One tertiary-accounting crossing for the whole file, not two per block.
+  Lfs::TertiaryBatchScope batch(fs_);
   bool migrated_any = false;
   for (const BlockRef& ref : refs) {
     bool is_meta = IsMetaLbn(ref.lbn);
@@ -483,12 +485,12 @@ Status Migrator::MigrateOneFile(uint32_t ino, const MigratorOptions& opts,
     // copy carries the tertiary addresses.
     SimTime t0 = clock_->Now();
     ASSIGN_OR_RETURN(auto block, fs_->ReadFileBlock(ino, ref.lbn));
-    io_->phases().Add("ioserver", clock_->Now() - t0);
+    io_->phases().Add(io_->phase_ioserver(), clock_->Now() - t0);
     ASSIGN_OR_RETURN(uint32_t new_daddr,
                      StageBlock(ino, ref.version, ref.lbn, block.first, eff));
     Lfs::MigrationAssignment move{ino, ref.lbn, block.second, new_daddr};
-    ASSIGN_OR_RETURN(size_t applied, fs_->ApplyMigration({move}));
-    if (applied == 1) {
+    ASSIGN_OR_RETURN(bool applied, fs_->ApplyMigrationOne(move));
+    if (applied) {
       RecordMove(move);
       report.blocks_migrated++;
       report.bytes_migrated += kBlockSize;
@@ -522,6 +524,7 @@ Status Migrator::ReMigrateFileBlocks(uint32_t ino,
                                      bool restage_inode,
                                      const MigratorOptions& opts,
                                      MigrationReport& report) {
+  Lfs::TertiaryBatchScope batch(fs_);
   bool migrated_any = false;
   for (const BlockRef& ref : refs) {
     if (ref.daddr == kNoBlock) {
@@ -534,7 +537,7 @@ Status Migrator::ReMigrateFileBlocks(uint32_t ino,
     SimTime t0 = clock_->Now();
     Result<std::pair<std::vector<uint8_t>, uint32_t>> block =
         fs_->ReadFileBlock(ino, ref.lbn);
-    io_->phases().Add("ioserver", clock_->Now() - t0);
+    io_->phases().Add(io_->phase_ioserver(), clock_->Now() - t0);
     if (!block.ok()) {
       report.blocks_skipped++;
       continue;
@@ -547,8 +550,8 @@ Status Migrator::ReMigrateFileBlocks(uint32_t ino,
                      StageBlock(ino, ref.version, ref.lbn, block->first,
                                 opts));
     Lfs::MigrationAssignment move{ino, ref.lbn, block->second, new_daddr};
-    ASSIGN_OR_RETURN(size_t applied, fs_->ApplyMigration({move}));
-    if (applied == 1) {
+    ASSIGN_OR_RETURN(bool applied, fs_->ApplyMigrationOne(move));
+    if (applied) {
       RecordMove(move);
       report.blocks_migrated++;
       report.bytes_migrated += kBlockSize;
@@ -601,27 +604,32 @@ Result<MigrationReport> Migrator::MigrateBlocks(
   eff.migrate_inode = false;
   eff.migrate_metadata = false;
   ASSIGN_OR_RETURN(DInode inode, fs_->GetInode(ino));
-  for (uint32_t lbn : lbns) {
-    Result<std::pair<std::vector<uint8_t>, uint32_t>> block =
-        fs_->ReadFileBlock(ino, lbn);
-    if (!block.ok()) {
-      report.blocks_skipped++;
-      continue;
-    }
-    if (amap_->Classify(block->second) == AddressMap::Zone::kTertiary) {
-      report.blocks_skipped++;
-      continue;
-    }
-    ASSIGN_OR_RETURN(uint32_t new_daddr,
-                     StageBlock(ino, inode.version, lbn, block->first, eff));
-    Lfs::MigrationAssignment move{ino, lbn, block->second, new_daddr};
-    ASSIGN_OR_RETURN(size_t applied, fs_->ApplyMigration({move}));
-    if (applied == 1) {
-      RecordMove(move);
-      report.blocks_migrated++;
-      report.bytes_migrated += kBlockSize;
-    } else {
-      report.blocks_skipped++;
+  {
+    // Scope ends before Store() below so the tsegfile sees flushed state.
+    Lfs::TertiaryBatchScope batch(fs_);
+    for (uint32_t lbn : lbns) {
+      Result<std::pair<std::vector<uint8_t>, uint32_t>> block =
+          fs_->ReadFileBlock(ino, lbn);
+      if (!block.ok()) {
+        report.blocks_skipped++;
+        continue;
+      }
+      if (amap_->Classify(block->second) == AddressMap::Zone::kTertiary) {
+        report.blocks_skipped++;
+        continue;
+      }
+      ASSIGN_OR_RETURN(uint32_t new_daddr,
+                       StageBlock(ino, inode.version, lbn, block->first,
+                                  eff));
+      Lfs::MigrationAssignment move{ino, lbn, block->second, new_daddr};
+      ASSIGN_OR_RETURN(bool applied, fs_->ApplyMigrationOne(move));
+      if (applied) {
+        RecordMove(move);
+        report.blocks_migrated++;
+        report.bytes_migrated += kBlockSize;
+      } else {
+        report.blocks_skipped++;
+      }
     }
   }
   if (report.blocks_migrated > 0) {

@@ -9,10 +9,56 @@ namespace hl {
 SegmentCache::SegmentCache(Lfs* fs, CacheReplacement policy, uint64_t rng_seed)
     : fs_(fs), policy_(policy), rng_(rng_seed) {}
 
+SegmentCache::LineInfo* SegmentCache::FindLine(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  return it == directory_.end() ? nullptr : &lines_[it->second];
+}
+
+const SegmentCache::LineInfo* SegmentCache::FindLine(uint32_t tseg) const {
+  auto it = directory_.find(tseg);
+  return it == directory_.end() ? nullptr : &lines_[it->second];
+}
+
+SegmentCache::LineInfo& SegmentCache::EmplaceLine(const LineInfo& line) {
+  uint32_t slot;
+  if (!line_free_.empty()) {
+    slot = line_free_.back();
+    line_free_.pop_back();
+    lines_[slot] = line;
+  } else {
+    slot = static_cast<uint32_t>(lines_.size());
+    lines_.push_back(line);
+  }
+  directory_[line.tseg] = slot;
+  return lines_[slot];
+}
+
+void SegmentCache::EraseLine(uint32_t tseg) {
+  auto it = directory_.find(tseg);
+  if (it == directory_.end()) {
+    return;
+  }
+  lines_[it->second].tseg = kNoSegment;
+  line_free_.push_back(it->second);
+  directory_.erase(it);
+}
+
+std::vector<uint32_t> SegmentCache::SortedTsegs() const {
+  std::vector<uint32_t> tsegs;
+  tsegs.reserve(directory_.size());
+  for (const auto& [tseg, slot] : directory_) {
+    tsegs.push_back(tseg);
+  }
+  std::sort(tsegs.begin(), tsegs.end());
+  return tsegs;
+}
+
 Status SegmentCache::Init() {
   pool_.clear();
   free_.clear();
   directory_.clear();
+  lines_.clear();
+  line_free_.clear();
   for (uint32_t seg = 0; seg < fs_->NumSegments(); ++seg) {
     const SegUsage& u = fs_->GetSegUsage(seg);
     if (!(u.flags & kSegCacheEligible) || (u.flags & kSegNoStore)) {
@@ -30,7 +76,7 @@ Status SegmentCache::Init() {
       // of its segment: restore the pin or eviction would lose the data.
       line.staging = (u.flags & kSegStaging) != 0;
       line.dirty = line.staging;
-      directory_[u.cache_tseg] = line;
+      EmplaceLine(line);
     } else {
       free_.push_back(seg);
     }
@@ -42,38 +88,38 @@ Status SegmentCache::Init() {
 }
 
 uint32_t SegmentCache::Lookup(uint32_t tseg) const {
-  auto it = directory_.find(tseg);
-  return it == directory_.end() ? kNoSegment : it->second.disk_seg;
+  const LineInfo* line = FindLine(tseg);
+  return line == nullptr ? kNoSegment : line->disk_seg;
 }
 
 uint32_t SegmentCache::LookupForAccess(uint32_t tseg) {
-  auto it = directory_.find(tseg);
-  if (it == directory_.end()) {
+  LineInfo* line = FindLine(tseg);
+  if (line == nullptr) {
     ++misses_;
     return kNoSegment;
   }
-  CompleteIfReady(it->second);
-  if (it->second.installing) {
+  CompleteIfReady(*line);
+  if (line->installing) {
     // The line exists but its data is still in flight: a miss, so the
     // fault handler coalesces this request onto the existing fetch.
     ++misses_;
     return kNoSegment;
   }
   ++hits_;
-  if (it->second.prefetched) {
-    it->second.prefetched = false;
+  if (line->prefetched) {
+    line->prefetched = false;
     ++prefetches_used_;
   }
-  return it->second.disk_seg;
+  return line->disk_seg;
 }
 
 void SegmentCache::Touch(uint32_t tseg) {
-  auto it = directory_.find(tseg);
-  if (it == directory_.end()) {
+  LineInfo* line = FindLine(tseg);
+  if (line == nullptr) {
     return;
   }
-  it->second.last_access = fs_->clock()->Now();
-  it->second.touches++;
+  line->last_access = fs_->clock()->Now();
+  line->touches++;
 }
 
 void SegmentCache::RetirePrefetchedOnDrop(const LineInfo& line) {
@@ -83,9 +129,13 @@ void SegmentCache::RetirePrefetchedOnDrop(const LineInfo& line) {
 }
 
 Result<uint32_t> SegmentCache::PickVictim() {
-  // Candidates: non-pinned (not staging, not dirty, not installing) lines.
+  // Candidates: non-pinned (not staging, not dirty, not installing) lines,
+  // visited in ascending tseg order so tie-breaks (first minimum wins, and
+  // the random policy's candidate indexing) match the original ordered-map
+  // directory exactly.
   std::vector<const LineInfo*> candidates;
-  for (auto& [tseg, line] : directory_) {
+  for (uint32_t tseg : SortedTsegs()) {
+    LineInfo& line = lines_[directory_.at(tseg)];
     CompleteIfReady(line);
     if (!line.staging && !line.dirty && !line.installing) {
       candidates.push_back(&line);
@@ -146,7 +196,7 @@ Result<uint32_t> SegmentCache::AllocLine(uint32_t tseg, bool staging,
     free_.pop_back();
   } else {
     ASSIGN_OR_RETURN(uint32_t victim_tseg, PickVictim());
-    disk_seg = directory_[victim_tseg].disk_seg;
+    disk_seg = FindLine(victim_tseg)->disk_seg;
     RETURN_IF_ERROR(Eject(victim_tseg));
     // Eject put the segment back on the free list; claim it.
     free_.pop_back();
@@ -161,12 +211,13 @@ Result<uint32_t> SegmentCache::AllocLine(uint32_t tseg, bool staging,
   line.staging = staging;
   line.dirty = staging;
   line.prefetched = prefetched && !staging;
-  directory_[tseg] = line;
+  bool counted_prefetch = line.prefetched;
+  EmplaceLine(line);
   if (staging) {
     ++staged_lines_;
     tracer_.Record(TraceEvent::kCacheStage, tseg, disk_seg);
   }
-  if (line.prefetched) {
+  if (counted_prefetch) {
     ++prefetches_installed_;
   }
   // Mirror into the ifile so a remount can rebuild the directory.
@@ -178,13 +229,13 @@ Result<uint32_t> SegmentCache::AllocLine(uint32_t tseg, bool staging,
 }
 
 Status SegmentCache::MarkCopiedOut(uint32_t tseg) {
-  auto it = directory_.find(tseg);
-  if (it == directory_.end()) {
+  LineInfo* line = FindLine(tseg);
+  if (line == nullptr) {
     return NotFound("tseg " + std::to_string(tseg) + " not cached");
   }
-  it->second.staging = false;
-  it->second.dirty = false;
-  return fs_->SetSegFlags(it->second.disk_seg, 0, kSegStaging);
+  line->staging = false;
+  line->dirty = false;
+  return fs_->SetSegFlags(line->disk_seg, 0, kSegStaging);
 }
 
 Status SegmentCache::Retag(uint32_t old_tseg, uint32_t new_tseg) {
@@ -192,31 +243,31 @@ Status SegmentCache::Retag(uint32_t old_tseg, uint32_t new_tseg) {
   if (it == directory_.end()) {
     return NotFound("tseg " + std::to_string(old_tseg) + " not cached");
   }
-  LineInfo line = it->second;
+  uint32_t slot = it->second;
   directory_.erase(it);
-  line.tseg = new_tseg;
-  directory_[new_tseg] = line;
-  return fs_->SetSegCacheTag(line.disk_seg, new_tseg);
+  lines_[slot].tseg = new_tseg;
+  directory_[new_tseg] = slot;
+  return fs_->SetSegCacheTag(lines_[slot].disk_seg, new_tseg);
 }
 
 Status SegmentCache::Eject(uint32_t tseg) {
-  auto it = directory_.find(tseg);
-  if (it == directory_.end()) {
+  LineInfo* line = FindLine(tseg);
+  if (line == nullptr) {
     return NotFound("tseg " + std::to_string(tseg) + " not cached");
   }
-  CompleteIfReady(it->second);
-  if (it->second.staging || it->second.dirty) {
+  CompleteIfReady(*line);
+  if (line->staging || line->dirty) {
     return Status(ErrorCode::kBusy, "line holds the only copy (staging)");
   }
-  if (it->second.installing) {
+  if (line->installing) {
     return Status(ErrorCode::kBusy, "line install still in flight");
   }
-  uint32_t disk_seg = it->second.disk_seg;
-  RetirePrefetchedOnDrop(it->second);
+  uint32_t disk_seg = line->disk_seg;
+  RetirePrefetchedOnDrop(*line);
   SpanScope span(spans_, "evict", "cache");
   span.Annotate("tseg", std::to_string(tseg));
   tracer_.Record(TraceEvent::kCacheEvict, tseg, disk_seg);
-  directory_.erase(it);
+  EraseLine(tseg);
   free_.push_back(disk_seg);
   RETURN_IF_ERROR(
       fs_->SetSegFlags(disk_seg, kSegClean, kSegCached | kSegStaging));
@@ -234,56 +285,56 @@ void SegmentCache::CompleteIfReady(LineInfo& line) {
 Result<uint32_t> SegmentCache::BeginInstall(uint32_t tseg, bool prefetched) {
   ASSIGN_OR_RETURN(uint32_t disk_seg,
                    AllocLine(tseg, /*staging=*/false, prefetched));
-  LineInfo& line = directory_[tseg];
-  line.installing = true;
-  line.ready_at = 0;
+  LineInfo* line = FindLine(tseg);
+  line->installing = true;
+  line->ready_at = 0;
   ++inflight_begun_;
   return disk_seg;
 }
 
 void SegmentCache::SetInstallReady(uint32_t tseg, SimTime ready_at) {
-  auto it = directory_.find(tseg);
-  if (it != directory_.end() && it->second.installing) {
-    it->second.ready_at = ready_at;
+  LineInfo* line = FindLine(tseg);
+  if (line != nullptr && line->installing) {
+    line->ready_at = ready_at;
   }
 }
 
 Status SegmentCache::FinishInstall(uint32_t tseg) {
-  auto it = directory_.find(tseg);
-  if (it == directory_.end()) {
+  LineInfo* line = FindLine(tseg);
+  if (line == nullptr) {
     return NotFound("tseg " + std::to_string(tseg) + " not cached");
   }
-  if (it->second.installing) {
-    it->second.installing = false;
+  if (line->installing) {
+    line->installing = false;
     ++inflight_completed_;
   }
   return OkStatus();
 }
 
 Status SegmentCache::AbortInstall(uint32_t tseg) {
-  auto it = directory_.find(tseg);
-  if (it == directory_.end()) {
+  LineInfo* line = FindLine(tseg);
+  if (line == nullptr) {
     return NotFound("tseg " + std::to_string(tseg) + " not cached");
   }
-  if (it->second.installing) {
-    it->second.installing = false;
+  if (line->installing) {
+    line->installing = false;
     ++inflight_aborted_;
   }
   return Eject(tseg);
 }
 
 bool SegmentCache::Installing(uint32_t tseg) {
-  auto it = directory_.find(tseg);
-  if (it == directory_.end()) {
+  LineInfo* line = FindLine(tseg);
+  if (line == nullptr) {
     return false;
   }
-  CompleteIfReady(it->second);
-  return it->second.installing;
+  CompleteIfReady(*line);
+  return line->installing;
 }
 
 SimTime SegmentCache::InstallReadyAt(uint32_t tseg) const {
-  auto it = directory_.find(tseg);
-  return it == directory_.end() ? 0 : it->second.ready_at;
+  const LineInfo* line = FindLine(tseg);
+  return line == nullptr ? 0 : line->ready_at;
 }
 
 void SegmentCache::NoteInflightWait(uint32_t tseg) {
@@ -306,7 +357,7 @@ Status SegmentCache::Resize(uint32_t new_capacity) {
       free_.pop_back();
     } else {
       ASSIGN_OR_RETURN(uint32_t victim_tseg, PickVictim());
-      seg = directory_[victim_tseg].disk_seg;
+      seg = FindLine(victim_tseg)->disk_seg;
       RETURN_IF_ERROR(Eject(victim_tseg));
       free_.pop_back();  // Eject freed it; claim it for release.
       ++evictions_;
@@ -354,8 +405,8 @@ void SegmentCache::AttachMetrics(MetricsRegistry* registry, Tracer tracer) {
 std::vector<SegmentCache::LineInfo> SegmentCache::Lines() const {
   std::vector<LineInfo> out;
   out.reserve(directory_.size());
-  for (const auto& [tseg, line] : directory_) {
-    out.push_back(line);
+  for (uint32_t tseg : SortedTsegs()) {
+    out.push_back(lines_[directory_.at(tseg)]);
   }
   return out;
 }

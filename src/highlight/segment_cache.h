@@ -17,7 +17,6 @@
 #define HIGHLIGHT_HIGHLIGHT_SEGMENT_CACHE_H_
 
 #include <cstdint>
-#include <map>
 #include <unordered_map>
 #include <vector>
 
@@ -110,6 +109,7 @@ class SegmentCache {
     bool installing = false;  // Data still in flight from tertiary.
     SimTime ready_at = 0;     // When the in-flight transfer lands (0: TBD).
   };
+  // Lines in ascending tseg order (reporting).
   std::vector<LineInfo> Lines() const;
   uint32_t Capacity() const { return static_cast<uint32_t>(pool_.size()); }
   uint32_t Used() const { return static_cast<uint32_t>(directory_.size()); }
@@ -146,13 +146,28 @@ class SegmentCache {
   void RetirePrefetchedOnDrop(const LineInfo& line);
   // Lazily completes an installing line whose ready time has passed.
   void CompleteIfReady(LineInfo& line);
+  // Directory access: &lines_[slot] for tseg, or nullptr. O(1).
+  LineInfo* FindLine(uint32_t tseg);
+  const LineInfo* FindLine(uint32_t tseg) const;
+  // Installs `line` into a recycled or fresh slot and indexes it.
+  LineInfo& EmplaceLine(const LineInfo& line);
+  // Unindexes tseg and returns its slot to the free list.
+  void EraseLine(uint32_t tseg);
+  // Occupied tsegs in ascending order — replacement decisions and Lines()
+  // iterate in the directory's historical (ordered-map) order so victim
+  // tie-breaks are unchanged. Cold path: only evictions and reports sort.
+  std::vector<uint32_t> SortedTsegs() const;
 
   Lfs* fs_;
   CacheReplacement policy_;
   Rng rng_;
   std::vector<uint32_t> pool_;           // Cache-eligible disk segments.
   std::vector<uint32_t> free_;           // Unused pool segments.
-  std::map<uint32_t, LineInfo> directory_;  // tseg -> line.
+  // Line slots (recycled through line_free_) + O(1) tseg -> slot index.
+  // Hot-path lookups/touches are one hash probe; no node allocations.
+  std::vector<LineInfo> lines_;
+  std::vector<uint32_t> line_free_;
+  std::unordered_map<uint32_t, uint32_t> directory_;  // tseg -> slot.
 
   Counter hits_;
   Counter misses_;

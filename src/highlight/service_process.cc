@@ -174,7 +174,7 @@ Status ServiceProcess::DemandFetch(uint32_t tseg) {
   span.Annotate("tseg", std::to_string(tseg));
   SimTime t0 = clock_->Now();
   clock_->Advance(request_overhead_us_);
-  io_->phases().Add("queuing", clock_->Now() - t0);
+  io_->phases().Add(io_->phase_queuing(), clock_->Now() - t0);
 
   if (notifier_ && cache_->Lookup(tseg) == kNoSegment) {
     SimTime estimate = fetch_time_samples_ == 0
@@ -280,7 +280,7 @@ ServiceProcess::DemandFetchBatch(const std::vector<uint32_t>& tsegs) {
     for (size_t i = 0; i < tsegs.size(); ++i) {
       SimTime q0 = clock_->Now();
       clock_->Advance(request_overhead_us_);
-      io_->phases().Add("queuing", clock_->Now() - q0);
+      io_->phases().Add(io_->phase_queuing(), clock_->Now() - q0);
       stats_.demand_fetches++;
       SimTime start = clock_->Now();
       out[i].status = FetchIntoCache(tsegs[i], /*is_prefetch=*/false);
@@ -310,7 +310,7 @@ ServiceProcess::DemandFetchBatch(const std::vector<uint32_t>& tsegs) {
     Slot& slot = slots[i];
     SimTime q0 = clock_->Now();
     clock_->Advance(request_overhead_us_);
-    io_->phases().Add("queuing", clock_->Now() - q0);
+    io_->phases().Add(io_->phase_queuing(), clock_->Now() - q0);
     stats_.demand_fetches++;
     if (cache_->Installing(tseg)) {
       // Duplicate of an earlier batch entry, or an in-flight prefetch

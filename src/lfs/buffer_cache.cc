@@ -4,6 +4,35 @@
 
 namespace hl {
 
+void BufferCache::Unlink(uint32_t s) {
+  Slot& slot = slots_[s];
+  if (slot.prev != kNil) {
+    slots_[slot.prev].next = slot.next;
+  } else {
+    head_ = slot.next;
+  }
+  if (slot.next != kNil) {
+    slots_[slot.next].prev = slot.prev;
+  } else {
+    tail_ = slot.prev;
+  }
+  slot.prev = kNil;
+  slot.next = kNil;
+}
+
+void BufferCache::LinkFront(uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.prev = kNil;
+  slot.next = head_;
+  if (head_ != kNil) {
+    slots_[head_].prev = s;
+  }
+  head_ = s;
+  if (tail_ == kNil) {
+    tail_ = s;
+  }
+}
+
 bool BufferCache::Lookup(uint32_t daddr, std::span<uint8_t> out) {
   auto it = entries_.find(daddr);
   if (it == entries_.end()) {
@@ -11,41 +40,73 @@ bool BufferCache::Lookup(uint32_t daddr, std::span<uint8_t> out) {
     return false;
   }
   ++hits_;
-  lru_.splice(lru_.begin(), lru_, it->second);
-  std::memcpy(out.data(), it->second->data.data(),
-              std::min(out.size(), it->second->data.size()));
+  if (head_ != it->second) {
+    Unlink(it->second);
+    LinkFront(it->second);
+  }
+  const std::vector<uint8_t>& data = slots_[it->second].data;
+  std::memcpy(out.data(), data.data(), std::min(out.size(), data.size()));
   return true;
 }
 
 void BufferCache::Insert(uint32_t daddr, std::span<const uint8_t> block) {
   auto it = entries_.find(daddr);
   if (it != entries_.end()) {
-    it->second->data.assign(block.begin(), block.end());
-    lru_.splice(lru_.begin(), lru_, it->second);
+    slots_[it->second].data.assign(block.begin(), block.end());
+    if (head_ != it->second) {
+      Unlink(it->second);
+      LinkFront(it->second);
+    }
     return;
   }
-  while (entries_.size() >= capacity_ && !lru_.empty()) {
-    entries_.erase(lru_.back().daddr);
-    lru_.pop_back();
+  while (entries_.size() >= capacity_ && tail_ != kNil) {
+    uint32_t victim = tail_;
+    entries_.erase(slots_[victim].daddr);
+    Unlink(victim);
+    free_.push_back(victim);  // Buffer retained for reuse.
   }
   if (capacity_ == 0) {
     return;
   }
-  lru_.push_front(Entry{daddr, {block.begin(), block.end()}});
-  entries_[daddr] = lru_.begin();
+  uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    s = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[s].daddr = daddr;
+  slots_[s].data.assign(block.begin(), block.end());
+  LinkFront(s);
+  entries_[daddr] = s;
 }
 
 void BufferCache::Invalidate(uint32_t daddr) {
   auto it = entries_.find(daddr);
   if (it != entries_.end()) {
-    lru_.erase(it->second);
+    Unlink(it->second);
+    free_.push_back(it->second);
     entries_.erase(it);
   }
 }
 
 void BufferCache::Flush() {
-  lru_.clear();
   entries_.clear();
+  head_ = kNil;
+  tail_ = kNil;
+  free_.resize(slots_.size());
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    free_[s] = s;
+  }
+}
+
+size_t BufferCache::arena_bytes() const {
+  size_t bytes = 0;
+  for (const Slot& slot : slots_) {
+    bytes += slot.data.capacity();
+  }
+  return bytes;
 }
 
 }  // namespace hl

@@ -5,17 +5,20 @@
 // clean blocks only — dirty data live in the file system's per-inode dirty
 // maps until the segment writer assigns them disk addresses — so eviction
 // never loses data.
+//
+// Storage is a slab of at most `capacity` slots threaded by an intrusive
+// doubly-linked recency list (indices, not node allocations): promotions
+// and evictions relink two integers, and an evicted slot's block buffer is
+// recycled for the next insert instead of freed — after warm-up the steady
+// state allocates nothing (see DESIGN.md "Engine performance").
 
 #ifndef HIGHLIGHT_LFS_BUFFER_CACHE_H_
 #define HIGHLIGHT_LFS_BUFFER_CACHE_H_
 
 #include <cstdint>
-#include <list>
 #include <span>
 #include <unordered_map>
 #include <vector>
-
-#include "blockdev/block_device.h"
 
 namespace hl {
 
@@ -33,23 +36,36 @@ class BufferCache {
   // Drops one block (used when a block is reassigned a new address).
   void Invalidate(uint32_t daddr);
 
-  // Drops everything (the benchmarks' pre-phase flush).
+  // Drops everything (the benchmarks' pre-phase flush). Slot buffers are
+  // kept for reuse; only the index empties.
   void Flush();
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   size_t size() const { return entries_.size(); }
   uint32_t capacity() const { return capacity_; }
+  // Bytes of block-buffer arena currently retained (telemetry).
+  size_t arena_bytes() const;
 
  private:
-  struct Entry {
-    uint32_t daddr;
-    std::vector<uint8_t> data;
+  static constexpr uint32_t kNil = UINT32_MAX;
+
+  struct Slot {
+    uint32_t daddr = 0;
+    uint32_t prev = kNil;  // Toward the most-recent end.
+    uint32_t next = kNil;  // Toward the least-recent end.
+    std::vector<uint8_t> data;  // Reused across occupants.
   };
 
+  void Unlink(uint32_t s);
+  void LinkFront(uint32_t s);
+
   uint32_t capacity_;
-  std::list<Entry> lru_;  // Front = most recent.
-  std::unordered_map<uint32_t, std::list<Entry>::iterator> entries_;
+  std::vector<Slot> slots_;        // Grows to capacity_, then recycles.
+  std::vector<uint32_t> free_;     // Unoccupied slot indices.
+  uint32_t head_ = kNil;           // Most recent.
+  uint32_t tail_ = kNil;           // Least recent (eviction victim).
+  std::unordered_map<uint32_t, uint32_t> entries_;  // daddr -> slot index.
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

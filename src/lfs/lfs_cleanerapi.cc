@@ -233,37 +233,46 @@ Result<std::vector<BlockRef>> Lfs::CollectFileBlocks(uint32_t ino) {
   return out;
 }
 
-Result<size_t> Lfs::ApplyMigration(
-    const std::vector<MigrationAssignment>& moves) {
-  size_t applied = 0;
-  for (const MigrationAssignment& m : moves) {
-    if (!IsMetaLbn(m.lbn)) {
-      // Unstable data blocks (modified since the migrator read them) are
-      // skipped; the migration policy is expected to avoid them anyway.
-      if (FindDirtyBlock(m.ino, m.lbn) != nullptr) {
-        continue;
-      }
-      Result<DInode*> inode = GetInodeRef(m.ino);
-      if (!inode.ok()) {
-        continue;
-      }
-      Result<uint32_t> cur = Bmap(**inode, m.lbn);
-      if (!cur.ok() || *cur != m.old_daddr) {
-        continue;
-      }
-    } else {
-      // Metadata content was staged *after* the data moves were applied, so
-      // the staged copy is current; retire any in-memory dirty copy.
-      auto it = dirty_blocks_.find(m.ino);
-      if (it != dirty_blocks_.end() && it->second.erase(m.lbn) > 0) {
-        dirty_bytes_ -= kBlockSize;
-        if (it->second.empty()) {
-          dirty_blocks_.erase(it);
-        }
+Result<bool> Lfs::ApplyMigrationOne(const MigrationAssignment& m) {
+  TertiaryBatchScope batch(this);
+  if (!IsMetaLbn(m.lbn)) {
+    // Unstable data blocks (modified since the migrator read them) are
+    // skipped; the migration policy is expected to avoid them anyway.
+    if (FindDirtyBlock(m.ino, m.lbn) != nullptr) {
+      return false;
+    }
+    Result<DInode*> inode = GetInodeRef(m.ino);
+    if (!inode.ok()) {
+      return false;
+    }
+    Result<uint32_t> cur = Bmap(**inode, m.lbn);
+    if (!cur.ok() || *cur != m.old_daddr) {
+      return false;
+    }
+  } else {
+    // Metadata content was staged *after* the data moves were applied, so
+    // the staged copy is current; retire any in-memory dirty copy.
+    auto it = dirty_blocks_.find(m.ino);
+    if (it != dirty_blocks_.end() && it->second.erase(m.lbn) > 0) {
+      dirty_bytes_ -= kBlockSize;
+      if (it->second.empty()) {
+        dirty_blocks_.erase(it);
       }
     }
-    RETURN_IF_ERROR(SetBmap(m.ino, m.lbn, m.new_daddr));
-    ++applied;
+  }
+  RETURN_IF_ERROR(SetBmap(m.ino, m.lbn, m.new_daddr));
+  return true;
+}
+
+Result<size_t> Lfs::ApplyMigration(
+    const std::vector<MigrationAssignment>& moves) {
+  TertiaryBatchScope batch(this);
+  size_t applied = 0;
+  for (const MigrationAssignment& m : moves) {
+    ASSIGN_OR_RETURN(bool ok, ApplyMigrationOne(m));
+    if (ok) {
+      ++applied;
+    }
   }
   return applied;
 }
@@ -272,6 +281,7 @@ Status Lfs::ApplyInodeMigration(uint32_t ino, uint32_t tertiary_daddr) {
   if (ino >= imap_.size() || imap_[ino].daddr == kNoBlock) {
     return NotFound("inode " + std::to_string(ino));
   }
+  TertiaryBatchScope batch(this);
   AccountOldAddress(imap_[ino].daddr, -static_cast<int64_t>(kInodeSize));
   imap_[ino].daddr = tertiary_daddr;
   AccountNewAddress(tertiary_daddr, static_cast<int64_t>(kInodeSize));

@@ -242,6 +242,8 @@ Status Lfs::SetBmap(uint32_t ino, uint32_t lbn, uint32_t new_daddr) {
 }
 
 Status Lfs::FreeFileBlocks(uint32_t ino, uint32_t from_lbn) {
+  // One accounting crossing for the whole free pass, not one per block.
+  TertiaryBatchScope batch(this);
   ASSIGN_OR_RETURN(DInode * inode, GetInodeRef(ino));
   uint32_t max_lbn = static_cast<uint32_t>(
       std::min<uint64_t>((inode->size + kBlockSize - 1) / kBlockSize,

@@ -15,10 +15,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 namespace hl {
 
@@ -36,32 +39,57 @@ class SimClock {
       return;
     }
     now_ += delta_us;
-    if (tick_hook_) {
-      tick_hook_(now_);
-    }
+    Tick();
   }
 
   void AdvanceTo(SimTime t) {
     if (t > now_) {
       now_ = t;
-      if (tick_hook_) {
-        tick_hook_(now_);
-      }
+      Tick();
     }
   }
 
   void Reset() { now_ = 0; }
 
-  // Observer invoked after every time advancement with the new now, used by
+  // Observers invoked after every time advancement with the new now, used by
   // the observability layer for cadence-based sampling. Hooks must only
-  // *read* simulation state — advancing the clock from a hook would
-  // recurse. One hook at a time; pass nullptr to detach.
+  // *read* simulation state — advancing the clock from a hook would recurse.
+  // Any number of hooks may be registered; they run in registration order.
+  // AddTickHook returns a handle for RemoveTickHook (removal of an unknown
+  // or already-removed handle is a no-op, so owners can detach in their
+  // destructor unconditionally).
   using TickHook = std::function<void(SimTime)>;
-  void SetTickHook(TickHook hook) { tick_hook_ = std::move(hook); }
+  using TickHookId = int;
+  TickHookId AddTickHook(TickHook hook) {
+    const TickHookId id = next_hook_id_++;
+    hooks_.push_back(Hook{id, std::move(hook)});
+    return id;
+  }
+  void RemoveTickHook(TickHookId id) {
+    for (size_t i = 0; i < hooks_.size(); ++i) {
+      if (hooks_[i].id == id) {
+        hooks_.erase(hooks_.begin() + static_cast<ptrdiff_t>(i));
+        return;
+      }
+    }
+  }
+  size_t tick_hook_count() const { return hooks_.size(); }
 
  private:
+  struct Hook {
+    TickHookId id;
+    TickHook fn;
+  };
+
+  void Tick() {
+    for (const Hook& h : hooks_) {
+      h.fn(now_);
+    }
+  }
+
   SimTime now_ = 0;
-  TickHook tick_hook_;
+  std::vector<Hook> hooks_;
+  TickHookId next_hook_id_ = 1;
 };
 
 // A resource that serves one operation at a time (a disk spindle, an MO
@@ -110,40 +138,85 @@ class Resource {
 
 // Named time attribution, used to reproduce Table 4 (Footprint write /
 // I/O-server read / queuing percentages). Accumulates durations per phase.
+//
+// Phase names are interned into small integer handles (the MetricsRegistry
+// slot pattern): hot paths call Intern() once at setup and Add(PhaseId, ...)
+// thereafter, which is a vector index plus two additions — no map lookup, no
+// string construction. The grand total is maintained incrementally so
+// Percent() is O(1) instead of summing every phase per call.
 class PhaseAccumulator {
  public:
-  void Add(const std::string& phase, SimTime duration) {
-    totals_[phase] += duration;
-  }
+  using PhaseId = uint32_t;
 
-  SimTime Total(const std::string& phase) const {
-    auto it = totals_.find(phase);
-    return it == totals_.end() ? 0 : it->second;
-  }
-
-  SimTime GrandTotal() const {
-    SimTime sum = 0;
-    for (const auto& [name, t] : totals_) {
-      sum += t;
+  // Resolves (creating on first use) the handle for `phase`. Handles stay
+  // valid across Reset().
+  PhaseId Intern(std::string_view phase) {
+    auto it = index_.find(phase);
+    if (it != index_.end()) {
+      return it->second;
     }
-    return sum;
+    const PhaseId id = static_cast<PhaseId>(slots_.size());
+    slots_.push_back(Slot{std::string(phase), 0});
+    index_.emplace(slots_.back().name, id);
+    return id;
   }
 
-  double Percent(const std::string& phase) const {
-    SimTime total = GrandTotal();
-    if (total == 0) {
+  void Add(PhaseId id, SimTime duration) {
+    assert(id < slots_.size());
+    slots_[id].total += duration;
+    grand_total_ += duration;
+  }
+
+  void Add(std::string_view phase, SimTime duration) {
+    Add(Intern(phase), duration);
+  }
+
+  SimTime Total(PhaseId id) const {
+    return id < slots_.size() ? slots_[id].total : 0;
+  }
+
+  SimTime Total(std::string_view phase) const {
+    auto it = index_.find(phase);
+    return it == index_.end() ? 0 : slots_[it->second].total;
+  }
+
+  SimTime GrandTotal() const { return grand_total_; }
+
+  double Percent(std::string_view phase) const {
+    if (grand_total_ == 0) {
       return 0.0;
     }
     return 100.0 * static_cast<double>(Total(phase)) /
-           static_cast<double>(total);
+           static_cast<double>(grand_total_);
   }
 
-  const std::map<std::string, SimTime>& totals() const { return totals_; }
+  // Materialized name->total view (sorted by name, matching the pre-interning
+  // map iteration order). Export-path only.
+  std::map<std::string, SimTime> totals() const {
+    std::map<std::string, SimTime> out;
+    for (const Slot& s : slots_) {
+      out.emplace(s.name, s.total);
+    }
+    return out;
+  }
 
-  void Reset() { totals_.clear(); }
+  // Zeroes every accumulated total; interned handles remain valid.
+  void Reset() {
+    for (Slot& s : slots_) {
+      s.total = 0;
+    }
+    grand_total_ = 0;
+  }
 
  private:
-  std::map<std::string, SimTime> totals_;
+  struct Slot {
+    std::string name;
+    SimTime total;
+  };
+
+  std::vector<Slot> slots_;
+  std::map<std::string, PhaseId, std::less<>> index_;
+  SimTime grand_total_ = 0;
 };
 
 }  // namespace hl

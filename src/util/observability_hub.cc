@@ -13,7 +13,7 @@ ObservabilityHub::ObservabilityHub(SimClock* clock, Config config)
 
 ObservabilityHub::~ObservabilityHub() {
   if (hook_installed_ && clock_ != nullptr) {
-    clock_->SetTickHook(nullptr);
+    clock_->RemoveTickHook(hook_id_);
   }
 }
 
@@ -51,7 +51,7 @@ void ObservabilityHub::InstallTickHook() {
   if (clock_ == nullptr) {
     return;
   }
-  clock_->SetTickHook([this](SimTime now) { Poll(now); });
+  hook_id_ = clock_->AddTickHook([this](SimTime now) { Poll(now); });
   hook_installed_ = true;
 }
 

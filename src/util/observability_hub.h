@@ -91,11 +91,12 @@ class ObservabilityHub {
   // into the hub registry.
   size_t AddSlo(SloRule rule);
 
-  // Takes over the SimClock tick hook, fanning each tick out to every
-  // registered deployment sampler, then the hub's own sampler, then the SLO
-  // watcher. The clock holds ONE hook and HighLightFs::Create installs its
-  // own — call this after the last Create so the hub's fan-out wins (the
-  // per-deployment samplers keep polling through it).
+  // Registers the hub's tick hook on the SimClock, fanning each tick out to
+  // every registered deployment sampler, then the hub's own sampler, then
+  // the SLO watcher. The clock supports any number of hooks, so this
+  // composes with the per-deployment hooks HighLightFs::Create installs;
+  // double-polling a sampler at the same instant is a no-op, so the fan-out
+  // stays bit-identical either way. Call after the last Register().
   void InstallTickHook();
 
   // The tick-hook body; callable directly in tests.
@@ -142,6 +143,7 @@ class ObservabilityHub {
   std::vector<Deployment> deployments_;
   std::vector<SloState> slos_;
   bool hook_installed_ = false;
+  SimClock::TickHookId hook_id_ = 0;
 };
 
 }  // namespace hl

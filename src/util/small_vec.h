@@ -1,0 +1,132 @@
+// SmallVec: a vector with inline storage for the first N elements.
+//
+// The telemetry hot path attaches a handful of key/value args to most spans;
+// a std::vector would heap-allocate per span. SmallVec keeps up to N
+// elements in the object itself and only falls back to heap storage when a
+// record overflows the inline capacity (at which point every element moves
+// to the heap so iteration stays contiguous). Single-threaded, minimal
+// surface: exactly what SpanRecord needs, nothing more.
+
+#ifndef HIGHLIGHT_UTIL_SMALL_VEC_H_
+#define HIGHLIGHT_UTIL_SMALL_VEC_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace hl {
+
+template <typename T, size_t N>
+class SmallVec {
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec& other) { CopyFrom(other); }
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(std::move(other)); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~SmallVec() { clear(); }
+
+  size_t size() const { return inline_active() ? inline_size_ : heap_.size(); }
+  bool empty() const { return size() == 0; }
+
+  T* data() { return inline_active() ? InlinePtr(0) : heap_.data(); }
+  const T* data() const {
+    return inline_active() ? InlinePtr(0) : heap_.data();
+  }
+  T* begin() { return data(); }
+  T* end() { return data() + size(); }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size(); }
+
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  T& back() { return data()[size() - 1]; }
+  const T& back() const { return data()[size() - 1]; }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (inline_active()) {
+      if (inline_size_ < N) {
+        T* p = new (InlinePtr(inline_size_)) T(std::forward<Args>(args)...);
+        ++inline_size_;
+        return *p;
+      }
+      SpillToHeap();
+    }
+    return heap_.emplace_back(std::forward<Args>(args)...);
+  }
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  void clear() {
+    DestroyInline();
+    heap_.clear();
+  }
+
+  // True while every element still lives in the inline slab (no heap
+  // allocation has happened) — exported as an engine.* telemetry signal.
+  bool inline_only() const { return inline_active(); }
+
+ private:
+  bool inline_active() const { return heap_.empty(); }
+
+  T* InlinePtr(size_t i) {
+    return std::launder(reinterpret_cast<T*>(storage_ + i * sizeof(T)));
+  }
+  const T* InlinePtr(size_t i) const {
+    return std::launder(reinterpret_cast<const T*>(storage_ + i * sizeof(T)));
+  }
+
+  void SpillToHeap() {
+    heap_.reserve(N * 2);
+    for (size_t i = 0; i < inline_size_; ++i) {
+      heap_.push_back(std::move(*InlinePtr(i)));
+    }
+    DestroyInline();
+  }
+
+  void DestroyInline() {
+    for (size_t i = 0; i < inline_size_; ++i) {
+      InlinePtr(i)->~T();
+    }
+    inline_size_ = 0;
+  }
+
+  void CopyFrom(const SmallVec& other) {
+    for (const T& v : other) {
+      emplace_back(v);
+    }
+  }
+  void MoveFrom(SmallVec&& other) {
+    if (!other.inline_active()) {
+      heap_ = std::move(other.heap_);
+      other.heap_.clear();
+      return;
+    }
+    for (size_t i = 0; i < other.inline_size_; ++i) {
+      emplace_back(std::move(*other.InlinePtr(i)));
+    }
+    other.DestroyInline();
+  }
+
+  alignas(T) unsigned char storage_[N * sizeof(T)];
+  size_t inline_size_ = 0;
+  std::vector<T> heap_;  // Non-empty => all elements live here.
+};
+
+}  // namespace hl
+
+#endif  // HIGHLIGHT_UTIL_SMALL_VEC_H_

@@ -14,25 +14,71 @@ SpanTracer::SpanTracer(SimClock* clock, size_t capacity)
 SpanTracer::SpanTracer(SpanTracer* delegate, std::string track_prefix)
     : delegate_(delegate), prefix_(std::move(track_prefix)) {}
 
-SpanId SpanTracer::Begin(std::string name, std::string track) {
-  return BeginChildOf(current(), std::move(name), std::move(track));
+uint32_t SpanTracer::InternId(std::string_view s) {
+  if (delegate_ != nullptr) {
+    return delegate_->InternId(s);
+  }
+  auto it = ids_.find(s);
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  strings_.emplace_back(s);
+  const uint32_t id = static_cast<uint32_t>(views_.size());
+  views_.push_back(strings_.back());
+  ids_.emplace(views_.back(), id);
+  return id;
 }
 
-SpanId SpanTracer::BeginChildOf(SpanId parent, std::string name,
-                                std::string track) {
+std::string_view SpanTracer::ViewOf(uint32_t id) const {
   if (delegate_ != nullptr) {
-    return delegate_->BeginChildOf(parent, std::move(name),
-                                   prefix_ + track);
+    return delegate_->ViewOf(id);
   }
-  SpanRecord rec;
+  return views_[id];
+}
+
+size_t SpanTracer::interned_strings() const {
+  return delegate_ != nullptr ? delegate_->interned_strings() : views_.size();
+}
+
+size_t SpanTracer::window_bytes() const {
+  if (delegate_ != nullptr) {
+    return delegate_->window_bytes();
+  }
+  return done_.capacity() * sizeof(SpanRecord);
+}
+
+std::string_view SpanTracer::PrefixTrack(std::string_view track) {
+  // Map the delegate-interned raw track id to the interned prefixed name,
+  // building "prefix + track" only the first time each track is seen.
+  const uint32_t raw = delegate_->InternId(track);
+  if (raw < prefixed_tracks_.size() && prefixed_tracks_[raw] != UINT32_MAX) {
+    return delegate_->ViewOf(prefixed_tracks_[raw]);
+  }
+  const uint32_t prefixed = delegate_->InternId(prefix_ + std::string(track));
+  if (prefixed_tracks_.size() <= raw) {
+    prefixed_tracks_.resize(raw + 1, UINT32_MAX);
+  }
+  prefixed_tracks_[raw] = prefixed;
+  return delegate_->ViewOf(prefixed);
+}
+
+SpanId SpanTracer::Begin(std::string_view name, std::string_view track) {
+  return BeginChildOf(current(), name, track);
+}
+
+SpanId SpanTracer::BeginChildOf(SpanId parent, std::string_view name,
+                                std::string_view track) {
+  if (delegate_ != nullptr) {
+    return delegate_->BeginChildOf(parent, name, PrefixTrack(track));
+  }
+  SpanRecord& rec = open_.emplace_back();
   rec.id = next_id_++;
   rec.parent = parent;
   rec.begin_us = clock_ != nullptr ? clock_->Now() : 0;
-  rec.name = std::move(name);
-  rec.track = std::move(track);
-  open_.push_back(std::move(rec));
-  stack_.push_back(open_.back().id);
-  return open_.back().id;
+  rec.name = ViewOf(InternId(name));
+  rec.track = ViewOf(InternId(track));
+  stack_.push_back(rec.id);
+  return rec.id;
 }
 
 SpanRecord* SpanTracer::FindOpen(SpanId id) {
@@ -44,33 +90,38 @@ SpanRecord* SpanTracer::FindOpen(SpanId id) {
   return nullptr;
 }
 
-void SpanTracer::Annotate(SpanId id, std::string key, std::string value) {
+void SpanTracer::Annotate(SpanId id, std::string_view key,
+                          std::string_view value) {
   if (delegate_ != nullptr) {
-    delegate_->Annotate(id, std::move(key), std::move(value));
+    delegate_->Annotate(id, key, value);
     return;
   }
   SpanRecord* rec = FindOpen(id);
   if (rec == nullptr) {
     // Recently completed (AddComplete) spans are annotated after the fact;
     // search the window newest-first.
-    for (auto it = done_.rbegin(); it != done_.rend(); ++it) {
-      if (it->id == id) {
-        rec = &*it;
+    for (size_t i = done_.size(); i-- > 0;) {
+      if (MutableCompletedAt(i).id == id) {
+        rec = &MutableCompletedAt(i);
         break;
       }
     }
   }
   if (rec != nullptr) {
-    rec->args.emplace_back(std::move(key), std::move(value));
+    rec->args.emplace_back(ViewOf(InternId(key)), std::string(value));
   }
 }
 
-void SpanTracer::Retire(SpanRecord rec) {
-  done_.push_back(std::move(rec));
+void SpanTracer::Retire(SpanRecord&& rec) {
   ++total_;
-  while (done_.size() > capacity_) {
-    done_.pop_front();
+  if (done_.size() < capacity_) {
+    done_.push_back(std::move(rec));
+    return;
   }
+  // Ring is full: overwrite the oldest slot in place (its arg storage is
+  // reused, not freed and reallocated).
+  done_[done_head_] = std::move(rec);
+  done_head_ = (done_head_ + 1) % done_.size();
 }
 
 void SpanTracer::End(SpanId id) {
@@ -109,20 +160,20 @@ void SpanTracer::End(SpanId id) {
   }
 }
 
-SpanId SpanTracer::AddComplete(std::string name, std::string track,
+SpanId SpanTracer::AddComplete(std::string_view name, std::string_view track,
                                SpanId parent, SimTime begin_us,
                                SimTime end_us) {
   if (delegate_ != nullptr) {
-    return delegate_->AddComplete(std::move(name), prefix_ + track, parent,
-                                  begin_us, end_us);
+    return delegate_->AddComplete(name, PrefixTrack(track), parent, begin_us,
+                                  end_us);
   }
   SpanRecord rec;
   rec.id = next_id_++;
   rec.parent = parent;
   rec.begin_us = begin_us;
   rec.end_us = end_us;
-  rec.name = std::move(name);
-  rec.track = std::move(track);
+  rec.name = ViewOf(InternId(name));
+  rec.track = ViewOf(InternId(track));
   SpanId id = rec.id;
   Retire(std::move(rec));
   return id;
@@ -132,7 +183,11 @@ std::vector<SpanRecord> SpanTracer::Slowest(size_t n) const {
   if (delegate_ != nullptr) {
     return delegate_->Slowest(n);
   }
-  std::vector<SpanRecord> all(done_.begin(), done_.end());
+  std::vector<SpanRecord> all;
+  all.reserve(done_.size());
+  for (size_t i = 0; i < done_.size(); ++i) {
+    all.push_back(CompletedAt(i));
+  }
   std::stable_sort(all.begin(), all.end(),
                    [](const SpanRecord& a, const SpanRecord& b) {
                      return a.duration_us() > b.duration_us();
@@ -151,6 +206,7 @@ void SpanTracer::Clear() {
   open_.clear();
   stack_.clear();
   done_.clear();
+  done_head_ = 0;
   total_ = 0;
 }
 
@@ -159,7 +215,7 @@ namespace {
 std::string ArgsJson(const SpanRecord& r) {
   std::string out = "{";
   for (size_t i = 0; i < r.args.size(); ++i) {
-    out += "\"" + JsonEscape(r.args[i].first) + "\": \"" +
+    out += "\"" + JsonEscape(std::string(r.args[i].first)) + "\": \"" +
            JsonEscape(r.args[i].second) + "\"";
     if (i + 1 < r.args.size()) {
       out += ", ";
@@ -179,12 +235,13 @@ std::string SpanTracer::ToJson(size_t max_records) const {
   size_t start = done_.size() - take;
   std::string out = "[";
   for (size_t i = 0; i < take; ++i) {
-    const SpanRecord& r = done_[start + i];
+    const SpanRecord& r = CompletedAt(start + i);
     out += "\n  {\"id\": " + std::to_string(r.id) +
            ", \"parent\": " + std::to_string(r.parent) +
            ", \"begin_us\": " + std::to_string(r.begin_us) +
            ", \"end_us\": " + std::to_string(r.end_us) + ", \"name\": \"" +
-           JsonEscape(r.name) + "\", \"track\": \"" + JsonEscape(r.track) +
+           JsonEscape(std::string(r.name)) + "\", \"track\": \"" +
+           JsonEscape(std::string(r.track)) +
            "\", \"args\": " + ArgsJson(r) + "}";
     if (i + 1 < take) {
       out += ",";
@@ -194,7 +251,7 @@ std::string SpanTracer::ToJson(size_t max_records) const {
   return out;
 }
 
-std::string RenderSpanForest(const std::deque<SpanRecord>& spans) {
+std::string RenderSpanForest(const SpanTracer::CompletedView& spans) {
   std::map<SpanId, const SpanRecord*> by_id;
   std::map<SpanId, std::vector<const SpanRecord*>> children;
   std::vector<const SpanRecord*> roots;
@@ -222,11 +279,11 @@ std::string RenderSpanForest(const std::deque<SpanRecord>& spans) {
   std::function<void(const SpanRecord*, int)> emit =
       [&](const SpanRecord* s, int depth) {
         out += std::string(static_cast<size_t>(depth) * 2, ' ');
-        out += s->name + " [" + s->track + "] " +
+        out += std::string(s->name) + " [" + std::string(s->track) + "] " +
                std::to_string(s->duration_us()) + "us @" +
                std::to_string(s->begin_us);
         for (const auto& [k, v] : s->args) {
-          out += " " + k + "=" + v;
+          out += " " + std::string(k) + "=" + v;
         }
         out += "\n";
         auto it = children.find(s->id);
@@ -246,7 +303,7 @@ void AppendPerfettoSpanEvents(const SpanTracer& spans, int pid,
                               const std::string& process_name,
                               std::string* out) {
   // One thread lane per distinct track, in first-appearance order.
-  std::map<std::string, int> tids;
+  std::map<std::string_view, int> tids;
   for (const SpanRecord& s : spans.Completed()) {
     tids.emplace(s.track, static_cast<int>(tids.size()) + 1);
   }
@@ -256,11 +313,12 @@ void AppendPerfettoSpanEvents(const SpanTracer& spans, int pid,
   for (const auto& [track, tid] : tids) {
     *out += "  {\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " +
             std::to_string(pid) + ", \"tid\": " + std::to_string(tid) +
-            ", \"args\": {\"name\": \"" + JsonEscape(track) + "\"}},\n";
+            ", \"args\": {\"name\": \"" + JsonEscape(std::string(track)) +
+            "\"}},\n";
   }
   for (const SpanRecord& s : spans.Completed()) {
-    *out += "  {\"ph\": \"X\", \"name\": \"" + JsonEscape(s.name) +
-            "\", \"cat\": \"" + JsonEscape(s.track) +
+    *out += "  {\"ph\": \"X\", \"name\": \"" + JsonEscape(std::string(s.name)) +
+            "\", \"cat\": \"" + JsonEscape(std::string(s.track)) +
             "\", \"ts\": " + std::to_string(s.begin_us) +
             ", \"dur\": " + std::to_string(s.duration_us()) +
             ", \"pid\": " + std::to_string(pid) +
@@ -268,7 +326,8 @@ void AppendPerfettoSpanEvents(const SpanTracer& spans, int pid,
             ", \"args\": {\"span_id\": " + std::to_string(s.id) +
             ", \"parent\": " + std::to_string(s.parent);
     for (const auto& [k, v] : s.args) {
-      *out += ", \"" + JsonEscape(k) + "\": \"" + JsonEscape(v) + "\"";
+      *out += ", \"" + JsonEscape(std::string(k)) + "\": \"" + JsonEscape(v) +
+              "\"";
     }
     *out += "}},\n";
   }
@@ -287,3 +346,4 @@ std::string PerfettoTraceJson(const std::string& events) {
 }
 
 }  // namespace hl
+

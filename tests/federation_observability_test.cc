@@ -25,7 +25,7 @@
 namespace hl {
 namespace {
 
-const SpanRecord* FindByName(const std::deque<SpanRecord>& spans,
+const SpanRecord* FindByName(const SpanTracer::CompletedView& spans,
                              const std::string& name) {
   for (const SpanRecord& s : spans) {
     if (s.name == name) {
@@ -35,7 +35,7 @@ const SpanRecord* FindByName(const std::deque<SpanRecord>& spans,
   return nullptr;
 }
 
-std::vector<const SpanRecord*> AllNamed(const std::deque<SpanRecord>& spans,
+std::vector<const SpanRecord*> AllNamed(const SpanTracer::CompletedView& spans,
                                         const std::string& name) {
   std::vector<const SpanRecord*> out;
   for (const SpanRecord& s : spans) {

@@ -1,0 +1,183 @@
+// Parallel shard timelines: the stager's opt-in parallel dispatch (plan /
+// execute / merge, one private SimClock per shard) must be observationally
+// identical to serial dispatch — same fetch order per shard, same batch
+// shapes, same served/coalesced/hit counters, same queue-wait and
+// fetch-delay histograms, same final sim time. The whole metrics snapshot
+// is compared as one JSON document so a drift anywhere in the surface
+// fails loudly.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "federation/stager.h"
+#include "util/rng.h"
+
+namespace hl {
+namespace {
+
+// Deterministic scripted shard. In parallel mode each instance advances its
+// own private clock inside FetchBatch — exactly the contract real shards
+// follow when the stager hands them a per-shard timeline.
+class FakeShard : public FetchBackend {
+ public:
+  FakeShard(SimClock* clock, uint32_t nsegs, SimTime fetch_cost_us)
+      : clock_(clock), nsegs_(nsegs), fetch_cost_us_(fetch_cost_us) {}
+
+  bool SegmentCached(uint32_t tseg) const override {
+    return cached_.count(tseg) != 0;
+  }
+  uint32_t TertiarySegments() const override { return nsegs_; }
+  std::vector<uint32_t> FetchableSegments() const override {
+    std::vector<uint32_t> segs;
+    for (uint32_t t = 0; t < nsegs_; ++t) {
+      segs.push_back(t);
+    }
+    return segs;
+  }
+  Result<FetchOutcome> FetchSegment(uint32_t tseg) override {
+    clock_->Advance(fetch_cost_us_);
+    fetched.push_back(tseg);
+    return FetchOutcome{tseg, OkStatus(), fetch_cost_us_};
+  }
+  Result<std::vector<FetchOutcome>> FetchBatch(
+      const std::vector<uint32_t>& tsegs) override {
+    batches.push_back(tsegs);
+    std::vector<FetchOutcome> outcomes;
+    for (uint32_t tseg : tsegs) {
+      clock_->Advance(fetch_cost_us_);
+      fetched.push_back(tseg);
+      outcomes.push_back(FetchOutcome{tseg, OkStatus(), fetch_cost_us_});
+    }
+    return outcomes;
+  }
+  Result<MigrationReport> Migrate(const MigrationRequest&) override {
+    clock_->Advance(400);
+    migrations++;
+    return MigrationReport{};
+  }
+  Result<uint32_t> ScrubStep(uint32_t max_segments) override {
+    clock_->Advance(150);
+    scrubs++;
+    return max_segments;
+  }
+  uint64_t MediaSwaps() const override { return 0; }
+
+  void MarkCached(uint32_t tseg) { cached_.insert(tseg); }
+
+  std::vector<std::vector<uint32_t>> batches;
+  std::vector<uint32_t> fetched;
+  int migrations = 0;
+  int scrubs = 0;
+
+ private:
+  SimClock* clock_;
+  uint32_t nsegs_;
+  SimTime fetch_cost_us_;
+  std::set<uint32_t> cached_;
+};
+
+struct RunResult {
+  SimTime final_now = 0;
+  std::string metrics_json;
+  std::vector<std::vector<uint32_t>> fetched;
+  std::vector<std::vector<std::vector<uint32_t>>> batches;
+  std::vector<int> migrations;
+  std::vector<int> scrubs;
+};
+
+// Drives three shards of differing fetch cost through twelve mixed rounds
+// (demand floods with duplicates, cache hits, migrations, scrubs) and
+// captures everything observable.
+RunResult RunFederation(bool parallel) {
+  constexpr int kShards = 3;
+  SimClock clock;
+  std::vector<std::unique_ptr<SimClock>> shard_clocks;
+  std::vector<std::unique_ptr<FakeShard>> shards;
+  StagerScheduler stager(&clock);
+  for (int s = 0; s < kShards; ++s) {
+    SimClock* shard_clock = &clock;
+    if (parallel) {
+      shard_clocks.push_back(std::make_unique<SimClock>());
+      shard_clock = shard_clocks.back().get();
+    }
+    shards.push_back(std::make_unique<FakeShard>(
+        shard_clock, 32, 700 + 100 * static_cast<SimTime>(s)));
+    const int id = stager.AddShard(shards.back().get());
+    if (parallel) {
+      stager.SetShardClock(id, shard_clocks[s].get());
+    }
+  }
+  shards[1]->MarkCached(5);
+  shards[2]->MarkCached(9);
+
+  Rng rng(0xFEDu);
+  for (int round = 0; round < 12; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      const int shard = static_cast<int>(rng.Below(kShards));
+      const uint32_t tseg = static_cast<uint32_t>(rng.Below(16));
+      const char* tenant = (i % 2) == 0 ? "alice" : "bob";
+      EXPECT_TRUE(stager.SubmitFetch(tenant, shard, tseg).ok());
+    }
+    if (round % 3 == 0) {
+      EXPECT_TRUE(stager
+                      .SubmitMigration("ops", round % kShards,
+                                       MigrationRequest{.path = "/"})
+                      .ok());
+    }
+    if (round % 4 == 0) {
+      EXPECT_TRUE(stager.SubmitScrub((round + 1) % kShards, 2).ok());
+    }
+    EXPECT_TRUE(stager.Pump().ok());
+    clock.Advance(2500);
+  }
+  int guard = 0;
+  while (stager.PendingRequests() > 0 && guard++ < 64) {
+    EXPECT_TRUE(stager.Pump().ok());
+    clock.Advance(1000);
+  }
+  EXPECT_EQ(stager.PendingRequests(), 0u);
+
+  RunResult result;
+  result.final_now = clock.Now();
+  result.metrics_json = stager.Metrics().ToJson(0);
+  for (const auto& shard : shards) {
+    result.fetched.push_back(shard->fetched);
+    result.batches.push_back(shard->batches);
+    result.migrations.push_back(shard->migrations);
+    result.scrubs.push_back(shard->scrubs);
+  }
+  return result;
+}
+
+TEST(ParallelDispatchTest, SerialAndParallelTimelinesAreIdentical) {
+  RunResult serial = RunFederation(/*parallel=*/false);
+  RunResult parallel = RunFederation(/*parallel=*/true);
+
+  EXPECT_EQ(serial.final_now, parallel.final_now);
+  EXPECT_EQ(serial.metrics_json, parallel.metrics_json);
+  EXPECT_EQ(serial.fetched, parallel.fetched);
+  EXPECT_EQ(serial.batches, parallel.batches);
+  EXPECT_EQ(serial.migrations, parallel.migrations);
+  EXPECT_EQ(serial.scrubs, parallel.scrubs);
+}
+
+TEST(ParallelDispatchTest, ParallelRequiresEveryShardClock) {
+  SimClock clock;
+  SimClock sc0;
+  FakeShard shard0(&sc0, 8, 500);
+  FakeShard shard1(&clock, 8, 500);
+  StagerScheduler stager(&clock);
+  const int id0 = stager.AddShard(&shard0);
+  stager.AddShard(&shard1);
+
+  EXPECT_FALSE(stager.ParallelDispatch());  // No clocks registered.
+  stager.SetShardClock(id0, &sc0);
+  EXPECT_FALSE(stager.ParallelDispatch());  // One shard still serial.
+}
+
+}  // namespace
+}  // namespace hl

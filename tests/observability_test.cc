@@ -26,7 +26,7 @@ std::vector<uint8_t> Pattern(size_t n, uint64_t seed) {
   return v;
 }
 
-const SpanRecord* FindByName(const std::deque<SpanRecord>& spans,
+const SpanRecord* FindByName(const SpanTracer::CompletedView& spans,
                              const std::string& name) {
   for (const SpanRecord& s : spans) {
     if (s.name == name) {
@@ -36,8 +36,8 @@ const SpanRecord* FindByName(const std::deque<SpanRecord>& spans,
   return nullptr;
 }
 
-std::vector<const SpanRecord*> ChildrenOf(const std::deque<SpanRecord>& spans,
-                                          SpanId parent) {
+std::vector<const SpanRecord*> ChildrenOf(
+    const SpanTracer::CompletedView& spans, SpanId parent) {
   std::vector<const SpanRecord*> kids;
   for (const SpanRecord& s : spans) {
     if (s.parent == parent) {
@@ -118,6 +118,61 @@ TEST(SpanTracerTest, NullTracerScopesAreFree) {
   scope.Annotate("k", "v");  // Must not crash.
   EXPECT_EQ(scope.id(), kNoSpan);
   EXPECT_FALSE(static_cast<bool>(scope));
+}
+
+// Interned strings must survive ring recycling (records reference the
+// intern table, not the slots they were first written to), the steady-state
+// tracer must stop allocating, and serialization must round-trip
+// byte-identically across identically driven tracers.
+TEST(SpanTracerTest, InterningRoundTripSurvivesRingRecycling) {
+  auto drive = [](SpanTracer& tracer, SimClock& clock) {
+    for (int i = 0; i < 64; ++i) {
+      SpanScope s(&tracer, (i % 3) == 0 ? "fetch" : "stage", "engine");
+      s.Annotate("tseg", (i % 2) == 0 ? "7" : "9");
+      s.Annotate("state", "copied");
+      clock.Advance(3);
+    }
+  };
+  SimClock clock;
+  SpanTracer tracer(&clock, 8);  // 64 spans through an 8-slot ring.
+  drive(tracer, clock);
+
+  // Every surviving record reads back intact strings after 56 recycles.
+  ASSERT_EQ(tracer.Completed().size(), 8u);
+  for (const SpanRecord& rec : tracer.Completed()) {
+    EXPECT_TRUE(rec.name == "fetch" || rec.name == "stage");
+    EXPECT_EQ(rec.track, "engine");
+    ASSERT_EQ(rec.args.size(), 2u);
+    EXPECT_EQ(rec.args[0].first, "tseg");
+    EXPECT_TRUE(rec.args[0].second == "7" || rec.args[0].second == "9");
+    EXPECT_EQ(rec.args[1].first, "state");
+    EXPECT_EQ(rec.args[1].second, "copied");
+  }
+  // Exactly the five repeated strings intern (annotation *values* are
+  // owned per-record): fetch, stage, engine, tseg, state.
+  EXPECT_EQ(tracer.interned_strings(), 5u);
+  EXPECT_TRUE(tracer.quiescent());
+
+  // Steady state: an identical second cycle may not grow the record window
+  // or the intern table — the zero-allocation claim.
+  const size_t window = tracer.window_bytes();
+  drive(tracer, clock);
+  EXPECT_EQ(tracer.window_bytes(), window);
+  EXPECT_EQ(tracer.interned_strings(), 5u);
+
+  // Round trip: an identically driven tracer serializes byte-identically,
+  // both the native JSON and the Perfetto export.
+  SimClock clock2;
+  SpanTracer tracer2(&clock2, 8);
+  drive(tracer2, clock2);
+  drive(tracer2, clock2);
+  EXPECT_EQ(tracer.ToJson(64), tracer2.ToJson(64));
+  std::string ev1;
+  std::string ev2;
+  AppendPerfettoSpanEvents(tracer, 1, "engine", &ev1);
+  AppendPerfettoSpanEvents(tracer2, 1, "engine", &ev2);
+  EXPECT_EQ(ev1, ev2);
+  EXPECT_EQ(PerfettoTraceJson(ev1), PerfettoTraceJson(ev2));
 }
 
 // --- Span trees under injected faults -----------------------------------
@@ -310,7 +365,8 @@ TEST(TimeSeriesSamplerTest, StampsAtCadenceBoundariesRegardlessOfChunking) {
   TimeSeriesSampler sampler(/*cadence_us=*/kUsPerSec, /*capacity=*/16);
   int64_t level = 0;
   sampler.AddSeries("level", [&] { return level; });
-  clock.SetTickHook([&](SimTime now) { sampler.Poll(now); });
+  const SimClock::TickHookId hook =
+      clock.AddTickHook([&](SimTime now) { sampler.Poll(now); });
 
   level = 1;
   clock.Advance(700'000);  // 0.7 s: no boundary crossed yet.
@@ -327,7 +383,40 @@ TEST(TimeSeriesSamplerTest, StampsAtCadenceBoundariesRegardlessOfChunking) {
   ASSERT_EQ(sampler.Series("level").size(), 2u);
   EXPECT_EQ(sampler.Series("level")[1].t_us, 6 * kUsPerSec);
   EXPECT_EQ(sampler.Series("level")[1].value, 3);
-  clock.SetTickHook(nullptr);
+  clock.RemoveTickHook(hook);
+  EXPECT_EQ(clock.tick_hook_count(), 0u);
+}
+
+// Regression test for the old SetTickHook last-writer-wins footgun: two
+// observers (say a deployment sampler and a hub fan-out) must both keep
+// seeing ticks, and removing one must not disturb the other.
+TEST(SimClockTest, MultipleTickHooksAllFireAndRemoveIndependently) {
+  SimClock clock;
+  std::vector<std::pair<int, SimTime>> fired;
+  const SimClock::TickHookId a =
+      clock.AddTickHook([&](SimTime now) { fired.emplace_back(1, now); });
+  const SimClock::TickHookId b =
+      clock.AddTickHook([&](SimTime now) { fired.emplace_back(2, now); });
+  EXPECT_EQ(clock.tick_hook_count(), 2u);
+
+  clock.Advance(10);
+  // Both hooks fire, in registration order.
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<int, SimTime>{1, 10}));
+  EXPECT_EQ(fired[1], (std::pair<int, SimTime>{2, 10}));
+
+  clock.RemoveTickHook(a);
+  clock.AdvanceTo(25);
+  ASSERT_EQ(fired.size(), 3u);
+  EXPECT_EQ(fired[2], (std::pair<int, SimTime>{2, 25}));
+
+  // Removing an already-removed (or never-issued) handle is a no-op.
+  clock.RemoveTickHook(a);
+  clock.RemoveTickHook(12345);
+  EXPECT_EQ(clock.tick_hook_count(), 1u);
+  clock.RemoveTickHook(b);
+  clock.Advance(5);
+  EXPECT_EQ(fired.size(), 3u);
 }
 
 TEST(TimeSeriesSamplerTest, ZeroCadenceDisablesSampling) {

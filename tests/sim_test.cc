@@ -52,6 +52,35 @@ TEST(PhaseAccumulatorTest, PercentagesSumTo100) {
   EXPECT_DOUBLE_EQ(acc.Percent("queue"), 1.0);
 }
 
+TEST(PhaseAccumulatorTest, InternedHandlesMatchStringPathAndSurviveReset) {
+  PhaseAccumulator acc;
+  const PhaseAccumulator::PhaseId io = acc.Intern("ioserver");
+  // Interning is idempotent and agrees with the string Add path.
+  EXPECT_EQ(acc.Intern("ioserver"), io);
+  acc.Add(io, 30);
+  acc.Add("ioserver", 70);
+  acc.Add("queuing", 100);
+  EXPECT_EQ(acc.Total(io), 100u);
+  EXPECT_EQ(acc.Total("ioserver"), 100u);
+  // The grand total is maintained incrementally, not recomputed.
+  EXPECT_EQ(acc.GrandTotal(), 200u);
+  EXPECT_DOUBLE_EQ(acc.Percent("ioserver"), 50.0);
+
+  // The materialized view iterates name-sorted like the old std::map.
+  const std::map<std::string, SimTime> totals = acc.totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals.begin()->first, "ioserver");
+  EXPECT_EQ(totals.rbegin()->first, "queuing");
+
+  // Reset zeroes totals but keeps handles valid for reuse.
+  acc.Reset();
+  EXPECT_EQ(acc.GrandTotal(), 0u);
+  EXPECT_DOUBLE_EQ(acc.Percent("ioserver"), 0.0);
+  acc.Add(io, 5);
+  EXPECT_EQ(acc.Total("ioserver"), 5u);
+  EXPECT_EQ(acc.GrandTotal(), 5u);
+}
+
 TEST(DiskProfileTest, SeekMonotoneInDistance) {
   DiskProfile p = Rz57Profile();
   EXPECT_EQ(p.SeekTime(0), 0u);
